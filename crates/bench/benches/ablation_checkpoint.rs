@@ -1,0 +1,83 @@
+//! **Ablation** — checkpoint/restart transparency and cost: a long PR
+//! reduction split into 1, 2, 4, 8, 16 job segments (checkpoint text
+//! between each; scrambled replay order after every restart) must produce
+//! the identical bits, and the checkpoint overhead should be negligible
+//! against the reduction itself.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use repro_bench::{banner, params, scale, time_it, Scale};
+use repro_core::stats::Table;
+use repro_core::sum::{Accumulator, BinnedSum};
+
+fn main() {
+    let p = params();
+    banner(
+        "ablation_checkpoint",
+        "design study: exact-state checkpoint/restart (DESIGN.md extensions)",
+        "bitwise transparency and cost of persisting the PR accumulator mid-reduction",
+    );
+    let n = match scale() {
+        Scale::Quick => 100_000,
+        Scale::Default => 1_000_000,
+        Scale::Full => 4_000_000,
+    };
+    let values = repro_core::gen::zero_sum_with_range(n, 28, p.seed ^ 0xC4);
+    let mut reference = BinnedSum::new(3);
+    let (_, straight_time) = time_it(|| reference.add_slice(&values));
+    let want = reference.finalize();
+
+    let mut t = Table::new(&[
+        "segments",
+        "bitwise identical",
+        "total time (ms)",
+        "overhead vs straight",
+        "checkpoint bytes",
+    ]);
+    let mut all_identical = true;
+    for segments in [1usize, 2, 4, 8, 16] {
+        let seg_len = n.div_ceil(segments);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut checkpoint: Option<String> = None;
+        let mut bytes = 0usize;
+        let (_, total_time) = time_it(|| {
+            for (i, segment) in values.chunks(seg_len).enumerate() {
+                let mut acc = match &checkpoint {
+                    None => BinnedSum::new(3),
+                    Some(text) => BinnedSum::restore(text).expect("valid"),
+                };
+                let mut data = segment.to_vec();
+                if i > 0 {
+                    data.shuffle(&mut rng); // restarted replay order differs
+                }
+                acc.add_slice(&data);
+                let saved = acc.checkpoint();
+                bytes = saved.len();
+                checkpoint = Some(saved);
+            }
+        });
+        let got = BinnedSum::restore(checkpoint.as_ref().unwrap())
+            .unwrap()
+            .finalize();
+        let identical = got.to_bits() == want.to_bits();
+        all_identical &= identical;
+        t.row(&[
+            segments.to_string(),
+            if identical { "yes".into() } else { "NO".into() },
+            format!("{:.2}", total_time * 1e3),
+            format!("{:+.1}%", (total_time / straight_time - 1.0) * 100.0),
+            bytes.to_string(),
+        ]);
+    }
+    println!("\n{n} values (zero-sum, dr = 28), PR fold 3:\n{}", t.render());
+    println!(
+        "reading: the accumulator state is exact, so restart commutes with any\n\
+         split of the deposit stream — even when the restarted job replays its\n\
+         share in a different order. The checkpoint is ~85 bytes of text."
+    );
+    println!(
+        "shape check: {}",
+        if all_identical { "PASS" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,58 @@
+//! **Ablation** — PR fold count: how do fold = 1..4 trade accuracy against
+//! deposit cost?
+//!
+//! The paper fixes PR at the ReproBLAS default (fold 3). This ablation
+//! justifies that default: fold 1 is cheap but coarse (a 40-bit window can
+//! lose real signal on wide-dynamic-range data), fold 2 is usually enough,
+//! fold 3 is bit-level for any plausible workload, fold 4 buys nothing more
+//! at measurable extra cost. Reproducibility is bitwise at *every* fold.
+
+use repro_bench::{banner, median_time, params};
+use repro_core::fp::{abs_error_vs, exact_sum_acc};
+use repro_core::stats::{table::sci, Table};
+use repro_core::sum::{Accumulator, BinnedSum};
+use repro_core::tree::permute::PermutationStudy;
+
+fn main() {
+    let p = params();
+    banner(
+        "ablation_fold",
+        "design choice: PR fold (DESIGN.md §4.4)",
+        "accuracy vs cost vs reproducibility across fold = 1..4",
+    );
+    let values = repro_core::gen::zero_sum_with_range(p.fig7_sizes[0], 32, p.seed ^ 0xF01D);
+    let exact = exact_sum_acc(&values);
+
+    let mut t = Table::new(&[
+        "fold",
+        "window bits",
+        "|error| vs exact",
+        "distinct results over perms",
+        "ns/element",
+    ]);
+    for fold in 1..=4usize {
+        let sum = BinnedSum::sum_slice(&values, fold);
+        let err = abs_error_vs(&exact, sum);
+        let mut distinct = std::collections::HashSet::new();
+        PermutationStudy::new(&values, p.fig7_perms.min(25), p.seed).for_each(|_, perm| {
+            distinct.insert(BinnedSum::sum_slice(perm, fold).to_bits());
+        });
+        let time = median_time(5, || {
+            let mut acc = BinnedSum::new(fold);
+            acc.add_slice(&values);
+            acc.finalize()
+        });
+        t.row(&[
+            fold.to_string(),
+            (fold * 40).to_string(),
+            sci(err),
+            distinct.len().to_string(),
+            format!("{:.2}", time * 1e9 / values.len() as f64),
+        ]);
+    }
+    println!("\nzero-sum workload, n = {}, dr = 32:\n{}", values.len(), t.render());
+    println!(
+        "reading: every fold is bitwise reproducible (1 distinct result); accuracy\n\
+         saturates by fold 3; cost grows mildly with fold — fold 3 is the sweet spot."
+    );
+}

@@ -1,0 +1,39 @@
+//! **Figure 1** — "Two reduction trees at the opposite ends of the
+//! spectrum": (a) a balanced (parallel) reduction tree, (b) an unbalanced
+//! (serial) reduction tree.
+//!
+//! The paper's only non-data figure besides the Figure 8 methodology
+//! diagram; reproduced by rendering the two explicit tree structures over
+//! eight operands, and verified by their depth formulas.
+
+use repro_bench::banner;
+use repro_core::tree::{ReductionTree, TreeShape};
+
+fn main() {
+    banner(
+        "fig01_reduction_trees",
+        "Figure 1 (a), (b)",
+        "the balanced and unbalanced reduction-tree shapes, rendered",
+    );
+    let values: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+
+    let balanced = ReductionTree::build(TreeShape::Balanced, 8);
+    println!(
+        "\n(a) balanced (parallel) reduction tree over 8 operands — depth {}:\n{}",
+        balanced.depth(),
+        balanced.render(&values)
+    );
+
+    let serial = ReductionTree::build(TreeShape::Serial, 8);
+    println!(
+        "(b) unbalanced (serial) reduction tree over 8 operands — depth {}:\n{}",
+        serial.depth(),
+        serial.render(&values)
+    );
+
+    assert_eq!(balanced.depth(), 3);
+    assert_eq!(serial.depth(), 7);
+    assert_eq!(balanced.evaluate(&values), 36.0);
+    assert_eq!(serial.evaluate(&values), 36.0);
+    println!("shape check: PASS (depths 3 and 7; both reduce 1..8 to 36)");
+}

@@ -1,0 +1,80 @@
+//! **Figure 2** — "Empirical study of error magnitudes and worst-case error
+//! bounds for 10,000 summations of 10,000 values randomly sorted."
+//!
+//! 10,000 values ~ U(−1000, 1000); each random order is summed with the
+//! standard algorithm and its exact absolute error recorded. The analytical
+//! bound `n·u·Σ|xᵢ|` and the statistical bound `√n·u·Σ|xᵢ|` are printed for
+//! comparison. Expected shape: both bounds overestimate every measured
+//! error by orders of magnitude, while the measured errors themselves
+//! spread over a wide range.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use repro_bench::{banner, params};
+use repro_core::fp::{abs_error_vs, exact_abs_sum, exact_sum_acc, higham_bound, statistical_bound};
+use repro_core::stats::{descriptive::Summary, table::sci, Histogram, Table};
+
+fn main() {
+    let p = params();
+    banner(
+        "fig02_error_bounds",
+        "Figure 2",
+        "measured summation errors vs analytical and statistical worst-case bounds",
+    );
+    let n = p.fig2_values;
+    let orders = p.fig2_orders;
+    let mut values = repro_core::gen::uniform(n, -1000.0, 1000.0, p.seed);
+    let exact = exact_sum_acc(&values);
+    let abs_sum = exact_abs_sum(&values);
+
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0xF162);
+    let mut errors = Vec::with_capacity(orders);
+    for _ in 0..orders {
+        values.shuffle(&mut rng);
+        let sum: f64 = values.iter().sum();
+        errors.push(abs_error_vs(&exact, sum));
+    }
+
+    let s = Summary::of(&errors);
+    let analytical = higham_bound(n, abs_sum);
+    let statistical = statistical_bound(n, abs_sum);
+
+    let mut t = Table::new(&["quantity", "value"]);
+    t.row(&["values n".into(), n.to_string()]);
+    t.row(&["summation orders".into(), orders.to_string()]);
+    t.row(&["Σ|x|".into(), sci(abs_sum)]);
+    t.row(&["min measured error".into(), sci(s.min)]);
+    t.row(&["median-ish mean error".into(), sci(s.mean)]);
+    t.row(&["max measured error".into(), sci(s.max)]);
+    t.row(&["analytical bound n·u·Σ|x|".into(), sci(analytical)]);
+    t.row(&["statistical bound √n·u·Σ|x|".into(), sci(statistical)]);
+    t.row(&[
+        "overestimation: analytical / max measured".into(),
+        format!("{:.0}x", analytical / s.max),
+    ]);
+    t.row(&[
+        "overestimation: statistical / max measured".into(),
+        format!("{:.0}x", statistical / s.max),
+    ]);
+    t.row(&[
+        "measured spread: max / min".into(),
+        format!("{:.1}x", s.max / s.min.max(f64::MIN_POSITIVE)),
+    ]);
+    println!("\n{}", t.render());
+
+    // The error distribution across orders (log10 decades).
+    let mut h = Histogram::log10_decades(-14, -8);
+    for &e in &errors {
+        h.record_log10(e);
+    }
+    println!("distribution of measured |error| across orders:\n{}", h.render(50));
+
+    println!(
+        "expected shape (paper): both bounds sit orders of magnitude above every\n\
+         measured error; the measured errors alone span a wide range across orders."
+    );
+    assert!(analytical > s.max * 10.0, "analytical bound should overestimate");
+    assert!(statistical > s.max, "statistical bound should overestimate");
+    println!("shape check: PASS");
+}

@@ -1,0 +1,70 @@
+//! **Figure 5** — "Performance losses of Kahan's compensated summation (K),
+//! composite precision (CP), and prerounded (PR) summations compared to the
+//! standard summation (ST)."
+//!
+//! The derived view of Figure 4: per-algorithm slowdown relative to ST, for
+//! the local-reduction kernel (pure operator cost) and the full
+//! local+global pipeline. Expected shape: penalties strictly increase
+//! K < CP < PR, confirming "the proposed ranking of the summation
+//! algorithms in terms of performance expense".
+
+use repro_bench::{banner, median_time, params};
+use repro_core::stats::Table;
+use repro_core::sum::{Accumulator, Algorithm};
+
+fn main() {
+    let p = params();
+    banner(
+        "fig05_penalties",
+        "Figure 5",
+        "performance penalty of K / CP / PR relative to ST",
+    );
+    let values = repro_core::gen::zero_sum_with_range(p.timing_n, 8, p.seed ^ 0xF165);
+
+    let mut kernel_times = Vec::new();
+    for alg in Algorithm::PAPER_SET {
+        let t = median_time(p.timing_reps, || {
+            let mut acc = alg.new_accumulator();
+            acc.add_slice(&values);
+            acc.finalize()
+        });
+        kernel_times.push((alg, t));
+    }
+    let st = kernel_times[0].1;
+
+    let mut t = Table::new(&["algorithm", "ns/element", "slowdown vs ST", "penalty %"]);
+    for (alg, time) in &kernel_times {
+        t.row(&[
+            alg.to_string(),
+            format!("{:.2}", time * 1e9 / values.len() as f64),
+            format!("{:.2}x", time / st),
+            format!("{:+.0}%", (time / st - 1.0) * 100.0),
+        ]);
+    }
+    println!(
+        "\nlocal-reduction kernel over {} values ({} reps, median):\n{}",
+        values.len(),
+        p.timing_reps,
+        t.render()
+    );
+
+    let penalties: Vec<f64> = kernel_times.iter().skip(1).map(|(_, t)| t / st).collect();
+    println!(
+        "expected shape (paper): penalties increase K < CP < PR and are all > 1.\n\
+         known deviation (documented in EXPERIMENTS.md): on modern out-of-order\n\
+         cores CP often undercuts K — CP's error term accumulates off the carried\n\
+         dependency chain (loop-carried latency ~1 add), while Kahan's compensation\n\
+         sits on it (4 serial flops). The paper's ranking reflects flop counts on\n\
+         2015 hardware. The robust invariants are: every penalty > 1, and PR is\n\
+         the most expensive."
+    );
+    let all_pay = penalties.iter().all(|&r| r > 1.0);
+    let pr_most_expensive = penalties.last().copied().unwrap_or(0.0)
+        >= penalties.iter().copied().fold(0.0, f64::max) * 0.999;
+    let paper_exact_order = penalties.windows(2).all(|w| w[0] <= w[1] * 1.10);
+    println!(
+        "shape check: {} (paper's exact K<CP order: {})",
+        if all_pay && pr_most_expensive { "PASS" } else { "FAIL" },
+        if paper_exact_order { "also holds" } else { "inverted here, as documented" }
+    );
+}

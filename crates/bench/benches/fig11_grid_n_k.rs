@@ -1,0 +1,80 @@
+//! **Figure 11** — "Standard deviation errors for standard summation (left),
+//! Kahan summation (middle), and composite precision summation (right) for
+//! different (n, k) values and fixed dynamic range dr."
+//!
+//! Expected shape: "a strong relationship between high variability of sums
+//! and sets of summands with high condition number" — the k-axis gradient
+//! dominates the n-axis gradient, and dwarfs Figure 10's dr gradient.
+
+use repro_bench::{banner, grid_axes, params, sweep};
+use repro_core::stats::Grid;
+use repro_core::sum::Algorithm;
+
+const FIXED_DR: u32 = 8;
+
+fn main() {
+    let p = params();
+    banner(
+        "fig11_grid_n_k",
+        "Figure 11",
+        "stddev-of-error grids over (n, k) at fixed dr, panels: ST / K / CP",
+    );
+    let ns = grid_axes::n_targets(repro_bench::scale());
+    let ks = grid_axes::k_targets();
+    let algorithms = [Algorithm::Standard, Algorithm::Kahan, Algorithm::Composite];
+
+    let row_labels: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+    let col_labels: Vec<String> = ks.iter().map(|&k| grid_axes::k_label(k)).collect();
+    let mut grids: Vec<Grid> = algorithms
+        .iter()
+        .map(|_| Grid::new("n", "k", row_labels.clone(), col_labels.clone()))
+        .collect();
+
+    let specs: Vec<sweep::CellSpec> = ns
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, &n)| {
+            ks.iter().enumerate().map(move |(ci, &k)| sweep::CellSpec {
+                n,
+                k,
+                dr: FIXED_DR,
+                seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
+                scaling: sweep::CellScaling::UnitSum,
+            })
+        })
+        .collect();
+    let all = sweep::cells_stddevs_parallel(&specs, p.grid_perms, &algorithms);
+    for (idx, stds) in all.into_iter().enumerate() {
+        let (ri, ci) = (idx / ks.len(), idx % ks.len());
+        for (g, s) in grids.iter_mut().zip(stds) {
+            g.set(ri, ci, s);
+        }
+    }
+
+    for (alg, grid) in algorithms.iter().zip(&grids) {
+        println!("\npanel {} ({}), dr = {FIXED_DR}:", alg.abbrev(), alg.name());
+        println!("{}", grid.render_heat());
+        println!("csv:\n{}", grid.to_csv());
+    }
+
+    let st = &grids[0];
+    let (rows, cols) = (st.rows(), st.cols());
+    // k gradient along the top n row (excluding the inf column's fixed scale).
+    let k_growth = st.get(rows - 1, cols - 2) / st.get(rows - 1, 0).max(f64::MIN_POSITIVE);
+    let n_growth = st.get(rows - 1, 0) / st.get(0, 0).max(f64::MIN_POSITIVE);
+    println!("expected shapes (paper) and measurements:");
+    let c1 = k_growth > 1e4;
+    println!(
+        "  [{}] strong k gradient for ST at fixed n ({:.1e}x across the k range)",
+        if c1 { "PASS" } else { "FAIL" },
+        k_growth
+    );
+    let c2 = k_growth > n_growth;
+    println!(
+        "  [{}] k dominates n ({:.1e}x vs {:.1e}x)",
+        if c2 { "PASS" } else { "FAIL" },
+        k_growth,
+        n_growth
+    );
+    println!("shape check: {}", if c1 && c2 { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,138 @@
+//! **Figure 12** — "Selection of the cheapest but acceptably accurate
+//! reduction algorithm among the Kahan (K), composite precision (CP), and
+//! prerounding (PR) algorithms for different error variability thresholds
+//! (left to right: t = 5e-13, 3e-13, 2.5e-13, 1.5e-13, 5e-14)."
+//!
+//! Per (k, dr) cell, per threshold: the cheapest of {K, CP, PR} whose
+//! measured error stddev across permuted trees is ≤ t. Expected shape: as t
+//! shrinks, increasingly costly algorithms take over, starting from the
+//! high-k / high-dr corner.
+//!
+//! We print the paper's literal thresholds and a wider sweep: absolute
+//! spreads scale with the workload (n and the unit-sum normalization), so
+//! the exact crossover thresholds shift with `REPRO_SCALE`, while the
+//! escalation structure is scale-invariant.
+
+use repro_bench::{banner, grid_axes, params, sweep};
+use repro_core::stats::Table;
+use repro_core::sum::Algorithm;
+
+fn main() {
+    let p = params();
+    banner(
+        "fig12_selection_map",
+        "Figure 12",
+        "cheapest acceptable algorithm among {K, CP, PR} per (k, dr) cell, per threshold",
+    );
+    let ks = grid_axes::k_targets();
+    let drs = grid_axes::dr_targets();
+    // Candidates in the paper's cost order (ST excluded, as in the figure).
+    let candidates = [Algorithm::Kahan, Algorithm::Composite, Algorithm::PR];
+
+    // Measure every cell once (in parallel; cells are seeded).
+    let specs: Vec<sweep::CellSpec> = ks
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, &k)| {
+            drs.iter().enumerate().map(move |(ci, &dr)| sweep::CellSpec {
+                n: p.grid_n,
+                k,
+                dr,
+                seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
+                scaling: sweep::CellScaling::UnitSum,
+            })
+        })
+        .collect();
+    let flat = sweep::cells_stddevs_parallel(&specs, p.grid_perms, &candidates);
+    let spread: Vec<Vec<Vec<f64>>> = flat
+        .chunks(drs.len())
+        .map(|row| row.to_vec())
+        .collect(); // [ki][di][alg]
+
+    let paper_thresholds = [5e-13, 3e-13, 2.5e-13, 1.5e-13, 5e-14];
+    let wide_thresholds = [1e-8, 1e-10, 1e-12, 1e-14, 1e-16, 1e-20];
+
+    let mut maps_differ = false;
+    let mut previous_map: Option<Vec<String>> = None;
+    for (label, thresholds) in [
+        ("paper thresholds", &paper_thresholds[..]),
+        ("wider sweep", &wide_thresholds[..]),
+    ] {
+        println!("\n--- {label} ---");
+        for &t in thresholds {
+            let mut header = vec!["k \\ dr".to_string()];
+            header.extend(drs.iter().map(|d| d.to_string()));
+            let mut table =
+                Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            let mut flat = Vec::new();
+            for (&k, spread_row) in ks.iter().zip(&spread) {
+                let mut row = vec![grid_axes::k_label(k)];
+                for cell in spread_row {
+                    let choice = candidates
+                        .iter()
+                        .zip(cell)
+                        .find(|(_, s)| **s <= t)
+                        .map(|(a, _)| a.abbrev())
+                        .unwrap_or("PR");
+                    row.push(choice.to_string());
+                    flat.push(choice.to_string());
+                }
+                table.row(&row);
+            }
+            println!("threshold t = {t:e}:\n{}", table.render());
+            if let Some(prev) = &previous_map {
+                maps_differ |= *prev != flat;
+            }
+            previous_map = Some(flat);
+        }
+    }
+
+    // Shape checks.
+    println!("expected shapes (paper) and measurements:");
+    // 1. Escalation: tighter threshold never picks a cheaper algorithm.
+    let rank = |abbr: &str| match abbr {
+        "K" => 0,
+        "CP" => 1,
+        _ => 2,
+    };
+    let mut monotone = true;
+    for spread_row in &spread {
+        for cell in spread_row {
+            let mut last = 0;
+            for &t in wide_thresholds.iter() {
+                let choice = candidates
+                    .iter()
+                    .zip(cell)
+                    .find(|(_, s)| **s <= t)
+                    .map(|(a, _)| a.abbrev())
+                    .unwrap_or("PR");
+                let r = rank(choice);
+                monotone &= r >= last;
+                last = r;
+            }
+        }
+    }
+    println!(
+        "  [{}] tightening the threshold only escalates (never de-escalates)",
+        if monotone { "PASS" } else { "FAIL" }
+    );
+    // 2. The hostile corner escalates before the benign corner.
+    let benign_escalation: f64 = spread[0][0][0]; // k=1, dr=0, Kahan spread
+    let hostile_escalation: f64 = spread[ks.len() - 1][drs.len() - 1][0];
+    let corner = hostile_escalation >= benign_escalation;
+    println!(
+        "  [{}] the high-k/high-dr corner is at least as hard as the benign corner\n\
+         \t(K spread {:e} vs {:e})",
+        if corner { "PASS" } else { "FAIL" },
+        hostile_escalation,
+        benign_escalation
+    );
+    println!(
+        "  [{}] the maps change across thresholds (selection is threshold-sensitive)",
+        if maps_differ { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "shape check: {}",
+        if monotone && corner && maps_differ { "PASS" } else { "FAIL" }
+    );
+}

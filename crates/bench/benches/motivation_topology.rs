@@ -1,0 +1,193 @@
+//! **Motivation (paper §II-B)** — "topology-aware reduction trees ...
+//! outperform fixed-reduction trees [and] the performance advantage ...
+//! increases with the number of cores" (Balaji & Kimpe), and the corollary
+//! the paper builds on: the performant tree's *shape follows the machine*,
+//! and the machine fluctuates, so results fluctuate — unless the operator
+//! absorbs it.
+//!
+//! Three measurements on a modelled cluster:
+//! 1. aggregate network traffic of topology-aware vs rank-order trees
+//!    across machine sizes under cyclic rank placement (the performance
+//!    side of the tension);
+//! 2. critical-path times under random core dropout (the fluctuation);
+//! 3. the reproducibility side: same multiset, random per-run placement
+//!    onto cores — ST results vary, PR results do not.
+
+use repro_bench::{banner, params};
+use repro_core::stats::{table::sci, Table};
+use repro_core::tree::topology::{
+    critical_path, random_live_cores, rank_order_tree, topology_aware_tree, total_link_cost,
+    Level, Machine,
+};
+
+fn main() {
+    let p = params();
+    banner(
+        "motivation_topology",
+        "paper §II-B (Balaji & Kimpe)",
+        "topology-aware vs fixed trees: latency advantage, and the reproducibility price",
+    );
+
+    // 1. The advantage grows with scale.
+    let machines = [
+        ("1 node (16c)", Machine::new(&[
+            Level { arity: 8, latency: 5.0 },
+            Level { arity: 2, latency: 40.0 },
+        ])),
+        ("1 rack (128c)", Machine::new(&[
+            Level { arity: 8, latency: 5.0 },
+            Level { arity: 2, latency: 40.0 },
+            Level { arity: 8, latency: 400.0 },
+        ])),
+        ("2 racks (256c)", Machine::typical_cluster()),
+        ("8 racks (1024c)", Machine::new(&[
+            Level { arity: 8, latency: 5.0 },
+            Level { arity: 2, latency: 40.0 },
+            Level { arity: 8, latency: 400.0 },
+            Level { arity: 8, latency: 2000.0 },
+        ])),
+    ];
+    let mut t = Table::new(&[
+        "machine",
+        "cores",
+        "fixed tree (network traffic)",
+        "topology-aware (traffic)",
+        "traffic ratio",
+    ]);
+    let mut speedups = Vec::new();
+    for (name, m) in &machines {
+        // Ranks are placed CYCLICALLY across nodes (a standard MPI "by
+        // slot" round-robin): logically adjacent ranks live on different
+        // nodes. The fixed tree merges in rank order regardless; the
+        // topology-aware tree regroups by physical locality.
+        let nodes = m.cores() / 16; // 16 cores per node in all models here
+        let placement: Vec<usize> = (0..m.cores())
+            .map(|rank| (rank % nodes) * 16 + rank / nodes)
+            .collect();
+        let fixed = total_link_cost(&rank_order_tree(placement.len()), m, &placement);
+        let sorted: Vec<usize> = {
+            let mut s = placement.clone();
+            s.sort_unstable();
+            s
+        };
+        let aware = total_link_cost(&topology_aware_tree(m, &sorted), m, &sorted);
+        speedups.push(fixed / aware);
+        t.row(&[
+            name.to_string(),
+            m.cores().to_string(),
+            format!("{fixed:.0}"),
+            format!("{aware:.0}"),
+            format!("{:.2}x", fixed / aware),
+        ]);
+    }
+    println!(
+        "\n1. full machine, cyclic (\"by slot\") rank placement:\n{}",
+        t.render()
+    );
+
+    // 2. Fluctuating resources: random 5% core dropout changes the
+    // topology-aware tree run to run (timing view).
+    let m = Machine::typical_cluster();
+    let runs = 20u64;
+    let mut aware_times = Vec::new();
+    let mut fixed_times = Vec::new();
+    for run in 0..runs {
+        let live = random_live_cores(&m, 0.05, p.seed ^ run);
+        let tree = topology_aware_tree(&m, &live);
+        aware_times.push(critical_path(&tree, &m, &live, 1.0));
+        fixed_times.push(critical_path(&rank_order_tree(live.len()), &m, &live, 1.0));
+    }
+    println!(
+        "2. {runs} runs with 5% random core dropout (machine: 256 cores):\n\
+         \ttopology-aware critical path: {} .. {} (mean {:.0})\n\
+         \tfixed-tree critical path:     {} .. {} (mean {:.0})\n",
+        sci(aware_times.iter().copied().fold(f64::INFINITY, f64::min)),
+        sci(aware_times.iter().copied().fold(0.0, f64::max)),
+        aware_times.iter().sum::<f64>() / runs as f64,
+        sci(fixed_times.iter().copied().fold(f64::INFINITY, f64::min)),
+        sci(fixed_times.iter().copied().fold(0.0, f64::max)),
+        fixed_times.iter().sum::<f64>() / runs as f64,
+    );
+
+    // 3. The reproducibility price: the SAME multiset, placed onto cores
+    // differently run to run (dynamic load balancing), reduced over the
+    // topology-aware tree the placement induces.
+    let values = repro_core::gen::zero_sum_with_range(m.cores(), 24, p.seed ^ 0x701);
+    let live: Vec<usize> = (0..m.cores()).collect();
+    let tree = topology_aware_tree(&m, &live);
+    let mut st_results = std::collections::HashSet::new();
+    let mut pr_results = std::collections::HashSet::new();
+    for run in 0..runs {
+        let perm = repro_core::tree::random_permutation(values.len(), p.seed ^ (run + 1000));
+        let placed = repro_core::tree::apply_permutation(&values, &perm);
+        let (st, pr) = evaluate_both(&tree, &placed);
+        st_results.insert(st.to_bits());
+        pr_results.insert(pr.to_bits());
+    }
+    println!(
+        "3. same multiset, {runs} random core placements, reduced over the\n\
+         topology-aware tree the machine imposes:\n\
+         \tST: {} distinct results\n\
+         \tPR: {} distinct result(s)\n",
+        st_results.len(),
+        pr_results.len(),
+    );
+    println!(
+        "reading: the performant tree follows the machine, and which value sits on\n\
+         which core is a scheduling accident — so ST's answer is a scheduling\n\
+         accident too. PR's answer depends only on the multiset."
+    );
+    let mut all = true;
+    let c1 = speedups.windows(2).all(|w| w[1] >= w[0] * 0.95);
+    println!(
+        "  [{}] topology advantage grows (or holds) with scale: {:?}",
+        if c1 { "PASS" } else { "FAIL" },
+        speedups.iter().map(|s| format!("{s:.2}x")).collect::<Vec<_>>()
+    );
+    all &= c1;
+    let c2 = speedups.last().unwrap() > &1.2;
+    println!(
+        "  [{}] topology-aware wins clearly at scale ({:.2}x traffic reduction)",
+        if c2 { "PASS" } else { "FAIL" },
+        speedups.last().unwrap()
+    );
+    all &= c2;
+    let c3 = pr_results.len() == 1 && st_results.len() > 1;
+    println!(
+        "  [{}] PR is placement-invariant while ST is not ({} vs {} distinct)",
+        if c3 { "PASS" } else { "FAIL" },
+        pr_results.len(),
+        st_results.len()
+    );
+    all &= c3;
+    println!("shape check: {}", if all { "PASS" } else { "FAIL" });
+}
+
+/// Reduce the subset over the given explicit tree with ST (plain f64 at the
+/// nodes) and PR (merge-based), returning both results.
+fn evaluate_both(tree: &repro_core::tree::ReductionTree, values: &[f64]) -> (f64, f64) {
+    use repro_core::sum::Accumulator;
+    use repro_core::tree::tree::Node;
+    fn walk(
+        tree: &repro_core::tree::ReductionTree,
+        node: u32,
+        values: &[f64],
+    ) -> (f64, repro_core::sum::BinnedSum) {
+        match tree.node(node) {
+            Node::Leaf { value_index } => {
+                let mut acc = repro_core::sum::BinnedSum::new(3);
+                acc.add(values[value_index as usize]);
+                (values[value_index as usize], acc)
+            }
+            Node::Internal { left, right } => {
+                let (sl, al) = walk(tree, left, values);
+                let (sr, ar) = walk(tree, right, values);
+                let mut acc = al;
+                acc.merge(&ar);
+                (sl + sr, acc)
+            }
+        }
+    }
+    let (st, pr_acc) = walk(tree, tree.root(), values);
+    (st, pr_acc.finalize())
+}

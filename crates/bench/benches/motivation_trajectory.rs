@@ -1,0 +1,97 @@
+//! **Motivation (paper §I)** — "even small errors at the beginning of the
+//! simulation may eventually compound into significant accuracy problems
+//! ... a scientist may run the same computation several times with
+//! differing results. Can the scientific community trust simulations
+//! executed on next-generation exascale architectures?"
+//!
+//! The claim, measured: an N-body system is integrated twice from identical
+//! initial conditions, with the per-particle force reductions accumulating
+//! in different (nondeterministic) orders. Under ST the trajectories drift
+//! apart at a measurable exponential-ish rate; under PR the two runs remain
+//! **bitwise identical** forever.
+
+use repro_bench::{banner, params, scale, Scale};
+use repro_core::md::{sim::divergence, SimConfig, Simulation};
+use repro_core::stats::{table::sci, Table};
+use repro_core::sum::Algorithm;
+
+fn main() {
+    let p = params();
+    banner(
+        "motivation_trajectory",
+        "paper §I (the trust question)",
+        "trajectory divergence between two runs differing only in reduction order",
+    );
+    let (bodies, checkpoints) = match scale() {
+        Scale::Quick => (24, vec![100u64, 200, 400, 800]),
+        Scale::Default => (48, vec![200u64, 500, 1000, 2000, 4000]),
+        Scale::Full => (96, vec![500u64, 1000, 2000, 4000, 8000, 16000]),
+    };
+
+    let mut table = Table::new(&[
+        "steps",
+        "ST max divergence",
+        "ST rms divergence",
+        "PR max divergence",
+        "PR bitwise",
+    ]);
+    let cfg = |alg, seed| SimConfig {
+        algorithm: alg,
+        shuffle_seed: Some(seed),
+        ..SimConfig::default()
+    };
+    let mut st_a = Simulation::disk(bodies, p.seed, cfg(Algorithm::Standard, 1));
+    let mut st_b = Simulation::disk(bodies, p.seed, cfg(Algorithm::Standard, 2));
+    let mut pr_a = Simulation::disk(bodies, p.seed, cfg(Algorithm::PR, 1));
+    let mut pr_b = Simulation::disk(bodies, p.seed, cfg(Algorithm::PR, 2));
+
+    let mut st_divs = Vec::new();
+    let mut done = 0u64;
+    let mut pr_always_bitwise = true;
+    for &target in &checkpoints {
+        let advance = target - done;
+        st_a.run(advance);
+        st_b.run(advance);
+        pr_a.run(advance);
+        pr_b.run(advance);
+        done = target;
+        let st_d = divergence(&st_a, &st_b);
+        let pr_d = divergence(&pr_a, &pr_b);
+        pr_always_bitwise &= pr_d.bitwise_identical;
+        st_divs.push(st_d.max_position);
+        table.row(&[
+            target.to_string(),
+            sci(st_d.max_position),
+            sci(st_d.rms_position),
+            sci(pr_d.max_position),
+            if pr_d.bitwise_identical { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    println!(
+        "\n{bodies}-body disk, dt = 1e-3, identical initial conditions, per-step\n\
+         shuffled force accumulation (two independent shuffle streams):\n{}",
+        table.render()
+    );
+    println!(
+        "reading: the ST runs disagree from the first steps and the gap compounds\n\
+         (the system is chaotic: ulp-level reduction differences grow to O(1)\n\
+         orbital differences); the PR runs are the same simulation, bit for bit."
+    );
+
+    let growing = st_divs.windows(2).filter(|w| w[1] > w[0]).count() >= st_divs.len() / 2;
+    let st_nonzero = st_divs.last().copied().unwrap_or(0.0) > 0.0;
+    println!("expected shapes (paper) and measurements:");
+    println!(
+        "  [{}] ST divergence is nonzero and compounds over time (final {})",
+        if st_nonzero && growing { "PASS" } else { "FAIL" },
+        sci(*st_divs.last().unwrap())
+    );
+    println!(
+        "  [{}] PR trajectories stay bitwise identical at every checkpoint",
+        if pr_always_bitwise { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "shape check: {}",
+        if st_nonzero && growing && pr_always_bitwise { "PASS" } else { "FAIL" }
+    );
+}

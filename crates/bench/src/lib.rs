@@ -1,0 +1,292 @@
+//! Shared scaffolding for the experiment harness.
+//!
+//! Every bench target regenerates one table or figure of the paper. The
+//! workload sizes scale with the `REPRO_SCALE` environment variable:
+//!
+//! | scale | intent | figure-7 sizes | grid cells | permutations |
+//! |-------|--------|----------------|------------|--------------|
+//! | `quick` | CI smoke | 1K, 8K | 4×4, n=1K | 15 |
+//! | `default` | laptop minutes | 8K, 64K | 6×5, n=8K | 50 |
+//! | `full` | paper scale | 8K, 1M | 6×5, n=1M | 100 (Fig 7) / 1000 (grids) |
+//!
+//! All experiments are seeded and print their seeds: re-running a bench
+//! reproduces its output bit-for-bit.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Workload scale selected via `REPRO_SCALE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI smoke test sizes.
+    Quick,
+    /// Laptop-friendly defaults (a few minutes for the whole suite).
+    Default,
+    /// The paper's own parameters (long; grids take hours).
+    Full,
+}
+
+/// Read `REPRO_SCALE` (quick|default|full).
+pub fn scale() -> Scale {
+    match std::env::var("REPRO_SCALE").as_deref() {
+        Ok("quick") => Scale::Quick,
+        Ok("full") => Scale::Full,
+        _ => Scale::Default,
+    }
+}
+
+/// Scaled experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Concurrency levels for Figure 7 (paper: 8K and 1M leaves).
+    pub fig7_sizes: Vec<usize>,
+    /// Leaf permutations per configuration (paper: 100).
+    pub fig7_perms: u64,
+    /// Values per grid cell (paper: 1M).
+    pub grid_n: usize,
+    /// Permutations per grid cell (paper: 1000).
+    pub grid_perms: u64,
+    /// Values / orders for Figure 2 (paper: 10,000 / 10,000).
+    pub fig2_values: usize,
+    /// Number of random summation orders for Figure 2.
+    pub fig2_orders: usize,
+    /// Series length for the Figure 4 timing run (paper: 10⁶).
+    pub timing_n: usize,
+    /// Timing repetitions (paper: 20, warm cache).
+    pub timing_reps: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Parameters for the current [`scale`].
+pub fn params() -> Params {
+    let seed = 2015;
+    match scale() {
+        Scale::Quick => Params {
+            fig7_sizes: vec![1 << 10, 1 << 13],
+            fig7_perms: 15,
+            grid_n: 1 << 10,
+            grid_perms: 15,
+            fig2_values: 2_000,
+            fig2_orders: 500,
+            timing_n: 100_000,
+            timing_reps: 5,
+            seed,
+        },
+        Scale::Default => Params {
+            fig7_sizes: vec![1 << 13, 1 << 16],
+            fig7_perms: 50,
+            grid_n: 1 << 13,
+            grid_perms: 50,
+            fig2_values: 10_000,
+            fig2_orders: 2_000,
+            timing_n: 1_000_000,
+            timing_reps: 20,
+            seed,
+        },
+        Scale::Full => Params {
+            fig7_sizes: vec![1 << 13, 1 << 20],
+            fig7_perms: 100,
+            grid_n: 1 << 20,
+            grid_perms: 1_000,
+            fig2_values: 10_000,
+            fig2_orders: 10_000,
+            timing_n: 1_000_000,
+            timing_reps: 20,
+            seed,
+        },
+    }
+}
+
+/// Grid axes shared by the Figures 9–12 benches.
+pub mod grid_axes {
+    /// Condition-number decades probed by the `(k, dr)` and `(n, k)` grids.
+    pub fn k_targets() -> Vec<f64> {
+        vec![1.0, 1e2, 1e4, 1e6, 1e8, 1e12, f64::INFINITY]
+    }
+
+    /// Dynamic ranges (decimal decades) probed by the grids.
+    pub fn dr_targets() -> Vec<u32> {
+        vec![0, 8, 16, 24, 32]
+    }
+
+    /// Concurrency levels probed by the `(n, dr)` and `(n, k)` grids.
+    pub fn n_targets(scale: super::Scale) -> Vec<usize> {
+        match scale {
+            super::Scale::Quick => vec![1 << 8, 1 << 10, 1 << 12],
+            super::Scale::Default => vec![1 << 10, 1 << 12, 1 << 14, 1 << 16],
+            super::Scale::Full => vec![1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20],
+        }
+    }
+
+    /// The "beyond every finite k" scale for zero-sum grid cells.
+    pub const INF_ABS_SUM: f64 = 1e16;
+
+    /// Label for a k axis value.
+    pub fn k_label(k: f64) -> String {
+        if k.is_infinite() {
+            "inf".into()
+        } else {
+            format!("{k:.0e}")
+        }
+    }
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, paper_item: &str, what: &str) {
+    let p = params();
+    println!("{}", "=".repeat(78));
+    println!("{id} — reproduces {paper_item}");
+    println!("{what}");
+    println!(
+        "scale = {:?} (REPRO_SCALE=quick|default|full), base seed = {}",
+        scale(),
+        p.seed
+    );
+    println!("{}", "=".repeat(78));
+}
+
+/// The grid-cell evaluation engine shared by the Figures 9–12 benches —
+/// the machinery the paper's Figure 8 illustrates: per cell, generate a set
+/// with the cell's parameters, reduce it over many permuted balanced trees
+/// with each algorithm, and record the standard deviation of the exact
+/// errors.
+pub mod sweep {
+    use repro_core::fp::{abs_error_vs, exact_sum_acc};
+    use repro_core::stats::population_stddev;
+    use repro_core::sum::Algorithm;
+    use repro_core::tree::permute::PermutationStudy;
+    use repro_core::tree::{reduce, TreeShape};
+
+    /// One grid cell's coordinates.
+    #[derive(Clone, Copy, Debug)]
+    pub struct CellSpec {
+        /// Number of values.
+        pub n: usize,
+        /// Condition-number target (`f64::INFINITY` for the zero-sum row).
+        pub k: f64,
+        /// Dynamic range target (decimal decades).
+        pub dr: u32,
+        /// Cell seed.
+        pub seed: u64,
+        /// Cell scaling (the paper does not specify its normalization; each
+        /// figure's bench picks the one that makes its axes meaningful —
+        /// see EXPERIMENTS.md "grid normalization").
+        pub scaling: CellScaling,
+    }
+
+    /// How a grid cell's magnitudes are normalized across cells.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum CellScaling {
+        /// Rescale so the exact sum ≈ 1 (`Σ|x| ≈ k`): the k axis drives the
+        /// absolute variability — used by the (k, dr) and (n, k) grids
+        /// (Figures 9, 11, 12).
+        UnitSum,
+        /// Keep per-element magnitudes O(1) (`Σ|x| ≈ n`): the n axis drives
+        /// the absolute variability — used by the (n, dr) grid (Figure 10).
+        UnitElements,
+    }
+
+    /// Evaluate many cells on a scoped thread pool (cells are independent
+    /// and seeded, so parallelism changes nothing but wall time — matters
+    /// at REPRO_SCALE=full where a grid is hours single-threaded).
+    /// Results are returned in input order.
+    pub fn cells_stddevs_parallel(
+        specs: &[CellSpec],
+        perms: u64,
+        algorithms: &[Algorithm],
+    ) -> Vec<Vec<f64>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(specs.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut out: Vec<Option<Vec<f64>>> = vec![None; specs.len()];
+        let slots: Vec<std::sync::Mutex<&mut Option<Vec<f64>>>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { return };
+                    let r = cell_stddevs(*spec, perms, algorithms);
+                    **slots[i].lock().expect("slot") = Some(r);
+                });
+            }
+        });
+        drop(slots);
+        out.into_iter().map(|o| o.expect("computed")).collect()
+    }
+
+    /// Evaluate one cell: per algorithm, the stddev of the exact absolute
+    /// error across `perms` permuted balanced trees.
+    pub fn cell_stddevs(spec: CellSpec, perms: u64, algorithms: &[Algorithm]) -> Vec<f64> {
+        let values = match spec.scaling {
+            CellScaling::UnitSum => repro_core::gen::grid_cell(
+                spec.n,
+                spec.k,
+                spec.dr,
+                spec.seed,
+                super::grid_axes::INF_ABS_SUM,
+            ),
+            CellScaling::UnitElements => {
+                use repro_core::gen::{generate, CondTarget, DatasetSpec};
+                let condition = if spec.k.is_infinite() {
+                    CondTarget::Infinite
+                } else if spec.k <= 1.0 {
+                    CondTarget::One
+                } else {
+                    CondTarget::Finite(spec.k)
+                };
+                // Anchor the window's TOP decade at 1 and extend downward:
+                // the dominant magnitudes stay O(1) across the dr axis, so
+                // dr contributes only alignment error (the weak gradient the
+                // paper reports), not a raw scale change.
+                let mut ds = DatasetSpec::new(spec.n, condition, spec.dr, spec.seed);
+                ds.scale = -(spec.dr as i32);
+                generate(&ds)
+            }
+        };
+        let exact = exact_sum_acc(&values);
+        algorithms
+            .iter()
+            .map(|&alg| {
+                let mut errors = Vec::with_capacity(perms as usize);
+                PermutationStudy::new(&values, perms, spec.seed ^ 0x5EED).for_each(
+                    |_, permuted| {
+                        errors.push(abs_error_vs(
+                            &exact,
+                            reduce(permuted, TreeShape::Balanced, alg),
+                        ));
+                    },
+                );
+                population_stddev(&errors)
+            })
+            .collect()
+    }
+}
+
+/// Time a closure, returning (result, seconds). Used by the timing figures
+/// (Criterion is used for the microbenchmarks; the figure tables need raw
+/// numbers to print ratios).
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Median-of-`reps` wall time of a closure (warm cache: one untimed run
+/// first), in seconds.
+pub fn median_time(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut sink = f(); // warm-up
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (s, t) = time_it(&mut f);
+        sink += s;
+        times.push(t);
+    }
+    std::hint::black_box(sink);
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}

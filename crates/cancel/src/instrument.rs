@@ -1,0 +1,198 @@
+//! Instrumented summation: replay one summation order under stochastic
+//! arithmetic, detect every cancellation, and bucket severities — the data
+//! behind the paper's Figure 3.
+//!
+//! CADNA's definition: a **cancellation** occurs at a step when the result
+//! carries fewer exact significant digits than the less-accurate operand;
+//! its severity is the number of digits lost. The paper groups severities as
+//! "the loss of one, two, four, and eight digits".
+
+use crate::stochastic::{CestacContext, StochasticDouble};
+
+/// Severity buckets reported by Figure 3 (loss ≥ 1, ≥ 2, ≥ 4, ≥ 8 digits).
+pub const SEVERITY_THRESHOLDS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// The cancellation census of one summation order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CancellationReport {
+    /// `counts[i]` = number of additions losing at least
+    /// [`SEVERITY_THRESHOLDS`]`[i]` digits.
+    pub counts: [usize; 4],
+    /// The stochastic final sum.
+    pub sum: StochasticDouble,
+    /// Exact significant digits the final sum still carries.
+    pub final_digits: f64,
+}
+
+impl CancellationReport {
+    /// Total number of cancellations (the ≥ 1-digit bucket).
+    pub fn total(&self) -> usize {
+        self.counts[0]
+    }
+}
+
+/// Sum `values` left-to-right in stochastic arithmetic, recording every
+/// cancellation and its severity.
+///
+/// The `seed` drives the random rounding; a fixed seed replays identically.
+///
+/// ```
+/// use repro_cancel::instrumented_sum;
+/// // 1e16 + 1 − 1e16: the closing subtraction annihilates ~16 digits.
+/// let report = instrumented_sum(&[1e16, 1.0, -1e16], 7);
+/// assert!(report.counts[3] >= 1); // at least one ≥8-digit cancellation
+/// ```
+pub fn instrumented_sum(values: &[f64], seed: u64) -> CancellationReport {
+    let mut ctx = CestacContext::new(seed);
+    let mut acc = StochasticDouble::exact(0.0);
+    let mut counts = [0usize; 4];
+    for &x in values {
+        let operand = StochasticDouble::exact(x);
+        let before = acc.significant_digits().min(operand.significant_digits());
+        let next = ctx.add(acc, operand);
+        let after = next.significant_digits();
+        let lost = before - after;
+        for (i, &thr) in SEVERITY_THRESHOLDS.iter().enumerate() {
+            if lost >= thr {
+                counts[i] += 1;
+            }
+        }
+        acc = next;
+    }
+    CancellationReport {
+        counts,
+        sum: acc,
+        final_digits: acc.significant_digits(),
+    }
+}
+
+/// Sum `values` over a **balanced tree** in stochastic arithmetic,
+/// recording cancellations at internal nodes — the tree-shaped counterpart
+/// of [`instrumented_sum`], for comparing how the reduction shape moves the
+/// cancellation census around.
+pub fn instrumented_tree_sum(values: &[f64], seed: u64) -> CancellationReport {
+    let mut ctx = CestacContext::new(seed);
+    let mut counts = [0usize; 4];
+    let sum = if values.is_empty() {
+        StochasticDouble::exact(0.0)
+    } else {
+        tree_reduce(values, &mut ctx, &mut counts)
+    };
+    CancellationReport {
+        counts,
+        sum,
+        final_digits: sum.significant_digits(),
+    }
+}
+
+fn tree_reduce(
+    values: &[f64],
+    ctx: &mut CestacContext,
+    counts: &mut [usize; 4],
+) -> StochasticDouble {
+    if values.len() == 1 {
+        return StochasticDouble::exact(values[0]);
+    }
+    let (l, r) = values.split_at(values.len() / 2);
+    let a = tree_reduce(l, ctx, counts);
+    let b = tree_reduce(r, ctx, counts);
+    let before = a.significant_digits().min(b.significant_digits());
+    let s = ctx.add(a, b);
+    let lost = before - s.significant_digits();
+    for (i, &thr) in SEVERITY_THRESHOLDS.iter().enumerate() {
+        if lost >= thr {
+            counts[i] += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_positive_sum_has_no_severe_cancellation() {
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let r = instrumented_sum(&values, 1);
+        assert_eq!(r.counts[2], 0, "no 4-digit losses in a positive sum");
+        assert_eq!(r.counts[3], 0);
+        assert!((r.sum.mean() - 500_500.0).abs() < 1e-6);
+        assert!(r.final_digits > 12.0);
+    }
+
+    #[test]
+    fn engineered_cancellation_is_detected() {
+        // 1e16 + 1 - 1e16: the final subtraction annihilates ~16 digits.
+        let values = [1e16, 1.0, -1e16];
+        let r = instrumented_sum(&values, 2);
+        assert!(r.total() >= 1, "must flag the catastrophic step");
+        assert!(r.counts[3] >= 1, "the loss is >= 8 digits");
+    }
+
+    #[test]
+    fn severity_buckets_are_nested() {
+        let values = repro_gen::uniform(1000, -1.0, 1.0, 5);
+        let r = instrumented_sum(&values, 3);
+        assert!(r.counts[0] >= r.counts[1]);
+        assert!(r.counts[1] >= r.counts[2]);
+        assert!(r.counts[2] >= r.counts[3]);
+    }
+
+    #[test]
+    fn mixed_sign_sums_show_cancellation() {
+        // U(-1, 1) values, closed with the negated running total: the final
+        // addition must reveal the error accumulated along the way. (CESTAC
+        // correctly reports *no* digit loss while operands are still exact —
+        // cancellation reveals error, it does not create it — so a plain
+        // random walk may legitimately report zero cancellations.)
+        let mut values = repro_gen::uniform(1000, -1.0, 1.0, 7);
+        let total = repro_fp::exact_sum(&values);
+        values.push(-total);
+        let r = instrumented_sum(&values, 7);
+        assert!(r.total() > 0, "closing the sum must cancel catastrophically");
+        assert!(r.final_digits < 8.0, "final digits {}", r.final_digits);
+    }
+
+    #[test]
+    fn tree_census_detects_engineered_cancellation() {
+        let values = [1e16, 1.0, 1.0, -1e16];
+        let r = instrumented_tree_sum(&values, 3);
+        assert!(r.counts[3] >= 1, "the root merge annihilates >= 8 digits");
+        let empty = instrumented_tree_sum(&[], 3);
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.sum.mean(), 0.0);
+    }
+
+    #[test]
+    fn tree_and_serial_censuses_differ_in_general() {
+        let mut values = repro_gen::uniform(2000, -1.0, 1.0, 13);
+        let total = repro_fp::exact_sum(&values);
+        values.push(-total);
+        let serial = instrumented_sum(&values, 5);
+        let tree = instrumented_tree_sum(&values, 5);
+        // Both must flag the closing catastrophe ...
+        assert!(serial.total() > 0 && tree.total() > 0);
+        // ... but the censuses are shape-dependent (the paper's point that
+        // counting events cannot characterize a nondeterministic reduction).
+        assert_ne!(serial.counts, tree.counts);
+    }
+
+    #[test]
+    fn replays_are_deterministic() {
+        let values = repro_gen::uniform(500, -1.0, 1.0, 9);
+        assert_eq!(instrumented_sum(&values, 4), instrumented_sum(&values, 4));
+    }
+
+    #[test]
+    fn different_orders_give_different_censuses() {
+        // The core observation of Figure 3: the census varies with order
+        // (and does not predict the error).
+        let mut values = repro_gen::uniform(1000, -1.0, 1.0, 11);
+        let a = instrumented_sum(&values, 1);
+        values.reverse();
+        values.swap(0, 500);
+        let b = instrumented_sum(&values, 1);
+        assert_ne!(a.counts, b.counts);
+    }
+}

@@ -1,0 +1,25 @@
+//! # `repro-cancel` — stochastic arithmetic and cancellation tracking
+//!
+//! A from-scratch stand-in for the CADNA library the paper uses in its
+//! Section IV-B: "CADNA uses the CESTAC method to identify instances of
+//! cancellation in a sum and, for each instance, estimate the difference
+//! between the number of accurate digits in the operands and the number of
+//! accurate digits in the result."
+//!
+//! * [`stochastic`] — [`stochastic::StochasticDouble`]: three concurrent
+//!   samples of every intermediate value, perturbed with CESTAC random
+//!   rounding (±1 ulp with probability ½). The spread of the samples
+//!   estimates how many decimal digits of the value are trustworthy.
+//! * [`instrument`] — an instrumented summation that replays a given order,
+//!   detects every cancellation (digits of result < digits of operands) and
+//!   buckets them by severity — the 1/2/4/8-digit bars of the paper's
+//!   Figure 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instrument;
+pub mod stochastic;
+
+pub use instrument::{instrumented_sum, instrumented_tree_sum, CancellationReport};
+pub use stochastic::{CestacContext, StochasticDouble};

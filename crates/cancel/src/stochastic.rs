@@ -1,0 +1,200 @@
+//! CESTAC stochastic arithmetic: estimate the number of trustworthy digits
+//! of a computed value by running the computation several times with random
+//! rounding and measuring how the samples disagree.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use repro_fp::ulp::{next_down, next_up};
+
+/// Number of concurrent samples (CESTAC/CADNA use 2–3; 3 gives the
+/// Student-t estimate below 2 degrees of freedom).
+pub const SAMPLES: usize = 3;
+
+/// Student-t value at 95% confidence with 2 degrees of freedom, used in the
+/// CESTAC significant-digit estimate.
+const T_BETA: f64 = 4.303;
+
+/// Upper bound on reportable decimal digits of an f64 (log10 of 2^53).
+const MAX_DIGITS: f64 = 15.95;
+
+/// A value carried as [`SAMPLES`] concurrently perturbed samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StochasticDouble {
+    /// The perturbed samples; sample 0 is conventionally unperturbed.
+    pub samples: [f64; SAMPLES],
+}
+
+impl StochasticDouble {
+    /// Lift an exact value (all samples equal).
+    pub fn exact(x: f64) -> Self {
+        Self { samples: [x; SAMPLES] }
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / SAMPLES as f64
+    }
+
+    /// CESTAC estimate of the number of exact significant decimal digits:
+    /// `C = log10( √N · |mean| / (σ · t_β) )`, clamped to `[0, ~15.95]`.
+    ///
+    /// Samples in perfect agreement report the maximum; a mean of zero with
+    /// nonzero spread reports zero (the value is *computational noise* in
+    /// CADNA's vocabulary).
+    pub fn significant_digits(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (SAMPLES as f64 - 1.0);
+        let sigma = var.sqrt();
+        if sigma == 0.0 {
+            // Perfect sample agreement: every representable digit is exact.
+            return MAX_DIGITS;
+        }
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let c = ((SAMPLES as f64).sqrt() * mean.abs() / (sigma * T_BETA)).log10();
+        c.clamp(0.0, MAX_DIGITS)
+    }
+
+    /// `true` if the samples carry no agreeing digits at all.
+    pub fn is_noise(&self) -> bool {
+        self.significant_digits() < 1.0
+    }
+}
+
+/// The rounding-perturbation context: owns the RNG that drives random
+/// rounding, so whole computations are reproducible from one seed.
+#[derive(Debug)]
+pub struct CestacContext {
+    rng: StdRng,
+}
+
+impl CestacContext {
+    /// New context with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Randomly perturbed rounding of an already-rounded result: with
+    /// probability ½ step one ulp toward +∞, else one ulp toward −∞ —
+    /// except sample 0, which keeps IEEE round-to-nearest.
+    fn perturb(&mut self, sample_idx: usize, x: f64) -> f64 {
+        if sample_idx == 0 || !x.is_finite() {
+            return x;
+        }
+        if self.rng.random::<bool>() {
+            next_up(x)
+        } else {
+            next_down(x)
+        }
+    }
+
+    /// Stochastic addition.
+    pub fn add(&mut self, a: StochasticDouble, b: StochasticDouble) -> StochasticDouble {
+        let mut out = [0.0; SAMPLES];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.perturb(i, a.samples[i] + b.samples[i]);
+        }
+        StochasticDouble { samples: out }
+    }
+
+    /// Stochastic subtraction.
+    pub fn sub(&mut self, a: StochasticDouble, b: StochasticDouble) -> StochasticDouble {
+        let mut out = [0.0; SAMPLES];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.perturb(i, a.samples[i] - b.samples[i]);
+        }
+        StochasticDouble { samples: out }
+    }
+
+    /// Stochastic multiplication.
+    pub fn mul(&mut self, a: StochasticDouble, b: StochasticDouble) -> StochasticDouble {
+        let mut out = [0.0; SAMPLES];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.perturb(i, a.samples[i] * b.samples[i]);
+        }
+        StochasticDouble { samples: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_have_max_digits() {
+        let x = StochasticDouble::exact(3.25);
+        assert!(x.significant_digits() > 15.0);
+        assert!(!x.is_noise());
+    }
+
+    #[test]
+    fn accumulated_roundoff_erodes_digits() {
+        // Sum 0.1 a million times stochastically: still very accurate, but
+        // visibly fewer trustworthy digits than an exact constant.
+        let mut ctx = CestacContext::new(1);
+        let tenth = StochasticDouble::exact(0.1);
+        let mut acc = StochasticDouble::exact(0.0);
+        for _ in 0..100_000 {
+            acc = ctx.add(acc, tenth);
+        }
+        let d = acc.significant_digits();
+        assert!(d > 8.0, "still roughly right: {d}");
+        assert!(d < 15.5, "but no longer bit-exact: {d}");
+        // And the mean is close to the true value.
+        assert!((acc.mean() - 10_000.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_yields_noise() {
+        // (1 + 1e-17) - 1 in stochastic arithmetic: the result is pure
+        // rounding noise and must report ~0 digits.
+        let mut ctx = CestacContext::new(2);
+        let one = StochasticDouble::exact(1.0);
+        let tiny = StochasticDouble::exact(1e-17);
+        let s = ctx.add(one, tiny);
+        let diff = ctx.sub(s, one);
+        assert!(diff.is_noise(), "digits = {}", diff.significant_digits());
+    }
+
+    #[test]
+    fn benign_subtraction_keeps_digits() {
+        let mut ctx = CestacContext::new(3);
+        let a = StochasticDouble::exact(5.0);
+        let b = StochasticDouble::exact(3.0);
+        let d = ctx.sub(a, b);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!(d.significant_digits() > 14.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut ctx = CestacContext::new(seed);
+            let mut acc = StochasticDouble::exact(0.0);
+            for i in 0..1000 {
+                acc = ctx.add(acc, StochasticDouble::exact(i as f64 * 0.7));
+            }
+            acc.samples
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn multiplication_perturbs_too() {
+        let mut ctx = CestacContext::new(4);
+        let mut x = StochasticDouble::exact(1.0);
+        let f = StochasticDouble::exact(1.000000001);
+        for _ in 0..10_000 {
+            x = ctx.mul(x, f);
+        }
+        let d = x.significant_digits();
+        assert!(d > 8.0 && d < 15.9, "digits = {d}");
+    }
+}

@@ -1,0 +1,537 @@
+//! # `repro-cli` — the `repro-reduce` command
+//!
+//! A thin, dependency-free command-line front end over `repro-core`:
+//!
+//! ```text
+//! repro-reduce sum     [--alg ST|K|N|PW|CP|DD|PR|DS] [--file F] [VALUES...]
+//! repro-reduce profile [--file F] [VALUES...]
+//! repro-reduce select  --tolerance T [--relative|--bitwise] [--file F] [VALUES...]
+//! repro-reduce verify  --tolerance T [--bitwise] [--file F] [VALUES...]
+//! repro-reduce compare [--file F] [VALUES...]
+//! repro-reduce gen     --n N [--k K|inf] [--dr D] [--seed S]
+//! repro-reduce dot     --file-x FX --file-y FY [--alg ST|CP|PR]
+//! repro-reduce calibrate [--n N] [--perms P] [--seed S]
+//! repro-reduce tree    [--shape balanced|serial|random|binomial] [--alg A]
+//!                      [--dot] [--file F] [VALUES...]
+//! ```
+//!
+//! Values come from positional arguments and/or `--file` (whitespace- or
+//! newline-separated floats; `-` reads stdin). All commands are pure
+//! functions from arguments + input to an output string, so the entire CLI
+//! is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use repro_core::prelude::*;
+use repro_core::select::VerifiedReducer;
+use repro_core::stats::{table::sci, Table};
+
+/// CLI errors: user-facing messages, no panics for bad input.
+#[derive(Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+repro-reduce — reproducible floating-point reductions
+
+USAGE:
+  repro-reduce sum     [--alg ST|K|N|PW|CP|DD|PR|DS] [--hex] [--file F] [VALUES...]
+  repro-reduce profile [--file F] [VALUES...]
+  repro-reduce select  --tolerance T [--relative|--bitwise] [--explain]
+                       [--file F] [VALUES...]
+  repro-reduce verify  [--tolerance T] [--bitwise] [--file F] [VALUES...]
+  repro-reduce compare [--file F] [VALUES...]
+  repro-reduce gen     --n N [--k K|inf] [--dr D] [--seed S]
+  repro-reduce dot     --file-x FX --file-y FY [--alg ST|CP|PR]
+  repro-reduce calibrate [--n N] [--perms P] [--seed S]
+  repro-reduce tree    [--shape balanced|serial|random|binomial] [--alg A]
+                       [--dot] [--seed S] [--file F] [VALUES...]
+
+Values come from positional args and/or --file (whitespace-separated;
+'-' = stdin).";
+
+/// Parsed global options shared by value-consuming commands.
+#[derive(Debug, Default)]
+struct Opts {
+    values: Vec<f64>,
+    alg: Option<String>,
+    file_x: Option<String>,
+    file_y: Option<String>,
+    perms: u64,
+    tolerance: Option<f64>,
+    relative: bool,
+    bitwise: bool,
+    hex: bool,
+    shape: Option<String>,
+    dot: bool,
+    explain: bool,
+    n: Option<usize>,
+    k: Option<f64>,
+    dr: u32,
+    seed: u64,
+}
+
+fn parse_opts(args: &[String], read_file: &dyn Fn(&str) -> Result<String, CliError>) -> Result<Opts, CliError> {
+    let mut o = Opts { dr: 0, seed: 2015, perms: 20, ..Default::default() };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let mut take = |name: &str| -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--alg" => o.alg = Some(take("--alg")?),
+            "--file" => {
+                let path = take("--file")?;
+                let text = read_file(&path)?;
+                for tok in text.split_whitespace() {
+                    o.values.push(
+                        tok.parse()
+                            .map_err(|_| err(format!("bad value in file: {tok:?}")))?,
+                    );
+                }
+            }
+            "--tolerance" => {
+                let t = take("--tolerance")?;
+                o.tolerance =
+                    Some(t.parse().map_err(|_| err(format!("bad tolerance: {t:?}")))?)
+            }
+            "--relative" => o.relative = true,
+            "--bitwise" => o.bitwise = true,
+            "--hex" => o.hex = true,
+            "--shape" => o.shape = Some(take("--shape")?),
+            "--dot" => o.dot = true,
+            "--explain" => o.explain = true,
+            "--n" => {
+                let v = take("--n")?;
+                o.n = Some(v.parse().map_err(|_| err(format!("bad --n: {v:?}")))?)
+            }
+            "--k" => {
+                let v = take("--k")?;
+                o.k = Some(if v == "inf" {
+                    f64::INFINITY
+                } else {
+                    v.parse().map_err(|_| err(format!("bad --k: {v:?}")))?
+                })
+            }
+            "--dr" => {
+                let v = take("--dr")?;
+                o.dr = v.parse().map_err(|_| err(format!("bad --dr: {v:?}")))?
+            }
+            "--file-x" => o.file_x = Some(take("--file-x")?),
+            "--file-y" => o.file_y = Some(take("--file-y")?),
+            "--perms" => {
+                let v = take("--perms")?;
+                o.perms = v.parse().map_err(|_| err(format!("bad --perms: {v:?}")))?
+            }
+            "--seed" => {
+                let v = take("--seed")?;
+                o.seed = v.parse().map_err(|_| err(format!("bad --seed: {v:?}")))?
+            }
+            _ if a.starts_with("--") => return Err(err(format!("unknown option {a}"))),
+            _ => o
+                .values
+                .push(a.parse().map_err(|_| err(format!("bad value: {a:?}")))?),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
+    match s.to_ascii_uppercase().as_str() {
+        "ST" => Ok(Algorithm::Standard),
+        "K" => Ok(Algorithm::Kahan),
+        "N" => Ok(Algorithm::Neumaier),
+        "PW" => Ok(Algorithm::Pairwise),
+        "CP" => Ok(Algorithm::Composite),
+        "DD" => Ok(Algorithm::DoubleDouble),
+        "PR" => Ok(Algorithm::PR),
+        "DS" => Ok(Algorithm::Distill),
+        other => Err(err(format!(
+            "unknown algorithm {other:?} (expected ST|K|N|PW|CP|DD|PR|DS)"
+        ))),
+    }
+}
+
+fn tolerance_of(o: &Opts) -> Result<Tolerance, CliError> {
+    if o.bitwise {
+        return Ok(Tolerance::Bitwise);
+    }
+    let t = o
+        .tolerance
+        .ok_or_else(|| err("--tolerance (or --bitwise) is required"))?;
+    Ok(if o.relative {
+        Tolerance::RelativeSpread(t)
+    } else {
+        Tolerance::AbsoluteSpread(t)
+    })
+}
+
+fn need_values(o: &Opts) -> Result<&[f64], CliError> {
+    if o.values.is_empty() {
+        Err(err("no input values (pass numbers or --file)"))
+    } else {
+        Ok(&o.values)
+    }
+}
+
+/// Run one command; `read_file` abstracts the filesystem for testability.
+pub fn run(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err(USAGE))?;
+    let o = parse_opts(rest, read_file)?;
+    match cmd.as_str() {
+        "sum" => {
+            let values = need_values(&o)?;
+            let alg = parse_algorithm(o.alg.as_deref().unwrap_or("PR"))?;
+            let result = alg.sum(values);
+            let rendered = if o.hex {
+                repro_core::fp::format_hex(result)
+            } else {
+                format!("{result:.17e}")
+            };
+            Ok(format!(
+                "{rendered}\n# algorithm: {alg} ({})\n# exact error: {}",
+                alg.name(),
+                sci(repro_core::fp::abs_error(result, values)),
+            ))
+        }
+        "profile" => {
+            let values = need_values(&o)?;
+            let p = repro_core::select::profile(values);
+            let m = repro_core::gen::measure(values);
+            let mut t = Table::new(&["quantity", "estimated (1 pass)", "exact"]);
+            t.row(&["n".into(), p.n.to_string(), m.n.to_string()]);
+            t.row(&["condition number k".into(), sci(p.k), sci(m.k)]);
+            t.row(&["dynamic range (decades)".into(), p.dr_decades().to_string(), m.dr.to_string()]);
+            t.row(&["Σ|x|".into(), sci(p.abs_sum), sci(m.abs_sum)]);
+            t.row(&["Σx".into(), sci(p.sum_estimate), sci(m.sum)]);
+            let mut rec = Table::new(&["tolerance", "recommended operator"]);
+            for r in repro_core::select::recommendations(values) {
+                rec.row(&[format!("{:?}", r.tolerance), r.algorithm.to_string()]);
+            }
+            Ok(format!("{}\nrecommendations:\n{}", t.render(), rec.render()))
+        }
+        "select" => {
+            let values = need_values(&o)?;
+            let tol = tolerance_of(&o)?;
+            let reducer = AdaptiveReducer::heuristic(tol);
+            let out = reducer.reduce(values);
+            let mut text = format!(
+                "{:.17e}\n# selected: {} ({})\n# profile: n = {}, k ≈ {}, dr ≈ {} decades",
+                out.sum,
+                out.algorithm,
+                out.algorithm.name(),
+                out.profile.n,
+                sci(out.profile.k),
+                out.profile.dr_decades(),
+            );
+            if o.explain {
+                text.push('\n');
+                text.push_str(&repro_core::select::explain(&out.profile, tol).render());
+            }
+            Ok(text)
+        }
+        "verify" => {
+            let values = need_values(&o)?;
+            let tol = if o.bitwise || o.tolerance.is_none() {
+                Tolerance::Bitwise
+            } else {
+                tolerance_of(&o)?
+            };
+            let reducer = VerifiedReducer::new(tol, o.seed);
+            let out = reducer
+                .reduce(values)
+                .ok_or_else(|| err("no algorithm on the ladder satisfied the tolerance"))?;
+            let ladder = out
+                .disagreements
+                .iter()
+                .map(|(a, d)| format!("{}: disagreement {}", a.abbrev(), sci(*d)))
+                .collect::<Vec<_>>()
+                .join("\n# ");
+            Ok(format!(
+                "{:.17e}\n# accepted: {}\n# {}",
+                out.sum, out.algorithm, ladder
+            ))
+        }
+        "compare" => {
+            let values = need_values(&o)?;
+            let exact = repro_core::fp::exact_sum_acc(values);
+            let mut t = Table::new(&["algorithm", "result", "|error| vs exact", "reproducible"]);
+            for alg in Algorithm::ALL {
+                let r = alg.sum(values);
+                t.row(&[
+                    alg.to_string(),
+                    format!("{r:+.17e}"),
+                    sci(repro_core::fp::abs_error_vs(&exact, r)),
+                    if alg.is_reproducible() { "bitwise".into() } else { "no".into() },
+                ]);
+            }
+            t.row(&[
+                "exact".into(),
+                format!("{:+.17e}", exact.to_f64()),
+                "0".into(),
+                "—".into(),
+            ]);
+            Ok(t.render())
+        }
+        "gen" => {
+            let n = o.n.ok_or_else(|| err("gen requires --n"))?;
+            let k = o.k.unwrap_or(1.0);
+            let values = repro_core::gen::grid_cell(n, k, o.dr, o.seed, 1e16);
+            let mut out = String::with_capacity(values.len() * 24);
+            for v in &values {
+                out.push_str(&format!("{v:e}\n"));
+            }
+            out.pop();
+            Ok(out)
+        }
+        "dot" => {
+            let parse_vec = |path: &Option<String>, flag: &str| -> Result<Vec<f64>, CliError> {
+                let path = path.as_ref().ok_or_else(|| err(format!("dot requires {flag}")))?;
+                read_file(path)?
+                    .split_whitespace()
+                    .map(|t| t.parse().map_err(|_| err(format!("bad value {t:?} in {path}"))))
+                    .collect()
+            };
+            let x = parse_vec(&o.file_x, "--file-x")?;
+            let y = parse_vec(&o.file_y, "--file-y")?;
+            if x.len() != y.len() {
+                return Err(err(format!("length mismatch: {} vs {}", x.len(), y.len())));
+            }
+            use repro_core::sum::{dot2, dot_exact, dot_reproducible, dot_standard};
+            let result = match o.alg.as_deref().unwrap_or("PR").to_ascii_uppercase().as_str() {
+                "ST" => dot_standard(&x, &y),
+                "CP" => dot2(&x, &y),
+                "PR" => dot_reproducible(&x, &y, 3),
+                other => return Err(err(format!("dot supports ST|CP|PR, got {other:?}"))),
+            };
+            Ok(format!(
+                "{result:.17e}\n# exact error: {}",
+                sci((result - dot_exact(&x, &y)).abs())
+            ))
+        }
+        "tree" => {
+            let values = need_values(&o)?;
+            let shape = match o.shape.as_deref().unwrap_or("balanced") {
+                "balanced" => repro_core::tree::TreeShape::Balanced,
+                "serial" => repro_core::tree::TreeShape::Serial,
+                "random" => repro_core::tree::TreeShape::Random { seed: o.seed },
+                "binomial" => repro_core::tree::TreeShape::Binomial,
+                other => {
+                    return Err(err(format!(
+                        "unknown shape {other:?} (expected balanced|serial|random|binomial)"
+                    )))
+                }
+            };
+            let tree = repro_core::tree::ReductionTree::build(shape, values.len());
+            if o.dot {
+                return Ok(tree.render_dot(values));
+            }
+            let (root, residuals) = tree.error_attribution(values);
+            let total = repro_core::fp::exact_sum(&residuals);
+            let mut out = tree.render(values);
+            out.push_str(&format!(
+                "\n# result: {root:.17e}\n# total rounding error: {}\n# worst nodes:",
+                sci(total.abs()),
+            ));
+            for (id, e) in tree.worst_nodes(values, 3) {
+                out.push_str(&format!("\n#   node {id}: {}", sci(e)));
+            }
+            Ok(out)
+        }
+        "calibrate" => {
+            let cfg = repro_core::select::CalibrationConfig {
+                n: o.n.unwrap_or(4096),
+                permutations: o.perms,
+                seed: o.seed,
+                ..Default::default()
+            };
+            let table = repro_core::select::calibrate(&cfg);
+            Ok(table.to_csv())
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_fs(_: &str) -> Result<String, CliError> {
+        Err(err("no filesystem in tests"))
+    }
+
+    fn run_cmd(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &no_fs)
+    }
+
+    #[test]
+    fn sum_defaults_to_pr() {
+        let out = run_cmd(&["sum", "1e16", "1", "-1e16"]).unwrap();
+        assert!(out.starts_with("1.0"), "{out}");
+        assert!(out.contains("PR(fold=3)"));
+    }
+
+    #[test]
+    fn sum_hex_output_round_trips() {
+        let out = run_cmd(&["sum", "--hex", "--alg", "CP", "0.1", "0.2"]).unwrap();
+        let first = out.lines().next().unwrap();
+        let parsed = repro_core::fp::parse_hex(first).unwrap();
+        assert_eq!(parsed.to_bits(), (0.1f64 + 0.2f64).to_bits());
+    }
+
+    #[test]
+    fn sum_with_explicit_algorithm() {
+        let out = run_cmd(&["sum", "--alg", "ST", "1e16", "1", "-1e16"]).unwrap();
+        assert!(out.starts_with("0"), "{out}");
+        assert!(out.contains("exact error: 1.000e0"));
+    }
+
+    #[test]
+    fn profile_reports_k_dr_and_recommendations() {
+        let out = run_cmd(&["profile", "3.14e4", "1.59e-4", "-3.14e4", "-1.59e-4"]).unwrap();
+        assert!(out.contains("inf"), "{out}");
+        assert!(out.contains('8'), "{out}");
+        assert!(out.contains("recommendations"), "{out}");
+        assert!(out.contains("Bitwise"), "{out}");
+    }
+
+    #[test]
+    fn select_escalates_on_hostile_input() {
+        let out =
+            run_cmd(&["select", "--tolerance", "1e-30", "3.14e8", "1.59e-8", "-3.14e8", "-1.59e-8"])
+                .unwrap();
+        assert!(out.contains("PR(fold=3)"), "{out}");
+    }
+
+    #[test]
+    fn verify_defaults_to_bitwise_and_reports_ladder() {
+        let out = run_cmd(&["verify", "1.0", "2.0", "3.0"]).unwrap();
+        assert!(out.contains("accepted: ST"), "{out}");
+    }
+
+    #[test]
+    fn compare_lists_every_algorithm_and_exact() {
+        let out = run_cmd(&["compare", "0.1", "0.2", "0.3"]).unwrap();
+        for label in ["ST", "K", "CP", "PR(fold=3)", "DS", "exact"] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn gen_emits_n_parseable_values_with_target_properties() {
+        let out = run_cmd(&["gen", "--n", "100", "--k", "inf", "--dr", "8", "--seed", "7"]).unwrap();
+        let values: Vec<f64> = out.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(values.len(), 100);
+        let m = repro_core::gen::measure(&values);
+        assert_eq!(m.sum, 0.0);
+    }
+
+    #[test]
+    fn gen_pipes_into_sum() {
+        let data = run_cmd(&["gen", "--n", "50", "--k", "1000", "--dr", "4"]).unwrap();
+        let fs = move |path: &str| {
+            if path == "pipe" {
+                Ok(data.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["sum", "--file", "pipe"].iter().map(|s| s.to_string()).collect();
+        let out = run(&args, &fs).unwrap();
+        assert!(out.contains("algorithm"), "{out}");
+    }
+
+    #[test]
+    fn dot_command_reads_two_files() {
+        let fs = |path: &str| match path {
+            "x" => Ok("1 2 3".to_string()),
+            "y" => Ok("4 5 6".to_string()),
+            _ => Err(err("nope")),
+        };
+        let args: Vec<String> = ["dot", "--file-x", "x", "--file-y", "y", "--alg", "PR"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&args, &fs).unwrap();
+        assert!(out.starts_with("3.2"), "{out}"); // 4+10+18 = 32
+        assert!(out.contains("exact error: 0"));
+    }
+
+    #[test]
+    fn calibrate_emits_parseable_csv() {
+        let out = run_cmd(&["calibrate", "--n", "128", "--perms", "4"]).unwrap();
+        let table = repro_core::select::CalibrationTable::from_csv(&out).expect("parse");
+        assert!(!table.cells.is_empty());
+        assert_eq!(table.n, 128);
+    }
+
+    #[test]
+    fn select_explains_its_decision_on_request() {
+        let out = run_cmd(&[
+            "select", "--tolerance", "1e-30", "--explain", "3.14e8", "1.59e-8", "-3.14e8",
+            "-1.59e-8",
+        ])
+        .unwrap();
+        assert!(out.contains("CHOSEN"), "{out}");
+        assert!(out.contains("exceeds budget"), "{out}");
+        assert!(out.contains("budget (absolute spread)"), "{out}");
+    }
+
+    #[test]
+    fn tree_renders_ascii_with_attribution() {
+        let out = run_cmd(&["tree", "--shape", "serial", "1e16", "1", "-1e16"]).unwrap();
+        assert!(out.contains("total rounding error: 1.000e0"), "{out}");
+        assert!(out.contains("worst nodes"), "{out}");
+        // Balanced shape on the same data commutes the loss to a different node
+        // but the CLI still reports it.
+        let out = run_cmd(&["tree", "--shape", "balanced", "1", "1e16", "-1e16"]).unwrap();
+        assert!(out.contains("result:"), "{out}");
+    }
+
+    #[test]
+    fn tree_emits_graphviz_dot() {
+        let out = run_cmd(&["tree", "--dot", "0.1", "0.2", "0.3"]).unwrap();
+        assert!(out.starts_with("digraph"), "{out}");
+        assert!(out.contains("->"), "{out}");
+    }
+
+    #[test]
+    fn tree_rejects_unknown_shape() {
+        assert!(run_cmd(&["tree", "--shape", "mobius", "1", "2"]).is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run_cmd(&["sum"]).is_err(), "no values");
+        assert!(run_cmd(&["sum", "abc"]).is_err(), "bad value");
+        assert!(run_cmd(&["sum", "--alg", "XX", "1"]).is_err(), "bad alg");
+        assert!(run_cmd(&["select", "1.0"]).is_err(), "missing tolerance");
+        assert!(run_cmd(&["gen"]).is_err(), "gen needs --n");
+        assert!(run_cmd(&["dot"]).is_err(), "dot needs files");
+        assert!(run_cmd(&["bogus"]).is_err(), "unknown command");
+        assert!(run_cmd(&["sum", "--nope", "1"]).is_err(), "unknown option");
+        let usage = run_cmd(&["help"]).unwrap();
+        assert!(usage.contains("USAGE"));
+    }
+}

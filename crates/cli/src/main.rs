@@ -1,0 +1,27 @@
+//! The `repro-reduce` binary: thin I/O shell over [`repro_cli::run`].
+
+use std::io::Read;
+
+fn read_file(path: &str) -> Result<String, repro_cli::CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| repro_cli::CliError(format!("reading stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| repro_cli::CliError(format!("reading {path}: {e}")))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match repro_cli::run(&args, &read_file) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

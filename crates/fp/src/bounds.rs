@@ -1,0 +1,129 @@
+//! Worst-case error bounds for floating-point summation.
+//!
+//! Section IV-A of the paper evaluates two a-priori bounds on the absolute
+//! error of summing `n` values:
+//!
+//! * the **analytical** (deterministic, Higham-style) bound
+//!   `n · u · Σ|xᵢ|`, and
+//! * the **statistical** bound `√n · u · Σ|xᵢ|`, obtained by modelling the
+//!   per-operation roundoffs as independent zero-mean random variables so
+//!   their accumulation grows like a random walk.
+//!
+//! The paper's Figure 2 shows both bounds overestimate observed errors by
+//! orders of magnitude — which is one of its arguments that static analysis
+//! alone cannot drive algorithm selection.
+
+/// Unit roundoff of IEEE-754 binary64 under round-to-nearest: `u = 2⁻⁵³`.
+pub const UNIT_ROUNDOFF: f64 = 1.1102230246251565e-16; // 2^-53
+
+/// The relative-perturbation factor `γₙ = n·u / (1 − n·u)` from Higham's
+/// analysis. Valid (and finite) while `n·u < 1`.
+///
+/// Returns `f64::INFINITY` if `n·u >= 1` (astronomically long sums).
+pub fn gamma(n: usize) -> f64 {
+    let nu = n as f64 * UNIT_ROUNDOFF;
+    if nu >= 1.0 {
+        f64::INFINITY
+    } else {
+        nu / (1.0 - nu)
+    }
+}
+
+/// Analytical worst-case bound on the absolute error of an `n`-term sum
+/// with absolute-value sum `abs_sum = Σ|xᵢ|`, in the simple form the paper
+/// states: `n · u · Σ|xᵢ|`.
+///
+/// (The sharp form uses `(n−1)` and `γₙ₋₁`; the paper's looser `n·u` form is
+/// reproduced here because Figure 2 plots it. See [`higham_gamma_bound`] for
+/// the sharp variant.)
+pub fn higham_bound(n: usize, abs_sum: f64) -> f64 {
+    n as f64 * UNIT_ROUNDOFF * abs_sum
+}
+
+/// Sharp Higham bound `γ_{n-1} · Σ|xᵢ|` on the absolute error of recursive
+/// summation (Higham, *Accuracy of Floating Point Summation*, 1993).
+pub fn higham_gamma_bound(n: usize, abs_sum: f64) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        gamma(n - 1) * abs_sum
+    }
+}
+
+/// Statistical (random-walk) error estimate `√n · u · Σ|xᵢ|`.
+///
+/// Not a guaranteed bound — an estimate of the typical error magnitude under
+/// a model where individual roundoffs cancel like independent random steps.
+pub fn statistical_bound(n: usize, abs_sum: f64) -> f64 {
+    (n as f64).sqrt() * UNIT_ROUNDOFF * abs_sum
+}
+
+/// Worst-case bound for *pairwise* (balanced-tree) summation:
+/// `γ_{⌈log₂ n⌉} · Σ|xᵢ|`. Included because the reduction trees the paper
+/// studies at exascale are balanced; their depth, not their size, drives the
+/// deterministic bound.
+pub fn pairwise_bound(n: usize, abs_sum: f64) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        let depth = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+        gamma(depth as usize) * abs_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_roundoff_is_two_pow_minus_53() {
+        assert_eq!(UNIT_ROUNDOFF, 2f64.powi(-53));
+        assert_eq!(UNIT_ROUNDOFF, f64::EPSILON / 2.0);
+    }
+
+    #[test]
+    fn gamma_small_n() {
+        assert_eq!(gamma(0), 0.0);
+        assert!(gamma(1) > 0.0 && gamma(1) < 1.2e-16);
+        // gamma is increasing in n.
+        assert!(gamma(10) < gamma(100));
+    }
+
+    #[test]
+    fn gamma_saturates_to_infinity() {
+        assert_eq!(gamma(1 << 54), f64::INFINITY);
+    }
+
+    #[test]
+    fn bounds_ordering_statistical_below_analytical() {
+        for n in [2usize, 100, 10_000, 1_000_000] {
+            let abs_sum = 1e6;
+            assert!(
+                statistical_bound(n, abs_sum) < higham_bound(n, abs_sum),
+                "sqrt(n) < n for n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_bound_beats_recursive_bound() {
+        let abs_sum = 1.0;
+        for n in [16usize, 1024, 1 << 20] {
+            assert!(pairwise_bound(n, abs_sum) < higham_gamma_bound(n, abs_sum));
+        }
+    }
+
+    #[test]
+    fn trivial_sums_have_zero_bound() {
+        assert_eq!(higham_gamma_bound(1, 123.0), 0.0);
+        assert_eq!(pairwise_bound(1, 123.0), 0.0);
+        assert_eq!(higham_bound(0, 123.0), 0.0);
+    }
+
+    #[test]
+    fn bound_scales_linearly_with_abs_sum() {
+        let b1 = higham_bound(1000, 1.0);
+        let b2 = higham_bound(1000, 10.0);
+        assert!((b2 / b1 - 10.0).abs() < 1e-12);
+    }
+}

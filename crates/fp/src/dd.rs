@@ -1,0 +1,325 @@
+//! Double-double ("composite precision") arithmetic.
+//!
+//! A [`DoubleDouble`] represents a real number as the unevaluated sum
+//! `hi + lo` of two `f64` values with `|lo| <= ulp(hi)/2`, giving about 106
+//! bits of significand (~32 decimal digits). This is the representation
+//! behind the paper's *composite precision* summation (Taufer et al.,
+//! IPDPS 2010) and the double-double type of He & Ding (ICS 2000).
+//!
+//! The implementation follows the classical QD-library kernels built on the
+//! error-free transforms of [`crate::eft`].
+
+use crate::eft::{fast_two_sum, two_prod, two_sum};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An unevaluated sum of two `f64`s with ~106 bits of precision.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct DoubleDouble {
+    /// Leading component; `hi == fl(hi + lo)`.
+    pub hi: f64,
+    /// Trailing component; `|lo| <= ulp(hi) / 2`.
+    pub lo: f64,
+}
+
+impl DoubleDouble {
+    /// The additive identity.
+    pub const ZERO: Self = Self { hi: 0.0, lo: 0.0 };
+
+    /// Exact conversion from a single `f64`.
+    #[inline(always)]
+    pub fn from_f64(x: f64) -> Self {
+        Self { hi: x, lo: 0.0 }
+    }
+
+    /// Construct from unnormalized parts, renormalizing so that
+    /// `hi == fl(a + b)`.
+    #[inline(always)]
+    pub fn from_parts(a: f64, b: f64) -> Self {
+        let (hi, lo) = two_sum(a, b);
+        Self { hi, lo }
+    }
+
+    /// Exact sum of two `f64`s as a double-double (error-free).
+    #[inline(always)]
+    pub fn exact_add_f64(a: f64, b: f64) -> Self {
+        let (hi, lo) = two_sum(a, b);
+        Self { hi, lo }
+    }
+
+    /// Exact product of two `f64`s as a double-double (error-free).
+    #[inline(always)]
+    pub fn exact_mul_f64(a: f64, b: f64) -> Self {
+        let (hi, lo) = two_prod(a, b);
+        Self { hi, lo }
+    }
+
+    /// Full-precision addition of another double-double
+    /// (the "accurate" QD `ieee_add` kernel: 20 flops, error ≤ 3·2⁻¹⁰⁶).
+    #[inline]
+    pub fn add_dd(self, other: Self) -> Self {
+        let (s1, s2) = two_sum(self.hi, other.hi);
+        let (t1, t2) = two_sum(self.lo, other.lo);
+        let s2 = s2 + t1;
+        let (s1, s2) = fast_two_sum(s1, s2);
+        let s2 = s2 + t2;
+        let (hi, lo) = fast_two_sum(s1, s2);
+        Self { hi, lo }
+    }
+
+    /// Full-precision addition of a plain `f64`.
+    #[inline]
+    pub fn add_f64(self, x: f64) -> Self {
+        let (s1, s2) = two_sum(self.hi, x);
+        let s2 = s2 + self.lo;
+        let (hi, lo) = fast_two_sum(s1, s2);
+        Self { hi, lo }
+    }
+
+    /// Full-precision product with another double-double.
+    #[inline]
+    pub fn mul_dd(self, other: Self) -> Self {
+        let (p1, p2) = two_prod(self.hi, other.hi);
+        let p2 = p2 + self.hi * other.lo + self.lo * other.hi;
+        let (hi, lo) = fast_two_sum(p1, p2);
+        Self { hi, lo }
+    }
+
+    /// Full-precision product with a plain `f64`.
+    #[inline]
+    pub fn mul_f64(self, x: f64) -> Self {
+        let (p1, p2) = two_prod(self.hi, x);
+        let p2 = p2 + self.lo * x;
+        let (hi, lo) = fast_two_sum(p1, p2);
+        Self { hi, lo }
+    }
+
+    /// Full-precision division by another double-double (long division with
+    /// one correction step; relative error ~2⁻¹⁰⁴).
+    #[inline]
+    pub fn div_dd(self, other: Self) -> Self {
+        let q1 = self.hi / other.hi;
+        let r = self.sub_dd(other.mul_f64(q1));
+        let q2 = r.hi / other.hi;
+        let r = r.sub_dd(other.mul_f64(q2));
+        let q3 = r.hi / other.hi;
+        let (hi, lo) = fast_two_sum(q1, q2);
+        Self { hi, lo }.add_f64(q3)
+    }
+
+    /// Full-precision subtraction.
+    #[inline]
+    pub fn sub_dd(self, other: Self) -> Self {
+        self.add_dd(other.neg())
+    }
+
+    /// Negation (exact). (`std::ops::Neg` is also implemented; the named
+    /// method reads better in reduction kernels.)
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        Self { hi: -self.hi, lo: -self.lo }
+    }
+
+    /// Absolute value (exact).
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            self.neg()
+        } else {
+            self
+        }
+    }
+
+    /// Round to the nearest `f64`.
+    ///
+    /// Because the representation is kept normalized (`hi == fl(hi+lo)`),
+    /// this is just `hi`.
+    #[inline(always)]
+    pub fn to_f64(self) -> f64 {
+        self.hi
+    }
+
+    /// `true` if the represented value is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.hi == 0.0 && self.lo == 0.0
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.hi.is_finite() && self.lo.is_finite()
+    }
+
+    /// Total-order comparison of the represented real values.
+    ///
+    /// Returns `None` if either component is NaN.
+    #[inline]
+    pub fn partial_cmp_value(self, other: Self) -> Option<Ordering> {
+        match self.hi.partial_cmp(&other.hi)? {
+            Ordering::Equal => self.lo.partial_cmp(&other.lo),
+            ord => Some(ord),
+        }
+    }
+}
+
+impl fmt::Debug for DoubleDouble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DoubleDouble({:e} + {:e})", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for DoubleDouble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display the leading component; the trailing part is below f64
+        // display precision anyway.
+        write!(f, "{}", self.hi)
+    }
+}
+
+impl From<f64> for DoubleDouble {
+    fn from(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+}
+
+impl Add for DoubleDouble {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.add_dd(rhs)
+    }
+}
+
+impl AddAssign for DoubleDouble {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = self.add_dd(rhs);
+    }
+}
+
+impl Sub for DoubleDouble {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.sub_dd(rhs)
+    }
+}
+
+impl SubAssign for DoubleDouble {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = self.sub_dd(rhs);
+    }
+}
+
+impl Mul for DoubleDouble {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_dd(rhs)
+    }
+}
+
+impl Div for DoubleDouble {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self.div_dd(rhs)
+    }
+}
+
+impl Neg for DoubleDouble {
+    type Output = Self;
+    fn neg(self) -> Self {
+        DoubleDouble::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dd(x: f64) -> DoubleDouble {
+        DoubleDouble::from_f64(x)
+    }
+
+    #[test]
+    fn exact_add_keeps_all_bits() {
+        let a = 1e16;
+        let b = 1.0;
+        let s = DoubleDouble::exact_add_f64(a, b);
+        assert_eq!(s.hi, 1e16);
+        assert_eq!(s.lo, 1.0);
+    }
+
+    #[test]
+    fn add_dd_is_much_more_accurate_than_f64() {
+        // Summing 1 and 2^-60 many times: plain f64 loses it entirely.
+        let tiny = 2f64.powi(-60);
+        let mut acc = dd(1.0);
+        for _ in 0..1024 {
+            acc = acc.add_f64(tiny);
+        }
+        // Exact: 1 + 1024 * 2^-60 = 1 + 2^-50.
+        assert_eq!(acc.hi, 1.0 + 2f64.powi(-50));
+        assert_eq!(acc.lo, 0.0);
+    }
+
+    #[test]
+    fn normalization_invariant_holds() {
+        let cases = [
+            (dd(0.1), dd(0.2)),
+            (dd(1e300), dd(-1e284)),
+            (DoubleDouble::exact_add_f64(1.0, 2f64.powi(-70)), dd(3.0)),
+        ];
+        for (a, b) in cases {
+            let s = a.add_dd(b);
+            assert_eq!(s.hi, s.hi + s.lo, "hi must absorb lo after rounding");
+        }
+    }
+
+    #[test]
+    fn mul_is_exact_for_exact_products() {
+        let p = DoubleDouble::exact_mul_f64(0.1, 0.1);
+        let q = dd(0.1).mul_dd(dd(0.1));
+        assert_eq!(p.hi, q.hi);
+        assert_eq!(p.lo, q.lo);
+    }
+
+    #[test]
+    fn div_recovers_one_third_to_106_bits() {
+        let third = dd(1.0).div_dd(dd(3.0));
+        let back = third.mul_dd(dd(3.0));
+        let err = back.sub_dd(dd(1.0)).abs();
+        assert!(err.hi < 2f64.powi(-100), "1/3*3 error {:?}", err);
+    }
+
+    #[test]
+    fn sub_of_equal_values_is_zero() {
+        let a = DoubleDouble::exact_add_f64(1e20, 3.25);
+        assert!(a.sub_dd(a).is_zero());
+    }
+
+    #[test]
+    fn comparison_uses_trailing_component() {
+        let a = DoubleDouble::exact_add_f64(1.0, 2f64.powi(-70));
+        let b = dd(1.0);
+        assert_eq!(a.partial_cmp_value(b), Some(Ordering::Greater));
+        assert_eq!(b.partial_cmp_value(a), Some(Ordering::Less));
+        assert_eq!(a.partial_cmp_value(a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn abs_handles_negative_lo_at_zero_hi() {
+        let v = DoubleDouble { hi: 0.0, lo: -1e-300 };
+        assert!(v.abs().lo > 0.0);
+    }
+
+    #[test]
+    fn operator_sugar_matches_methods() {
+        let a = dd(1.5);
+        let b = dd(-0.25);
+        assert_eq!((a + b).hi, a.add_dd(b).hi);
+        assert_eq!((a - b).hi, a.sub_dd(b).hi);
+        assert_eq!((a * b).hi, a.mul_dd(b).hi);
+        assert_eq!((a / b).hi, a.div_dd(b).hi);
+        assert_eq!((-a).hi, -1.5);
+    }
+}

@@ -1,0 +1,269 @@
+//! Floating-point expansions (Shewchuk, *Adaptive Precision Floating-Point
+//! Arithmetic and Fast Robust Geometric Predicates*, 1997).
+//!
+//! An **expansion** represents a real number exactly as an unevaluated sum
+//! of `f64` components, ordered by increasing magnitude and pairwise
+//! *nonoverlapping* (each component's bits occupy a disjoint binary range).
+//! Expansion arithmetic is error-free: adding a double or another expansion
+//! produces a new expansion whose value is exactly the true sum.
+//!
+//! In this workspace expansions serve as a third independent exact-summation
+//! method (after the superaccumulator and `repro-hp`'s `BigFloat`), with a
+//! different cost profile: O(size) per add with adaptive size, no fixed-width
+//! register, no limbs — and as the substrate for the distillation-style
+//! accurate sums in `repro-sum`.
+
+use crate::eft::{fast_two_sum, two_sum};
+
+/// A nonoverlapping, increasing-magnitude expansion: an exact unevaluated
+/// sum of `f64` components.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Expansion {
+    /// Components, smallest magnitude first, no zeros stored.
+    components: Vec<f64>,
+}
+
+impl Expansion {
+    /// The zero expansion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expansion holding exactly `x`.
+    pub fn from_f64(x: f64) -> Self {
+        assert!(x.is_finite(), "expansions hold finite values");
+        let components = if x == 0.0 { vec![] } else { vec![x] };
+        Self { components }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the expansion is exactly zero.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The components, smallest magnitude first.
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// Shewchuk's `GROW-EXPANSION`: exactly add one `f64`.
+    pub fn add_f64(&mut self, b: f64) {
+        assert!(b.is_finite(), "expansions hold finite values");
+        if b == 0.0 {
+            return;
+        }
+        let mut q = b;
+        let mut out = Vec::with_capacity(self.components.len() + 1);
+        for &e in &self.components {
+            let (sum, err) = two_sum(q, e);
+            if err != 0.0 {
+                out.push(err);
+            }
+            q = sum;
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        self.components = out;
+    }
+
+    /// Shewchuk's `EXPANSION-SUM` (grow by each component): exactly add
+    /// another expansion.
+    pub fn add_expansion(&mut self, other: &Expansion) {
+        for &c in &other.components {
+            self.add_f64(c);
+        }
+    }
+
+    /// Exactly negate.
+    pub fn negate(&mut self) {
+        for c in &mut self.components {
+            *c = -*c;
+        }
+    }
+
+    /// Shewchuk's `COMPRESS`: minimize the number of components while
+    /// preserving the exact value; afterwards the largest component is a
+    /// faithful approximation of the total.
+    pub fn compress(&mut self) {
+        if self.components.len() <= 1 {
+            return;
+        }
+        // Downward sweep: absorb from largest to smallest.
+        let mut g: Vec<f64> = Vec::with_capacity(self.components.len());
+        let mut q = *self.components.last().unwrap();
+        for &e in self.components.iter().rev().skip(1) {
+            let (sum, err) = fast_two_sum(q, e);
+            q = sum;
+            if err != 0.0 {
+                g.push(q);
+                q = err;
+            }
+        }
+        g.push(q);
+        // g currently holds, from largest-absorbed downward; upward sweep
+        // rebuilds a normalized increasing-magnitude expansion.
+        let mut h: Vec<f64> = Vec::with_capacity(g.len());
+        let mut q = *g.last().unwrap();
+        for &e in g.iter().rev().skip(1) {
+            let (sum, err) = fast_two_sum(e, q);
+            q = sum;
+            if err != 0.0 {
+                h.push(err);
+            }
+        }
+        if q != 0.0 || h.is_empty() {
+            h.push(q);
+        }
+        if h == [0.0] {
+            h.clear();
+        }
+        self.components = h;
+    }
+
+    /// The correctly-rounded-to-nearest `f64` value of the expansion.
+    ///
+    /// (Implemented via the exact superaccumulator; the conventional
+    /// `estimate` — the largest component after compression — is only
+    /// faithful, not correctly rounded.)
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = crate::superacc::Superaccumulator::new();
+        for &c in &self.components {
+            acc.add(c);
+        }
+        acc.to_f64()
+    }
+
+    /// Shewchuk's `ESTIMATE`: the naive sum of components (faithful after
+    /// [`Expansion::compress`], cheap always).
+    pub fn estimate(&self) -> f64 {
+        self.components.iter().sum()
+    }
+
+    /// Verify the nonoverlapping invariant (test support).
+    ///
+    /// Two components are nonoverlapping when the smaller one's most
+    /// significant bit lies strictly below the larger one's least
+    /// significant *set* bit.
+    pub fn is_nonoverlapping(&self) -> bool {
+        use crate::ulp::{decompose, exponent};
+        for w in self.components.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if lo == 0.0 || hi == 0.0 {
+                return false; // zeros must not be stored
+            }
+            if lo.abs() > hi.abs() {
+                return false; // must increase in magnitude
+            }
+            let lo_top = exponent(lo).unwrap();
+            let (_, m, shift) = decompose(hi);
+            let hi_lsb = shift + m.trailing_zeros() as i32;
+            if lo_top >= hi_lsb {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Exactly sum a slice into an expansion (distillation).
+pub fn expansion_sum(values: &[f64]) -> Expansion {
+    let mut e = Expansion::new();
+    for &v in values {
+        e.add_f64(v);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_singleton() {
+        assert!(Expansion::new().is_empty());
+        assert_eq!(Expansion::new().to_f64(), 0.0);
+        let e = Expansion::from_f64(3.5);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.to_f64(), 3.5);
+    }
+
+    #[test]
+    fn grow_keeps_exact_value() {
+        let mut e = Expansion::new();
+        e.add_f64(1e16);
+        e.add_f64(1.0);
+        e.add_f64(-1e16);
+        assert_eq!(e.to_f64(), 1.0);
+        // And the estimate agrees after compression.
+        e.compress();
+        assert_eq!(e.estimate(), 1.0);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn expansion_matches_superaccumulator_on_hard_sets() {
+        let values = [1e300, -1e284, 0.1, 2f64.powi(-60), -1e300, 1e284, 7.25];
+        let e = expansion_sum(&values);
+        assert_eq!(e.to_f64().to_bits(), crate::exact::exact_sum(&values).to_bits());
+        assert!(e.is_nonoverlapping(), "components: {:?}", e.components());
+    }
+
+    #[test]
+    fn add_expansion_is_exact_concatenation() {
+        let a = expansion_sum(&[0.1, 0.2, 1e10]);
+        let b = expansion_sum(&[-1e10, 0.3]);
+        let mut merged = a.clone();
+        merged.add_expansion(&b);
+        let all = [0.1, 0.2, 1e10, -1e10, 0.3];
+        assert_eq!(merged.to_f64().to_bits(), crate::exact::exact_sum(&all).to_bits());
+    }
+
+    #[test]
+    fn negate_negates_exactly() {
+        let mut e = expansion_sum(&[0.1, 1e16, -3.0]);
+        let v = e.to_f64();
+        e.negate();
+        assert_eq!(e.to_f64(), -v);
+    }
+
+    #[test]
+    fn compress_shrinks_without_changing_value() {
+        // Many same-magnitude values grow the expansion; compression should
+        // collapse it dramatically.
+        let values: Vec<f64> = (0..200).map(|i| 1.0 + (i as f64) * 2f64.powi(-30)).collect();
+        let mut e = expansion_sum(&values);
+        let before = e.to_f64();
+        let len_before = e.len();
+        e.compress();
+        assert_eq!(e.to_f64().to_bits(), before.to_bits());
+        assert!(e.len() <= len_before);
+        assert!(e.len() <= 3, "compressed length {}", e.len());
+        assert!(e.is_nonoverlapping());
+    }
+
+    #[test]
+    fn cancellation_to_zero_empties_the_expansion() {
+        let mut e = expansion_sum(&[1e10, 0.5, -1e10, -0.5]);
+        e.compress();
+        assert_eq!(e.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_faithful_after_compress() {
+        let values: Vec<f64> = (0..50)
+            .map(|i| ((i * 37 % 19) as f64 - 9.0) * 2f64.powi((i % 40) - 20))
+            .collect();
+        let mut e = expansion_sum(&values);
+        e.compress();
+        let exact = crate::exact::exact_sum(&values);
+        let est = e.estimate();
+        // Faithful: within one ulp of the exact sum.
+        assert!((est - exact).abs() <= crate::ulp::ulp(exact).abs());
+    }
+}

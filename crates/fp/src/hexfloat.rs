@@ -1,0 +1,243 @@
+//! Hexadecimal floating-point text (C99 `%a` style): **bit-exact**,
+//! human-legible representations of `f64`, the right interchange format for
+//! a reproducibility toolkit (decimal text needs 17 digits and careful
+//! rounding to round-trip; hex floats round-trip by construction).
+//!
+//! ```
+//! use repro_fp::hexfloat::{format_hex, parse_hex};
+//!
+//! assert_eq!(format_hex(1.0), "0x1p+0");
+//! assert_eq!(format_hex(-0.15625), "-0x1.4p-3");
+//! let x = 0.1f64;
+//! assert_eq!(parse_hex(&format_hex(x)).unwrap().to_bits(), x.to_bits());
+//! ```
+
+use crate::ulp::decompose;
+
+/// Format a finite `f64` as a C99-style hex float (`±0x1.fffp±e`), lossless
+/// and canonical (normals carry a leading `1.`, subnormals a leading `0.`
+/// at exponent −1022, trailing zero nibbles trimmed).
+///
+/// Specials: `"nan"`, `"inf"`, `"-inf"`, `"0x0p+0"`, `"-0x0p+0"`.
+pub fn format_hex(x: f64) -> String {
+    if x.is_nan() {
+        return "nan".to_string();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    let sign = if x.is_sign_negative() { "-" } else { "" };
+    if x == 0.0 {
+        return format!("{sign}0x0p+0");
+    }
+    let bits = x.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (lead, exp) = if raw_exp != 0 {
+        ('1', raw_exp - 1023)
+    } else {
+        ('0', -1022)
+    };
+    let mut hex = format!("{frac:013x}");
+    while hex.len() > 1 && hex.ends_with('0') {
+        hex.pop();
+    }
+    if frac == 0 {
+        format!("{sign}0x{lead}p{exp:+}")
+    } else {
+        format!("{sign}0x{lead}.{hex}p{exp:+}")
+    }
+}
+
+/// Parse a hex float back to `f64` (accepts any number of mantissa nibbles
+/// and non-canonical leading digits 0..=f; exact while the significand fits
+/// 53 bits, correctly rounded RNE beyond that).
+///
+/// Returns `None` on malformed input.
+pub fn parse_hex(text: &str) -> Option<f64> {
+    let t = text.trim();
+    match t {
+        "nan" => return Some(f64::NAN),
+        "inf" => return Some(f64::INFINITY),
+        "-inf" => return Some(f64::NEG_INFINITY),
+        _ => {}
+    }
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let t = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))?;
+    let (mantissa_text, exp_text) = t.split_once(['p', 'P'])?;
+    let exp: i32 = exp_text.parse().ok()?;
+    let (int_part, frac_part) = match mantissa_text.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (mantissa_text, ""),
+    };
+    if int_part.is_empty() && frac_part.is_empty() {
+        return None;
+    }
+    // Accumulate nibbles into a 128-bit significand (tracking sticky bits
+    // if the input is absurdly long).
+    let mut sig: u128 = 0;
+    let mut frac_bits = 0i32;
+    let mut sticky = false;
+    for c in int_part.chars() {
+        let d = c.to_digit(16)? as u128;
+        if sig >> 120 != 0 {
+            return None; // integer part too large to be sane input
+        }
+        sig = (sig << 4) | d;
+    }
+    for c in frac_part.chars() {
+        let d = c.to_digit(16)? as u128;
+        if sig >> 120 != 0 {
+            sticky |= d != 0;
+        } else {
+            sig = (sig << 4) | d;
+            frac_bits += 4;
+        }
+    }
+    if sig == 0 {
+        return Some(if neg { -0.0 } else { 0.0 });
+    }
+    // value = sig · 2^(exp − frac_bits); reduce sig to ≤ 53 bits with RNE.
+    let mut e = exp - frac_bits;
+    let top = 127 - sig.leading_zeros() as i32;
+    if top > 52 {
+        let drop = (top - 52) as u32;
+        let kept = (sig >> drop) as u64;
+        let round = (sig >> (drop - 1)) & 1 == 1;
+        let rest = sig & ((1u128 << (drop - 1)) - 1) != 0 || sticky;
+        let mut m = kept;
+        if round && (rest || m & 1 == 1) {
+            m += 1;
+        }
+        e += drop as i32;
+        let v = compose(m, e)?;
+        return Some(if neg { -v } else { v });
+    }
+    let v = compose(sig as u64, e)?;
+    Some(if neg { -v } else { v })
+}
+
+/// `m · 2^e` exactly (handles subnormal/overflow edges); `m < 2^54`.
+fn compose(m: u64, e: i32) -> Option<f64> {
+    if m == 0 {
+        return Some(0.0);
+    }
+    let lead = 63 - m.leading_zeros() as i32;
+    let value_exp = e + lead; // binade of the value
+    if value_exp > 1023 {
+        return Some(f64::INFINITY);
+    }
+    if value_exp < -1075 {
+        return Some(0.0);
+    }
+    // Build via two exact power-of-two scalings to stay in range.
+    let half = e / 2;
+    let rest = e - half;
+    let scale = |k: i32| -> f64 {
+        crate::ulp::pow2(k.clamp(-1074, 1023))
+    };
+    let v = (m as f64) * scale(half) * scale(rest);
+    if v.is_finite() {
+        Some(v)
+    } else {
+        Some(f64::INFINITY)
+    }
+}
+
+/// Convenience: re-create a value from `format_hex` output, panicking on
+/// malformed text (which `format_hex` never produces).
+pub fn from_hex_unchecked(text: &str) -> f64 {
+    parse_hex(text).expect("canonical hex float")
+}
+
+/// Decompose-based alternative formatting used in tests as an independent
+/// check: `m * 2^e` with decimal m.
+pub fn format_exact_parts(x: f64) -> String {
+    if x == 0.0 || !x.is_finite() {
+        return format_hex(x);
+    }
+    let (s, m, e) = decompose(x);
+    format!("{}{}p{:+}", if s < 0 { "-" } else { "" }, m, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples() {
+        assert_eq!(format_hex(1.0), "0x1p+0");
+        assert_eq!(format_hex(2.0), "0x1p+1");
+        assert_eq!(format_hex(1.5), "0x1.8p+0");
+        assert_eq!(format_hex(-0.15625), "-0x1.4p-3");
+        assert_eq!(format_hex(0.0), "0x0p+0");
+        assert_eq!(format_hex(-0.0), "-0x0p+0");
+        assert_eq!(format_hex(f64::INFINITY), "inf");
+        assert_eq!(format_hex(f64::NAN), "nan");
+        assert_eq!(format_hex(f64::MIN_POSITIVE), "0x1p-1022");
+        assert_eq!(format_hex(f64::from_bits(1)), "0x0.0000000000001p-1022");
+    }
+
+    #[test]
+    fn round_trips_are_bit_exact() {
+        let cases = [
+            0.1,
+            -std::f64::consts::PI,
+            1e300,
+            -1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 1024.0,
+            f64::from_bits(1),
+            -0.0,
+            0.0,
+        ];
+        for x in cases {
+            let text = format_hex(x);
+            let back = parse_hex(&text).unwrap_or_else(|| panic!("{text}"));
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_non_canonical_forms() {
+        assert_eq!(parse_hex("0x2p+0").unwrap(), 2.0);
+        assert_eq!(parse_hex("0x10p-4").unwrap(), 1.0);
+        assert_eq!(parse_hex("0x.8p+1").unwrap(), 1.0);
+        assert_eq!(parse_hex("0X1.8P0").unwrap(), 1.5);
+        assert_eq!(parse_hex("+0x1p+0").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn long_mantissas_round_to_nearest() {
+        // 1 + 2^-53 (half ulp): ties to even -> 1.0.
+        assert_eq!(parse_hex("0x1.00000000000008p+0").unwrap(), 1.0);
+        // With a sticky nibble beyond: rounds up.
+        assert_eq!(
+            parse_hex("0x1.000000000000081p+0").unwrap(),
+            1.0 + f64::EPSILON
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "0x", "1.5", "0xzp+0", "0x1p", "0x1px", "0x.p+0"] {
+            assert!(parse_hex(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_and_underflow_saturate() {
+        assert_eq!(parse_hex("0x1p+2000").unwrap(), f64::INFINITY);
+        assert_eq!(parse_hex("0x1p-2000").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn exact_parts_formatting() {
+        assert_eq!(format_exact_parts(1.0), "4503599627370496p-52");
+        assert_eq!(format_exact_parts(-0.0), "-0x0p+0");
+    }
+}

@@ -1,0 +1,296 @@
+//! Interval arithmetic — the paper's Section III-B technique.
+//!
+//! "Techniques based on interval arithmetic replace floating-point types
+//! with custom types representing finite-length intervals of real numbers.
+//! The actual value of the reduction is guaranteed to lie within the
+//! interval. ... While the techniques are reproducible by design, they also
+//! cause large slowdown and are not suitable for applications needing many
+//! digits of accuracy."
+//!
+//! This module implements that technique so the workspace covers the
+//! paper's full taxonomy and the ablation benches can quantify both halves
+//! of the quoted sentence: the *guarantee* (the exact sum always lies in
+//! the interval, for every reduction order) and the *cost* (interval width
+//! grows with `n` while compensated methods hold error near one ulp).
+//!
+//! Rust exposes no rounding-mode control, so outward rounding is emulated
+//! with [`crate::ulp::next_up`]/[`crate::ulp::next_down`] after each
+//! operation — enclosures are up to one ulp wider per step than
+//! hardware-directed rounding would give, which is conservative and
+//! therefore still sound.
+
+use crate::ulp::{next_down, next_up};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` guaranteed to contain the exact value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound (rounded toward −∞).
+    pub lo: f64,
+    /// Upper bound (rounded toward +∞).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The degenerate interval `[x, x]` (exact value).
+    #[inline]
+    pub fn point(x: f64) -> Self {
+        assert!(x.is_finite(), "interval endpoints must be finite");
+        Self { lo: x, hi: x }
+    }
+
+    /// The zero interval.
+    pub const ZERO: Self = Self { lo: 0.0, hi: 0.0 };
+
+    /// Construct from bounds (must satisfy `lo <= hi`).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Interval width `hi − lo` (the uncertainty).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint (rounded).
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        self.lo / 2.0 + self.hi / 2.0
+    }
+
+    /// `true` if `x` lies in the interval.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Outward-rounded addition: the result contains every `a + b` with
+    /// `a ∈ self`, `b ∈ other`. (Also available as the `+` operator.)
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn add(self, other: Self) -> Self {
+        let lo = down(self.lo + other.lo);
+        let hi = up(self.hi + other.hi);
+        Self { lo, hi }
+    }
+
+    /// Outward-rounded addition of an exact `f64`.
+    #[inline]
+    pub fn add_f64(self, x: f64) -> Self {
+        self.add(Self::point(x))
+    }
+
+    /// Exact negation (interval arithmetic is exact under negation).
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn neg(self) -> Self {
+        Self { lo: -self.hi, hi: -self.lo }
+    }
+
+    /// Outward-rounded subtraction.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn sub(self, other: Self) -> Self {
+        self.add(other.neg())
+    }
+
+    /// Outward-rounded multiplication (all four corner products).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Self) -> Self {
+        let corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { lo: down(lo), hi: up(hi) }
+    }
+
+    /// Outward-rounded division. Returns `None` when the divisor interval
+    /// contains zero (the quotient would be unbounded). Not an `ops::Div`
+    /// impl because the result is fallible.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Self) -> Option<Self> {
+        if other.contains(0.0) {
+            return None;
+        }
+        let corners = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Self { lo: down(lo), hi: up(hi) })
+    }
+
+    /// Hull of two intervals (smallest interval containing both).
+    pub fn hull(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Round a computed lower bound toward −∞ (conservative: one ulp past the
+/// rounded value unless the operation was exact — we cannot detect
+/// exactness cheaply without rounding-mode control, so always step).
+#[inline]
+fn down(x: f64) -> f64 {
+    next_down(x)
+}
+
+/// Round a computed upper bound toward +∞.
+#[inline]
+fn up(x: f64) -> f64 {
+    next_up(x)
+}
+
+impl std::ops::Add for Interval {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Interval::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Interval::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Interval::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Interval::neg(self)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:e}, {:e}]", self.lo, self.hi)
+    }
+}
+
+/// Sum a slice in interval arithmetic: the result is **guaranteed** to
+/// contain the exact sum, for every summation order.
+pub fn interval_sum(values: &[f64]) -> Interval {
+    let mut acc = Interval::ZERO;
+    for &v in values {
+        acc = acc.add_f64(v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_intervals_are_tight() {
+        let p = Interval::point(3.5);
+        assert_eq!(p.width(), 0.0);
+        assert!(p.contains(3.5));
+        assert!(!p.contains(3.5000001));
+    }
+
+    #[test]
+    fn addition_encloses_the_exact_sum() {
+        let a = Interval::point(0.1);
+        let b = Interval::point(0.2);
+        let s = a.add(b);
+        // The exact real 0.3 is NOT fl(0.1)+fl(0.2); the enclosure must
+        // contain the exact sum of the two doubles.
+        let exact = crate::exact::exact_sum(&[0.1, 0.2]);
+        assert!(s.contains(exact));
+        assert!(s.width() > 0.0 && s.width() < 1e-15);
+    }
+
+    #[test]
+    fn interval_sum_always_contains_exact_for_any_order() {
+        let mut values: Vec<f64> = (0..500)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) * 2f64.powi(i % 60 - 30))
+            .collect();
+        let exact = crate::exact::exact_sum(&values);
+        for _ in 0..5 {
+            values.reverse();
+            values.swap(0, 250);
+            let enclosure = interval_sum(&values);
+            assert!(
+                enclosure.contains(exact),
+                "enclosure {enclosure} lost the exact sum {exact:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_grows_with_n() {
+        let small = interval_sum(&vec![0.1; 100]);
+        let large = interval_sum(&vec![0.1; 10_000]);
+        assert!(large.width() > small.width() * 50.0);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let a = Interval::new(1.0, 2.0);
+        let n = a.neg();
+        assert_eq!((n.lo, n.hi), (-2.0, -1.0));
+        let d = a.sub(a);
+        assert!(d.contains(0.0));
+        assert!(d.lo < 0.0 && d.hi > 0.0, "self-subtraction keeps uncertainty");
+    }
+
+    #[test]
+    fn multiplication_corners() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-5.0, 1.0);
+        let p = a.mul(b);
+        // Corners: 10, -2, -15, 3 -> [-15, 10] (outward).
+        assert!(p.lo <= -15.0 && p.hi >= 10.0);
+        assert!(p.lo > -15.1 && p.hi < 10.1);
+    }
+
+    #[test]
+    fn division_encloses_and_rejects_zero_divisors() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(4.0, 8.0);
+        let q = a.div(b).unwrap();
+        // True range: [1/8, 1/2].
+        assert!(q.contains(0.125) && q.contains(0.5));
+        assert!(q.lo > 0.12 && q.hi < 0.51);
+        // Zero-crossing divisor -> None.
+        assert!(a.div(Interval::new(-1.0, 1.0)).is_none());
+        assert!(a.div(Interval::new(0.0, 1.0)).is_none());
+        // Negative divisors flip signs soundly.
+        let qn = a.div(Interval::new(-4.0, -2.0)).unwrap();
+        assert!(qn.contains(-0.5) && qn.contains(-0.25));
+    }
+
+    #[test]
+    fn hull_contains_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(5.0, 6.0);
+        let h = a.hull(b);
+        assert_eq!((h.lo, h.hi), (0.0, 6.0));
+    }
+
+    #[test]
+    fn midpoint_of_symmetric_interval() {
+        let a = Interval::new(-1.0, 1.0);
+        assert_eq!(a.midpoint(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # `repro-fp` — floating-point building blocks for reproducible reductions
+//!
+//! This crate provides the numerical substrate used throughout the
+//! `repro-reduce` workspace:
+//!
+//! * [`eft`] — *error-free transforms*: [`eft::two_sum`], [`eft::fast_two_sum`]
+//!   and [`eft::two_prod`], the primitives from which every compensated
+//!   summation algorithm is built.
+//! * [`dd`] — [`dd::DoubleDouble`], an unevaluated sum of two `f64`s giving
+//!   roughly 106 bits of significand. This is the "composite precision"
+//!   carrier type of the paper, and the double-double type of He & Ding.
+//! * [`ulp`] — exponent extraction, unit-in-the-last-place computation, and
+//!   neighbour traversal for `f64`, including full subnormal handling.
+//! * [`superacc`] — [`superacc::Superaccumulator`], a Kulisch-style wide
+//!   fixed-point accumulator that adds *any* sequence of finite `f64` values
+//!   **exactly** and rounds to `f64` correctly (round-to-nearest-even) exactly
+//!   once, at the end. It replaces the paper's GNU MPFR quad-double reference
+//!   with something strictly stronger.
+//! * [`exact`] — exact-sum-derived dataset measurements: exact sums, exact
+//!   absolute sums, sum condition numbers and dynamic ranges, and exact
+//!   per-result error measurement.
+//! * [`expansion`] — Shewchuk floating-point expansions: a third
+//!   independent exact-summation method with an adaptive-size cost profile.
+//! * [`interval`] — outward-rounded interval arithmetic (the paper's
+//!   Section III-B technique): guaranteed enclosures, growing width.
+//! * [`hexfloat`] — C99 `%a`-style hex-float text: bit-exact, round-trip
+//!   safe interchange for reproducibility artifacts.
+//! * [`bounds`] — the analytical (Higham) and statistical worst-case error
+//!   bounds the paper evaluates in its Figure 2.
+//!
+//! All of this crate is `#![forbid(unsafe_code)]`, deterministic, and
+//! dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dd;
+pub mod eft;
+pub mod exact;
+pub mod expansion;
+pub mod hexfloat;
+pub mod interval;
+pub mod superacc;
+pub mod ulp;
+
+pub use bounds::{higham_bound, statistical_bound, UNIT_ROUNDOFF};
+pub use dd::DoubleDouble;
+pub use eft::{fast_two_sum, two_prod, two_sum};
+pub use expansion::{expansion_sum, Expansion};
+pub use hexfloat::{format_hex, parse_hex};
+pub use interval::{interval_sum, Interval};
+pub use exact::{
+    abs_error, abs_error_vs, condition_number, decimal_exponent, dynamic_range,
+    dynamic_range_binary, exact_abs_sum, exact_sum, exact_sum_acc,
+};
+pub use superacc::Superaccumulator;

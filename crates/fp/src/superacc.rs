@@ -1,0 +1,589 @@
+//! Exact summation via a Kulisch-style superaccumulator.
+//!
+//! A [`Superaccumulator`] is a wide fixed-point register covering the entire
+//! exponent range of `f64` (bit weights `2^-1074` through beyond `2^1088`),
+//! so the sum of **any** sequence of finite `f64` values is accumulated with
+//! *no rounding at all*. A single correctly-rounded conversion back to `f64`
+//! (round-to-nearest-even) happens in [`Superaccumulator::to_f64`].
+//!
+//! In this workspace the superaccumulator plays the role the paper assigns to
+//! GNU MPFR quad-double arithmetic: the accurate reference against which all
+//! summation errors are measured. Exact fixed-point accumulation is strictly
+//! stronger than quad-double (it is error-free for sums), and — critically for
+//! a paper about reproducibility — it is bitwise independent of the order in
+//! which values are added.
+//!
+//! # Representation
+//!
+//! The register is a little-endian array of [`DIGITS`] base-2³² digits stored
+//! in `i64` slots. Bit `p` of the register has weight `2^(p - 1074)`. Between
+//! normalizations, digits may hold values outside `[0, 2³²)`; a counter
+//! triggers carry propagation long before any `i64` could overflow. The final
+//! carry out of the top digit is kept in a sign-extension word, making the
+//! whole register a two's-complement fixed-point number:
+//!
+//! ```text
+//! value = sign_ext · 2^(32·DIGITS - 1074) + Σ_i digits[i] · 2^(32·i - 1074)
+//! ```
+
+use crate::dd::DoubleDouble;
+use crate::ulp::decompose;
+
+/// Number of base-2³² digits in the register.
+///
+/// Bit span = `32 * DIGITS` = 2240 bits, covering weights `2^-1074` up to
+/// `2^1166`; sums of up to 2⁷⁸ values of maximal magnitude fit without
+/// overflow, far beyond anything a real reduction produces.
+pub const DIGITS: usize = 70;
+
+/// Adds between forced normalizations. Each `add` perturbs a digit by less
+/// than 2³²; digits start in `[0, 2³²)`, so `2³⁰` adds keep every digit well
+/// within `i64` range.
+const NORMALIZE_EVERY: u32 = 1 << 30;
+
+const DIGIT_MASK: i64 = 0xffff_ffff;
+
+/// A wide fixed-point accumulator that sums `f64` values exactly.
+///
+/// ```
+/// use repro_fp::Superaccumulator;
+///
+/// let mut acc = Superaccumulator::new();
+/// // Catastrophic for plain f64 (absorption), trivial for the register:
+/// acc.add(1e16);
+/// acc.add(1.0);
+/// acc.add(-1e16);
+/// assert_eq!(acc.to_f64(), 1.0);
+/// ```
+#[derive(Clone)]
+pub struct Superaccumulator {
+    digits: Box<[i64; DIGITS]>,
+    /// Two's-complement sign extension beyond the top digit (`0` or `-1`
+    /// after normalization, for in-range values).
+    sign_ext: i64,
+    /// Adds since the last normalization.
+    pending: u32,
+    /// Saw at least one NaN input (or both +inf and -inf).
+    nan: bool,
+    /// Saw +infinity / -infinity.
+    pos_inf: bool,
+    neg_inf: bool,
+}
+
+impl Default for Superaccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Superaccumulator {
+    /// A fresh, zero-valued accumulator.
+    pub fn new() -> Self {
+        Self {
+            digits: Box::new([0i64; DIGITS]),
+            sign_ext: 0,
+            pending: 0,
+            nan: false,
+            pos_inf: false,
+            neg_inf: false,
+        }
+    }
+
+    /// Exactly sum an iterator of values.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut acc = Self::new();
+        for v in values {
+            acc.add(v);
+        }
+        acc
+    }
+
+    /// Add a value exactly. Non-finite inputs are recorded and poison the
+    /// final conversion exactly as IEEE-754 sequential addition would
+    /// (`+inf` + `-inf` → NaN).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        if x == 0.0 {
+            return;
+        }
+        if !x.is_finite() {
+            if x.is_nan() {
+                self.nan = true;
+            } else if x > 0.0 {
+                self.pos_inf = true;
+            } else {
+                self.neg_inf = true;
+            }
+            return;
+        }
+        let (sign, mantissa, shift) = decompose(x);
+        // Bit position of the mantissa's least significant bit.
+        let p = (shift + 1074) as u32;
+        let d = (p >> 5) as usize;
+        let r = p & 31;
+        // mantissa < 2^53, r < 32  =>  v < 2^85: three 32-bit chunks.
+        let v = (mantissa as u128) << r;
+        let c0 = (v & 0xffff_ffff) as i64;
+        let c1 = ((v >> 32) & 0xffff_ffff) as i64;
+        let c2 = ((v >> 64) & 0xffff_ffff) as i64;
+        if sign > 0 {
+            self.digits[d] += c0;
+            self.digits[d + 1] += c1;
+            self.digits[d + 2] += c2;
+        } else {
+            self.digits[d] -= c0;
+            self.digits[d + 1] -= c1;
+            self.digits[d + 2] -= c2;
+        }
+        self.pending += 1;
+        if self.pending >= NORMALIZE_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Subtract a value exactly (`add(-x)`).
+    #[inline]
+    pub fn sub(&mut self, x: f64) {
+        self.add(-x);
+    }
+
+    /// Merge another accumulator into this one (exact; order-independent).
+    pub fn merge(&mut self, other: &Self) {
+        let mut other = other.clone();
+        other.normalize();
+        self.normalize();
+        for (a, b) in self.digits.iter_mut().zip(other.digits.iter()) {
+            *a += *b; // both in [0, 2^32): no overflow
+        }
+        self.sign_ext += other.sign_ext;
+        self.nan |= other.nan;
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+        self.normalize();
+    }
+
+    /// Propagate carries so every digit lies in `[0, 2³²)` and the overflow
+    /// lands in the sign-extension word.
+    pub fn normalize(&mut self) {
+        let mut carry: i64 = 0;
+        for d in self.digits.iter_mut() {
+            let t = *d + carry;
+            let low = t & DIGIT_MASK;
+            carry = (t - low) >> 32;
+            *d = low;
+        }
+        self.sign_ext += carry;
+        self.pending = 0;
+        debug_assert!(
+            self.sign_ext == 0 || self.sign_ext == -1,
+            "superaccumulator overflow: sign_ext = {}",
+            self.sign_ext
+        );
+    }
+
+    /// `true` if the accumulated (finite) value is exactly zero and no
+    /// non-finite inputs were seen.
+    pub fn is_zero(&mut self) -> bool {
+        if self.nan || self.pos_inf || self.neg_inf {
+            return false;
+        }
+        self.normalize();
+        self.sign_ext == 0 && self.digits.iter().all(|&d| d == 0)
+    }
+
+    /// Sign of the accumulated value: `-1`, `0`, or `1`.
+    /// NaN/infinite states report the sign of the dominating special.
+    pub fn signum(&mut self) -> i32 {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            return 0;
+        }
+        if self.pos_inf {
+            return 1;
+        }
+        if self.neg_inf {
+            return -1;
+        }
+        self.normalize();
+        if self.sign_ext == -1 {
+            -1
+        } else if self.digits.iter().any(|&d| d != 0) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Correctly rounded (round-to-nearest-even) conversion to `f64`.
+    ///
+    /// This is the **only** rounding in the whole summation.
+    pub fn to_f64(&self) -> f64 {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            return f64::NAN;
+        }
+        if self.pos_inf {
+            return f64::INFINITY;
+        }
+        if self.neg_inf {
+            return f64::NEG_INFINITY;
+        }
+        let mut work = self.clone();
+        work.normalize();
+        let negative = work.sign_ext == -1;
+        if negative {
+            work.twos_complement_negate();
+        }
+        // Find the most significant set bit.
+        let top = match work.digits.iter().rposition(|&d| d != 0) {
+            None => return if negative { -0.0 } else { 0.0 },
+            Some(t) => t,
+        };
+        let msb_in_digit = 63 - (work.digits[top] as u64).leading_zeros() as i32;
+        debug_assert!(msb_in_digit < 32);
+        let p = top as i32 * 32 + msb_in_digit; // absolute bit position of MSB
+        let e = p - 1074; // binary exponent of the value
+        if e > 1023 {
+            return if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+        }
+        // Mantissa = bits [ulp_pos ..= p]; at most 53 bits. Values whose MSB
+        // sits below bit 52 are subnormal-or-smaller and exact.
+        let ulp_pos = (p - 52).max(0);
+        let mut mantissa = work.read_bits(ulp_pos as u32, (p - ulp_pos + 1) as u32);
+        // Round to nearest, ties to even.
+        if ulp_pos > 0 {
+            let round_bit = work.read_bits((ulp_pos - 1) as u32, 1) != 0;
+            if round_bit {
+                let sticky = work.any_bit_below((ulp_pos - 1) as u32);
+                if sticky || (mantissa & 1) == 1 {
+                    mantissa += 1;
+                }
+            }
+        }
+        let mut ulp_exp = ulp_pos - 1074;
+        if mantissa == (1u64 << 53) {
+            // Rounding overflowed the mantissa: 2^53 * 2^ulp_exp = 2^52 * 2^(ulp_exp+1).
+            mantissa = 1u64 << 52;
+            ulp_exp += 1;
+            if ulp_exp + 52 > 1023 {
+                return if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+            }
+        }
+        // mantissa < 2^53 and ulp_exp in [-1074, 971]: the product is exact.
+        let magnitude = (mantissa as f64) * crate::ulp::pow2(ulp_exp);
+        if negative {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Read the value at roughly double-double precision: the correctly
+    /// rounded leading part plus the correctly rounded residual.
+    pub fn to_dd(&self) -> DoubleDouble {
+        let hi = self.to_f64();
+        if !hi.is_finite() {
+            return DoubleDouble::from_f64(hi);
+        }
+        let mut rest = self.clone();
+        rest.sub(hi);
+        let lo = rest.to_f64();
+        DoubleDouble { hi, lo }
+    }
+
+    /// In-place two's-complement negation of the digit register (used only
+    /// on normalized, negative registers, turning them into their positive
+    /// magnitude).
+    fn twos_complement_negate(&mut self) {
+        let mut carry: i64 = 1;
+        for d in self.digits.iter_mut() {
+            let t = (!*d & DIGIT_MASK) + carry;
+            *d = t & DIGIT_MASK;
+            carry = t >> 32;
+        }
+        // sign_ext was -1; !(-1) = 0 plus carry gives 0: the magnitude fits.
+        self.sign_ext = 0;
+    }
+
+    /// Read `count` bits (≤ 64) starting at absolute bit position `from`.
+    /// Requires a normalized register.
+    fn read_bits(&self, from: u32, count: u32) -> u64 {
+        debug_assert!(count <= 64 && count > 0);
+        let d = (from >> 5) as usize;
+        let r = from & 31;
+        let mut v: u128 = 0;
+        for i in 0..4usize {
+            if d + i < DIGITS {
+                v |= (self.digits[d + i] as u64 as u128) << (32 * i);
+            }
+        }
+        ((v >> r) as u64) & (u64::MAX >> (64 - count))
+    }
+
+    /// `true` if any bit strictly below position `limit` is set.
+    /// Requires a normalized register.
+    fn any_bit_below(&self, limit: u32) -> bool {
+        let d = (limit >> 5) as usize;
+        let r = limit & 31;
+        for i in 0..d {
+            if self.digits[i] != 0 {
+                return true;
+            }
+        }
+        if r == 0 {
+            false
+        } else {
+            (self.digits[d] & ((1i64 << r) - 1)) != 0
+        }
+    }
+}
+
+impl Extend<f64> for Superaccumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Superaccumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+impl std::ops::AddAssign<f64> for Superaccumulator {
+    fn add_assign(&mut self, x: f64) {
+        self.add(x);
+    }
+}
+
+impl std::fmt::Debug for Superaccumulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Superaccumulator({:e})", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(values: &[f64]) -> f64 {
+        Superaccumulator::from_values(values.iter().copied()).to_f64()
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_values_round_trip() {
+        for x in [
+            1.0,
+            -1.0,
+            0.1,
+            -3.7e300,
+            4.9e-324, // min subnormal
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+        ] {
+            assert_eq!(sum(&[x]), x, "round trip failed for {x:e}");
+        }
+    }
+
+    #[test]
+    fn paper_intro_example_is_exact() {
+        // a = 1e9, b = -1e9, c = 1e-9: both orders equal c exactly here.
+        assert_eq!(sum(&[1e9, -1e9, 1e-9]), 1e-9);
+        assert_eq!(sum(&[1e-9, 1e9, -1e9]), 1e-9);
+    }
+
+    #[test]
+    fn absorption_is_impossible() {
+        // 2^100 + 2^-100 - 2^100 = 2^-100 exactly.
+        let big = 2f64.powi(100);
+        let tiny = 2f64.powi(-100);
+        assert_eq!(sum(&[big, tiny, -big]), tiny);
+    }
+
+    #[test]
+    fn order_independence_brute_force() {
+        let vals = [1e16, -1.0, 0.1, -1e16, 2.5e-13, 7.0];
+        // All 720 permutations of 6 values produce the identical bits.
+        let reference = sum(&vals);
+        let mut idx = [0usize, 1, 2, 3, 4, 5];
+        permutohedron_heap(&mut idx, &mut |perm: &[usize]| {
+            let permuted: Vec<f64> = perm.iter().map(|&i| vals[i]).collect();
+            assert_eq!(sum(&permuted).to_bits(), reference.to_bits());
+        });
+    }
+
+    /// Minimal Heap's-algorithm permutation generator for tests.
+    fn permutohedron_heap(items: &mut [usize], visit: &mut impl FnMut(&[usize])) {
+        fn heap(k: usize, items: &mut [usize], visit: &mut impl FnMut(&[usize])) {
+            if k <= 1 {
+                visit(items);
+                return;
+            }
+            for i in 0..k {
+                heap(k - 1, items, visit);
+                if k % 2 == 0 {
+                    items.swap(i, k - 1);
+                } else {
+                    items.swap(0, k - 1);
+                }
+            }
+        }
+        heap(items.len(), items, visit);
+    }
+
+    #[test]
+    fn correct_rounding_ties_to_even() {
+        // 1 + 2^-53 is exactly halfway between 1 and 1+2^-52: rounds to 1 (even).
+        assert_eq!(sum(&[1.0, 2f64.powi(-53)]), 1.0);
+        // 1 + 2^-52 + 2^-53 is halfway between 1+2^-52 and 1+2^-51... the
+        // mantissa of 1+2^-52 is odd, so the tie rounds up.
+        assert_eq!(
+            sum(&[1.0, 2f64.powi(-52), 2f64.powi(-53)]),
+            1.0 + 2.0 * 2f64.powi(-52)
+        );
+        // A sticky bit below the halfway point forces rounding up.
+        assert_eq!(sum(&[1.0, 2f64.powi(-53), 2f64.powi(-80)]), 1.0 + 2f64.powi(-52));
+    }
+
+    #[test]
+    fn negative_totals_round_correctly() {
+        assert_eq!(sum(&[-1.0, -2f64.powi(-53)]), -1.0);
+        assert_eq!(sum(&[-1e300, 1e300, -5.5]), -5.5);
+        // two_sum guarantees fl(0.1 + 0.2) is the correctly rounded exact sum.
+        assert_eq!(sum(&[-0.1, -0.2]), -(0.1 + 0.2));
+    }
+
+    #[test]
+    fn subnormal_results_are_exact() {
+        let tiny = f64::from_bits(3); // 3 * 2^-1074
+        assert_eq!(sum(&[tiny, tiny]), f64::from_bits(6));
+        let a = f64::MIN_POSITIVE;
+        let b = -f64::MIN_POSITIVE / 2.0;
+        assert_eq!(sum(&[a, b]), f64::MIN_POSITIVE / 2.0);
+    }
+
+    #[test]
+    fn cancellation_to_exact_zero() {
+        let vals = [0.1, 0.2, 0.3, -0.3, -0.2, -0.1];
+        assert_eq!(sum(&vals), 0.0);
+        let mut acc = Superaccumulator::from_values(vals.iter().copied());
+        assert!(acc.is_zero());
+        assert_eq!(acc.signum(), 0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs = [1e10, -3.5, 2f64.powi(-40), -1e10];
+        let ys = [7.7, -2f64.powi(60), 2f64.powi(60), 0.25];
+        let mut a = Superaccumulator::from_values(xs.iter().copied());
+        let b = Superaccumulator::from_values(ys.iter().copied());
+        a.merge(&b);
+        let all = Superaccumulator::from_values(xs.iter().chain(ys.iter()).copied());
+        assert_eq!(a.to_f64().to_bits(), all.to_f64().to_bits());
+    }
+
+    #[test]
+    fn special_values_propagate() {
+        let mut acc = Superaccumulator::new();
+        acc.add(f64::INFINITY);
+        acc.add(1.0);
+        assert_eq!(acc.to_f64(), f64::INFINITY);
+        acc.add(f64::NEG_INFINITY);
+        assert!(acc.to_f64().is_nan());
+
+        let mut acc = Superaccumulator::new();
+        acc.add(f64::NAN);
+        assert!(acc.to_f64().is_nan());
+    }
+
+    #[test]
+    fn to_dd_exposes_sub_ulp_residual() {
+        let mut acc = Superaccumulator::new();
+        acc.add(1.0);
+        acc.add(2f64.powi(-80));
+        let dd = acc.to_dd();
+        assert_eq!(dd.hi, 1.0);
+        assert_eq!(dd.lo, 2f64.powi(-80));
+    }
+
+    #[test]
+    fn trait_sugar() {
+        let mut acc: Superaccumulator = [1e16, 1.0].into_iter().collect();
+        acc += -1e16;
+        acc.extend([2.5, -0.5]);
+        assert_eq!(acc.to_f64(), 3.0);
+    }
+
+    #[test]
+    fn signum_reports_sign() {
+        let mut acc = Superaccumulator::new();
+        acc.add(-2.5);
+        assert_eq!(acc.signum(), -1);
+        acc.add(5.0);
+        assert_eq!(acc.signum(), 1);
+    }
+
+    #[test]
+    fn merge_chains_stay_exact() {
+        // Fold 64 accumulators of hostile values pairwise; bitwise equal to
+        // the flat sum.
+        let values: Vec<f64> = (0..640)
+            .map(|i| ((i % 37) as f64 - 18.0) * 2f64.powi((i % 100) - 50))
+            .collect();
+        let mut accs: Vec<Superaccumulator> = values
+            .chunks(10)
+            .map(|c| Superaccumulator::from_values(c.iter().copied()))
+            .collect();
+        while accs.len() > 1 {
+            let b = accs.pop().unwrap();
+            let idx = accs.len() / 2;
+            accs[idx].merge(&b);
+        }
+        let whole = Superaccumulator::from_values(values.iter().copied());
+        assert_eq!(accs[0].to_f64().to_bits(), whole.to_f64().to_bits());
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let mut acc = Superaccumulator::from_values([1e300, -2.5e-300, 7.0]);
+        acc.normalize();
+        let once = acc.to_f64();
+        acc.normalize();
+        acc.normalize();
+        assert_eq!(acc.to_f64().to_bits(), once.to_bits());
+    }
+
+    #[test]
+    fn nan_poisons_merges_too() {
+        let mut a = Superaccumulator::from_values([1.0, 2.0]);
+        let mut b = Superaccumulator::new();
+        b.add(f64::NAN);
+        a.merge(&b);
+        assert!(a.to_f64().is_nan());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn extreme_magnitude_mix() {
+        // Sum f64::MAX four times and subtract it four times interleaved with
+        // junk: final value must be the junk, exactly.
+        let vals = [
+            f64::MAX,
+            f64::MAX,
+            1.5e-300,
+            f64::MAX,
+            -f64::MAX,
+            f64::MAX,
+            -f64::MAX,
+            -f64::MAX,
+            -f64::MAX,
+        ];
+        assert_eq!(sum(&vals), 1.5e-300);
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests for the hex-float text format: round-trip identity over
+//! the entire bit space of `f64`, including subnormals, both zeros, and
+//! specials.
+
+use proptest::prelude::*;
+use repro_fp::hexfloat::{format_hex, parse_hex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every representable f64 (drawn uniformly over the BIT space, hence
+    /// heavy on subnormals and weird exponents) round-trips bit-exactly.
+    #[test]
+    fn roundtrip_over_bit_space(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        let text = format_hex(x);
+        let back = parse_hex(&text).expect("own output parses");
+        if x.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), x.to_bits(), "{}", text);
+        }
+    }
+
+    /// Canonical text is unique per value: equal bits <-> equal text.
+    #[test]
+    fn canonical_text_is_injective(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        let same_bits = x.to_bits() == y.to_bits();
+        let same_text = format_hex(x) == format_hex(y);
+        prop_assert_eq!(same_bits, same_text);
+    }
+
+    /// Scaling by powers of two only shifts the printed exponent: the
+    /// mantissa text is scale-invariant (for normal results).
+    #[test]
+    fn mantissa_text_is_scale_invariant(x in 1.0f64..2.0, shift in -500i32..500) {
+        let scaled = x * repro_fp::ulp::pow2(shift);
+        prop_assume!(scaled.is_normal());
+        let a = format_hex(x);
+        let b = format_hex(scaled);
+        let mant = |s: &str| s.split('p').next().unwrap().to_string();
+        prop_assert_eq!(mant(&a), mant(&b));
+    }
+}

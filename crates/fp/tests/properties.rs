@@ -1,0 +1,152 @@
+//! Property-based tests for the floating-point substrate.
+//!
+//! These pin down the *exactness contracts* that the rest of the workspace
+//! leans on: error-free transforms are error-free, the superaccumulator is
+//! order-independent and correctly rounded, and double-double addition is
+//! faithful far beyond f64.
+
+use proptest::prelude::*;
+use repro_fp::eft::{two_prod, two_prod_dekker, two_sum};
+use repro_fp::ulp::{decompose, exponent, next_down, next_up, pow2, ulp};
+use repro_fp::{DoubleDouble, Superaccumulator};
+
+/// Finite, non-extreme f64s: magnitudes in ~[1e-150, 1e150] plus zero.
+/// Extreme exponents are covered by dedicated unit tests; keeping products
+/// away from overflow lets the two_prod identity hold unconditionally.
+fn moderate() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        9 => (-150.0f64..150.0).prop_map(|e| e.exp2()),
+        9 => (-150.0f64..150.0).prop_map(|e| -e.exp2()),
+        1 => Just(0.0),
+        3 => -1e6f64..1e6,
+    ]
+}
+
+fn moderate_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(moderate(), 0..max_len)
+}
+
+proptest! {
+    /// two_sum is an error-free transform: a + b == s + e exactly,
+    /// verified in the exact accumulator.
+    #[test]
+    fn two_sum_is_error_free(a in moderate(), b in moderate()) {
+        let (s, e) = two_sum(a, b);
+        let mut acc = Superaccumulator::new();
+        acc.add(a);
+        acc.add(b);
+        acc.sub(s);
+        acc.sub(e);
+        prop_assert!(acc.is_zero(), "a+b != s+e for a={a:e}, b={b:e}");
+    }
+
+    /// two_prod (FMA) and Dekker's splitting-based product agree bit-for-bit.
+    #[test]
+    fn two_prod_matches_dekker(a in moderate(), b in moderate()) {
+        let (p1, e1) = two_prod(a, b);
+        let (p2, e2) = two_prod_dekker(a, b);
+        prop_assert_eq!(p1.to_bits(), p2.to_bits());
+        prop_assert_eq!(e1.to_bits(), e2.to_bits());
+    }
+
+    /// The superaccumulator result is invariant under shuffling.
+    #[test]
+    fn superacc_is_order_independent(mut values in moderate_vec(64), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let reference = Superaccumulator::from_values(values.iter().copied()).to_f64();
+        let mut rng = StdRng::seed_from_u64(seed);
+        values.shuffle(&mut rng);
+        let shuffled = Superaccumulator::from_values(values.iter().copied()).to_f64();
+        prop_assert_eq!(reference.to_bits(), shuffled.to_bits());
+    }
+
+    /// Correct rounding: the residual after subtracting the rounded result is
+    /// at most half an ulp of that result (and the tie goes to even).
+    #[test]
+    fn superacc_rounds_to_nearest(values in moderate_vec(64)) {
+        let acc = Superaccumulator::from_values(values.iter().copied());
+        let r = acc.to_f64();
+        let dd = acc.to_dd();
+        prop_assert_eq!(dd.hi.to_bits(), r.to_bits());
+        if r.is_finite() && r != 0.0 {
+            prop_assert!(dd.lo.abs() <= 0.5 * ulp(r),
+                "residual {:e} exceeds half ulp of {:e}", dd.lo, r);
+        }
+    }
+
+    /// Splitting a vector anywhere and merging the two accumulators is
+    /// identical to accumulating the whole vector.
+    #[test]
+    fn superacc_merge_is_concatenation(values in moderate_vec(64), split in any::<prop::sample::Index>()) {
+        let cut = if values.is_empty() { 0 } else { split.index(values.len()) };
+        let (left, right) = values.split_at(cut);
+        let mut a = Superaccumulator::from_values(left.iter().copied());
+        let b = Superaccumulator::from_values(right.iter().copied());
+        a.merge(&b);
+        let whole = Superaccumulator::from_values(values.iter().copied());
+        prop_assert_eq!(a.to_f64().to_bits(), whole.to_f64().to_bits());
+    }
+
+    /// For integer-valued inputs the exact sum matches i128 integer math.
+    #[test]
+    fn superacc_matches_integer_arithmetic(ints in prop::collection::vec(-1_000_000_000i64..1_000_000_000, 0..64)) {
+        let values: Vec<f64> = ints.iter().map(|&i| i as f64).collect();
+        let exact: i128 = ints.iter().map(|&i| i as i128).sum();
+        let computed = Superaccumulator::from_values(values.iter().copied()).to_f64();
+        prop_assert_eq!(computed, exact as f64);
+    }
+
+    /// decompose() reconstructs the value exactly.
+    #[test]
+    fn decompose_round_trips(x in moderate()) {
+        prop_assume!(x != 0.0);
+        let (s, m, sh) = decompose(x);
+        let rebuilt = (s as f64) * (m as f64) * pow2(sh);
+        prop_assert_eq!(rebuilt.to_bits(), x.to_bits());
+    }
+
+    /// The binary exponent satisfies 2^e <= |x| < 2^(e+1).
+    #[test]
+    fn exponent_brackets_magnitude(x in moderate()) {
+        prop_assume!(x != 0.0);
+        let e = exponent(x).unwrap();
+        prop_assert!(pow2(e) <= x.abs());
+        if e < 1023 {
+            prop_assert!(x.abs() < pow2(e + 1));
+        }
+    }
+
+    /// next_up/next_down step exactly one representable value.
+    #[test]
+    fn neighbours_are_adjacent(x in moderate()) {
+        let up = next_up(x);
+        prop_assert!(up > x);
+        prop_assert_eq!(next_down(up).to_bits(), x.to_bits());
+        // Nothing representable lies strictly between.
+        let mid = x / 2.0 + up / 2.0;
+        prop_assert!(mid == x || mid == up || (x < 0.0) != (up < 0.0));
+    }
+
+    /// Double-double addition of many terms stays within 2^-100 of exact.
+    #[test]
+    fn dd_sum_is_faithful_beyond_f64(values in moderate_vec(64)) {
+        let mut dd = DoubleDouble::ZERO;
+        for &v in &values {
+            dd = dd.add_f64(v);
+        }
+        let mut exact = Superaccumulator::from_values(values.iter().copied());
+        exact.sub(dd.hi);
+        exact.sub(dd.lo);
+        let err = exact.to_f64().abs();
+        let scale = repro_fp::exact_abs_sum(&values).max(f64::MIN_POSITIVE);
+        prop_assert!(err <= scale * 2f64.powi(-96),
+            "dd sum error {err:e} too large for scale {scale:e}");
+    }
+
+    /// DoubleDouble normalization invariant: hi absorbs lo under rounding.
+    #[test]
+    fn dd_stays_normalized(a in moderate(), b in moderate(), c in moderate()) {
+        let s = DoubleDouble::exact_add_f64(a, b).add_f64(c);
+        prop_assert_eq!(s.hi, s.hi + s.lo);
+    }
+}

@@ -1,0 +1,100 @@
+//! Mixed-regime workloads: mostly benign data with embedded hostile
+//! clusters — the shape that makes *subtree*-adaptive selection pay
+//! (paper §V-D's closing recommendation), extracted from the ad-hoc
+//! constructions in the benches into a reusable, measured generator.
+
+use crate::targeted::{generate, CondTarget, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Specification of a clustered workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteredSpec {
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Values per block.
+    pub block_len: usize,
+    /// Every `hostile_every`-th block is hostile (zero-sum, wide range).
+    pub hostile_every: usize,
+    /// Dynamic range of the hostile blocks (decades).
+    pub hostile_dr: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ClusteredSpec {
+    fn default() -> Self {
+        Self {
+            blocks: 16,
+            block_len: 1024,
+            hostile_every: 4,
+            hostile_dr: 24,
+            seed: 0xC105,
+        }
+    }
+}
+
+/// Generate the clustered workload plus the block map (`true` = hostile).
+pub fn clustered(spec: &ClusteredSpec) -> (Vec<f64>, Vec<bool>) {
+    assert!(spec.blocks >= 1 && spec.block_len >= 2 && spec.hostile_every >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut values = Vec::with_capacity(spec.blocks * spec.block_len);
+    let mut map = Vec::with_capacity(spec.blocks);
+    for b in 0..spec.blocks {
+        let hostile = b % spec.hostile_every == spec.hostile_every - 1;
+        map.push(hostile);
+        if hostile {
+            values.extend(generate(&DatasetSpec::new(
+                spec.block_len,
+                CondTarget::Infinite,
+                spec.hostile_dr,
+                spec.seed.wrapping_add(b as u64),
+            )));
+        } else {
+            // Benign: positive, one decade, mild jitter.
+            values.extend(
+                (0..spec.block_len).map(|_| 1.0 + rng.random_range(0.0..9.0)),
+            );
+        }
+    }
+    (values, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn block_structure_is_as_specified() {
+        let spec = ClusteredSpec::default();
+        let (values, map) = clustered(&spec);
+        assert_eq!(values.len(), spec.blocks * spec.block_len);
+        assert_eq!(map.len(), spec.blocks);
+        assert_eq!(map.iter().filter(|&&h| h).count(), spec.blocks / spec.hostile_every);
+    }
+
+    #[test]
+    fn hostile_blocks_measure_hostile_and_benign_blocks_benign() {
+        let spec = ClusteredSpec::default();
+        let (values, map) = clustered(&spec);
+        for (b, &hostile) in map.iter().enumerate() {
+            let chunk = &values[b * spec.block_len..(b + 1) * spec.block_len];
+            let m = measure(chunk);
+            if hostile {
+                assert_eq!(m.sum, 0.0, "block {b}");
+                assert!(m.k.is_infinite());
+                assert_eq!(m.dr, spec.hostile_dr as i32);
+            } else {
+                assert_eq!(m.k, 1.0, "block {b}");
+                assert!(m.dr <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = ClusteredSpec::default();
+        assert_eq!(clustered(&spec).0, clustered(&spec).0);
+    }
+}

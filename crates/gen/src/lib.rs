@@ -1,0 +1,80 @@
+//! # `repro-gen` — workload generators for the reproducibility experiments
+//!
+//! The paper characterizes operand sets by *sum condition number*
+//! `k = Σ|xᵢ| / |Σxᵢ|` and *dynamic range* `dr` (decades between the largest
+//! and smallest magnitude). This crate generates sets **targeting** chosen
+//! `(n, k, dr)` coordinates — the cells of the paper's Figures 9–12 grids —
+//! and then *measures* what it actually achieved using the exact arithmetic
+//! of `repro-fp` (never trusting the construction).
+//!
+//! * [`targeted`] — sets with chosen `n`, `dr`, and condition target
+//!   (`k = 1`, finite `k`, or `k = ∞`).
+//! * [`zero_sum`] — exact-zero-sum sets (the paper's Figure 6/7 workload:
+//!   sum exactly zero, `dr = 32`).
+//! * [`mod@uniform`] — plain uniform samples (Figures 2 and 3).
+//! * [`samples`] — the paper's Table I literal sample sets.
+//! * [`nbody`] — an N-body-style force reduction, the ill-conditioned
+//!   application workload the paper's Section V-A motivates.
+//! * [`clustered`] — mixed-regime data: mostly-benign values with embedded
+//!   hostile clusters, the workload subtree-adaptive selection exists for.
+//! * [`series`] — analytic series with closed-form limits (telescoping
+//!   zero, Leibniz π, Basel), separating rounding from truncation error.
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod nbody;
+pub mod samples;
+pub mod series;
+pub mod targeted;
+pub mod uniform;
+pub mod zero_sum;
+
+pub use targeted::{generate, grid_cell, CondTarget, DatasetSpec};
+pub use uniform::uniform;
+pub use zero_sum::zero_sum_with_range;
+
+/// Exactly measured properties of a dataset (via `repro-fp`):
+/// what the paper calls the "intrinsic properties of the set of values".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measured {
+    /// Number of values.
+    pub n: usize,
+    /// Sum condition number `Σ|xᵢ| / |Σxᵢ|` (`inf` when the sum is 0).
+    pub k: f64,
+    /// Dynamic range in decimal decades.
+    pub dr: i32,
+    /// Exact sum, rounded once.
+    pub sum: f64,
+    /// Exact absolute sum, rounded once.
+    pub abs_sum: f64,
+}
+
+/// Measure a dataset exactly.
+pub fn measure(values: &[f64]) -> Measured {
+    Measured {
+        n: values.len(),
+        k: repro_fp::condition_number(values),
+        dr: repro_fp::dynamic_range(values).unwrap_or(0),
+        sum: repro_fp::exact_sum(values),
+        abs_sum: repro_fp::exact_abs_sum(values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_exact_quantities() {
+        let m = measure(&[1.0, 2.0, -3.0]);
+        assert_eq!(m.n, 3);
+        assert_eq!(m.sum, 0.0);
+        assert_eq!(m.abs_sum, 6.0);
+        assert_eq!(m.k, f64::INFINITY);
+        assert_eq!(m.dr, 0);
+    }
+}

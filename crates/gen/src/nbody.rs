@@ -1,0 +1,98 @@
+//! An N-body-style force reduction: the application workload the paper
+//! points to ("N-body simulations involve reductions of floating-point
+//! values that are ill-conditioned; both k and dr can frequently be very
+//! large").
+//!
+//! We place `n` unit-mass particles in a near-symmetric cloud around a test
+//! particle at the origin and collect the x-components of the pairwise
+//! gravitational forces on it. Near-symmetry makes the net force close to
+//! zero while individual terms stay large (high `k`); the `1/r²` law spreads
+//! magnitudes over many decades (high `dr`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A particle cloud workload: per-particle force x-components on a test
+/// particle at the origin.
+#[derive(Clone, Debug)]
+pub struct NbodyWorkload {
+    /// One force component per cloud particle.
+    pub force_terms: Vec<f64>,
+    /// Asymmetry knob the workload was generated with (0 = perfectly
+    /// mirrored cloud: exact-zero net force).
+    pub asymmetry: f64,
+}
+
+/// Generate the force-component reduction for a cloud of `n` particles.
+///
+/// `asymmetry` in `[0, 1]` perturbs the mirrored cloud: `0` yields an exact
+/// zero-sum reduction (`k = ∞`); larger values reduce the cancellation and
+/// bring `k` down toward ~1/asymmetry.
+pub fn force_reduction(n: usize, asymmetry: f64, seed: u64) -> NbodyWorkload {
+    assert!((0.0..=1.0).contains(&asymmetry));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = n / 2;
+    let mut force_terms = Vec::with_capacity(pairs * 2);
+    for _ in 0..pairs {
+        // A particle at distance r in [1e-3, 1e3) (6 decades of distance,
+        // 12 decades of force) and direction cosine u.
+        let r: f64 = 10f64.powf(rng.random_range(-3.0..3.0));
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let f = u / (r * r); // G = m1 = m2 = 1
+        force_terms.push(f);
+        // Mirror particle, optionally perturbed off the exact opposite.
+        if asymmetry == 0.0 {
+            force_terms.push(-f);
+        } else {
+            let jitter: f64 = rng.random_range(-asymmetry..asymmetry);
+            force_terms.push(-f * (1.0 + jitter));
+        }
+    }
+    if n % 2 == 1 {
+        force_terms.push(0.0);
+    }
+    // A real traversal does not visit a particle next to its mirror image;
+    // shuffle so adjacent-pair cancellation cannot mask the conditioning.
+    use rand::seq::SliceRandom;
+    force_terms.shuffle(&mut rng);
+    NbodyWorkload { force_terms, asymmetry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn symmetric_cloud_has_exact_zero_net_force() {
+        let w = force_reduction(10_000, 0.0, 3);
+        let m = measure(&w.force_terms);
+        assert_eq!(m.sum, 0.0);
+        assert_eq!(m.k, f64::INFINITY);
+    }
+
+    #[test]
+    fn workload_is_ill_conditioned_and_wide() {
+        let w = force_reduction(10_000, 0.01, 3);
+        let m = measure(&w.force_terms);
+        assert!(m.k > 100.0, "k = {:e} should be large", m.k);
+        assert!(m.dr >= 8, "dr = {} should span many decades", m.dr);
+    }
+
+    #[test]
+    fn asymmetry_lowers_condition_number() {
+        let tight = measure(&force_reduction(5000, 0.001, 9).force_terms);
+        let loose = measure(&force_reduction(5000, 0.5, 9).force_terms);
+        assert!(tight.k > loose.k, "{:e} !> {:e}", tight.k, loose.k);
+    }
+
+    #[test]
+    fn count_and_determinism() {
+        let w = force_reduction(101, 0.1, 5);
+        assert_eq!(w.force_terms.len(), 101);
+        assert_eq!(
+            force_reduction(100, 0.1, 5).force_terms,
+            force_reduction(100, 0.1, 5).force_terms
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's Table I: literal sample sets with specified dynamic range and
+//! condition number, used as ground truth for the measurement machinery and
+//! printed (with measured values) by the `table1_sample_sets` bench.
+
+/// One Table I row: the values plus the paper's claimed `(dr, k)`.
+#[derive(Clone, Debug)]
+pub struct SampleSet {
+    /// The literal values from the paper.
+    pub values: &'static [f64],
+    /// Claimed dynamic range (decimal decades).
+    pub dr: i32,
+    /// Claimed condition number (`f64::INFINITY` for the `k = ∞` rows).
+    pub k: f64,
+}
+
+/// All eleven rows of the paper's Table I, in order.
+pub fn table1() -> Vec<SampleSet> {
+    vec![
+        SampleSet { values: &[1.23e32, 1.35e32, 2.37e32, 3.54e32], dr: 0, k: 1.0 },
+        SampleSet { values: &[1.23e-32, 1.35e-32, 2.37e-32, 3.54e-32], dr: 0, k: 1.0 },
+        SampleSet { values: &[-1.23e16, -1.35e16, -2.37e16, -3.54e16], dr: 0, k: 1.0 },
+        SampleSet { values: &[2.37e16, 3.41e8, 4.32e8, 8.14e16], dr: 8, k: 1.0 },
+        SampleSet { values: &[3.14e32, 1.59e16, 2.65e18, 3.58e24], dr: 16, k: 1.0 },
+        SampleSet { values: &[2.505e2, 2.5e2, -2.495e2, -2.5e2], dr: 0, k: 1000.0 },
+        SampleSet { values: &[5.00e2, 4.99999e-1, 1.0e-6, -4.995e2], dr: 8, k: 1000.0 },
+        SampleSet { values: &[5.00e2, 4.9999e-1, 1.0e-14, -4.995e2], dr: 16, k: 1000.0 },
+        SampleSet { values: &[3.14e8, 1.59e8, -3.14e8, -1.59e8], dr: 0, k: f64::INFINITY },
+        SampleSet { values: &[3.14e4, 1.59e-4, -3.14e4, -1.59e-4], dr: 8, k: f64::INFINITY },
+        SampleSet { values: &[3.14e8, 1.59e-8, -3.14e8, -1.59e-8], dr: 16, k: f64::INFINITY },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn eleven_rows() {
+        assert_eq!(table1().len(), 11);
+    }
+
+    #[test]
+    fn measured_dr_matches_every_claim() {
+        for (i, row) in table1().iter().enumerate() {
+            let m = measure(row.values);
+            assert_eq!(m.dr, row.dr, "row {i}: claimed dr {}", row.dr);
+        }
+    }
+
+    #[test]
+    fn measured_k_matches_every_claim() {
+        for (i, row) in table1().iter().enumerate() {
+            let m = measure(row.values);
+            if row.k.is_infinite() {
+                assert!(m.k.is_infinite(), "row {i}: claimed k = inf, got {:e}", m.k);
+            } else if row.k == 1.0 {
+                assert_eq!(m.k, 1.0, "row {i}");
+            } else {
+                // The k = 1000 rows are approximate in the paper (e.g.
+                // Σ|x| = 999.5, Σx = 1.0 gives k = 999.5).
+                let ratio = m.k / row.k;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "row {i}: claimed k {} got {:e}",
+                    row.k,
+                    m.k
+                );
+            }
+        }
+    }
+}

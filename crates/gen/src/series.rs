@@ -1,0 +1,157 @@
+//! Analytic series with **mathematically known limits** — workloads where
+//! the ground truth is not merely the fp-exact sum of the stored operands
+//! but a closed-form real number, so accuracy can be judged against
+//! mathematics rather than against another float computation.
+//!
+//! The paper's Figure 4 times "a series known to sum to zero under exact
+//! arithmetic"; these generators provide that series ([`telescoping_zero`])
+//! plus two classics whose truncation error is analytically bounded, useful
+//! for separating *rounding* error (what the reduction operator controls)
+//! from *truncation* error (what it cannot).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A telescoping series that sums to **exactly zero** in real arithmetic:
+/// the multiset `{+a₁, −a₁, +a₂, −a₂, …}` with `aᵢ` spread over a wide
+/// magnitude range, shuffled so cancellation cannot happen between adjacent
+/// operands. Length is `n` rounded down to even.
+///
+/// Every reduction tree's exact sum is 0, so the *entire* computed result
+/// is rounding error — the series the paper's timing figure uses.
+pub fn telescoping_zero(n: usize, seed: u64) -> Vec<f64> {
+    let pairs = n / 2;
+    let mut out = Vec::with_capacity(pairs * 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    use rand::RngExt;
+    for i in 0..pairs {
+        // Magnitudes sweep ~16 decades deterministically plus jitter.
+        let decade = (i % 17) as i32 - 8;
+        let mantissa: f64 = rng.random_range(1.0..10.0);
+        let a = mantissa * 10f64.powi(decade);
+        out.push(a);
+        out.push(-a);
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// First `n` terms of the Leibniz series `4·Σ (−1)ⁱ/(2i+1) → π`.
+///
+/// The truncation error after `n` terms is between `4/(4n+4)` and `4/(4n)`
+/// (alternating series bound), so a test can verify that a high-accuracy
+/// reduction lands inside the analytic bracket around π while a naive one
+/// may not at large `n`.
+pub fn leibniz_pi(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let term = 4.0 / (2 * i + 1) as f64;
+            if i % 2 == 0 {
+                term
+            } else {
+                -term
+            }
+        })
+        .collect()
+}
+
+/// Truncation-error bracket for [`leibniz_pi`]: the exact partial sum lies
+/// within `(lo, hi)` around π. Returns `(π − bound, π + bound)` with the
+/// alternating-series remainder bound `4/(2n+1)`.
+pub fn leibniz_pi_bracket(n: usize) -> (f64, f64) {
+    let bound = 4.0 / (2 * n + 1) as f64;
+    (std::f64::consts::PI - bound, std::f64::consts::PI + bound)
+}
+
+/// First `n` terms of the Basel series `Σ 1/i² → π²/6`, in **descending**
+/// order (the natural loop order — also the worst order for recursive
+/// summation, since the tiny tail terms are absorbed by the large head).
+///
+/// Pairs with [`basel_limit`] to measure rounding error against a
+/// closed-form target; the remainder after `n` terms is `< 1/n`.
+pub fn basel(n: usize) -> Vec<f64> {
+    (1..=n).map(|i| 1.0 / (i as f64 * i as f64)).collect()
+}
+
+/// The Basel limit `π²/6`.
+pub fn basel_limit() -> f64 {
+    std::f64::consts::PI * std::f64::consts::PI / 6.0
+}
+
+/// A harmonic-difference telescope: terms `1/i − 1/(i+1)` for `i = 1..=n`,
+/// whose exact real sum is `1 − 1/(n+1)` — a closed form with *nonzero*
+/// cancellation sensitivity (each term is itself a difference computed in
+/// floating point, so the stored operands' fp-exact sum differs from the
+/// real limit by the per-term rounding).
+pub fn harmonic_telescope(n: usize) -> Vec<f64> {
+    (1..=n)
+        .map(|i| 1.0 / i as f64 - 1.0 / (i + 1) as f64)
+        .collect()
+}
+
+/// The real-arithmetic limit of [`harmonic_telescope`]: `1 − 1/(n+1)`.
+pub fn harmonic_telescope_limit(n: usize) -> f64 {
+    1.0 - 1.0 / (n + 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telescoping_zero_has_exact_zero_sum() {
+        for seed in 0..4 {
+            let v = telescoping_zero(10_000, seed);
+            assert_eq!(v.len(), 10_000);
+            // The fp-EXACT sum (superaccumulator semantics) is zero because
+            // every +a has a matching −a; verify via pair bookkeeping.
+            let mut sorted: Vec<u64> = v.iter().map(|x| x.abs().to_bits()).collect();
+            sorted.sort_unstable();
+            for pair in sorted.chunks(2) {
+                assert_eq!(pair[0], pair[1], "unmatched magnitude");
+            }
+            let pos = v.iter().filter(|x| **x > 0.0).count();
+            assert_eq!(pos, 5_000);
+        }
+    }
+
+    #[test]
+    fn telescoping_zero_is_seeded_and_shuffled() {
+        let a = telescoping_zero(1_000, 1);
+        let b = telescoping_zero(1_000, 1);
+        let c = telescoping_zero(1_000, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Shuffling broke the adjacent +/- pairing somewhere.
+        assert!(a.windows(2).any(|w| w[0] + w[1] != 0.0));
+    }
+
+    #[test]
+    fn leibniz_partial_sums_stay_in_bracket() {
+        for n in [10usize, 1_000, 100_000] {
+            let terms = leibniz_pi(n);
+            let sum: f64 = terms.iter().sum();
+            let (lo, hi) = leibniz_pi_bracket(n);
+            assert!(sum > lo && sum < hi, "n={n}: {sum} not in ({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn basel_converges_to_limit_from_below() {
+        let sum: f64 = basel(1_000_000).iter().sum();
+        let limit = basel_limit();
+        assert!(sum < limit);
+        assert!(limit - sum < 1.0 / 1_000_000.0 + 1e-9);
+    }
+
+    #[test]
+    fn harmonic_telescope_limit_is_respected() {
+        let n = 10_000;
+        let terms = harmonic_telescope(n);
+        let sum: f64 = terms.iter().sum();
+        let limit = harmonic_telescope_limit(n);
+        // Per-term rounding is ~u each; n terms bound the drift.
+        assert!((sum - limit).abs() < n as f64 * f64::EPSILON);
+    }
+}

@@ -1,0 +1,311 @@
+//! Sets with targeted `(n, k, dr)` — the cell generator of Figures 9–12.
+//!
+//! # Construction
+//!
+//! *Dynamic range.* Each magnitude is `m · 10^e` with mantissa
+//! `m ∈ [1, 10)` and decimal exponent `e` uniform over the window
+//! `[E₀, E₀ + dr]`; the first two draws are pinned to the window's ends so
+//! the realized `dr` equals the target exactly.
+//!
+//! *Condition number.*
+//! * `k = 1` — all values positive (`Σ|x| = Σx`).
+//! * `k = ∞` — half the values are exact negations of the other half: the
+//!   exact sum is zero by construction.
+//! * finite `k` — start from the `k = ∞` pairing, then nudge the largest
+//!   positive element by `s ≈ Σ|x| / k`: the realized exact sum becomes
+//!   `fl(v + s) − v`, a directly representable residual, so the realized
+//!   condition number tracks the target to high accuracy whenever
+//!   `s ≳ ulp(v)`. (This mirrors the structure of the paper's own Table I
+//!   rows, e.g. `{2.505e+2, 2.5e+2, −2.495e+2, −2.5e+2}` for `k = 1000`
+//!   at `dr = 0`.)
+//!
+//! The generator never trusts this construction: [`crate::measure`] computes
+//! the realized `k` and `dr` exactly, and the grid experiments label their
+//! cells with targets while recording realized values in their CSV output.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Condition-number target for a generated set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CondTarget {
+    /// `k = 1`: all values share one sign.
+    One,
+    /// Finite `k > 1`.
+    Finite(f64),
+    /// `k = ∞`: exact zero sum.
+    Infinite,
+}
+
+/// Full specification of a generated dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Number of values.
+    pub n: usize,
+    /// Condition-number target.
+    pub condition: CondTarget,
+    /// Dynamic range target, in decimal decades.
+    pub dr: u32,
+    /// Decimal exponent of the window's *bottom* decade (the window is
+    /// `[scale, scale + dr]`). 0 keeps magnitudes around 1..10^dr.
+    pub scale: i32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Convenience constructor with `scale = -(dr/2)` (window centred on
+    /// magnitude ~1, like the paper's examples).
+    pub fn new(n: usize, condition: CondTarget, dr: u32, seed: u64) -> Self {
+        Self {
+            n,
+            condition,
+            dr,
+            scale: -((dr / 2) as i32),
+            seed,
+        }
+    }
+}
+
+/// Generate a dataset per `spec`, shuffled.
+pub fn generate(spec: &DatasetSpec) -> Vec<f64> {
+    assert!(spec.n >= 2, "need at least two values");
+    assert!(
+        spec.scale >= -280 && spec.scale + spec.dr as i32 <= 280,
+        "window outside safe f64 decade range"
+    );
+    if let CondTarget::Finite(k) = spec.condition {
+        assert!(k > 1.0 && k.is_finite(), "finite condition target must be > 1");
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut values = match spec.condition {
+        CondTarget::One => positive_window(spec.n, spec.dr, spec.scale, &mut rng),
+        CondTarget::Infinite => {
+            let mut v = cancelling_pairs(spec.n, spec.dr, spec.scale, &mut rng);
+            if spec.n % 2 == 1 {
+                v.push(0.0); // odd n: a zero keeps the exact-zero sum and dr
+            }
+            v
+        }
+        CondTarget::Finite(k) => {
+            let mut v = cancelling_pairs(spec.n, spec.dr, spec.scale, &mut rng);
+            if spec.n % 2 == 1 {
+                v.push(0.0);
+            }
+            nudge_to_condition(&mut v, k);
+            v
+        }
+    };
+    values.shuffle(&mut rng);
+    values
+}
+
+/// `n` positive values with exponents spanning exactly `dr` decades.
+fn positive_window(n: usize, dr: u32, scale: i32, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Pin the first two values to the window's ends so the realized dr
+        // matches the target exactly; the rest are uniform over the window.
+        let e = match i {
+            0 => scale,
+            1 if dr > 0 => scale + dr as i32,
+            _ => rng.random_range(scale..=scale + dr as i32),
+        };
+        let m: f64 = rng.random_range(1.0..10.0);
+        out.push(m * pow10(e));
+    }
+    out
+}
+
+/// `2·(n/2)` values: positives over the window plus their exact negations.
+fn cancelling_pairs(n: usize, dr: u32, scale: i32, rng: &mut StdRng) -> Vec<f64> {
+    let half = n / 2;
+    let pos = positive_window(half.max(1), dr, scale, rng);
+    let mut out = Vec::with_capacity(half * 2);
+    for &v in &pos {
+        out.push(v);
+        out.push(-v);
+    }
+    out
+}
+
+/// Adjust the largest positive element so the exact sum becomes
+/// `≈ Σ|x| / k`, realizing condition number `≈ k`.
+fn nudge_to_condition(values: &mut [f64], k: f64) {
+    let abs_sum = repro_fp::exact_abs_sum(values);
+    let target_sum = abs_sum / k;
+    // The largest positive element absorbs the nudge; it stays within its
+    // decade as long as target_sum < 9 * v (true for k > ~2 since
+    // v >= abs_sum / n).
+    let (idx, _) = values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v > 0.0)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("cancelling_pairs always produces positives");
+    values[idx] += target_sum;
+}
+
+/// `10^e` (inexact but monotone; realized properties are measured exactly).
+fn pow10(e: i32) -> f64 {
+    10f64.powi(e)
+}
+
+/// Generate one **grid cell** of the paper's Figures 9–12: a set with the
+/// target `(n, k, dr)` rescaled onto a common footing so that cells are
+/// comparable under a single absolute variability threshold.
+///
+/// * finite `k` (and `k = 1`): the set is rescaled so its exact sum is ≈ 1,
+///   which makes `Σ|x| ≈ k`. The absolute roundoff variability of standard
+///   summation then grows with `k` — the gradient the paper's grids shade.
+/// * `k = ∞` (exact zero sum): the sum cannot be normalized; the set is
+///   rescaled so `Σ|x| = inf_abs_sum` (the "beyond every finite row"
+///   scale — pass the largest finite `k` the grid probes, or its default
+///   `1e16`).
+///
+/// Uniform rescaling by a positive factor preserves the exact-cancellation
+/// pair structure (`fl(f·v) == -fl(-f·v)`), so `k = ∞` cells keep their
+/// exactly-zero sum, and the realized `k` of finite cells is preserved to
+/// rounding.
+pub fn grid_cell(n: usize, k: f64, dr: u32, seed: u64, inf_abs_sum: f64) -> Vec<f64> {
+    let condition = if k.is_infinite() {
+        CondTarget::Infinite
+    } else if k <= 1.0 {
+        CondTarget::One
+    } else {
+        CondTarget::Finite(k)
+    };
+    let mut values = generate(&DatasetSpec::new(n, condition, dr, seed));
+    let realized_sum = repro_fp::exact_sum(&values);
+    // A finite-k target beyond the set's granularity (k >~ Σ|x|/ulp) leaves
+    // the nudge absorbed and the realized sum exactly zero; treat such cells
+    // like the k = ∞ column.
+    let factor = if k.is_infinite() || realized_sum == 0.0 {
+        inf_abs_sum / repro_fp::exact_abs_sum(&values)
+    } else {
+        1.0 / realized_sum
+    };
+    assert!(factor.is_finite() && factor > 0.0);
+    for v in &mut values {
+        *v *= factor;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn k1_sets_are_all_positive_with_exact_dr() {
+        for dr in [0u32, 8, 16, 32] {
+            let spec = DatasetSpec::new(500, CondTarget::One, dr, 11);
+            let v = generate(&spec);
+            assert!(v.iter().all(|&x| x > 0.0));
+            let m = measure(&v);
+            assert_eq!(m.k, 1.0, "all-positive sets have k = 1 exactly");
+            assert_eq!(m.dr, dr as i32, "target dr {dr}");
+        }
+    }
+
+    #[test]
+    fn infinite_k_sets_sum_to_exactly_zero() {
+        for n in [10usize, 101, 1000] {
+            let spec = DatasetSpec::new(n, CondTarget::Infinite, 16, 5);
+            let v = generate(&spec);
+            assert_eq!(v.len(), n);
+            let m = measure(&v);
+            assert_eq!(m.sum, 0.0);
+            assert_eq!(m.k, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn finite_k_targets_are_realized() {
+        for k in [10.0, 1e3, 1e6, 1e9] {
+            let spec = DatasetSpec::new(1000, CondTarget::Finite(k), 8, 23);
+            let v = generate(&spec);
+            let m = measure(&v);
+            let ratio = m.k / k;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "target k={k:e}, realized {:e} (ratio {ratio})",
+                m.k
+            );
+        }
+    }
+
+    #[test]
+    fn finite_k_preserves_dynamic_range() {
+        let spec = DatasetSpec::new(400, CondTarget::Finite(1e4), 16, 9);
+        let m = measure(&generate(&spec));
+        assert_eq!(m.dr, 16);
+    }
+
+    #[test]
+    fn extreme_k_clamps_gracefully() {
+        // k beyond what the granularity supports: realized k is still huge.
+        let spec = DatasetSpec::new(100, CondTarget::Finite(1e15), 4, 2);
+        let m = measure(&generate(&spec));
+        assert!(m.k > 1e10, "realized k {:e}", m.k);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let spec = DatasetSpec::new(64, CondTarget::Finite(100.0), 8, 77);
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = DatasetSpec { seed: 78, ..spec };
+        assert_ne!(generate(&spec), generate(&other));
+    }
+
+    #[test]
+    fn scale_shifts_magnitudes() {
+        let lo = DatasetSpec { scale: -100, ..DatasetSpec::new(50, CondTarget::One, 4, 1) };
+        let hi = DatasetSpec { scale: 100, ..DatasetSpec::new(50, CondTarget::One, 4, 1) };
+        let m_lo = measure(&generate(&lo));
+        let m_hi = measure(&generate(&hi));
+        assert!(m_lo.abs_sum < 1e-90);
+        assert!(m_hi.abs_sum > 1e90);
+        assert_eq!(m_lo.dr, 4);
+        assert_eq!(m_hi.dr, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_n() {
+        generate(&DatasetSpec::new(1, CondTarget::One, 0, 0));
+    }
+
+    #[test]
+    fn grid_cells_share_a_common_scale() {
+        // Finite-k cells: sum ≈ 1, so Σ|x| ≈ k.
+        for k in [1.0, 1e3, 1e8] {
+            let v = grid_cell(1000, k, 8, 5, 1e16);
+            let m = measure(&v);
+            assert!((m.sum - 1.0).abs() < 1e-9, "k={k}: sum {:e}", m.sum);
+            let ratio = m.abs_sum / k;
+            assert!((0.4..2.5).contains(&ratio), "k={k}: Σ|x| = {:e}", m.abs_sum);
+        }
+        // Infinite-k cells: exact zero sum at the configured abs scale.
+        let v = grid_cell(1000, f64::INFINITY, 8, 5, 1e16);
+        let m = measure(&v);
+        assert_eq!(m.sum, 0.0, "scaling must preserve exact cancellation");
+        let ratio = m.abs_sum / 1e16;
+        assert!((0.9..1.1).contains(&ratio), "Σ|x| = {:e}", m.abs_sum);
+    }
+
+    #[test]
+    fn grid_cells_preserve_dr() {
+        for dr in [0u32, 16, 32] {
+            let v = grid_cell(500, 1e6, dr, 2, 1e16);
+            let m = measure(&v);
+            assert!(
+                (m.dr - dr as i32).abs() <= 1,
+                "dr target {dr}, realized {} (rescaling may shift one decade)",
+                m.dr
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Plain uniform samples — the workloads of the paper's Figures 2 and 3.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `n` values uniformly distributed in `[lo, hi)`, deterministically from
+/// `seed`.
+///
+/// Figure 2 uses `uniform(10_000, -1000.0, 1000.0, seed)`;
+/// Figure 3 uses `uniform(1_000, -1.0, 1.0, seed)`.
+pub fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    assert!(lo < hi, "empty range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform(100, -1.0, 1.0, 7), uniform(100, -1.0, 1.0, 7));
+        assert_ne!(uniform(100, -1.0, 1.0, 7), uniform(100, -1.0, 1.0, 8));
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let v = uniform(10_000, -1000.0, 1000.0, 1);
+        assert!(v.iter().all(|&x| (-1000.0..1000.0).contains(&x)));
+        assert_eq!(v.len(), 10_000);
+    }
+
+    #[test]
+    fn covers_both_signs_for_symmetric_ranges() {
+        let v = uniform(1000, -1.0, 1.0, 3);
+        assert!(v.iter().any(|&x| x > 0.0));
+        assert!(v.iter().any(|&x| x < 0.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Exact-zero-sum sets — the paper's Figure 6/7 workload ("two sets of
+//! summands constructed to have the exact sum of zero and dynamic range
+//! of 32") and the Figure 4 timing series ("a series that is known to sum
+//! to zero under exact arithmetic").
+
+use crate::targeted::{generate, CondTarget, DatasetSpec};
+
+/// `n` values whose exact sum is zero, spanning `dr` decades, shuffled.
+///
+/// ```
+/// let values = repro_gen::zero_sum_with_range(1000, 16, 42);
+/// let m = repro_gen::measure(&values);
+/// assert_eq!(m.sum, 0.0);                 // exactly
+/// assert_eq!(m.k, f64::INFINITY);         // maximally ill-conditioned
+/// assert_eq!(m.dr, 16);                   // 16 decades of magnitudes
+/// ```
+///
+/// These sets are maximally ill-conditioned (`k = ∞`) and, at `dr = 32`,
+/// "more prone to both alignment error and catastrophic cancellation" than
+/// the well-conditioned sets of earlier work — exactly the stress case the
+/// paper uses to separate ST/K from CP/PR.
+pub fn zero_sum_with_range(n: usize, dr: u32, seed: u64) -> Vec<f64> {
+    generate(&DatasetSpec::new(n, CondTarget::Infinite, dr, seed))
+}
+
+/// The paper's Figure 6/7 configuration: zero sum, `dr = 32`.
+pub fn figure7_workload(n: usize, seed: u64) -> Vec<f64> {
+    zero_sum_with_range(n, 32, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+
+    #[test]
+    fn sums_to_exactly_zero() {
+        for n in [8usize, 8192, 100_000] {
+            let v = zero_sum_with_range(n, 32, 42);
+            let m = measure(&v);
+            assert_eq!(m.sum, 0.0, "n={n}");
+            assert_eq!(m.k, f64::INFINITY);
+            assert_eq!(m.dr, 32);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn naive_summation_actually_struggles_here() {
+        // Sanity: the workload must genuinely exercise error accumulation.
+        let v = figure7_workload(8192, 7);
+        let plain: f64 = v.iter().sum();
+        assert_ne!(plain, 0.0, "standard summation should not be exact on this set");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(zero_sum_with_range(100, 16, 1), zero_sum_with_range(100, 16, 1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the workload generators: the measured (exact)
+//! properties of generated sets must track their specifications.
+
+use proptest::prelude::*;
+use repro_gen::{generate, grid_cell, measure, CondTarget, DatasetSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// k = 1 sets: all positive, exact k = 1, exact dr.
+    #[test]
+    fn k1_spec_is_realized(
+        n in 2usize..400,
+        dr in 0u32..33,
+        seed in any::<u64>(),
+    ) {
+        let v = generate(&DatasetSpec::new(n, CondTarget::One, dr, seed));
+        prop_assert_eq!(v.len(), n);
+        prop_assert!(v.iter().all(|&x| x > 0.0));
+        let m = measure(&v);
+        prop_assert_eq!(m.k, 1.0);
+        prop_assert_eq!(m.dr, dr as i32);
+    }
+
+    /// k = ∞ sets: exactly zero sum regardless of n parity, dr as specified.
+    #[test]
+    fn infinite_spec_is_realized(
+        n in 2usize..400,
+        dr in 0u32..33,
+        seed in any::<u64>(),
+    ) {
+        let v = generate(&DatasetSpec::new(n, CondTarget::Infinite, dr, seed));
+        prop_assert_eq!(v.len(), n);
+        let m = measure(&v);
+        prop_assert_eq!(m.sum, 0.0);
+        prop_assert!(m.k.is_infinite());
+    }
+
+    /// Finite k targets are realized within a factor of 2 when granularity
+    /// allows (k · u · n ≪ 1 regime).
+    #[test]
+    fn finite_spec_is_realized(
+        n in 64usize..500,
+        dr in 0u32..17,
+        k_exp in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let k = 10f64.powi(k_exp as i32);
+        let v = generate(&DatasetSpec::new(n, CondTarget::Finite(k), dr, seed));
+        let m = measure(&v);
+        let ratio = m.k / k;
+        prop_assert!((0.4..2.5).contains(&ratio),
+            "target k {:e}, got {:e}", k, m.k);
+    }
+
+    /// Unit-sum grid cells: sum ≈ 1, Σ|x| ≈ k, zero-sum cells exact.
+    #[test]
+    fn grid_cells_are_normalized(
+        n in 64usize..400,
+        dr in 0u32..25,
+        k_exp in 0u32..9,
+        seed in any::<u64>(),
+    ) {
+        let k = 10f64.powi(k_exp as i32);
+        let v = grid_cell(n, k, dr, seed, 1e16);
+        let m = measure(&v);
+        if k == 1.0 {
+            prop_assert_eq!(m.k, 1.0);
+        }
+        prop_assert!((m.sum - 1.0).abs() < 1e-6, "sum {:e}", m.sum);
+        let zero = grid_cell(n, f64::INFINITY, dr, seed, 1e16);
+        prop_assert_eq!(measure(&zero).sum, 0.0);
+    }
+
+    /// Generators are pure functions of their spec.
+    #[test]
+    fn determinism(n in 2usize..200, dr in 0u32..20, seed in any::<u64>()) {
+        let spec = DatasetSpec::new(n, CondTarget::Infinite, dr, seed);
+        prop_assert_eq!(generate(&spec), generate(&spec));
+    }
+
+    /// The uniform generator respects its bounds and length.
+    #[test]
+    fn uniform_bounds(n in 0usize..300, seed in any::<u64>()) {
+        let v = repro_gen::uniform(n, -2.5, 7.0, seed);
+        prop_assert_eq!(v.len(), n);
+        prop_assert!(v.iter().all(|&x| (-2.5..7.0).contains(&x)));
+    }
+
+    /// N-body symmetric clouds always cancel exactly; asymmetric ones
+    /// (almost) never do.
+    #[test]
+    fn nbody_symmetry(n in 4usize..500, seed in any::<u64>()) {
+        let sym = repro_gen::nbody::force_reduction(n, 0.0, seed);
+        prop_assert_eq!(measure(&sym.force_terms).sum, 0.0);
+        let asym = repro_gen::nbody::force_reduction(n, 0.3, seed);
+        prop_assert_eq!(asym.force_terms.len(), n);
+    }
+}

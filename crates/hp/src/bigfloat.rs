@@ -1,0 +1,1115 @@
+//! An arbitrary-precision binary floating-point number.
+//!
+//! # Representation
+//!
+//! ```text
+//! value = sign · (M / 2^(64·L)) · 2^exp
+//! ```
+//!
+//! where `M` is a big-endian array of `L = prec/64` 64-bit limbs interpreted
+//! as an integer with its **top bit set** (so the mantissa, as a fraction,
+//! lies in `[1/2, 1)` and the magnitude lies in `[2^(exp−1), 2^exp)`).
+//! `sign` is `-1`, `0`, or `+1`; zero has no limbs' semantics (`exp`
+//! irrelevant).
+//!
+//! All arithmetic rounds to the result precision with round-to-nearest,
+//! ties-to-even, implemented with a 64-bit guard extension plus a sticky
+//! flag — the same discipline hardware FPUs use, just wider.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision binary float with correctly rounded arithmetic.
+///
+/// Precision is fixed per value (a multiple of 64 bits); binary operations
+/// produce results at the wider of the two operand precisions.
+///
+/// ```
+/// use repro_hp::BigFloat;
+///
+/// let third = BigFloat::from_f64(1.0).with_precision(256).div(&BigFloat::from_f64(3.0));
+/// assert!(third.to_decimal_string(12).starts_with("3.33333333333"));
+/// assert_eq!(third.to_f64(), 1.0 / 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BigFloat {
+    sign: i8,
+    /// Binary exponent: magnitude ∈ [2^(exp−1), 2^exp) when sign ≠ 0.
+    exp: i64,
+    /// Big-endian mantissa limbs; empty iff sign == 0.
+    limbs: Vec<u64>,
+    /// Precision in bits (multiple of 64).
+    prec: u32,
+}
+
+impl BigFloat {
+    /// The zero value at the given precision (bits; rounded up to a limb
+    /// multiple, minimum 64).
+    pub fn zero(prec: u32) -> Self {
+        let prec = prec.max(64).div_ceil(64) * 64;
+        Self { sign: 0, exp: 0, limbs: Vec::new(), prec }
+    }
+
+    /// Exact conversion from `f64`. NaN/infinity panic: the oracle is only
+    /// defined over finite values (callers filter specials first).
+    pub fn from_f64(x: f64) -> Self {
+        assert!(x.is_finite(), "BigFloat::from_f64 requires finite input, got {x}");
+        if x == 0.0 {
+            return Self::zero(64);
+        }
+        let (s, m, sh) = repro_fp::ulp::decompose(x);
+        // x = s · m · 2^sh with m < 2^53. Normalize m to the top of one limb.
+        let lead = 63 - m.leading_zeros(); // position of msb in m
+        let mantissa = m << (63 - lead);
+        // value = s · (mantissa / 2^64) · 2^(sh + lead + 1)
+        Self {
+            sign: s,
+            exp: sh as i64 + lead as i64 + 1,
+            limbs: vec![mantissa],
+            prec: 64,
+        }
+    }
+
+    /// This value's precision in bits.
+    pub fn precision(&self) -> u32 {
+        self.prec
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// Sign: `-1`, `0`, or `1`.
+    pub fn signum(&self) -> i8 {
+        self.sign
+    }
+
+    /// Negation (exact).
+    pub fn neg(&self) -> Self {
+        let mut r = self.clone();
+        r.sign = -r.sign;
+        r
+    }
+
+    /// Absolute value (exact).
+    pub fn abs(&self) -> Self {
+        let mut r = self.clone();
+        r.sign = r.sign.abs();
+        r
+    }
+
+    /// Re-round this value to a new precision (RNE). Widening is exact.
+    pub fn with_precision(&self, prec: u32) -> Self {
+        let prec = prec.max(64).div_ceil(64) * 64;
+        if self.sign == 0 {
+            return Self::zero(prec);
+        }
+        let lw = (prec / 64) as usize;
+        let mut mag: Vec<u64> = self.limbs.clone();
+        let mut sticky = false;
+        if mag.len() > lw + 1 {
+            sticky = mag[lw + 1..].iter().any(|&l| l != 0);
+            mag.truncate(lw + 1);
+        }
+        while mag.len() < lw + 1 {
+            mag.push(0);
+        }
+        let mut exp = self.exp;
+        round_rne(&mut mag, lw, sticky, &mut exp);
+        Self { sign: self.sign, exp, limbs: mag, prec }
+    }
+
+    /// Correctly rounded addition; result precision is the max of the two.
+    pub fn add(&self, other: &Self) -> Self {
+        let prec = self.prec.max(other.prec);
+        if self.sign == 0 {
+            return other.with_precision(prec);
+        }
+        if other.sign == 0 {
+            return self.with_precision(prec);
+        }
+        // Order so |a| >= |b|.
+        let (a, b) = if cmp_magnitude(self, other) == Ordering::Less {
+            (other, self)
+        } else {
+            (self, other)
+        };
+        let lw = (prec / 64) as usize;
+        let ext = lw + 1; // one guard limb
+        let mut am = pad_to(&a.limbs, ext);
+        let d = a.exp - b.exp; // >= 0
+        let (mut bm, mut sticky) = shifted_right(&b.limbs, d, ext);
+
+        let sign;
+        let mut exp = a.exp;
+        if a.sign == b.sign {
+            sign = a.sign;
+            let carry = add_mag(&mut am, &bm);
+            if carry {
+                let dropped = shr1(&mut am);
+                sticky |= dropped;
+                // Put the carried-out bit back at the top.
+                am[0] |= 1u64 << 63;
+                exp += 1;
+            }
+        } else {
+            sign = a.sign;
+            // True value = am − (bm + frac) with 0 < frac < 1 bottom-ulp,
+            // which equals (am − (bm + 1)) + (1 − frac): subtract one extra
+            // ulp and keep sticky set for the positive remainder.
+            if sticky {
+                add_one_ulp(&mut bm);
+            }
+            sub_mag(&mut am, &bm);
+            // Normalize out any cancellation.
+            let z = leading_zeros(&am);
+            if z as usize == ext * 64 {
+                // Exact cancellation. (sticky can only be set when d >= 2,
+                // in which case full cancellation is impossible.)
+                debug_assert!(!sticky);
+                return Self::zero(prec);
+            }
+            if z > 0 {
+                // Shifting left is exact only if no sticky bits were dropped;
+                // with >= 64 guard bits, cancellation beyond 1 bit implies
+                // d <= 1 and therefore sticky == false.
+                shl(&mut am, z);
+                exp -= z as i64;
+            }
+        }
+        let mut exp_out = exp;
+        let mut mag = am;
+        round_rne(&mut mag, lw, sticky, &mut exp_out);
+        Self { sign, exp: exp_out, limbs: mag, prec }
+    }
+
+    /// Correctly rounded subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Correctly rounded multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        let prec = self.prec.max(other.prec);
+        if self.sign == 0 || other.sign == 0 {
+            return Self::zero(prec);
+        }
+        let la = self.limbs.len();
+        let lb = other.limbs.len();
+        // Schoolbook product, big-endian output of la+lb limbs.
+        let mut prod = vec![0u64; la + lb];
+        for i in (0..la).rev() {
+            let mut carry: u128 = 0;
+            for j in (0..lb).rev() {
+                let idx = i + j + 1;
+                let cur = prod[idx] as u128
+                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
+                    + carry;
+                prod[idx] = cur as u64;
+                carry = cur >> 64;
+            }
+            // Propagate the final carry into prod[i] (and possibly beyond).
+            let mut idx = i;
+            while carry != 0 {
+                let cur = prod[idx] as u128 + carry;
+                prod[idx] = cur as u64;
+                carry = cur >> 64;
+                if idx == 0 {
+                    debug_assert_eq!(carry, 0);
+                    break;
+                }
+                idx -= 1;
+            }
+        }
+        // value = sign · (prod / 2^(64(la+lb))) · 2^(ea+eb); normalize.
+        let mut exp = self.exp + other.exp;
+        let z = leading_zeros(&prod);
+        debug_assert!(z <= 1, "product of normalized mantissas has msb in top 2 bits");
+        if z > 0 {
+            shl(&mut prod, z);
+            exp -= z as i64;
+        }
+        let lw = (prec / 64) as usize;
+        let mut sticky = false;
+        if prod.len() > lw + 1 {
+            sticky = prod[lw + 1..].iter().any(|&l| l != 0);
+            prod.truncate(lw + 1);
+        }
+        while prod.len() < lw + 1 {
+            prod.push(0);
+        }
+        round_rne(&mut prod, lw, sticky, &mut exp);
+        Self { sign: self.sign * other.sign, exp, limbs: prod, prec }
+    }
+
+    /// Correctly rounded division. Panics on division by zero.
+    pub fn div(&self, other: &Self) -> Self {
+        assert!(other.sign != 0, "BigFloat division by zero");
+        let prec = self.prec.max(other.prec);
+        if self.sign == 0 {
+            return Self::zero(prec);
+        }
+        let lw = (prec / 64) as usize;
+        // Restoring long division. Scale both mantissas to integers with
+        // their top bits aligned (a leading zero limb gives shift headroom):
+        // the fraction ratio A/B then lies in (1/2, 2).
+        let qbits = (lw + 1) * 64;
+        let rl = other.limbs.len().max(self.limbs.len()) + 1;
+        let mut rem = prepend_zero_limb(&self.limbs, rl);
+        let bb = prepend_zero_limb(&other.limbs, rl);
+        let mut quo = vec![0u64; lw + 1];
+        // First quotient bit: is the ratio >= 1?
+        let ge = cmp_mag(&rem, &bb) != Ordering::Less;
+        if ge {
+            sub_mag(&mut rem, &bb);
+        }
+        let exp = self.exp - other.exp + if ge { 1 } else { 0 };
+        let mut q_index = 0usize;
+        if ge {
+            quo[0] = 1u64 << 63;
+            q_index = 1;
+        }
+        // If the ratio was < 1 it lies in (1/2, 1), so the next generated bit
+        // is necessarily 1 and becomes the normalized msb.
+        while q_index < qbits {
+            shl1_in(&mut rem, 0);
+            if cmp_mag(&rem, &bb) != Ordering::Less {
+                sub_mag(&mut rem, &bb);
+                quo[q_index / 64] |= 1u64 << (63 - (q_index % 64));
+            }
+            q_index += 1;
+        }
+        let sticky = rem.iter().any(|&l| l != 0);
+        let mut exp_out = exp;
+        round_rne(&mut quo, lw, sticky, &mut exp_out);
+        Self { sign: self.sign * other.sign, exp: exp_out, limbs: quo, prec }
+    }
+
+    /// Total-order comparison of represented values.
+    pub fn cmp_value(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        if self.sign == 0 {
+            return Ordering::Equal;
+        }
+        let mag = cmp_magnitude(self, other);
+        if self.sign > 0 {
+            mag
+        } else {
+            mag.reverse()
+        }
+    }
+
+    /// Render in decimal scientific notation with `digits` significant
+    /// digits (e.g. `"3.14159e0"`).
+    ///
+    /// Digit extraction runs at `self.prec + 192` bits of working precision
+    /// and rounds the final digit (half-up on a guard digit): accurate to
+    /// well beyond any `digits` a caller can pass for values built from f64
+    /// data. Printing an f64-exact value at 17 digits and re-parsing it
+    /// recovers the same float (property-tested); exotic exact decimal ties
+    /// round half-up rather than to even.
+    pub fn to_decimal_string(&self, digits: usize) -> String {
+        let digits = digits.clamp(1, 60);
+        if self.sign == 0 {
+            return "0".to_string();
+        }
+        let work_prec = self.prec + 192;
+        let ten = BigFloat::from_f64(10.0).with_precision(work_prec);
+        // Decimal exponent estimate from the binary exponent.
+        let mut dec_exp = ((self.exp as f64 - 0.5) * std::f64::consts::LOG10_2).floor() as i64;
+        // m = |v| / 10^dec_exp, then correct so m lands in [1, 10).
+        let mut m = self.abs().with_precision(work_prec).div(&pow_bf(&ten, dec_exp));
+        let one = BigFloat::from_f64(1.0);
+        while m.cmp_value(&one) == Ordering::Less {
+            m = m.mul(&ten);
+            dec_exp -= 1;
+        }
+        while m.cmp_value(&ten) != Ordering::Less {
+            m = m.div(&ten);
+            dec_exp += 1;
+        }
+        // Extract digits+1 raw digits, then round the last one away.
+        let mut raw: Vec<u8> = Vec::with_capacity(digits + 1);
+        for _ in 0..=digits {
+            let d = (m.to_f64().floor() as i64).clamp(0, 9) as u8;
+            raw.push(d);
+            m = m.sub(&BigFloat::from_f64(d as f64)).mul(&ten);
+        }
+        // Round half-up on the guard digit, with carry.
+        let guard = raw.pop().expect("guard digit");
+        if guard >= 5 {
+            let mut i = raw.len();
+            loop {
+                if i == 0 {
+                    // 999..9 rounded up: becomes 1 000..0, exponent bumps.
+                    raw.insert(0, 1);
+                    raw.pop();
+                    dec_exp += 1;
+                    break;
+                }
+                i -= 1;
+                if raw[i] == 9 {
+                    raw[i] = 0;
+                } else {
+                    raw[i] += 1;
+                    break;
+                }
+            }
+        }
+        let mut out = String::new();
+        if self.sign < 0 {
+            out.push('-');
+        }
+        for (i, d) in raw.iter().enumerate() {
+            out.push(b'0' as char);
+            let last = out.pop().unwrap() as u8 + d;
+            out.push(last as char);
+            if i == 0 && digits > 1 {
+                out.push('.');
+            }
+        }
+        // Trim trailing zeros, then a dangling decimal point.
+        while out.contains('.') && out.ends_with('0') {
+            out.pop();
+        }
+        if out.ends_with('.') {
+            out.pop();
+        }
+        out.push_str(&format!("e{dec_exp}"));
+        out
+    }
+
+    /// Correctly rounded conversion to `f64` (RNE), with gradual underflow
+    /// to subnormals and overflow to ±infinity.
+    pub fn to_f64(&self) -> f64 {
+        if self.sign == 0 {
+            return 0.0;
+        }
+        let sign = if self.sign < 0 { -1.0 } else { 1.0 };
+        if self.exp > 1024 {
+            return sign * f64::INFINITY;
+        }
+        // Available result bits above 2^-1074: k = exp + 1074.
+        let k = self.exp + 1074;
+        if k < 0 {
+            return sign * 0.0; // magnitude < 2^-1075: underflows to zero
+        }
+        let nbits = (k.min(53)) as u32;
+        if nbits == 0 {
+            // Magnitude in [2^-1075, 2^-1074): ties-to-even at the half point.
+            let tie = self.limbs[0] == 1u64 << 63
+                && self.limbs[1..].iter().all(|&l| l == 0);
+            return if tie { sign * 0.0 } else { sign * repro_fp::ulp::pow2(-1074) };
+        }
+        let mut m = take_top_bits(&self.limbs, nbits);
+        let guard = get_bit(&self.limbs, nbits);
+        let sticky = any_bit_from(&self.limbs, nbits + 1);
+        if guard && (sticky || (m & 1) == 1) {
+            m += 1;
+        }
+        // m <= 2^nbits; 2^nbits * 2^(exp-nbits) = 2^exp is a power of two and
+        // exactly representable (or overflows, checked below).
+        if self.exp == 1024 && m == (1u64 << 53) {
+            return sign * f64::INFINITY;
+        }
+        let scale = self.exp - nbits as i64;
+        debug_assert!((-1074..=971).contains(&scale));
+        sign * (m as f64) * repro_fp::ulp::pow2(scale as i32)
+    }
+
+    /// Parse a decimal string (`"-12.34e-5"`, `"3.14159"`, `"1e100"`)
+    /// into a `BigFloat` of the given precision.
+    ///
+    /// The mantissa digits are accumulated exactly as an integer (x10 steps
+    /// at working precision wide enough to hold every digit), then scaled by
+    /// the decimal exponent with correctly rounded multiplications/divisions
+    /// at `prec + 128` working bits — so results are accurate to well below
+    /// the requested precision, though the final digit is not guaranteed
+    /// correctly rounded (this is an input path, not a dragon4 inverse).
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_decimal_str(text: &str, prec: u32) -> Option<Self> {
+        let text = text.trim();
+        let (sign, rest) = match text.strip_prefix('-') {
+            Some(r) => (-1i8, r),
+            None => (1i8, text.strip_prefix('+').unwrap_or(text)),
+        };
+        // Split off the exponent part.
+        let (mantissa_part, exp_part) = match rest.find(['e', 'E']) {
+            Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+            None => (rest, None),
+        };
+        let dec_exp: i64 = match exp_part {
+            Some(e) => e.parse().ok()?,
+            None => 0,
+        };
+        let (int_part, frac_part) = match mantissa_part.find('.') {
+            Some(i) => (&mantissa_part[..i], &mantissa_part[i + 1..]),
+            None => (mantissa_part, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return None;
+        }
+        let digits: Vec<u8> = int_part
+            .bytes()
+            .chain(frac_part.bytes())
+            .map(|b| {
+                if b.is_ascii_digit() {
+                    Some(b - b'0')
+                } else {
+                    None
+                }
+            })
+            .collect::<Option<Vec<u8>>>()?;
+        // Working precision: every digit exactly (4 bits/digit) plus target.
+        let work_prec = (prec + 128).max(digits.len() as u32 * 4 + 64);
+        let ten = BigFloat::from_f64(10.0).with_precision(work_prec);
+        let mut m = BigFloat::zero(work_prec);
+        for d in &digits {
+            m = m.mul(&ten).add(&BigFloat::from_f64(*d as f64));
+        }
+        if m.is_zero() {
+            return Some(Self::zero(prec));
+        }
+        // Effective decimal exponent: shift the implicit point.
+        let shift = dec_exp - frac_part.len() as i64;
+        let scaled = if shift >= 0 {
+            m.mul(&pow_bf(&ten, shift))
+        } else {
+            m.div(&pow_bf(&ten, -shift))
+        };
+        let mut out = scaled.with_precision(prec);
+        if sign < 0 {
+            out = out.neg();
+        }
+        Some(out)
+    }
+
+    /// Integer power by binary exponentiation (each squaring/multiply
+    /// correctly rounded at this value's precision; negative exponents go
+    /// through one final division).
+    pub fn powi(&self, exp: i64) -> Self {
+        if exp == 0 {
+            return BigFloat::from_f64(1.0).with_precision(self.prec);
+        }
+        assert!(
+            self.sign != 0 || exp > 0,
+            "0 cannot be raised to a negative power"
+        );
+        pow_bf(self, exp)
+    }
+
+    /// Square root via Newton–Raphson from an `f64` seed, iterated at
+    /// `self.prec + 64` working bits and rounded back to `self.prec`.
+    ///
+    /// Panics on negative input.
+    pub fn sqrt(&self) -> Self {
+        assert!(self.sign >= 0, "sqrt of negative BigFloat");
+        if self.sign == 0 {
+            return Self::zero(self.prec);
+        }
+        let work_prec = self.prec + 64;
+        let work = self.with_precision(work_prec);
+        // Seed from a range-safe scaling: x = m · 4^k with m ~ O(1).
+        let half_exp = self.exp.div_euclid(2);
+        let mut scaled = work.clone();
+        scaled.exp -= 2 * half_exp;
+        let mut y = BigFloat::from_f64(scaled.to_f64().sqrt()).with_precision(work_prec);
+        y.exp += half_exp;
+        // Newton: y <- (y + x/y) / 2 doubles correct digits per step.
+        let half = BigFloat::from_f64(0.5);
+        let steps = 2 + work_prec.ilog2();
+        for _ in 0..steps {
+            y = y.add(&work.div(&y)).mul(&half);
+        }
+        y.with_precision(self.prec)
+    }
+}
+
+impl PartialEq for BigFloat {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_value(other) == Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigFloat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_value(other))
+    }
+}
+
+impl std::ops::Add for &BigFloat {
+    type Output = BigFloat;
+    fn add(self, rhs: &BigFloat) -> BigFloat {
+        BigFloat::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &BigFloat {
+    type Output = BigFloat;
+    fn sub(self, rhs: &BigFloat) -> BigFloat {
+        BigFloat::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &BigFloat {
+    type Output = BigFloat;
+    fn mul(self, rhs: &BigFloat) -> BigFloat {
+        BigFloat::mul(self, rhs)
+    }
+}
+
+impl std::ops::Div for &BigFloat {
+    type Output = BigFloat;
+    fn div(self, rhs: &BigFloat) -> BigFloat {
+        BigFloat::div(self, rhs)
+    }
+}
+
+impl std::ops::Neg for &BigFloat {
+    type Output = BigFloat;
+    fn neg(self) -> BigFloat {
+        BigFloat::neg(self)
+    }
+}
+
+impl std::fmt::Display for BigFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_decimal_string(17))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude (big-endian limb vector) helpers
+// ---------------------------------------------------------------------------
+
+/// `base^exp` for integer exponents (binary exponentiation; each multiply
+/// correctly rounded at `base`'s precision).
+fn pow_bf(base: &BigFloat, exp: i64) -> BigFloat {
+    if exp == 0 {
+        return BigFloat::from_f64(1.0).with_precision(base.prec);
+    }
+    let mut result = BigFloat::from_f64(1.0).with_precision(base.prec);
+    let mut b = base.clone();
+    let mut e = exp.unsigned_abs();
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result.mul(&b);
+        }
+        b = b.mul(&b);
+        e >>= 1;
+    }
+    if exp < 0 {
+        BigFloat::from_f64(1.0).with_precision(base.prec).div(&result)
+    } else {
+        result
+    }
+}
+
+/// Compare magnitudes of two BigFloats (ignoring sign), handling different
+/// limb counts.
+fn cmp_magnitude(a: &BigFloat, b: &BigFloat) -> Ordering {
+    match a.exp.cmp(&b.exp) {
+        Ordering::Equal => {}
+        ord => return ord,
+    }
+    let n = a.limbs.len().max(b.limbs.len());
+    for i in 0..n {
+        let la = a.limbs.get(i).copied().unwrap_or(0);
+        let lb = b.limbs.get(i).copied().unwrap_or(0);
+        match la.cmp(&lb) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn pad_to(limbs: &[u64], len: usize) -> Vec<u64> {
+    let mut v = limbs.to_vec();
+    v.truncate(len); // callers guarantee dropped limbs are handled via sticky
+    while v.len() < len {
+        v.push(0);
+    }
+    v
+}
+
+/// Copy `limbs` into a `len`-limb array shifted right by `shift` bits;
+/// returns the shifted array and a sticky flag for every bit dropped off the
+/// bottom (or the whole value, if shifted out entirely).
+fn shifted_right(limbs: &[u64], shift: i64, len: usize) -> (Vec<u64>, bool) {
+    debug_assert!(shift >= 0);
+    let total_bits = (len * 64) as i64;
+    if shift >= total_bits {
+        let sticky = limbs.iter().any(|&l| l != 0);
+        return (vec![0; len], sticky);
+    }
+    let limb_shift = (shift / 64) as usize;
+    let bit_shift = (shift % 64) as u32;
+    let mut out = vec![0u64; len];
+    let mut sticky = false;
+    // Source limb j lands at out[j + limb_shift] (>> bit_shift spill to +1).
+    for (j, &src) in limbs.iter().enumerate() {
+        let hi_idx = j + limb_shift;
+        let (hi, lo) = if bit_shift == 0 {
+            (src, 0u64)
+        } else {
+            (src >> bit_shift, src << (64 - bit_shift))
+        };
+        if hi_idx < len {
+            out[hi_idx] |= hi;
+        } else if hi != 0 {
+            sticky = true;
+        }
+        if lo != 0 {
+            if hi_idx + 1 < len {
+                out[hi_idx + 1] |= lo;
+            } else {
+                sticky = true;
+            }
+        }
+    }
+    (out, sticky)
+}
+
+/// a += b (equal length); returns carry out of the top.
+fn add_mag(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = 0u128;
+    for i in (0..a.len()).rev() {
+        let s = a[i] as u128 + b[i] as u128 + carry;
+        a[i] = s as u64;
+        carry = s >> 64;
+    }
+    carry != 0
+}
+
+/// a -= b (requires a >= b, equal length).
+fn sub_mag(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0i128;
+    for i in (0..a.len()).rev() {
+        let d = a[i] as i128 - b[i] as i128 - borrow;
+        if d < 0 {
+            a[i] = (d + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            a[i] = d as u64;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "sub_mag underflow: a < b");
+}
+
+fn add_one_ulp(a: &mut [u64]) {
+    for i in (0..a.len()).rev() {
+        let (v, c) = a[i].overflowing_add(1);
+        a[i] = v;
+        if !c {
+            return;
+        }
+    }
+}
+
+/// Copy `limbs` under a fresh zero top limb, padding the tail to `len` limbs
+/// total. Gives restoring division one limb of left-shift headroom.
+fn prepend_zero_limb(limbs: &[u64], len: usize) -> Vec<u64> {
+    let mut v = Vec::with_capacity(len);
+    v.push(0);
+    v.extend_from_slice(limbs);
+    v.truncate(len);
+    while v.len() < len {
+        v.push(0);
+    }
+    v
+}
+
+fn leading_zeros(a: &[u64]) -> u32 {
+    let mut z = 0;
+    for &l in a {
+        if l == 0 {
+            z += 64;
+        } else {
+            return z + l.leading_zeros();
+        }
+    }
+    z
+}
+
+/// Shift left by `s` bits in place (top bits fall off; callers only shift by
+/// the number of leading zeros, so nothing nonzero is lost).
+fn shl(a: &mut [u64], s: u32) {
+    let limb_shift = (s / 64) as usize;
+    let bit_shift = s % 64;
+    let n = a.len();
+    for i in 0..n {
+        let src = i + limb_shift;
+        let hi = if src < n { a[src] } else { 0 };
+        let lo = if src + 1 < n { a[src + 1] } else { 0 };
+        a[i] = if bit_shift == 0 {
+            hi
+        } else {
+            (hi << bit_shift) | (lo >> (64 - bit_shift))
+        };
+    }
+}
+
+/// Shift right one bit; returns the dropped bit.
+fn shr1(a: &mut [u64]) -> bool {
+    let mut carry = 0u64;
+    for l in a.iter_mut() {
+        let new_carry = *l & 1;
+        *l = (*l >> 1) | (carry << 63);
+        carry = new_carry;
+    }
+    carry != 0
+}
+
+/// Shift left one bit, bringing `inbit` into the lsb.
+fn shl1_in(a: &mut [u64], inbit: u64) {
+    let mut carry = inbit;
+    for l in a.iter_mut().rev() {
+        let new_carry = *l >> 63;
+        *l = (*l << 1) | carry;
+        carry = new_carry;
+    }
+}
+
+/// Round a normalized `lw+1`-limb magnitude to `lw` limbs with RNE,
+/// truncating the guard limb. Adjusts `exp` if rounding carries out.
+/// On return the vector has `lw` limbs with the top bit set.
+fn round_rne(mag: &mut Vec<u64>, lw: usize, sticky_extra: bool, exp: &mut i64) {
+    debug_assert_eq!(mag.len(), lw + 1);
+    debug_assert!(mag[0] >> 63 == 1, "round_rne requires a normalized mantissa");
+    let ext = mag[lw];
+    mag.truncate(lw);
+    let guard = ext >> 63 != 0;
+    let sticky = (ext & (u64::MAX >> 1)) != 0 || sticky_extra;
+    if guard && (sticky || (mag[lw - 1] & 1) == 1) {
+        // Increment by one ulp.
+        let mut carried = true;
+        for i in (0..lw).rev() {
+            let (v, c) = mag[i].overflowing_add(1);
+            mag[i] = v;
+            if !c {
+                carried = false;
+                break;
+            }
+        }
+        if carried {
+            // 0.111...1 rounded up to 1.0: renormalize.
+            mag[0] = 1u64 << 63;
+            for l in mag.iter_mut().skip(1) {
+                *l = 0;
+            }
+            *exp += 1;
+        }
+    }
+}
+
+/// Top `n` bits (n <= 53 <= 64) of a big-endian magnitude, as an integer.
+fn take_top_bits(limbs: &[u64], n: u32) -> u64 {
+    debug_assert!((1..=64).contains(&n));
+    limbs[0] >> (64 - n)
+}
+
+/// Bit at position `i` (0 = msb).
+fn get_bit(limbs: &[u64], i: u32) -> bool {
+    let limb = (i / 64) as usize;
+    if limb >= limbs.len() {
+        return false;
+    }
+    (limbs[limb] >> (63 - (i % 64))) & 1 == 1
+}
+
+/// `true` if any bit at position >= `i` (0 = msb) is set.
+fn any_bit_from(limbs: &[u64], i: u32) -> bool {
+    let limb = (i / 64) as usize;
+    let bit = i % 64;
+    if limb >= limbs.len() {
+        return false;
+    }
+    if bit != 0 && (limbs[limb] & (u64::MAX >> bit)) != 0 {
+        return true;
+    }
+    if bit == 0 && limbs[limb] != 0 {
+        return true;
+    }
+    limbs[limb + 1..].iter().any(|&l| l != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f64) -> BigFloat {
+        BigFloat::from_f64(x)
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for x in [
+            0.0, 1.0, -1.0, 0.1, -0.1, 1e300, -1e-300, f64::MAX, f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2048.0, 4.9e-324, std::f64::consts::PI,
+        ] {
+            assert_eq!(bf(x).to_f64().to_bits(), x.to_bits(), "round trip {x:e}");
+        }
+    }
+
+    #[test]
+    fn addition_matches_f64_when_exact() {
+        // Sums that are exact in f64 must round-trip through BigFloat.
+        let cases = [(1.0, 2.0), (0.5, 0.25), (1e16, 1.0), (-3.5, 3.5), (0.1, -0.1)];
+        for (a, b) in cases {
+            let s = bf(a).add(&bf(b));
+            let expected = repro_fp::exact_sum(&[a, b]);
+            assert_eq!(s.to_f64(), expected, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn addition_keeps_absorbed_bits_at_high_precision() {
+        let acc = BigFloat::zero(192);
+        let s = acc.add(&bf(1e16)).add(&bf(1.0)).add(&bf(-1e16));
+        assert_eq!(s.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn subtraction_cancels_exactly() {
+        let a = bf(1.23456789e10);
+        assert!(a.sub(&a).is_zero());
+        assert_eq!(a.sub(&a).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn signs_and_comparison() {
+        assert_eq!(bf(2.0).cmp_value(&bf(3.0)), Ordering::Less);
+        assert_eq!(bf(-2.0).cmp_value(&bf(-3.0)), Ordering::Greater);
+        assert_eq!(bf(-2.0).cmp_value(&bf(2.0)), Ordering::Less);
+        assert_eq!(bf(0.0).cmp_value(&bf(0.0)), Ordering::Equal);
+        assert_eq!(bf(5.0).neg().to_f64(), -5.0);
+        assert_eq!(bf(-5.0).abs().to_f64(), 5.0);
+    }
+
+    #[test]
+    fn multiplication_matches_exact_products() {
+        let cases = [(3.0, 4.0), (0.1, 0.1), (1e200, 1e-200), (-7.5, 2.0)];
+        for (a, b) in cases {
+            let p = bf(a).mul(&bf(b)).with_precision(64);
+            // Reference: exact product via two_prod, summed exactly.
+            let (hi, lo) = repro_fp::two_prod(a, b);
+            let expected = repro_fp::exact_sum(&[hi, lo]);
+            assert_eq!(p.to_f64(), expected, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn division_of_one_by_three_has_correct_bits() {
+        let q = BigFloat::from_f64(1.0).with_precision(128).div(&bf(3.0));
+        // 1/3 rounded to f64:
+        assert_eq!(q.to_f64(), 1.0 / 3.0);
+        // And at 128 bits, q*3 - 1 must be ~2^-128.
+        let back = q.mul(&bf(3.0)).sub(&bf(1.0)).abs();
+        assert!(back.is_zero() || back.to_f64() < 2f64.powi(-120));
+    }
+
+    #[test]
+    fn division_matches_f64_for_exact_quotients() {
+        // Exact quotients only: an inexact quotient rounded first to the
+        // BigFloat precision and then to f64 can legitimately double-round.
+        for (a, b) in [(6.0, 3.0), (1.0, 2.0), (-10.0, 4.0), (1e300, 2.0), (7.0, 8.0)] {
+            assert_eq!(bf(a).div(&bf(b)).to_f64(), a / b, "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn division_round_trips_through_multiplication() {
+        // q = a/b at 128 bits, then q*b must reproduce a to ~2^-120 relative.
+        for (a, b) in [(1.0, 3.0), (2.5, 0.7), (1e300, 1e150), (-9.81, 3.3e-5)] {
+            let q = bf(a).with_precision(128).div(&bf(b));
+            let back = q.mul(&bf(b));
+            let err = back.sub(&bf(a)).abs();
+            if !err.is_zero() {
+                let rel = err.div(&bf(a).abs()).to_f64();
+                assert!(rel < 2f64.powi(-120), "{a}/{b}: rel err {rel:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_f64_rounds_ties_to_even() {
+        // 1 + 2^-53 at high precision rounds to 1.0.
+        let v = BigFloat::zero(128).add(&bf(1.0)).add(&bf(2f64.powi(-53)));
+        assert_eq!(v.to_f64(), 1.0);
+        // 1 + 2^-53 + 2^-100: sticky forces round-up.
+        let v = v.add(&bf(2f64.powi(-100)));
+        assert_eq!(v.to_f64(), 1.0 + 2f64.powi(-52));
+    }
+
+    #[test]
+    fn to_f64_handles_subnormals() {
+        let tiny = bf(f64::MIN_POSITIVE).div(&bf(2.0));
+        assert_eq!(tiny.to_f64(), f64::MIN_POSITIVE / 2.0);
+        let tinier = bf(4.9e-324); // min subnormal
+        assert_eq!(tinier.to_f64(), 4.9e-324);
+        // Half the min subnormal ties to even -> 0.
+        let half = tinier.div(&bf(2.0));
+        assert_eq!(half.to_f64(), 0.0);
+        // Slightly more than half (2^-1075 + 2^-1077) rounds up to the min
+        // subnormal. (Built arithmetically: no f64 literal can go this low.)
+        let crumb = tinier.with_precision(128).div(&bf(8.0));
+        let bit_more = half.with_precision(128).add(&crumb);
+        assert_eq!(bit_more.to_f64(), f64::from_bits(1));
+    }
+
+    #[test]
+    fn to_f64_overflows_to_infinity() {
+        let huge = bf(f64::MAX).mul(&bf(2.0));
+        assert_eq!(huge.to_f64(), f64::INFINITY);
+        assert_eq!(huge.neg().to_f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn precision_widening_is_exact_and_idempotent() {
+        let x = bf(0.1).with_precision(256);
+        assert_eq!(x.precision(), 256);
+        assert_eq!(x.to_f64(), 0.1);
+        let y = x.with_precision(64);
+        assert_eq!(y.to_f64(), 0.1);
+    }
+
+    #[test]
+    fn mixed_precision_ops_take_wider_precision() {
+        let wide = BigFloat::zero(512);
+        let s = wide.add(&bf(1.0));
+        assert_eq!(s.precision(), 512);
+        assert_eq!(s.mul(&bf(2.0)).precision(), 512);
+    }
+
+    #[test]
+    fn decimal_rendering_of_known_values() {
+        assert_eq!(bf(0.0).to_decimal_string(10), "0");
+        assert_eq!(bf(1.0).to_decimal_string(5), "1e0");
+        assert_eq!(bf(-2.5).to_decimal_string(5), "-2.5e0");
+        assert_eq!(bf(1024.0).to_decimal_string(6), "1.024e3");
+        assert_eq!(bf(1e-3).to_decimal_string(4), "1e-3");
+        // 1/3 at 128 bits: thirty 3s.
+        let third = bf(1.0).with_precision(128).div(&bf(3.0));
+        let s = third.to_decimal_string(20);
+        assert!(s.starts_with("3.333333333333333333"), "{s}");
+        assert!(s.ends_with("e-1"), "{s}");
+    }
+
+    #[test]
+    fn decimal_rendering_shows_sub_f64_structure() {
+        // 1e16 + 1: invisible in f64 display, visible at high precision.
+        let v = BigFloat::zero(192).add(&bf(1e16)).add(&bf(1.0));
+        assert_eq!(v.to_decimal_string(18), "1.0000000000000001e16");
+    }
+
+    #[test]
+    fn parses_decimal_strings() {
+        let cases = [
+            ("0", 0.0),
+            ("1", 1.0),
+            ("-2.5", -2.5),
+            ("9.8696", 9.8696),
+            ("1e100", 1e100),
+            ("-6.02214076e23", -6.02214076e23),
+            ("+0.001", 0.001),
+            ("42.", 42.0),
+            (".5", 0.5),
+            ("  7e-3 ", 7e-3),
+        ];
+        for (text, want) in cases {
+            let v = BigFloat::from_decimal_str(text, 128).unwrap_or_else(|| panic!("{text}"));
+            assert_eq!(v.to_f64(), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn parsing_keeps_more_digits_than_f64() {
+        // 30 significant digits survive a parse at 256 bits.
+        let v = BigFloat::from_decimal_str("1.23456789012345678901234567890", 256).unwrap();
+        let s = v.to_decimal_string(29);
+        assert!(s.starts_with("1.2345678901234567890123456789"), "{s}");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "abc", "1.2.3", "1e", "--5", "e5", "5e1x", "."] {
+            assert!(BigFloat::from_decimal_str(bad, 64).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn powi_matches_known_values() {
+        assert_eq!(bf(2.0).powi(10).to_f64(), 1024.0);
+        assert_eq!(bf(10.0).with_precision(192).powi(20).to_f64(), 1e20);
+        assert_eq!(bf(2.0).powi(-3).to_f64(), 0.125);
+        assert_eq!(bf(5.5).powi(0).to_f64(), 1.0);
+        // High-precision check: (1/3)^2 * 9 == 1 to ~2^-120.
+        let third = bf(1.0).with_precision(128).div(&bf(3.0));
+        let back = third.powi(2).mul(&bf(9.0)).sub(&bf(1.0)).abs();
+        assert!(back.is_zero() || back.to_f64() < 2f64.powi(-118));
+    }
+
+    #[test]
+    fn sqrt_of_perfect_squares_and_two() {
+        assert_eq!(bf(0.0).sqrt().to_f64(), 0.0);
+        assert_eq!(bf(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(bf(1e300).with_precision(128).sqrt().to_f64(), 1e150);
+        // sqrt(2) at 128 bits: squaring must return 2 to ~2^-120.
+        let r2 = bf(2.0).with_precision(128).sqrt();
+        let back = r2.mul(&r2).sub(&bf(2.0)).abs();
+        assert!(back.is_zero() || back.to_f64() < 2f64.powi(-118), "{}", back.to_f64());
+        // Leading decimal digits of sqrt(2).
+        let s = r2.to_decimal_string(20);
+        assert!(s.starts_with("1.414213562373095048"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn sqrt_rejects_negative() {
+        let _ = bf(-1.0).sqrt();
+    }
+
+    #[test]
+    fn operator_traits_and_ordering() {
+        let a = bf(1.5);
+        let b = bf(2.5);
+        assert_eq!((&a + &b).to_f64(), 4.0);
+        assert_eq!((&b - &a).to_f64(), 1.0);
+        assert_eq!((&a * &b).to_f64(), 3.75);
+        assert_eq!((&b / &a).to_f64(), 2.5 / 1.5);
+        assert_eq!((-&a).to_f64(), -1.5);
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a == bf(1.5));
+        // Display goes through the decimal renderer.
+        assert_eq!(format!("{}", bf(0.5)), "5e-1");
+    }
+
+    #[test]
+    fn exact_sum_mode_matches_superaccumulator() {
+        let values = [1e16, 3.7, -2.5e-13, -1e16, 0.1, 2f64.powi(-60), -3.8];
+        assert_eq!(
+            crate::sum_exact(&values).to_bits(),
+            repro_fp::exact_sum(&values).to_bits()
+        );
+    }
+}

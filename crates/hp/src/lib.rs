@@ -1,0 +1,43 @@
+//! # `repro-hp` — arbitrary-precision binary floating point
+//!
+//! A from-scratch software float, standing in for the GNU MPFR library the
+//! paper uses to compute its "accurate reference sum ... in quad-double
+//! precision". The workspace's *primary* reference is the exact
+//! superaccumulator in `repro-fp`; [`BigFloat`] is the **independent oracle**
+//! used to cross-check it (two implementations sharing no code must agree
+//! bit-for-bit on every reference sum).
+//!
+//! [`BigFloat`] supports any precision that is a multiple of 64 bits, exact
+//! conversion from `f64`, correctly rounded (round-to-nearest-even) addition,
+//! subtraction, multiplication, division, comparison, and correctly rounded
+//! conversion back to `f64` (with subnormal and overflow handling).
+//!
+//! At 2304 bits of precision, sums of up to ~2⁶⁴ `f64` values are **exact**
+//! (the accumulating magnitude never spans more bits than the significand
+//! holds), which is how [`sum_exact`] provides reference sums.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigfloat;
+
+pub use bigfloat::BigFloat;
+
+/// Precision (bits) at which any sum of up to 2⁶⁴ finite `f64` values is
+/// exact: the f64 value span is 1024 − (−1074) = 2098 bits, plus 64 carry
+/// bits, rounded up to a limb multiple.
+pub const EXACT_SUM_PRECISION: u32 = 2304;
+
+/// Reference sum of `values` computed in [`EXACT_SUM_PRECISION`]-bit
+/// arithmetic (exact) and rounded to `f64` once.
+///
+/// ```
+/// assert_eq!(repro_hp::sum_exact(&[1e16, 1.0, -1e16]), 1.0);
+/// ```
+pub fn sum_exact(values: &[f64]) -> f64 {
+    let mut acc = BigFloat::zero(EXACT_SUM_PRECISION);
+    for &v in values {
+        acc = acc.add(&BigFloat::from_f64(v));
+    }
+    acc.to_f64()
+}

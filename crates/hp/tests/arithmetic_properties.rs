@@ -1,0 +1,72 @@
+//! Property tests for BigFloat's extended arithmetic: sqrt, powi, and
+//! decimal parsing, against f64 and against algebraic identities at high
+//! precision.
+
+use proptest::prelude::*;
+use repro_hp::BigFloat;
+
+fn positive() -> impl Strategy<Value = f64> {
+    (-100.0f64..100.0).prop_map(|e| e.exp2())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// sqrt(x)^2 == x to ~2^-(prec-8) relative, at 128 bits.
+    #[test]
+    fn sqrt_squares_back(x in positive()) {
+        let v = BigFloat::from_f64(x).with_precision(128);
+        let r = v.sqrt();
+        let back = r.mul(&r);
+        let err = back.sub(&v).abs();
+        if !err.is_zero() {
+            let rel = err.div(&v).to_f64();
+            prop_assert!(rel < 2f64.powi(-118), "rel {rel:e} for {x:e}");
+        }
+    }
+
+    /// sqrt agrees with f64's sqrt after rounding (f64 sqrt is correctly
+    /// rounded, so the 128-bit sqrt rounded to f64 can differ only at a
+    /// double-rounding boundary — in practice never for random inputs; we
+    /// allow one ulp to stay sound).
+    #[test]
+    fn sqrt_tracks_f64(x in positive()) {
+        let hi = BigFloat::from_f64(x).with_precision(128).sqrt().to_f64();
+        let lo = x.sqrt();
+        let ulp = repro_fp::ulp::ulp(lo).abs();
+        prop_assert!((hi - lo).abs() <= ulp, "{hi:e} vs {lo:e}");
+    }
+
+    /// powi telescopes: x^(a+b) == x^a · x^b to working accuracy.
+    #[test]
+    fn powi_telescopes(x in 0.5f64..2.0, a in 0i64..20, b in 0i64..20) {
+        let v = BigFloat::from_f64(x).with_precision(192);
+        let lhs = v.powi(a + b);
+        let rhs = v.powi(a).mul(&v.powi(b));
+        let err = lhs.sub(&rhs).abs();
+        if !err.is_zero() {
+            let rel = err.div(&lhs.abs()).to_f64();
+            prop_assert!(rel < 2f64.powi(-150), "rel {rel:e}");
+        }
+    }
+
+    /// Round-tripping an f64 through decimal text at 17 significant digits
+    /// recovers the exact same float (the classic shortest-roundtrip
+    /// property, via our own printer and parser).
+    #[test]
+    fn decimal_print_parse_roundtrip(x in -1e15f64..1e15) {
+        prop_assume!(x != 0.0);
+        let text = BigFloat::from_f64(x).with_precision(128).to_decimal_string(17);
+        let back = BigFloat::from_decimal_str(&text, 128).expect("own output parses");
+        prop_assert_eq!(back.to_f64().to_bits(), x.to_bits(), "{}", text);
+    }
+
+    /// Parsing matches Rust's own f64 parser on random decimal strings.
+    #[test]
+    fn parser_matches_std(mantissa in -99_999_999i64..99_999_999, exp in -30i32..30) {
+        let text = format!("{mantissa}e{exp}");
+        let std_val: f64 = text.parse().unwrap();
+        let ours = BigFloat::from_decimal_str(&text, 256).unwrap().to_f64();
+        prop_assert_eq!(ours.to_bits(), std_val.to_bits(), "{}", text);
+    }
+}

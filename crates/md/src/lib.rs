@@ -1,0 +1,29 @@
+//! # `repro-md` — a miniature N-body simulation over selectable reductions
+//!
+//! The paper's introduction frames the stakes: "even small errors at the
+//! beginning of the simulation may eventually compound into significant
+//! accuracy problems, which may call into question the validity of hours and
+//! hours of computation. ... Can the scientific community trust simulations
+//! executed on next-generation exascale architectures?"
+//!
+//! This crate is that claim, executable: a 2-D gravitational N-body system
+//! (softened forces, leapfrog integration) whose per-particle force
+//! accumulation — the reduction at the heart of every timestep — runs
+//! through a selectable [`repro_sum::Algorithm`] and an optionally
+//! *shuffled* accumulation order (standing in for the nondeterministic
+//! arrival order of a parallel machine).
+//!
+//! * With **ST**, two runs of the same initial conditions under different
+//!   accumulation orders produce trajectories that drift apart, and the
+//!   gap grows with simulated time (chaos amplifies ulp-level differences).
+//! * With **PR** (or any reproducible operator), the trajectories are
+//!   **bitwise identical** no matter how the accumulation order scrambles.
+//!
+//! The `motivation_trajectory` bench and the `nbody` example quantify both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+
+pub use sim::{Particle, SimConfig, Simulation, TrajectoryDivergence};

@@ -1,0 +1,443 @@
+//! The simulation: softened 2-D gravity, leapfrog integration, reductions
+//! through selectable summation operators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use repro_select::{AdaptiveReducer, Tolerance};
+use repro_sum::{Accumulator, Algorithm};
+
+/// One point mass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Particle {
+    /// Position.
+    pub x: f64,
+    /// Position.
+    pub y: f64,
+    /// Velocity.
+    pub vx: f64,
+    /// Velocity.
+    pub vy: f64,
+    /// Mass.
+    pub mass: f64,
+}
+
+/// Simulation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Timestep.
+    pub dt: f64,
+    /// Gravitational constant.
+    pub g: f64,
+    /// Softening length (avoids the 1/r² singularity).
+    pub softening: f64,
+    /// Reduction operator used for force and energy accumulations.
+    pub algorithm: Algorithm,
+    /// If `Some(seed)`, the per-particle force accumulation order is
+    /// re-shuffled from this stream every step — the model of a machine
+    /// that delivers partial forces in nondeterministic order. `None`
+    /// accumulates in index order.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            dt: 1e-3,
+            g: 1.0,
+            softening: 1e-2,
+            algorithm: Algorithm::Standard,
+            shuffle_seed: None,
+        }
+    }
+}
+
+/// The running simulation. (Not `Clone`: the shuffle RNG stream is part of
+/// the state and deliberately non-duplicable — construct a second simulation
+/// from the same initial conditions to compare runs.)
+///
+/// ```
+/// use repro_md::{SimConfig, Simulation};
+/// use repro_sum::Algorithm;
+///
+/// let cfg = SimConfig { algorithm: Algorithm::PR, shuffle_seed: Some(1), ..SimConfig::default() };
+/// let mut sim = Simulation::disk(8, 42, cfg);
+/// sim.run(10);
+/// assert_eq!(sim.steps_taken(), 10);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    /// Current particle states.
+    particles: Vec<Particle>,
+    config: SimConfig,
+    rng: Option<StdRng>,
+    steps_taken: u64,
+    /// Scratch: contribution buffers reused across steps.
+    fx_terms: Vec<f64>,
+    fy_terms: Vec<f64>,
+    order: Vec<u32>,
+    /// Per-reduction adaptive selection, if enabled.
+    adaptive: Option<AdaptiveReducer>,
+    /// Histogram of adaptively chosen operators.
+    choices: Vec<(Algorithm, u64)>,
+}
+
+impl Simulation {
+    /// Start a simulation from initial conditions.
+    pub fn new(particles: Vec<Particle>, config: SimConfig) -> Self {
+        assert!(particles.len() >= 2, "need at least two bodies");
+        assert!(config.dt > 0.0 && config.softening > 0.0);
+        let n = particles.len();
+        Self {
+            particles,
+            config,
+            rng: config.shuffle_seed.map(StdRng::seed_from_u64),
+            steps_taken: 0,
+            fx_terms: vec![0.0; n - 1],
+            fy_terms: vec![0.0; n - 1],
+            order: (0..n as u32 - 1).collect(),
+            adaptive: None,
+            choices: Vec::new(),
+        }
+    }
+
+    /// Enable per-reduction adaptive operator selection: every force
+    /// accumulation is profiled and the cheapest operator meeting
+    /// `tolerance` is used for it — the paper's runtime selection, inside
+    /// a live simulation. Overrides `config.algorithm` for forces.
+    pub fn with_adaptive(mut self, tolerance: Tolerance) -> Self {
+        self.adaptive = Some(AdaptiveReducer::heuristic(tolerance));
+        self
+    }
+
+    /// Histogram of adaptively chosen operators `(algorithm, count)`,
+    /// cheapest first (empty unless [`Simulation::with_adaptive`]).
+    pub fn adaptive_choices(&self) -> &[(Algorithm, u64)] {
+        &self.choices
+    }
+
+    /// A standard test system: a heavy central body with `n − 1` lighter
+    /// bodies on perturbed circular orbits (seeded).
+    pub fn disk(n: usize, seed: u64, config: SimConfig) -> Self {
+        assert!(n >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut particles = vec![Particle { x: 0.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1000.0 }];
+        for _ in 1..n {
+            let r: f64 = rng.random_range(1.0..10.0);
+            let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            // Circular-orbit speed around the central mass, jittered.
+            let v = (config.g * 1000.0 / r).sqrt() * rng.random_range(0.95..1.05);
+            particles.push(Particle {
+                x: r * theta.cos(),
+                y: r * theta.sin(),
+                vx: -v * theta.sin(),
+                vy: v * theta.cos(),
+                mass: rng.random_range(0.1..1.0),
+            });
+        }
+        Self::new(particles, config)
+    }
+
+    /// Particle states.
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Net force on particle `i` from all others, accumulated with the
+    /// configured operator in the current accumulation order.
+    fn force_on(&mut self, i: usize) -> (f64, f64) {
+        let p = self.particles[i];
+        let eps2 = self.config.softening * self.config.softening;
+        let mut k = 0;
+        for (j, q) in self.particles.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let dx = q.x - p.x;
+            let dy = q.y - p.y;
+            let r2 = dx * dx + dy * dy + eps2;
+            let inv_r3 = 1.0 / (r2 * r2.sqrt());
+            let f = self.config.g * p.mass * q.mass * inv_r3;
+            self.fx_terms[k] = f * dx;
+            self.fy_terms[k] = f * dy;
+            k += 1;
+        }
+        // Nondeterministic accumulation order, if configured.
+        if let Some(rng) = &mut self.rng {
+            self.order.shuffle(rng);
+        }
+        let algorithm = match &self.adaptive {
+            None => self.config.algorithm,
+            Some(reducer) => {
+                // Profile the harder of the two component sets; one choice
+                // governs both components of this force.
+                let (ax, _) = reducer.choose(&self.fx_terms[..k]);
+                let (ay, _) = reducer.choose(&self.fy_terms[..k]);
+                let alg = if ax.cost_rank() >= ay.cost_rank() { ax } else { ay };
+                match self.choices.iter_mut().find(|(a, _)| *a == alg) {
+                    Some((_, c)) => *c += 1,
+                    None => {
+                        self.choices.push((alg, 1));
+                        self.choices.sort_by_key(|(a, _)| a.cost_rank());
+                    }
+                }
+                alg
+            }
+        };
+        let mut ax = algorithm.new_accumulator();
+        let mut ay = algorithm.new_accumulator();
+        for &idx in &self.order {
+            ax.add(self.fx_terms[idx as usize]);
+            ay.add(self.fy_terms[idx as usize]);
+        }
+        (ax.finalize(), ay.finalize())
+    }
+
+    /// Advance one leapfrog (kick-drift-kick) step.
+    pub fn step(&mut self) {
+        let n = self.particles.len();
+        let dt = self.config.dt;
+        // First kick (half step).
+        let forces: Vec<(f64, f64)> = (0..n).map(|i| self.force_on(i)).collect();
+        for (p, (fx, fy)) in self.particles.iter_mut().zip(&forces) {
+            p.vx += 0.5 * dt * fx / p.mass;
+            p.vy += 0.5 * dt * fy / p.mass;
+        }
+        // Drift.
+        for p in self.particles.iter_mut() {
+            p.x += dt * p.vx;
+            p.y += dt * p.vy;
+        }
+        // Second kick.
+        let forces: Vec<(f64, f64)> = (0..n).map(|i| self.force_on(i)).collect();
+        for (p, (fx, fy)) in self.particles.iter_mut().zip(&forces) {
+            p.vx += 0.5 * dt * fx / p.mass;
+            p.vy += 0.5 * dt * fy / p.mass;
+        }
+        self.steps_taken += 1;
+    }
+
+    /// Advance `steps` steps.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Total energy (kinetic + potential), accumulated with the configured
+    /// operator — the conserved quantity practitioners watch.
+    pub fn total_energy(&self) -> f64 {
+        let mut acc = self.config.algorithm.new_accumulator();
+        for p in &self.particles {
+            acc.add(0.5 * p.mass * (p.vx * p.vx + p.vy * p.vy));
+        }
+        let eps2 = self.config.softening * self.config.softening;
+        for (i, p) in self.particles.iter().enumerate() {
+            for q in self.particles.iter().skip(i + 1) {
+                let dx = q.x - p.x;
+                let dy = q.y - p.y;
+                let r = (dx * dx + dy * dy + eps2).sqrt();
+                acc.add(-self.config.g * p.mass * q.mass / r);
+            }
+        }
+        acc.finalize()
+    }
+
+    /// Bitwise fingerprint of the full state (positions and velocities).
+    pub fn state_fingerprint(&self) -> u64 {
+        // FNV-1a over the raw bits: cheap, deterministic, collision-safe
+        // enough for comparing a handful of runs.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: f64| {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for p in &self.particles {
+            mix(p.x);
+            mix(p.y);
+            mix(p.vx);
+            mix(p.vy);
+        }
+        h
+    }
+}
+
+/// Divergence between two simulations of the same system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectoryDivergence {
+    /// Maximum per-particle position distance.
+    pub max_position: f64,
+    /// Root-mean-square position distance.
+    pub rms_position: f64,
+    /// Whether the two states are bitwise identical.
+    pub bitwise_identical: bool,
+}
+
+/// Measure how far two runs have drifted apart.
+pub fn divergence(a: &Simulation, b: &Simulation) -> TrajectoryDivergence {
+    assert_eq!(a.particles.len(), b.particles.len());
+    let mut max_d = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut bitwise = true;
+    for (p, q) in a.particles.iter().zip(b.particles.iter()) {
+        let dx = p.x - q.x;
+        let dy = p.y - q.y;
+        let d = (dx * dx + dy * dy).sqrt();
+        max_d = max_d.max(d);
+        sum_sq += d * d;
+        bitwise &= p.x.to_bits() == q.x.to_bits()
+            && p.y.to_bits() == q.y.to_bits()
+            && p.vx.to_bits() == q.vx.to_bits()
+            && p.vy.to_bits() == q.vy.to_bits();
+    }
+    TrajectoryDivergence {
+        max_position: max_d,
+        rms_position: (sum_sq / a.particles.len() as f64).sqrt(),
+        bitwise_identical: bitwise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(alg: Algorithm, shuffle: Option<u64>) -> SimConfig {
+        SimConfig {
+            algorithm: alg,
+            shuffle_seed: shuffle,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved() {
+        let mut sim = Simulation::disk(30, 1, config(Algorithm::Composite, None));
+        let e0 = sim.total_energy();
+        sim.run(500);
+        let e1 = sim.total_energy();
+        let drift = ((e1 - e0) / e0).abs();
+        // Leapfrog is symplectic but close encounters at this softening
+        // still wiggle the energy at the percent level; the check guards
+        // against integrator bugs (which blow up by orders of magnitude).
+        assert!(drift < 2e-2, "leapfrog energy drift {drift:e}");
+    }
+
+    #[test]
+    fn deterministic_without_shuffling() {
+        let mut a = Simulation::disk(20, 2, config(Algorithm::Standard, None));
+        let mut b = Simulation::disk(20, 2, config(Algorithm::Standard, None));
+        a.run(200);
+        b.run(200);
+        assert!(divergence(&a, &b).bitwise_identical);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn st_trajectories_diverge_under_shuffled_accumulation() {
+        let mut a = Simulation::disk(30, 3, config(Algorithm::Standard, Some(100)));
+        let mut b = Simulation::disk(30, 3, config(Algorithm::Standard, Some(200)));
+        a.run(800);
+        b.run(800);
+        let d = divergence(&a, &b);
+        assert!(!d.bitwise_identical, "ST must feel the order nondeterminism");
+        assert!(d.max_position > 0.0);
+    }
+
+    #[test]
+    fn pr_trajectories_are_bitwise_identical_under_shuffling() {
+        let mut a = Simulation::disk(30, 3, config(Algorithm::PR, Some(100)));
+        let mut b = Simulation::disk(30, 3, config(Algorithm::PR, Some(200)));
+        a.run(300);
+        b.run(300);
+        let d = divergence(&a, &b);
+        assert!(d.bitwise_identical, "PR run diverged: {d:?}");
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn distill_trajectories_are_bitwise_identical_too() {
+        let mut a = Simulation::disk(16, 5, config(Algorithm::Distill, Some(7)));
+        let mut b = Simulation::disk(16, 5, config(Algorithm::Distill, Some(8)));
+        a.run(100);
+        b.run(100);
+        assert!(divergence(&a, &b).bitwise_identical);
+    }
+
+    #[test]
+    fn divergence_grows_with_time_for_st() {
+        let mut a = Simulation::disk(30, 9, config(Algorithm::Standard, Some(1)));
+        let mut b = Simulation::disk(30, 9, config(Algorithm::Standard, Some(2)));
+        a.run(200);
+        b.run(200);
+        let early = divergence(&a, &b).max_position;
+        a.run(1500);
+        b.run(1500);
+        let late = divergence(&a, &b).max_position;
+        assert!(
+            late > early,
+            "chaos should amplify the gap: early {early:e}, late {late:e}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let a = Simulation::disk(10, 1, config(Algorithm::Standard, None));
+        let mut b = Simulation::disk(10, 1, config(Algorithm::Standard, None));
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        b.step();
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn adaptive_simulation_mixes_operators() {
+        // A system with a genuinely ill-conditioned reduction: the central
+        // body sits between two equal opposite attractors (net force on it
+        // cancels almost exactly), while the orbiters see benign sums.
+        let particles = vec![
+            Particle { x: 0.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 },
+            Particle { x: 3.0, y: 0.0, vx: 0.0, vy: 5.0, mass: 500.0 },
+            Particle { x: -3.0, y: 0.0, vx: 0.0, vy: -5.0, mass: 500.0 },
+            Particle { x: 0.0, y: 6.0, vx: 4.0, vy: 0.0, mass: 0.5 },
+            Particle { x: 0.0, y: -6.0, vx: -4.0, vy: 0.0, mass: 0.5 },
+        ];
+        let mut sim = Simulation::new(particles, SimConfig::default())
+            .with_adaptive(Tolerance::RelativeSpread(1e-14));
+        sim.run(10);
+        let choices = sim.adaptive_choices();
+        let total: u64 = choices.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5 * 2 * 10); // two kicks per step, one per particle
+        assert!(
+            choices.len() >= 2,
+            "expected mixed choices, got {choices:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_bitwise_simulation_is_reproducible_under_shuffle() {
+        let build = |shuffle| {
+            Simulation::disk(16, 6, config(Algorithm::Standard, Some(shuffle)))
+                .with_adaptive(Tolerance::Bitwise)
+        };
+        let mut a = build(1);
+        let mut b = build(2);
+        a.run(50);
+        b.run(50);
+        assert!(divergence(&a, &b).bitwise_identical);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_body() {
+        let _ = Simulation::new(
+            vec![Particle { x: 0.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 }],
+            SimConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,588 @@
+//! Collectives: barrier, broadcast, allreduce-max, and accumulator
+//! reduction with pluggable topologies.
+
+use crate::comm::Comm;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use repro_select::{DataProfile, HeuristicSelector, Selector, Tolerance};
+use repro_sum::{Accumulator, Algorithm};
+use std::any::Any;
+use std::time::Duration;
+
+/// The communication pattern of a reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceTopology {
+    /// Binomial tree (recursive halving): `log₂ size` rounds, the pattern
+    /// MPI implementations favour; merge order fixed by rank arithmetic.
+    Binomial,
+    /// Every rank sends straight to the root, which merges **in arrival
+    /// order** — the nondeterministic pattern of an opportunistic runtime.
+    FlatArrival,
+    /// Rank `size−1 → … → 1 → 0` daisy chain: the "completely unbalanced"
+    /// tree of the paper's Figure 1b, distributed.
+    Chain,
+}
+
+/// Knobs for one reduction.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceConfig {
+    /// Communication pattern.
+    pub topology: ReduceTopology,
+    /// If nonzero, each rank sleeps a seeded-random duration up to this
+    /// many microseconds before contributing — scrambling arrival order
+    /// (the "intermittent faults and inconsistently available resources"
+    /// of the paper, in miniature).
+    pub jitter_us: u64,
+    /// Seed for the jitter draw.
+    pub jitter_seed: u64,
+}
+
+impl Default for ReduceConfig {
+    fn default() -> Self {
+        Self {
+            topology: ReduceTopology::Binomial,
+            jitter_us: 0,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Block until every rank has arrived (dissemination barrier).
+pub fn barrier(comm: &mut Comm) {
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    if size == 1 {
+        return;
+    }
+    let mut round = 1usize;
+    while round < size {
+        let to = (comm.rank() + round) % size;
+        let from = (comm.rank() + size - round) % size;
+        let round_tag = tag ^ ((round as u64) << 32);
+        comm.send(to, round_tag, ());
+        let () = comm.recv(from, round_tag);
+        round <<= 1;
+    }
+}
+
+/// Broadcast `value` from `root` to every rank (binomial tree).
+pub fn broadcast<T: Any + Send + Clone>(comm: &mut Comm, root: usize, value: Option<T>) -> T {
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    // Rotate so the root is virtual rank 0.
+    let vrank = (comm.rank() + size - root) % size;
+    let mut have: Option<T> = if vrank == 0 {
+        Some(value.expect("root must supply the broadcast value"))
+    } else {
+        None
+    };
+    // MPICH-style binomial broadcast over virtual ranks: receive from the
+    // parent at the lowest set bit, then forward to children below it.
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask != 0 {
+            let src = (vrank - mask + root) % size;
+            have = Some(comm.recv(src, tag));
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        let child = vrank + mask;
+        if child < size {
+            let v = have.clone().expect("value present before forwarding");
+            comm.send((child + root) % size, tag, v);
+        }
+        mask >>= 1;
+    }
+    have.expect("broadcast did not reach this rank")
+}
+
+/// Allreduce-max of one scalar: reduce to rank 0 over a chain-free binomial
+/// tree, then broadcast back. Exact (max is associative/commutative), so
+/// topology does not matter for the value.
+pub fn allreduce_max(comm: &mut Comm, x: f64) -> f64 {
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut acc = x;
+    // Reduce up the binomial tree.
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask != 0 {
+            comm.send(rank & !mask, tag, acc);
+            break;
+        }
+        let peer = rank | mask;
+        if peer < size {
+            let other: f64 = comm.recv(peer, tag);
+            acc = acc.max(other);
+        }
+        mask <<= 1;
+    }
+    broadcast(comm, 0, if rank == 0 { Some(acc) } else { None })
+}
+
+/// Reduce per-rank accumulators to `root` with the configured topology.
+/// Returns `Some(merged)` on the root, `None` elsewhere.
+pub fn reduce_accumulator<A>(
+    comm: &mut Comm,
+    local: A,
+    root: usize,
+    cfg: &ReduceConfig,
+) -> Option<A>
+where
+    A: Accumulator + Any,
+{
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    let rank = comm.rank();
+    if cfg.jitter_us > 0 {
+        let mut rng =
+            StdRng::seed_from_u64(cfg.jitter_seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        std::thread::sleep(Duration::from_micros(rng.random_range(0..cfg.jitter_us)));
+    }
+    match cfg.topology {
+        ReduceTopology::FlatArrival => {
+            if rank == root {
+                let mut acc = local;
+                for _ in 0..size - 1 {
+                    let (_, partial): (usize, A) = comm.recv_any(tag);
+                    acc.merge(&partial);
+                }
+                Some(acc)
+            } else {
+                comm.send(root, tag, local);
+                None
+            }
+        }
+        ReduceTopology::Chain => {
+            // Virtual chain with root at position 0.
+            let vrank = (rank + size - root) % size;
+            let mut acc = local;
+            if vrank + 1 < size {
+                let src = (vrank + 1 + root) % size;
+                let upstream: A = comm.recv(src, tag);
+                acc.merge(&upstream);
+            }
+            if vrank > 0 {
+                let dst = (vrank - 1 + root) % size;
+                comm.send(dst, tag, acc);
+                None
+            } else {
+                Some(acc)
+            }
+        }
+        ReduceTopology::Binomial => {
+            let vrank = (rank + size - root) % size;
+            let mut acc = local;
+            let mut mask = 1usize;
+            while mask < size {
+                if vrank & mask != 0 {
+                    let dst = (vrank - mask + root) % size;
+                    comm.send(dst, tag, acc);
+                    return None;
+                }
+                let peer = vrank | mask;
+                if peer < size {
+                    let src = (peer + root) % size;
+                    let partial: A = comm.recv(src, tag);
+                    acc.merge(&partial);
+                }
+                mask <<= 1;
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Allreduce: reduce the accumulators to rank 0, broadcast the finalized
+/// scalar back. Every rank returns the same value (bitwise).
+pub fn allreduce_sum_acc<A>(comm: &mut Comm, local: A, cfg: &ReduceConfig) -> f64
+where
+    A: Accumulator + Any,
+{
+    let merged = reduce_accumulator(comm, local, 0, cfg).map(|a| a.finalize());
+    broadcast(comm, 0, merged)
+}
+
+/// Gather one value per rank to `root`, in rank order. Returns
+/// `Some(values)` on the root, `None` elsewhere.
+pub fn gather<T: Any + Send>(comm: &mut Comm, value: T, root: usize) -> Option<Vec<T>> {
+    let tag = comm.next_op_tag();
+    if comm.rank() == root {
+        let size = comm.size();
+        let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        slots[root] = Some(value);
+        for _ in 0..size - 1 {
+            let (from, v): (usize, T) = comm.recv_any(tag);
+            debug_assert!(slots[from].is_none(), "duplicate gather contribution");
+            slots[from] = Some(v);
+        }
+        Some(slots.into_iter().map(|s| s.expect("all ranks contribute")).collect())
+    } else {
+        comm.send(root, tag, value);
+        None
+    }
+}
+
+/// Distributed intelligent reduction — the paper's advocated system, in its
+/// natural habitat: every rank profiles its local chunk, the partial
+/// profiles reduce and broadcast (one cheap collective), every rank then
+/// **deterministically selects the same operator** from the global profile,
+/// and the reduction runs with it.
+///
+/// Returns `(sum, chosen_algorithm)` on the root, `None` elsewhere; the
+/// selection itself is visible on all ranks via the returned algorithm in
+/// the root's tuple (ranks needing it can broadcast).
+pub fn adaptive_reduce_sum(
+    comm: &mut Comm,
+    local_values: &[f64],
+    tolerance: Tolerance,
+    root: usize,
+    cfg: &ReduceConfig,
+) -> Option<(f64, Algorithm)> {
+    // 1. Profile locally; 2. allreduce the profile (binomial up, bcast down).
+    let local = repro_select::profile(local_values);
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut acc = local;
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask != 0 {
+            comm.send(rank & !mask, tag, acc);
+            break;
+        }
+        let peer = rank | mask;
+        if peer < size {
+            let other: DataProfile = comm.recv(peer, tag);
+            acc.merge(&other);
+        }
+        mask <<= 1;
+    }
+    let global: DataProfile = broadcast(comm, 0, (rank == 0).then_some(acc));
+    // 3. Same profile + same deterministic selector = same choice everywhere.
+    let algorithm = HeuristicSelector::default().choose(&global, tolerance);
+    // 4. Reduce with the chosen operator.
+    let mut local_acc = algorithm.new_accumulator();
+    local_acc.add_slice(local_values);
+    reduce_accumulator(comm, local_acc, root, cfg).map(|a| (a.finalize(), algorithm))
+}
+
+/// Inclusive prefix scan (`MPI_Scan`): rank `r` returns the reduction of
+/// ranks `0..=r`'s accumulators, computed with the Hillis–Steele doubling
+/// schedule (`⌈log₂ size⌉` rounds).
+///
+/// Prefix semantics are inherently rank-ordered, so unlike `reduce` there is
+/// no arrival-order variant — but the *merge association* still differs
+/// between schedules, so only reproducible operators give schedule-stable
+/// prefixes (see the `scan_*` tests).
+pub fn scan_accumulator<A>(comm: &mut Comm, local: A) -> A
+where
+    A: Accumulator + Any + Clone,
+{
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut acc = local;
+    let mut dist = 1usize;
+    let mut round = 0u64;
+    while dist < size {
+        let round_tag = tag ^ (round << 32);
+        if rank + dist < size {
+            comm.send(rank + dist, round_tag, acc.clone());
+        }
+        if rank >= dist {
+            let incoming: A = comm.recv(rank - dist, round_tag);
+            // Prefix order: the incoming partial covers lower ranks.
+            let mut merged = incoming;
+            merged.merge(&acc);
+            acc = merged;
+        }
+        dist <<= 1;
+        round += 1;
+    }
+    acc
+}
+
+/// All-to-all personalized exchange: rank `r` supplies one value per
+/// destination and receives one value per source, in source-rank order.
+pub fn alltoall<T: Any + Send>(comm: &mut Comm, outgoing: Vec<T>) -> Vec<T> {
+    let tag = comm.next_op_tag();
+    let size = comm.size();
+    assert_eq!(outgoing.len(), size, "one outgoing value per rank required");
+    let me = comm.rank();
+    let mut keep: Option<T> = None;
+    for (to, v) in outgoing.into_iter().enumerate() {
+        if to == me {
+            keep = Some(v);
+        } else {
+            comm.send(to, tag, v);
+        }
+    }
+    let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    slots[me] = keep;
+    for _ in 0..size - 1 {
+        let (from, v): (usize, T) = comm.recv_any(tag);
+        debug_assert!(slots[from].is_none());
+        slots[from] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every rank contributes"))
+        .collect()
+}
+
+/// The paper's Section IV-C pattern in one call: each rank reduces its local
+/// chunk with `algorithm`, then the partials are globally reduced. Returns
+/// the final sum on the root, `None` elsewhere.
+pub fn reduce_sum(
+    comm: &mut Comm,
+    local_values: &[f64],
+    algorithm: Algorithm,
+    root: usize,
+    cfg: &ReduceConfig,
+) -> Option<f64> {
+    let mut acc = algorithm.new_accumulator();
+    acc.add_slice(local_values);
+    reduce_accumulator(comm, acc, root, cfg).map(|a| a.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+    use repro_sum::BinnedSum;
+
+    fn chunks(values: &[f64], size: usize, rank: usize) -> &[f64] {
+        let per = values.len().div_ceil(size);
+        let lo = (rank * per).min(values.len());
+        let hi = ((rank + 1) * per).min(values.len());
+        &values[lo..hi]
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = World::run(7, |c| {
+            barrier(c);
+            barrier(c);
+            c.rank()
+        });
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks_any_root() {
+        for root in [0usize, 1, 5] {
+            let out = World::run(6, move |c| {
+                let v = broadcast(
+                    c,
+                    root,
+                    (c.rank() == root).then(|| format!("payload-{root}")),
+                );
+                v
+            });
+            assert!(out.iter().all(|v| v == &format!("payload-{root}")), "root {root}");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_agrees_everywhere() {
+        let out = World::run(9, |c| allreduce_max(c, (c.rank() as f64 * 7.3) % 5.0));
+        let expected = (0..9).map(|r| (r as f64 * 7.3) % 5.0).fold(f64::MIN, f64::max);
+        assert!(out.iter().all(|&m| m == expected), "{out:?} vs {expected}");
+    }
+
+    #[test]
+    fn all_topologies_reduce_exact_data_identically() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        for topo in [
+            ReduceTopology::Binomial,
+            ReduceTopology::FlatArrival,
+            ReduceTopology::Chain,
+        ] {
+            let cfg = ReduceConfig { topology: topo, ..Default::default() };
+            let out = World::run(5, |c| {
+                let mine = chunks(&values, c.size(), c.rank());
+                reduce_sum(c, mine, Algorithm::Standard, 0, &cfg)
+            });
+            assert_eq!(out[0], Some(499_500.0), "{topo:?}");
+            assert!(out[1..].iter().all(|o| o.is_none()));
+        }
+    }
+
+    #[test]
+    fn binned_reduction_is_bitwise_stable_under_jitter() {
+        let values = repro_gen::zero_sum_with_range(20_000, 32, 55);
+        let reference = {
+            let mut acc = BinnedSum::new(3);
+            acc.add_slice(&values);
+            acc.finalize()
+        };
+        for seed in 0..5 {
+            let cfg = ReduceConfig {
+                topology: ReduceTopology::FlatArrival,
+                jitter_us: 300,
+                jitter_seed: seed,
+            };
+            let out = World::run(8, |c| {
+                let mine = chunks(&values, c.size(), c.rank());
+                reduce_sum(c, mine, Algorithm::PR, 0, &cfg)
+            });
+            let got = out[0].unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "jitter seed {seed}");
+        }
+    }
+
+    #[test]
+    fn nonzero_root_receives_the_result() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let cfg = ReduceConfig { topology: ReduceTopology::Chain, ..Default::default() };
+        let out = World::run(4, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            reduce_sum(c, mine, Algorithm::Composite, 2, &cfg)
+        });
+        assert!(out[2].is_some());
+        assert_eq!(out[2].unwrap(), repro_fp::exact_sum(&values));
+        assert!(out[0].is_none() && out[1].is_none() && out[3].is_none());
+    }
+
+    #[test]
+    fn adaptive_reduce_selects_consistently_and_correctly() {
+        // Hostile global data: every rank's chunk is benign-looking in
+        // isolation except for the cancellation across ranks; the GLOBAL
+        // profile sees k = inf and escalates.
+        let values = repro_gen::zero_sum_with_range(20_000, 24, 5);
+        let cfg = ReduceConfig { topology: ReduceTopology::Binomial, ..Default::default() };
+        let out = World::run(8, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            adaptive_reduce_sum(c, mine, Tolerance::AbsoluteSpread(1e-10), 0, &cfg)
+        });
+        let (sum, alg) = out[0].unwrap();
+        assert!(out[1..].iter().all(|o| o.is_none()));
+        assert!(
+            alg.cost_rank() > Algorithm::Standard.cost_rank(),
+            "global profile must escalate: chose {alg}"
+        );
+        assert!(repro_fp::abs_error(sum, &values) <= 1e-9);
+
+        // Benign data keeps the cheap operator.
+        let benign: Vec<f64> = (1..=20_000).map(|i| i as f64).collect();
+        let out = World::run(8, |c| {
+            let mine = chunks(&benign, c.size(), c.rank());
+            adaptive_reduce_sum(c, mine, Tolerance::AbsoluteSpread(1e-4), 0, &cfg)
+        });
+        let (sum, alg) = out[0].unwrap();
+        assert_eq!(alg, Algorithm::Standard);
+        assert_eq!(sum, repro_fp::exact_sum(&benign));
+    }
+
+    #[test]
+    fn adaptive_reduce_bitwise_is_jitter_stable() {
+        let values = repro_gen::zero_sum_with_range(10_000, 32, 9);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..4 {
+            let cfg = ReduceConfig {
+                topology: ReduceTopology::FlatArrival,
+                jitter_us: 200,
+                jitter_seed: seed,
+            };
+            let out = World::run(6, |c| {
+                let mine = chunks(&values, c.size(), c.rank());
+                adaptive_reduce_sum(c, mine, Tolerance::Bitwise, 0, &cfg)
+            });
+            let (sum, alg) = out[0].unwrap();
+            assert!(alg.is_reproducible());
+            seen.insert(sum.to_bits());
+        }
+        assert_eq!(seen.len(), 1, "bitwise tolerance must survive jitter");
+    }
+
+    #[test]
+    fn scan_produces_rank_prefixes() {
+        let out = World::run(7, |c| {
+            let mut acc = Algorithm::Standard.new_accumulator();
+            acc.add((c.rank() + 1) as f64);
+            scan_accumulator(c, acc).finalize()
+        });
+        // Prefix of 1..=r+1 is the triangular number.
+        let expect: Vec<f64> = (1..=7).map(|r| (r * (r + 1)) as f64 / 2.0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn scan_with_binned_is_schedule_stable() {
+        // Each rank holds an ill-conditioned chunk; the doubling schedule
+        // associates merges differently per rank, but the binned prefix of
+        // rank r must equal the sequential reduction of chunks 0..=r, bitwise.
+        let values = repro_gen::zero_sum_with_range(8_192, 24, 77);
+        let ranks = 8;
+        let out = World::run(ranks, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            let mut acc = BinnedSum::new(3);
+            acc.add_slice(mine);
+            scan_accumulator(c, acc).finalize()
+        });
+        for (r, &got) in out.iter().enumerate() {
+            let hi = ((r + 1) * values.len().div_ceil(ranks)).min(values.len());
+            let mut want = BinnedSum::new(3);
+            want.add_slice(&values[..hi]);
+            assert_eq!(got.to_bits(), want.finalize().to_bits(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_agrees_bitwise_on_every_rank() {
+        let values = repro_gen::zero_sum_with_range(5_000, 16, 3);
+        let cfg = ReduceConfig { topology: ReduceTopology::FlatArrival, ..Default::default() };
+        let out = World::run(6, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            let mut acc = BinnedSum::new(3);
+            acc.add_slice(mine);
+            allreduce_sum_acc(c, acc, &cfg)
+        });
+        let first = out[0].to_bits();
+        assert!(out.iter().all(|v| v.to_bits() == first), "{out:?}");
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::run(5, |c| gather(c, c.rank() * 10, 2));
+        assert_eq!(out[2], Some(vec![0, 10, 20, 30, 40]));
+        assert!(out[0].is_none() && out[4].is_none());
+    }
+
+    #[test]
+    fn alltoall_transposes_the_exchange_matrix() {
+        // Rank r sends r*10 + to; it must receive from*10 + r.
+        let out = World::run(5, |c| {
+            let outgoing: Vec<u64> =
+                (0..c.size()).map(|to| (c.rank() * 10 + to) as u64).collect();
+            alltoall(c, outgoing)
+        });
+        for (r, incoming) in out.iter().enumerate() {
+            let expected: Vec<u64> = (0..5).map(|from| (from * 10 + r) as u64).collect();
+            assert_eq!(incoming, &expected, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn alltoall_single_rank() {
+        let out = World::run(1, |c| alltoall(c, vec![99u8]));
+        assert_eq!(out[0], vec![99]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let cfg = ReduceConfig::default();
+        let out = World::run(1, |c| {
+            barrier(c);
+            let m = allreduce_max(c, 3.5);
+            let s = reduce_sum(c, &[1.0, 2.0], Algorithm::Kahan, 0, &cfg);
+            (m, s)
+        });
+        assert_eq!(out[0], (3.5, Some(3.0)));
+    }
+}

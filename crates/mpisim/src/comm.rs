@@ -1,0 +1,222 @@
+//! Ranks, mailboxes, and typed point-to-point messaging.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+
+/// An envelope in flight between ranks.
+struct Envelope {
+    from: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The communicator handed to each rank's closure: its identity plus the
+/// wiring to every peer.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet claimed (out-of-order buffering).
+    pending: Vec<Envelope>,
+    /// SPMD operation counter: every rank performs collectives in the same
+    /// sequence, so equal counters identify the same collective instance.
+    op_counter: u64,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Fresh tag for one collective operation; advances identically on all
+    /// ranks (SPMD discipline).
+    pub(crate) fn next_op_tag(&mut self) -> u64 {
+        self.op_counter += 1;
+        // High bit namespace separates collective tags from user tags.
+        self.op_counter | (1 << 63)
+    }
+
+    /// Send `value` to rank `to` under `tag` (non-blocking, unbounded
+    /// buffering).
+    pub fn send<T: Any + Send>(&self, to: usize, tag: u64, value: T) {
+        self.senders[to]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("receiver rank terminated with messages in flight");
+    }
+
+    /// Receive the next message of type `T` with `tag` from rank `from`
+    /// (blocking; unrelated messages are buffered, not dropped).
+    pub fn recv<T: Any + Send>(&mut self, from: usize, tag: u64) -> T {
+        self.recv_matching(tag, Some(from)).1
+    }
+
+    /// Receive the next message of type `T` with `tag` from **any** rank, in
+    /// genuine arrival order. Returns `(source_rank, value)`.
+    pub fn recv_any<T: Any + Send>(&mut self, tag: u64) -> (usize, T) {
+        self.recv_matching(tag, None)
+    }
+
+    fn recv_matching<T: Any + Send>(&mut self, tag: u64, from: Option<usize>) -> (usize, T) {
+        let matches = |e: &Envelope| {
+            e.tag == tag && from.map_or(true, |f| f == e.from) && e.payload.is::<T>()
+        };
+        if let Some(idx) = self.pending.iter().position(matches) {
+            let e = self.pending.swap_remove(idx);
+            return (e.from, *e.payload.downcast::<T>().expect("checked"));
+        }
+        loop {
+            let e = self
+                .inbox
+                .recv()
+                .expect("world torn down while rank still receiving");
+            if matches(&e) {
+                return (e.from, *e.payload.downcast::<T>().expect("checked"));
+            }
+            self.pending.push(e);
+        }
+    }
+}
+
+/// The world: spawns `size` ranks as threads and runs the same closure on
+/// each (SPMD), returning the per-rank results in rank order.
+///
+/// ```
+/// use repro_mpisim::World;
+///
+/// let doubled = World::run(4, |comm| comm.rank() * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6]);
+/// ```
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks. Panics in any rank propagate.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        assert!(size >= 1, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut inboxes = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, inbox) in inboxes.into_iter().enumerate() {
+                let senders = senders.clone();
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm {
+                        rank,
+                        size,
+                        senders,
+                        inbox,
+                        pending: Vec::new(),
+                        op_counter: 0,
+                    };
+                    f(&mut comm)
+                }));
+            }
+            // Drop the root copies so channels close when ranks finish.
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_every_rank() {
+        let ranks = World::run(8, |c| c.rank());
+        assert_eq!(ranks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_round_trip() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, 42.5f64);
+                c.recv::<String>(1, 8)
+            } else {
+                let x: f64 = c.recv(0, 7);
+                c.send(0, 8, format!("got {x}"));
+                "done".to_string()
+            }
+        });
+        assert_eq!(out[0], "got 42.5");
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                // Send in one order ...
+                c.send(1, 1, 10i64);
+                c.send(1, 2, 20i64);
+                0
+            } else {
+                // ... receive in the other.
+                let b: i64 = c.recv(0, 2);
+                let a: i64 = c.recv(0, 1);
+                a + 2 * b
+            }
+        });
+        assert_eq!(out[1], 50);
+    }
+
+    #[test]
+    fn typed_matching_distinguishes_payload_types() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 1.5f64);
+                c.send(1, 5, 99u32);
+                0u32
+            } else {
+                // Claim the u32 first even though the f64 arrived first.
+                let n: u32 = c.recv(0, 5);
+                let x: f64 = c.recv(0, 5);
+                n + x as u32
+            }
+        });
+        assert_eq!(out[1], 100);
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        let out = World::run(4, |c| {
+            if c.rank() == 0 {
+                let mut sum = 0usize;
+                for _ in 0..3 {
+                    let (src, v): (usize, usize) = c.recv_any(9);
+                    assert_eq!(src, v);
+                    sum += v;
+                }
+                sum
+            } else {
+                c.send(0, 9, c.rank());
+                0
+            }
+        });
+        assert_eq!(out[0], 6);
+    }
+}

@@ -1,0 +1,28 @@
+//! # `repro-mpisim` — a miniature message-passing runtime
+//!
+//! The paper benchmarks its reduction operators as MPI custom operators
+//! ("we globally reduce the local sums by using MPI Reduce with custom
+//! reduction operators for Kahan, composite precision, and prerounded
+//! summations"). This crate is the MPI stand-in: a typed message-passing
+//! world where
+//!
+//! * every **rank** is a thread ([`World::run`]),
+//! * point-to-point [`Comm::send`]/[`Comm::recv`] carry any `Send + 'static`
+//!   value (accumulators included) with tag matching and out-of-order
+//!   buffering,
+//! * [`collectives`] provides `barrier`, `broadcast`, `allreduce_max`, and
+//!   `reduce_accumulator` over any [`repro_sum::Accumulator`] with three
+//!   topologies: binomial tree, chain, and **flat arrival-order** — the
+//!   last merging partials in genuine run-time arrival order, which is the
+//!   nondeterminism the paper says exascale cannot avoid,
+//! * [`collectives::ReduceConfig::jitter_us`] injects per-rank random delays
+//!   to scramble arrival order on demand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+
+pub use collectives::{adaptive_reduce_sum, allreduce_sum_acc, alltoall, gather, reduce_sum, scan_accumulator, ReduceConfig, ReduceTopology};
+pub use comm::{Comm, World};

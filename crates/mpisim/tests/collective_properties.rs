@@ -1,0 +1,114 @@
+//! Property tests for the collectives across world sizes: correctness on
+//! exact data, agreement across topologies, and the reproducibility
+//! contracts under scheduling nondeterminism.
+
+use proptest::prelude::*;
+use repro_mpisim::{collectives, ReduceConfig, ReduceTopology, World};
+use repro_sum::{Accumulator, Algorithm, BinnedSum};
+
+fn chunks(values: &[f64], size: usize, rank: usize) -> &[f64] {
+    let per = values.len().div_ceil(size);
+    &values[(rank * per).min(values.len())..((rank + 1) * per).min(values.len())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Integer-valued data reduces exactly on every topology and world size.
+    #[test]
+    fn reduce_is_exact_on_integers(
+        ints in prop::collection::vec(-1_000_000i64..1_000_000, 1..400),
+        size in 1usize..9,
+        topo_idx in 0usize..3,
+    ) {
+        let values: Vec<f64> = ints.iter().map(|&i| i as f64).collect();
+        let expected: i64 = ints.iter().sum();
+        let topo = [
+            ReduceTopology::Binomial,
+            ReduceTopology::FlatArrival,
+            ReduceTopology::Chain,
+        ][topo_idx];
+        let cfg = ReduceConfig { topology: topo, ..Default::default() };
+        let out = World::run(size, |c| {
+            collectives::reduce_sum(c, chunks(&values, c.size(), c.rank()), Algorithm::Standard, 0, &cfg)
+        });
+        prop_assert_eq!(out[0], Some(expected as f64));
+        prop_assert!(out[1..].iter().all(|o| o.is_none()));
+    }
+
+    /// allreduce_max returns the true maximum on every rank.
+    #[test]
+    fn allreduce_max_is_the_maximum(
+        values in prop::collection::vec(-1e12f64..1e12, 1..32),
+    ) {
+        let size = values.len();
+        let expected = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let out = World::run(size, |c| collectives::allreduce_max(c, values[c.rank()]));
+        prop_assert!(out.iter().all(|&m| m == expected));
+    }
+
+    /// Scan prefixes telescope: rank r's scan equals rank r-1's scan merged
+    /// with rank r's contribution (exact-integer case).
+    #[test]
+    fn scan_telescopes(
+        ints in prop::collection::vec(-1_000i64..1_000, 1..16),
+    ) {
+        let size = ints.len();
+        let out = World::run(size, |c| {
+            let mut acc = Algorithm::Standard.new_accumulator();
+            acc.add(ints[c.rank()] as f64);
+            collectives::scan_accumulator(c, acc).finalize()
+        });
+        let mut running = 0i64;
+        for (r, &got) in out.iter().enumerate() {
+            running += ints[r];
+            prop_assert_eq!(got, running as f64, "rank {}", r);
+        }
+    }
+
+    /// PR reductions agree bitwise across all three topologies AND with the
+    /// single-threaded reduction, for any chunking.
+    #[test]
+    fn binned_topology_quorum(
+        seed in any::<u64>(),
+        size in 2usize..8,
+    ) {
+        let values = repro_gen::zero_sum_with_range(2_000, 24, seed);
+        let reference = BinnedSum::sum_slice(&values, 3);
+        for topo in [
+            ReduceTopology::Binomial,
+            ReduceTopology::FlatArrival,
+            ReduceTopology::Chain,
+        ] {
+            let cfg = ReduceConfig { topology: topo, ..Default::default() };
+            let out = World::run(size, |c| {
+                collectives::reduce_sum(c, chunks(&values, c.size(), c.rank()), Algorithm::PR, 0, &cfg)
+            });
+            prop_assert_eq!(out[0].unwrap().to_bits(), reference.to_bits(), "{:?}", topo);
+        }
+    }
+
+    /// Broadcast delivers the root's value everywhere for any root.
+    #[test]
+    fn broadcast_from_any_root(size in 1usize..10, root_idx in any::<prop::sample::Index>(), payload in any::<u64>()) {
+        let root = root_idx.index(size);
+        let out = World::run(size, move |c| {
+            collectives::broadcast(c, root, (c.rank() == root).then_some(payload))
+        });
+        prop_assert!(out.iter().all(|&v| v == payload));
+    }
+
+    /// Gather returns rank-ordered contributions on the root only.
+    #[test]
+    fn gather_orders_by_rank(size in 1usize..10, root_idx in any::<prop::sample::Index>()) {
+        let root = root_idx.index(size);
+        let out = World::run(size, move |c| collectives::gather(c, c.rank() as u64 * 3, root));
+        let expected: Vec<u64> = (0..size as u64).map(|r| r * 3).collect();
+        prop_assert_eq!(out[root].clone(), Some(expected));
+        for (r, o) in out.iter().enumerate() {
+            if r != root {
+                prop_assert!(o.is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Empirical calibration: replay the paper's grid methodology (Figure 8) to
+//! measure, per `(k, dr)` cell, how much each algorithm's result actually
+//! varies across reduction trees — then let the selector interpolate that
+//! table at run time.
+
+use repro_fp::{abs_error_vs, exact_sum_acc};
+use repro_gen::grid_cell;
+use repro_stats::population_stddev;
+use repro_sum::Algorithm;
+use repro_tree::permute::PermutationStudy;
+use repro_tree::{reduce, TreeShape};
+
+/// What to calibrate over.
+#[derive(Clone, Debug)]
+pub struct CalibrationConfig {
+    /// Condition-number decades to probe (log10 k values; `f64::INFINITY`
+    /// allowed for the zero-sum column).
+    pub k_targets: Vec<f64>,
+    /// Dynamic ranges (decimal decades) to probe.
+    pub dr_targets: Vec<u32>,
+    /// Values per generated cell set.
+    pub n: usize,
+    /// Leaf permutations per cell and algorithm.
+    pub permutations: u64,
+    /// Algorithms to calibrate (cheapest-first recommended).
+    pub algorithms: Vec<Algorithm>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            k_targets: vec![1.0, 1e2, 1e4, 1e8, 1e12, f64::INFINITY],
+            dr_targets: vec![0, 8, 16, 24, 32],
+            n: 4096,
+            permutations: 30,
+            algorithms: Algorithm::PAPER_SET.to_vec(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One calibrated cell: targets plus the measured variability (stddev of
+/// absolute error across permuted balanced trees) per algorithm.
+#[derive(Clone, Debug)]
+pub struct CalCell {
+    /// Condition-number target of the generated set.
+    pub k: f64,
+    /// Dynamic-range target (decades).
+    pub dr: u32,
+    /// `(algorithm, error stddev)` pairs, in the config's algorithm order.
+    pub spread: Vec<(Algorithm, f64)>,
+}
+
+/// A measured `(k, dr) → variability` table.
+#[derive(Clone, Debug)]
+pub struct CalibrationTable {
+    /// All calibrated cells.
+    pub cells: Vec<CalCell>,
+    /// The `n` the table was calibrated at (variability scales with n; the
+    /// selector compensates when profiles differ wildly).
+    pub n: usize,
+}
+
+impl CalibrationTable {
+    /// Serialize to CSV (`n,k,dr,algorithm,spread` rows) so an expensive
+    /// calibration can be reused across runs without a serde dependency.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("n,k,dr,algorithm,spread\n");
+        for cell in &self.cells {
+            for (alg, spread) in &cell.spread {
+                out.push_str(&format!(
+                    "{},{},{},{},{:e}\n",
+                    self.n,
+                    if cell.k.is_infinite() { "inf".into() } else { format!("{:e}", cell.k) },
+                    cell.dr,
+                    alg,
+                    spread
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parse a table back from [`CalibrationTable::to_csv`] output.
+    ///
+    /// Returns `None` on any malformed row (calibration data is generated,
+    /// not user-authored, so malformation means corruption).
+    pub fn from_csv(csv: &str) -> Option<Self> {
+        let mut cells: Vec<CalCell> = Vec::new();
+        let mut n = 0usize;
+        for line in csv.lines().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() != 5 {
+                return None;
+            }
+            n = parts[0].parse().ok()?;
+            let k: f64 = if parts[1] == "inf" {
+                f64::INFINITY
+            } else {
+                parts[1].parse().ok()?
+            };
+            let dr: u32 = parts[2].parse().ok()?;
+            let alg = parse_algorithm(parts[3])?;
+            let spread: f64 = parts[4].parse().ok()?;
+            match cells.iter_mut().find(|c| c.k == k && c.dr == dr) {
+                Some(cell) => cell.spread.push((alg, spread)),
+                None => cells.push(CalCell { k, dr, spread: vec![(alg, spread)] }),
+            }
+        }
+        if cells.is_empty() {
+            return None;
+        }
+        Some(Self { cells, n })
+    }
+
+    /// The cell nearest to `(k, dr)` in `(log10 k, dr)` space.
+    pub fn nearest(&self, k: f64, dr_decades: i32) -> &CalCell {
+        let lk = log10_clamped(k);
+        self.cells
+            .iter()
+            .min_by(|a, b| {
+                let da = cell_distance(lk, dr_decades, a);
+                let db = cell_distance(lk, dr_decades, b);
+                da.total_cmp(&db)
+            })
+            .expect("calibration table is never empty")
+    }
+}
+
+/// Parse an algorithm label as written by `Algorithm`'s `Display` impl.
+fn parse_algorithm(s: &str) -> Option<Algorithm> {
+    match s {
+        "ST" => Some(Algorithm::Standard),
+        "K" => Some(Algorithm::Kahan),
+        "N" => Some(Algorithm::Neumaier),
+        "PW" => Some(Algorithm::Pairwise),
+        "CP" => Some(Algorithm::Composite),
+        "DD" => Some(Algorithm::DoubleDouble),
+        "DS" => Some(Algorithm::Distill),
+        _ => {
+            let fold = s.strip_prefix("PR(fold=")?.strip_suffix(')')?;
+            Some(Algorithm::Binned { fold: fold.parse().ok()? })
+        }
+    }
+}
+
+fn log10_clamped(k: f64) -> f64 {
+    if k.is_infinite() {
+        20.0 // beyond every finite decade the table probes
+    } else {
+        k.max(1.0).log10()
+    }
+}
+
+fn cell_distance(lk: f64, dr: i32, cell: &CalCell) -> f64 {
+    let dk = lk - log10_clamped(cell.k);
+    // One decade of k ≈ four decades of dr in influence (the paper finds k
+    // dominates dr), so weight dr down.
+    let ddr = (dr - cell.dr as i32) as f64 / 4.0;
+    dk * dk + ddr * ddr
+}
+
+/// Run the calibration sweep: for every `(k, dr)` cell, generate a set,
+/// reduce it over permuted balanced trees with every algorithm, and record
+/// the stddev of the absolute errors. Cells are independent and run on a
+/// small scoped thread pool (paper-scale grids are minutes of CPU; the
+/// parallelism is free determinism-wise because every cell is seeded).
+pub fn calibrate(cfg: &CalibrationConfig) -> CalibrationTable {
+    // The "beyond every finite row" scale for the zero-sum column: one
+    // decade past the largest finite k probed.
+    let inf_abs = cfg
+        .k_targets
+        .iter()
+        .copied()
+        .filter(|k| k.is_finite())
+        .fold(1.0f64, f64::max)
+        * 10.0;
+    let coords: Vec<(usize, f64, usize, u32)> = cfg
+        .k_targets
+        .iter()
+        .enumerate()
+        .flat_map(|(ki, &k)| {
+            cfg.dr_targets
+                .iter()
+                .enumerate()
+                .map(move |(di, &dr)| (ki, k, di, dr))
+        })
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(coords.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut cells: Vec<Option<CalCell>> = vec![None; coords.len()];
+    let cell_slots: Vec<std::sync::Mutex<&mut Option<CalCell>>> =
+        cells.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(ki, k, di, dr)) = coords.get(i) else {
+                    return;
+                };
+                let cell = calibrate_cell(cfg, ki, k, di, dr, inf_abs);
+                **cell_slots[i].lock().expect("slot") = Some(cell);
+            });
+        }
+    });
+    drop(cell_slots);
+    CalibrationTable {
+        cells: cells.into_iter().map(|c| c.expect("all cells computed")).collect(),
+        n: cfg.n,
+    }
+}
+
+/// Measure one `(k, dr)` cell.
+fn calibrate_cell(
+    cfg: &CalibrationConfig,
+    ki: usize,
+    k: f64,
+    di: usize,
+    dr: u32,
+    inf_abs: f64,
+) -> CalCell {
+    let seed = cfg
+        .seed
+        .wrapping_add((ki as u64) << 32)
+        .wrapping_add(di as u64);
+    let values = grid_cell(cfg.n, k, dr, seed, inf_abs);
+    let exact = exact_sum_acc(&values);
+    let mut spread = Vec::with_capacity(cfg.algorithms.len());
+    for &alg in &cfg.algorithms {
+        let mut errors = Vec::with_capacity(cfg.permutations as usize);
+        PermutationStudy::new(&values, cfg.permutations, seed ^ 0xABCD).for_each(
+            |_, permuted| {
+                let sum = reduce(permuted, TreeShape::Balanced, alg);
+                errors.push(abs_error_vs(&exact, sum));
+            },
+        );
+        spread.push((alg, population_stddev(&errors)));
+    }
+    CalCell { k, dr, spread }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CalibrationConfig {
+        CalibrationConfig {
+            k_targets: vec![1.0, 1e6, f64::INFINITY],
+            dr_targets: vec![0, 16],
+            n: 512,
+            permutations: 8,
+            algorithms: Algorithm::PAPER_SET.to_vec(),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn calibration_covers_every_cell() {
+        let table = calibrate(&small_cfg());
+        assert_eq!(table.cells.len(), 6);
+        assert!(table
+            .cells
+            .iter()
+            .all(|c| c.spread.len() == Algorithm::PAPER_SET.len()));
+    }
+
+    #[test]
+    fn pr_column_is_exactly_zero_spread() {
+        let table = calibrate(&small_cfg());
+        for cell in &table.cells {
+            let (_, pr_spread) = cell
+                .spread
+                .iter()
+                .find(|(a, _)| a.is_reproducible())
+                .unwrap();
+            assert_eq!(*pr_spread, 0.0, "PR varied in cell k={:e} dr={}", cell.k, cell.dr);
+        }
+    }
+
+    #[test]
+    fn hostile_cells_show_more_st_spread_than_benign_cells() {
+        let table = calibrate(&small_cfg());
+        let st = |cell: &CalCell| cell.spread[0].1;
+        let benign = table
+            .cells
+            .iter()
+            .find(|c| c.k == 1.0 && c.dr == 0)
+            .unwrap();
+        let hostile = table
+            .cells
+            .iter()
+            .find(|c| c.k.is_infinite() && c.dr == 16)
+            .unwrap();
+        assert!(
+            st(hostile) > st(benign),
+            "hostile {:e} !> benign {:e}",
+            st(hostile),
+            st(benign)
+        );
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_the_table() {
+        let table = calibrate(&small_cfg());
+        let csv = table.to_csv();
+        let back = CalibrationTable::from_csv(&csv).expect("parse back");
+        assert_eq!(back.n, table.n);
+        assert_eq!(back.cells.len(), table.cells.len());
+        for (a, b) in table.cells.iter().zip(back.cells.iter()) {
+            assert_eq!(a.k.to_bits(), b.k.to_bits());
+            assert_eq!(a.dr, b.dr);
+            assert_eq!(a.spread.len(), b.spread.len());
+            for ((alg_a, s_a), (alg_b, s_b)) in a.spread.iter().zip(b.spread.iter()) {
+                assert_eq!(alg_a, alg_b);
+                assert_eq!(s_a.to_bits(), s_b.to_bits(), "spread must survive bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(CalibrationTable::from_csv("").is_none());
+        assert!(CalibrationTable::from_csv("n,k,dr,algorithm,spread\n1,2\n").is_none());
+        assert!(
+            CalibrationTable::from_csv("n,k,dr,algorithm,spread\n64,1,0,BOGUS,1e-3\n").is_none()
+        );
+    }
+
+    #[test]
+    fn nearest_cell_lookup() {
+        let table = calibrate(&small_cfg());
+        let c = table.nearest(2.0, 0);
+        assert_eq!(c.k, 1.0);
+        let c = table.nearest(1e7, 14);
+        assert_eq!(c.k, 1e6);
+        assert_eq!(c.dr, 16);
+        let c = table.nearest(f64::INFINITY, 32);
+        assert!(c.k.is_infinite());
+    }
+}

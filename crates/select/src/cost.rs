@@ -1,0 +1,108 @@
+//! Per-algorithm cost model.
+//!
+//! The selector needs to know the *price* side of the tradeoff. Relative
+//! per-element costs default to the flop-count ratios of the operators
+//! (matching the ordering the paper measures in Figures 4–5) and can be
+//! replaced by machine-measured numbers via [`CostModel::measure`].
+
+use repro_sum::{Accumulator, Algorithm};
+use std::time::Instant;
+
+/// Relative (or measured, in ns/element) cost per algorithm.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    entries: Vec<(Algorithm, f64)>,
+}
+
+impl Default for CostModel {
+    /// Flop-count based relative costs (ST = 1): K adds 4 flops per
+    /// element, CP 6, PR ~4 per live bin plus renormalization traffic.
+    fn default() -> Self {
+        Self {
+            entries: vec![
+                (Algorithm::Standard, 1.0),
+                (Algorithm::Pairwise, 1.3),
+                (Algorithm::Kahan, 4.0),
+                (Algorithm::Neumaier, 5.0),
+                (Algorithm::Composite, 6.0),
+                (Algorithm::DoubleDouble, 8.0),
+                (Algorithm::PR, 14.0),
+                (Algorithm::Distill, 25.0),
+            ],
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one algorithm (unknown algorithms fall back to their cost
+    /// rank, preserving the ordering).
+    pub fn cost(&self, alg: Algorithm) -> f64 {
+        self.entries
+            .iter()
+            .find(|(a, _)| *a == alg)
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| 1.0 + alg.cost_rank() as f64 * 3.0)
+    }
+
+    /// Rank algorithms cheapest-first.
+    pub fn by_cost(&self, algorithms: &[Algorithm]) -> Vec<Algorithm> {
+        let mut v = algorithms.to_vec();
+        v.sort_by(|a, b| self.cost(*a).total_cmp(&self.cost(*b)));
+        v
+    }
+
+    /// Measure actual ns/element on this machine over a `sample_len`
+    /// workload, `reps` repetitions with a warm cache (the paper's Figure 4
+    /// protocol, shrunk).
+    pub fn measure(sample_len: usize, reps: usize, seed: u64) -> Self {
+        let values = repro_gen::zero_sum_with_range(sample_len.max(16), 8, seed);
+        let mut entries = Vec::new();
+        for alg in Algorithm::ALL {
+            // Warm-up pass.
+            let mut sink = alg.sum(&values);
+            let start = Instant::now();
+            for _ in 0..reps.max(1) {
+                let mut acc = alg.new_accumulator();
+                acc.add_slice(&values);
+                sink += acc.finalize();
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(sink);
+            entries.push((alg, elapsed / (reps.max(1) * values.len()) as f64));
+        }
+        Self { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preserves_paper_ordering() {
+        let m = CostModel::default();
+        let ordered = m.by_cost(&Algorithm::PAPER_SET);
+        let labels: Vec<&str> = ordered.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(labels, ["ST", "K", "CP", "PR"]);
+    }
+
+    #[test]
+    fn unknown_fold_falls_back_to_rank() {
+        let m = CostModel::default();
+        assert!(m.cost(Algorithm::Binned { fold: 2 }) > m.cost(Algorithm::Standard));
+    }
+
+    #[test]
+    fn measured_costs_keep_st_cheapest() {
+        // Wall-clock under parallel test load is noisy; PR's margin over ST
+        // is the robust signal (>10x in quiet conditions), checked loosely.
+        let m = CostModel::measure(16_384, 8, 1);
+        let st = m.cost(Algorithm::Standard);
+        assert!(
+            m.cost(Algorithm::PR) >= st * 2.0,
+            "PR {} vs ST {}",
+            m.cost(Algorithm::PR),
+            st
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Selection transparency: a structured, human-readable account of *why*
+//! the heuristic selector picked the operator it picked.
+//!
+//! Runtime selection only earns trust if its decisions can be audited; an
+//! [`Explanation`] records the tolerance budget, every candidate's
+//! predicted spread and relative cost, and which constraint eliminated the
+//! cheaper candidates. The CLI's `profile` command and the examples render
+//! these; tests assert the explanation is *faithful* (re-running the
+//! selector reproduces the explained choice).
+
+use crate::cost::CostModel;
+use crate::profile::DataProfile;
+use crate::selector::{predicted_spread, Tolerance};
+use repro_sum::Algorithm;
+
+/// One candidate's audit row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateVerdict {
+    /// The algorithm considered.
+    pub algorithm: Algorithm,
+    /// Predicted absolute spread across reduction orders on this profile.
+    pub predicted_spread: f64,
+    /// Relative cost (1.0 = recursive summation).
+    pub relative_cost: f64,
+    /// Whether the predicted spread fit the tolerance budget.
+    pub fits: bool,
+}
+
+/// A faithful record of one selection decision.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The tolerance requested.
+    pub tolerance: Tolerance,
+    /// The absolute budget the tolerance resolved to (`None` for bitwise,
+    /// which short-circuits candidate comparison).
+    pub budget: Option<f64>,
+    /// Candidates in the order the selector considered them (cheapest
+    /// first); the chosen one is the first with `fits == true`.
+    pub candidates: Vec<CandidateVerdict>,
+    /// The decision.
+    pub chosen: Algorithm,
+}
+
+impl Explanation {
+    /// Render as an aligned ASCII audit trail.
+    pub fn render(&self) -> String {
+        let mut out = format!("tolerance: {:?}\n", self.tolerance);
+        match self.budget {
+            Some(b) => out.push_str(&format!("budget (absolute spread): {b:e}\n")),
+            None => out.push_str("budget: bitwise (only reproducible operators qualify)\n"),
+        }
+        for c in &self.candidates {
+            out.push_str(&format!(
+                "  {:<12} cost {:>5.1}x  predicted spread {:>12.3e}  {}\n",
+                c.algorithm.to_string(),
+                c.relative_cost,
+                c.predicted_spread,
+                if c.algorithm == self.chosen {
+                    "<- CHOSEN (cheapest that fits)"
+                } else if c.fits {
+                    "fits (but costlier)"
+                } else {
+                    "exceeds budget"
+                },
+            ));
+        }
+        out.push_str(&format!("chosen: {}\n", self.chosen));
+        out
+    }
+}
+
+/// Explain a heuristic selection: same decision procedure as
+/// [`crate::selector::Selector::choose`] on the
+/// [`crate::selector::HeuristicSelector`], with every intermediate
+/// recorded.
+pub fn explain(profile: &DataProfile, tolerance: Tolerance) -> Explanation {
+    let costs = CostModel::default();
+    let budget = match tolerance {
+        Tolerance::Bitwise => None,
+        Tolerance::AbsoluteSpread(t) => Some(t),
+        Tolerance::RelativeSpread(r) => {
+            let scale = profile.sum_estimate.abs();
+            if scale == 0.0 {
+                None
+            } else {
+                Some(r * scale)
+            }
+        }
+    };
+    let mut candidates = Vec::new();
+    let mut chosen = None;
+    for alg in costs.by_cost(&Algorithm::PAPER_SET) {
+        let spread = predicted_spread(alg, profile);
+        let fits = match budget {
+            Some(b) => spread <= b,
+            None => alg.is_reproducible(),
+        };
+        if fits && chosen.is_none() {
+            chosen = Some(alg);
+        }
+        candidates.push(CandidateVerdict {
+            algorithm: alg,
+            predicted_spread: spread,
+            relative_cost: costs.cost(alg),
+            fits,
+        });
+    }
+    Explanation {
+        tolerance,
+        budget,
+        candidates,
+        chosen: chosen.unwrap_or(Algorithm::PR),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile;
+    use crate::selector::{HeuristicSelector, Selector};
+
+    fn check_faithful(values: &[f64], tol: Tolerance) -> Explanation {
+        let p = profile(values);
+        let e = explain(&p, tol);
+        let actual = HeuristicSelector::default().choose(&p, tol);
+        assert_eq!(e.chosen, actual, "explanation disagrees with selector");
+        e
+    }
+
+    #[test]
+    fn explanation_is_faithful_across_regimes() {
+        let benign: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let hostile = [3.14e16, 1.59, -3.14e16, -1.59];
+        for tol in [
+            Tolerance::AbsoluteSpread(1.0),
+            Tolerance::AbsoluteSpread(1e-12),
+            Tolerance::AbsoluteSpread(0.0),
+            Tolerance::RelativeSpread(1e-9),
+            Tolerance::Bitwise,
+        ] {
+            check_faithful(&benign, tol);
+            check_faithful(&hostile, tol);
+        }
+    }
+
+    #[test]
+    fn loose_budget_explains_cheapest_choice() {
+        let e = check_faithful(&[1.0, 2.0, 3.0], Tolerance::AbsoluteSpread(1.0));
+        assert_eq!(e.chosen, Algorithm::Standard);
+        assert!(e.candidates[0].fits);
+        assert_eq!(e.candidates[0].algorithm, Algorithm::Standard);
+    }
+
+    #[test]
+    fn zero_budget_explains_escalation_to_pr() {
+        let e = check_faithful(&[1.0, 1e16, -1e16], Tolerance::AbsoluteSpread(0.0));
+        assert_eq!(e.chosen, Algorithm::PR);
+        // Every non-reproducible candidate is marked as exceeding budget.
+        for c in &e.candidates {
+            assert_eq!(c.fits, c.predicted_spread == 0.0, "{:?}", c.algorithm);
+        }
+    }
+
+    #[test]
+    fn bitwise_explanation_has_no_budget() {
+        let e = check_faithful(&[2.0, 4.0], Tolerance::Bitwise);
+        assert_eq!(e.budget, None);
+        assert!(e.chosen.is_reproducible());
+    }
+
+    #[test]
+    fn render_contains_the_decision_line() {
+        let e = check_faithful(&[1.0, 2.0], Tolerance::AbsoluteSpread(1e-30));
+        let text = e.render();
+        assert!(text.contains("CHOSEN"), "{text}");
+        assert!(text.contains(&e.chosen.to_string()), "{text}");
+        assert!(text.contains("exceeds budget"), "{text}");
+    }
+
+    #[test]
+    fn candidates_are_ordered_by_cost() {
+        let e = check_faithful(&[1.0; 64], Tolerance::AbsoluteSpread(1e-9));
+        let costs: Vec<f64> = e.candidates.iter().map(|c| c.relative_cost).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+    }
+}

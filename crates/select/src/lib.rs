@@ -1,0 +1,196 @@
+//! # `repro-select` — intelligent runtime selection of reduction algorithms
+//!
+//! The system the paper argues for: "estimable quantities such as condition
+//! number and dynamic range can guide runtime selection of a reduction
+//! operator with the appropriate performance/reproducibility tradeoff for
+//! the application at hand."
+//!
+//! The pipeline:
+//!
+//! 1. [`profile::profile`] scans the operands once (O(n), compensated
+//!    arithmetic) and estimates the quantities the paper identifies:
+//!    `n`, dynamic range `dr`, condition number `k`.
+//! 2. A [`Selector`] maps `(profile, tolerance)` to the **cheapest**
+//!    [`Algorithm`] expected to keep run-to-run variability under the
+//!    tolerance:
+//!    * [`selector::HeuristicSelector`] uses closed-form variability
+//!      predictors per algorithm (the analytic counterpart of the paper's
+//!      Figure 12 maps);
+//!    * [`selector::CalibratedSelector`] interpolates a measured
+//!      `(k, dr) → variability` table built by [`calibrate::calibrate`],
+//!      which replays the paper's grid methodology (Figure 8) at
+//!      calibration time.
+//! 3. [`AdaptiveReducer`] packages the whole thing: profile, choose,
+//!    reduce, report.
+//! 4. [`verified::VerifiedReducer`] trusts measurements over models: reduce
+//!    under two independent orders, escalate until the runs agree within
+//!    tolerance — the paper's reproducibility definition, enforced at
+//!    runtime.
+//! 5. [`subtree::SubtreeAdaptive`] goes where the paper's conclusion points:
+//!    profile **subtrees** individually and pay for expensive operators only
+//!    on the chunks whose data demands them, combining chunk partials
+//!    exactly at the top.
+//!
+//! ```
+//! use repro_select::{AdaptiveReducer, Tolerance};
+//!
+//! // A benign workload: all positive, one decade. ST is fine.
+//! let benign: Vec<f64> = (1..1000).map(|i| 1.0 + (i % 10) as f64).collect();
+//! let reducer = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(1e-10));
+//! let outcome = reducer.reduce(&benign);
+//! assert_eq!(outcome.algorithm.abbrev(), "ST");
+//!
+//! // The same tolerance on a hostile workload escalates the operator.
+//! let hostile = repro_gen::zero_sum_with_range(1000, 32, 7);
+//! let outcome = reducer.reduce(&hostile);
+//! assert!(outcome.algorithm.cost_rank() > repro_sum::Algorithm::Standard.cost_rank());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod cost;
+pub mod explain;
+pub mod profile;
+pub mod selector;
+pub mod subtree;
+pub mod verified;
+
+pub use calibrate::{calibrate, CalibrationConfig, CalibrationTable};
+pub use cost::CostModel;
+pub use explain::{explain, Explanation};
+pub use profile::{profile, DataProfile};
+pub use selector::{HeuristicSelector, SampledSelector, Selector, Tolerance};
+pub use subtree::{BudgetSplit, SubtreeAdaptive, SubtreeOutcome};
+pub use verified::{VerifiedOutcome, VerifiedReducer};
+use repro_sum::{Accumulator, Algorithm};
+
+/// The result of one adaptive reduction.
+#[derive(Clone, Copy, Debug)]
+pub struct Outcome {
+    /// The computed sum.
+    pub sum: f64,
+    /// The algorithm the selector chose.
+    pub algorithm: Algorithm,
+    /// The profile the choice was based on.
+    pub profile: DataProfile,
+}
+
+/// Profile → select → reduce, in one object.
+pub struct AdaptiveReducer {
+    selector: Box<dyn Selector + Send + Sync>,
+    tolerance: Tolerance,
+}
+
+impl std::fmt::Debug for AdaptiveReducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveReducer")
+            .field("tolerance", &self.tolerance)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdaptiveReducer {
+    /// An adaptive reducer driven by the analytic heuristic selector.
+    pub fn heuristic(tolerance: Tolerance) -> Self {
+        Self {
+            selector: Box::new(HeuristicSelector::default()),
+            tolerance,
+        }
+    }
+
+    /// An adaptive reducer driven by a measured calibration table.
+    pub fn calibrated(table: CalibrationTable, tolerance: Tolerance) -> Self {
+        Self {
+            selector: Box::new(selector::CalibratedSelector::new(table)),
+            tolerance,
+        }
+    }
+
+    /// An adaptive reducer with a custom selector.
+    pub fn with_selector(selector: Box<dyn Selector + Send + Sync>, tolerance: Tolerance) -> Self {
+        Self { selector, tolerance }
+    }
+
+    /// Which algorithm would be chosen for this data (no reduction done).
+    pub fn choose(&self, values: &[f64]) -> (Algorithm, DataProfile) {
+        let p = profile(values);
+        (self.selector.choose(&p, self.tolerance), p)
+    }
+
+    /// Profile, select, and sequentially reduce.
+    pub fn reduce(&self, values: &[f64]) -> Outcome {
+        let (algorithm, profile) = self.choose(values);
+        let mut acc = algorithm.new_accumulator();
+        acc.add_slice(values);
+        Outcome {
+            sum: acc.finalize(),
+            algorithm,
+            profile,
+        }
+    }
+}
+
+/// One row of a selection report: a tolerance and the operator the
+/// heuristic selector would pick for it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    /// The tolerance probed.
+    pub tolerance: Tolerance,
+    /// The cheapest acceptable operator at that tolerance.
+    pub algorithm: Algorithm,
+}
+
+/// Sweep a ladder of tolerances over one dataset: the at-a-glance answer to
+/// "what would selecting cost me at each reproducibility level?".
+///
+/// ```
+/// let hostile = repro_gen::zero_sum_with_range(10_000, 32, 7);
+/// let report = repro_select::recommendations(&hostile);
+/// // The ladder ends at a reproducible operator.
+/// assert!(report.last().unwrap().algorithm.is_reproducible());
+/// // And it only ever escalates.
+/// assert!(report.windows(2).all(|w| w[0].algorithm.cost_rank() <= w[1].algorithm.cost_rank()));
+/// ```
+pub fn recommendations(values: &[f64]) -> Vec<Recommendation> {
+    let p = profile(values);
+    let selector = HeuristicSelector::default();
+    let mut out = Vec::new();
+    for exp in [-6i32, -9, -12, -15] {
+        let tolerance = Tolerance::AbsoluteSpread(10f64.powi(exp));
+        out.push(Recommendation {
+            tolerance,
+            algorithm: selector.choose(&p, tolerance),
+        });
+    }
+    out.push(Recommendation {
+        tolerance: Tolerance::Bitwise,
+        algorithm: selector.choose(&p, Tolerance::Bitwise),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendations_cover_the_ladder() {
+        let benign: Vec<f64> = (1..1000).map(|i| i as f64 * 1e-3).collect();
+        let report = recommendations(&benign);
+        assert_eq!(report.len(), 5);
+        assert_eq!(report[0].algorithm, Algorithm::Standard);
+        assert_eq!(report.last().unwrap().algorithm, Algorithm::PR);
+    }
+
+    #[test]
+    fn outcome_reports_choice_and_profile() {
+        let values: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let r = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(1e-9));
+        let out = r.reduce(&values);
+        assert_eq!(out.sum, 4950.0);
+        assert_eq!(out.profile.n, 99);
+        assert_eq!(out.algorithm.abbrev(), "ST");
+    }
+}

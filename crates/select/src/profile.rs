@@ -1,0 +1,204 @@
+//! Cheap one-pass dataset profiling.
+//!
+//! The paper's premise is that `n`, `k`, and `dr` are "estimable quantities"
+//! a runtime can afford to compute. This profiler does it in one pass of
+//! compensated arithmetic: the condition-number estimate uses composite-
+//! precision sums of `x` and `|x|`, so it is itself reliable on exactly the
+//! ill-conditioned inputs where it matters.
+
+use repro_fp::ulp::exponent;
+use repro_sum::{Accumulator, CompositeSum};
+
+/// The profile the selector consumes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DataProfile {
+    /// Number of values.
+    pub n: usize,
+    /// Estimated sum condition number `Σ|x| / |Σx|` (∞ if the estimated
+    /// sum is zero; 1 for empty input).
+    pub k: f64,
+    /// Dynamic range in binary binades (difference of extreme exponents).
+    pub dr_binades: i32,
+    /// Largest magnitude.
+    pub max_abs: f64,
+    /// Estimated absolute-value sum.
+    pub abs_sum: f64,
+    /// Estimated sum.
+    pub sum_estimate: f64,
+    /// Smallest binary exponent seen (`i32::MAX` when no nonzero values).
+    pub min_exp: i32,
+    /// Largest binary exponent seen (`i32::MIN` when no nonzero values).
+    pub max_exp: i32,
+}
+
+impl DataProfile {
+    /// Dynamic range in decimal decades (the paper's Table I convention).
+    pub fn dr_decades(&self) -> i32 {
+        // binade → decade: log10(2) ≈ 0.30103
+        (self.dr_binades as f64 * std::f64::consts::LOG10_2).round() as i32
+    }
+
+    /// The profile of an empty dataset (the identity for [`DataProfile::merge`]).
+    pub fn empty() -> Self {
+        profile(&[])
+    }
+
+    /// Merge a sibling partial profile (for distributed profiling: each
+    /// rank profiles its chunk, the profiles reduce, every rank selects
+    /// from the same global profile).
+    ///
+    /// `n`, `Σ|x|`, `Σx`, and `max|x|` combine exactly/associatively; the
+    /// dynamic range combines via the tracked extreme exponents; `k` is
+    /// recomputed from the merged sums.
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        self.n += other.n;
+        // Recombine sums in compensated arithmetic via two_sum residues.
+        let (s, e) = repro_fp::two_sum(self.sum_estimate, other.sum_estimate);
+        self.sum_estimate = s + e;
+        let (a, ea) = repro_fp::two_sum(self.abs_sum, other.abs_sum);
+        self.abs_sum = a + ea;
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.min_exp = self.min_exp.min(other.min_exp);
+        self.max_exp = self.max_exp.max(other.max_exp);
+        self.dr_binades = if self.min_exp == i32::MAX {
+            0
+        } else {
+            self.max_exp - self.min_exp
+        };
+        self.k = if self.sum_estimate == 0.0 {
+            if self.abs_sum == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.abs_sum / self.sum_estimate.abs()
+        };
+    }
+}
+
+/// Profile a dataset in one pass.
+pub fn profile(values: &[f64]) -> DataProfile {
+    let mut sum = CompositeSum::new();
+    let mut abs = CompositeSum::new();
+    let mut min_e = i32::MAX;
+    let mut max_e = i32::MIN;
+    let mut max_abs = 0.0f64;
+    for &x in values {
+        sum.add(x);
+        abs.add(x.abs());
+        if let Some(e) = exponent(x) {
+            min_e = min_e.min(e);
+            max_e = max_e.max(e);
+        }
+        max_abs = max_abs.max(x.abs());
+    }
+    let s = sum.finalize();
+    let a = abs.finalize();
+    let k = if values.is_empty() {
+        1.0
+    } else if s == 0.0 {
+        if a == 0.0 {
+            1.0 // all zeros: trivially well-conditioned
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / s.abs()
+    };
+    DataProfile {
+        n: values.len(),
+        k,
+        dr_binades: if min_e == i32::MAX { 0 } else { max_e - min_e },
+        max_abs,
+        abs_sum: a,
+        sum_estimate: s,
+        min_exp: min_e,
+        max_exp: max_e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_of_benign_data() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = profile(&values);
+        assert_eq!(p.n, 100);
+        assert_eq!(p.k, 1.0);
+        assert_eq!(p.sum_estimate, 5050.0);
+        assert_eq!(p.abs_sum, 5050.0);
+        assert_eq!(p.max_abs, 100.0);
+        // 1..100 spans binades 0..6.
+        assert_eq!(p.dr_binades, 6);
+        assert_eq!(p.dr_decades(), 2);
+    }
+
+    #[test]
+    fn profile_matches_exact_measurement_on_hard_data() {
+        let values = repro_gen::generate(&repro_gen::DatasetSpec::new(
+            2000,
+            repro_gen::CondTarget::Finite(1e6),
+            16,
+            3,
+        ));
+        let p = profile(&values);
+        let m = repro_gen::measure(&values);
+        // CP-based estimate tracks the exact k closely even at k = 1e6.
+        let ratio = p.k / m.k;
+        assert!((0.99..1.01).contains(&ratio), "k̂/k = {ratio}");
+        assert!((p.dr_decades() - m.dr).abs() <= 1, "dr̂ {} vs {}", p.dr_decades(), m.dr);
+    }
+
+    #[test]
+    fn zero_sum_data_profiles_as_infinite_k() {
+        let values = repro_gen::zero_sum_with_range(1000, 8, 5);
+        let p = profile(&values);
+        assert_eq!(p.k, f64::INFINITY);
+    }
+
+    #[test]
+    fn merged_profiles_match_whole_dataset_profiles() {
+        let a = repro_gen::zero_sum_with_range(1000, 16, 1);
+        let b: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let mut merged = profile(&a);
+        merged.merge(&profile(&b));
+        let whole = profile(&[a.clone(), b.clone()].concat());
+        assert_eq!(merged.n, whole.n);
+        assert_eq!(merged.dr_binades, whole.dr_binades);
+        assert_eq!(merged.max_abs, whole.max_abs);
+        let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(f64::MIN_POSITIVE);
+        assert!(rel(merged.abs_sum, whole.abs_sum) < 1e-12);
+        assert!(rel(merged.k, whole.k) < 1e-9, "{} vs {}", merged.k, whole.k);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let data = repro_gen::uniform(100, -1.0, 1.0, 2);
+        let mut p = profile(&data);
+        let before = p;
+        p.merge(&DataProfile::empty());
+        assert_eq!(p, before);
+        let mut e = DataProfile::empty();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let p = profile(&[]);
+        assert_eq!((p.n, p.k, p.dr_binades), (0, 1.0, 0));
+        let p = profile(&[0.0, 0.0]);
+        assert_eq!(p.k, 1.0);
+        assert_eq!(p.max_abs, 0.0);
+    }
+}

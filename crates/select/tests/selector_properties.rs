@@ -1,0 +1,120 @@
+//! Property tests for the selection machinery: the selector's promises must
+//! hold over arbitrary profiles and tolerances, not just the grid cells it
+//! was designed around.
+
+use proptest::prelude::*;
+use repro_select::selector::predicted_spread;
+use repro_select::{profile, HeuristicSelector, Selector, SubtreeAdaptive, Tolerance};
+use repro_sum::Algorithm;
+
+fn workload() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        // All positive (benign).
+        prop::collection::vec(1e-3f64..1e3, 2..300),
+        // Mixed signs, wide exponents.
+        prop::collection::vec(
+            ((-80.0f64..80.0), any::<bool>()).prop_map(|(e, neg)| {
+                let v = e.exp2();
+                if neg { -v } else { v }
+            }),
+            2..300
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chosen algorithm's *predicted* spread always fits the absolute
+    /// budget (that is the selector's contract with its model).
+    #[test]
+    fn choice_satisfies_the_model(values in workload(), t_exp in -20i32..0) {
+        let t = 10f64.powi(t_exp);
+        let p = profile(&values);
+        let alg = HeuristicSelector::default().choose(&p, Tolerance::AbsoluteSpread(t));
+        prop_assert!(predicted_spread(alg, &p) <= t || alg == Algorithm::PR,
+            "{alg} predicted {:e} > budget {:e}", predicted_spread(alg, &p), t);
+    }
+
+    /// No cheaper algorithm than the chosen one would also satisfy the
+    /// model (the "cheapest acceptable" property).
+    #[test]
+    fn choice_is_cheapest_acceptable(values in workload(), t_exp in -20i32..0) {
+        let t = 10f64.powi(t_exp);
+        let p = profile(&values);
+        let sel = HeuristicSelector::default();
+        let alg = sel.choose(&p, Tolerance::AbsoluteSpread(t));
+        for candidate in Algorithm::PAPER_SET {
+            if candidate.cost_rank() < alg.cost_rank() {
+                prop_assert!(predicted_spread(candidate, &p) > t,
+                    "{candidate} (cheaper than {alg}) also fits budget {:e}", t);
+            }
+        }
+    }
+
+    /// Tolerance monotonicity: loosening the budget never escalates.
+    #[test]
+    fn looser_budgets_never_escalate(values in workload(), a in -20i32..0, b in -20i32..0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let p = profile(&values);
+        let sel = HeuristicSelector::default();
+        let tight = sel.choose(&p, Tolerance::AbsoluteSpread(10f64.powi(lo)));
+        let loose = sel.choose(&p, Tolerance::AbsoluteSpread(10f64.powi(hi)));
+        prop_assert!(loose.cost_rank() <= tight.cost_rank(),
+            "loose budget chose {loose}, tight chose {tight}");
+    }
+
+    /// Bitwise tolerance always lands on a reproducible operator, and the
+    /// reduction result is then permutation-invariant in fact.
+    #[test]
+    fn bitwise_choice_is_actually_bitwise(mut values in workload(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let reducer = repro_select::AdaptiveReducer::heuristic(Tolerance::Bitwise);
+        let (alg, _) = reducer.choose(&values);
+        prop_assert!(alg.is_reproducible());
+        let reference = reducer.reduce(&values).sum;
+        let mut rng = StdRng::seed_from_u64(seed);
+        values.shuffle(&mut rng);
+        prop_assert_eq!(reducer.reduce(&values).sum.to_bits(), reference.to_bits());
+    }
+
+    /// Subtree adaptivity preserves the error budget on arbitrary data.
+    #[test]
+    fn subtree_reduction_meets_budget(values in workload(), t_exp in -14i32..-4) {
+        let t = 10f64.powi(t_exp);
+        // Scale the budget with the data so it is achievable at all: add
+        // the theoretical floor (CP-level) to the requested tolerance.
+        let abs = repro_fp::exact_abs_sum(&values);
+        let budget = t.max(abs * repro_fp::UNIT_ROUNDOFF * 4.0);
+        let reducer = SubtreeAdaptive::new(
+            HeuristicSelector::default(),
+            Tolerance::AbsoluteSpread(budget),
+            37, // deliberately odd chunk size
+        );
+        let outcome = reducer.reduce(&values);
+        let err = repro_fp::abs_error(outcome.sum, &values);
+        prop_assert!(err <= budget, "err {:e} > budget {:e}", err, budget);
+        prop_assert_eq!(
+            outcome.chunks.len(),
+            values.len().div_ceil(37)
+        );
+    }
+
+    /// Profiles are scale-equivariant where they should be: scaling the
+    /// data by a power of two scales abs_sum/max and leaves k and dr alone.
+    #[test]
+    fn profile_scale_equivariance(values in workload(), scale_exp in -40i32..40) {
+        let s = 2f64.powi(scale_exp);
+        let scaled: Vec<f64> = values.iter().map(|v| v * s).collect();
+        let p1 = profile(&values);
+        let p2 = profile(&scaled);
+        prop_assert_eq!(p1.n, p2.n);
+        prop_assert_eq!(p1.dr_binades, p2.dr_binades);
+        if p1.k.is_finite() && p2.k.is_finite() {
+            let ratio = p1.k / p2.k;
+            prop_assert!((0.999..1.001).contains(&ratio), "k changed under scaling");
+        } else {
+            prop_assert_eq!(p1.k.is_infinite(), p2.k.is_infinite());
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! # `repro-solver` — conjugate gradients over selectable reductions
+//!
+//! Iterative solvers are where reduction nondeterminism bites hardest in
+//! practice: every CG iteration computes two inner products (`rᵀr`, `pᵀAp`)
+//! whose values steer the step sizes `α, β`. Perturb those reductions at the
+//! ulp level — by letting a parallel machine accumulate them in arrival
+//! order — and the *entire residual trajectory* shifts: different iterates,
+//! sometimes different iteration counts, run to run. (He & Ding's original
+//! reproducibility work was motivated by exactly this effect in climate
+//! codes.)
+//!
+//! This crate demonstrates the effect and its cure end to end:
+//!
+//! * [`Cg::solve`] runs CG on a dense SPD system with a pluggable
+//!   [`DotPolicy`]: plain f64 dots, compensated (`dot2`) dots, or
+//!   bitwise-reproducible binned dots — optionally with per-iteration
+//!   shuffling of the accumulation order (the nondeterminism model).
+//! * With [`DotPolicy::Standard`] and shuffling, two solves of the same
+//!   system produce different iterate trajectories; with
+//!   [`DotPolicy::Reproducible`], they are **bitwise identical**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use repro_sum::{dot2, dot_reproducible, dot_standard};
+
+/// How the solver computes its inner products.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DotPolicy {
+    /// Plain f64 accumulation (order-sensitive).
+    Standard,
+    /// Ogita–Rump–Oishi compensated dot (`dot2`): order-sensitive but far
+    /// more accurate.
+    Compensated,
+    /// Binned reproducible dot at the given fold: bitwise order-invariant.
+    Reproducible {
+        /// Binned fold (1..=4).
+        fold: u8,
+    },
+}
+
+impl DotPolicy {
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        match self {
+            DotPolicy::Standard => dot_standard(x, y),
+            DotPolicy::Compensated => dot2(x, y),
+            DotPolicy::Reproducible { fold } => dot_reproducible(x, y, *fold as usize),
+        }
+    }
+}
+
+/// A dense symmetric positive-definite system `A x = b`.
+#[derive(Clone, Debug)]
+pub struct SpdSystem {
+    n: usize,
+    /// Row-major dense matrix.
+    a: Vec<f64>,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+}
+
+impl SpdSystem {
+    /// Generate a random SPD system: `A = Bᵀ B + n·I` with `B` uniform in
+    /// `[-1, 1]`, RHS uniform — guaranteed well-posed, moderately
+    /// conditioned, seeded.
+    pub fn random(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bmat: Vec<f64> = (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                // (B^T B)_{ij} = sum_k B_{ki} B_{kj}
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += bmat[k * n + i] * bmat[k * n + j];
+                }
+                a[i * n + j] = s;
+            }
+            a[i * n + i] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        Self { n, a, b }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `y = A x` (plain row dots: the matvec itself is elementwise
+    /// deterministic here; the *solver's* inner products carry the policy).
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            *yi = dot_standard(row, x);
+        }
+    }
+
+    /// Exact residual norm `‖b − A x‖₂` computed through the exact oracle
+    /// (error-free matvec products, superaccumulated).
+    pub fn exact_residual_norm(&self, x: &[f64]) -> f64 {
+        let mut sq = repro_fp::Superaccumulator::new();
+        for i in 0..self.n {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            let mut acc = repro_fp::Superaccumulator::new();
+            for (aij, xj) in row.iter().zip(x) {
+                let (p, e) = repro_fp::two_prod(*aij, *xj);
+                acc.add(p);
+                acc.add(e);
+            }
+            acc.sub(self.b[i]);
+            let ri = acc.to_f64();
+            let (p, e) = repro_fp::two_prod(ri, ri);
+            sq.add(p);
+            sq.add(e);
+        }
+        sq.to_f64().sqrt()
+    }
+}
+
+/// Conjugate-gradient solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Cg {
+    /// Inner-product policy.
+    pub dots: DotPolicy,
+    /// Convergence threshold on `rᵀr`.
+    pub rtr_tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// If `Some(seed)`, the accumulation order of every inner product is
+    /// re-shuffled per use — the nondeterministic-machine model.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl Default for Cg {
+    fn default() -> Self {
+        Self {
+            dots: DotPolicy::Standard,
+            rtr_tolerance: 1e-20,
+            max_iterations: 10_000,
+            shuffle_seed: None,
+        }
+    }
+}
+
+/// Jacobi (diagonal) preconditioner for [`Cg::solve_preconditioned`].
+#[derive(Clone, Debug)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Build from the system's diagonal (panics on a zero diagonal entry —
+    /// impossible for SPD input).
+    pub fn new(system: &SpdSystem) -> Self {
+        let n = system.dim();
+        let inv_diag: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = system.a[i * n + i];
+                assert!(d > 0.0, "SPD diagonal must be positive");
+                1.0 / d
+            })
+            .collect();
+        Self { inv_diag }
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// The result of a CG solve.
+#[derive(Clone, Debug)]
+pub struct CgSolution {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// `rᵀr` at exit (as the solver computed it).
+    pub final_rtr: f64,
+    /// The `rᵀr` trajectory, one entry per iteration (the quantity whose
+    /// run-to-run wander this crate demonstrates).
+    pub rtr_trace: Vec<f64>,
+}
+
+impl Cg {
+    /// Solve `A x = b` from the zero initial guess.
+    pub fn solve(&self, system: &SpdSystem) -> CgSolution {
+        let n = system.dim();
+        let mut rng = self.shuffle_seed.map(StdRng::seed_from_u64);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut dot = |p: &DotPolicy, x: &[f64], y: &[f64], rng: &mut Option<StdRng>| -> f64 {
+            match rng {
+                None => p.dot(x, y),
+                Some(rng) => {
+                    // Shuffled accumulation order for this inner product.
+                    order.shuffle(rng);
+                    let xs: Vec<f64> = order.iter().map(|&i| x[i as usize]).collect();
+                    let ys: Vec<f64> = order.iter().map(|&i| y[i as usize]).collect();
+                    p.dot(&xs, &ys)
+                }
+            }
+        };
+
+        let mut x = vec![0.0; n];
+        let mut r = system.b.clone();
+        let mut p = r.clone();
+        let mut ap = vec![0.0; n];
+        let mut rtr = dot(&self.dots, &r, &r, &mut rng);
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        while iterations < self.max_iterations && rtr > self.rtr_tolerance {
+            system.matvec(&p, &mut ap);
+            let ptap = dot(&self.dots, &p, &ap, &mut rng);
+            if ptap <= 0.0 {
+                break; // lost positive definiteness to roundoff: stop
+            }
+            let alpha = rtr / ptap;
+            for ((xi, pi), (ri, api)) in
+                x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
+            {
+                *xi += alpha * pi;
+                *ri -= alpha * api;
+            }
+            let rtr_new = dot(&self.dots, &r, &r, &mut rng);
+            let beta = rtr_new / rtr;
+            for (pi, ri) in p.iter_mut().zip(&r) {
+                *pi = ri + beta * *pi;
+            }
+            rtr = rtr_new;
+            trace.push(rtr);
+            iterations += 1;
+        }
+        CgSolution {
+            x,
+            iterations,
+            final_rtr: rtr,
+            rtr_trace: trace,
+        }
+    }
+}
+
+impl Cg {
+    /// Jacobi-preconditioned CG: same policy plumbing, one extra inner
+    /// product (`rᵀz`) steering per iteration — i.e. *more* surface for the
+    /// reduction nondeterminism the crate demonstrates.
+    pub fn solve_preconditioned(
+        &self,
+        system: &SpdSystem,
+        precond: &JacobiPreconditioner,
+    ) -> CgSolution {
+        let n = system.dim();
+        let mut rng = self.shuffle_seed.map(StdRng::seed_from_u64);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut dot = |p: &DotPolicy, x: &[f64], y: &[f64], rng: &mut Option<StdRng>| -> f64 {
+            match rng {
+                None => p.dot(x, y),
+                Some(rng) => {
+                    order.shuffle(rng);
+                    let xs: Vec<f64> = order.iter().map(|&i| x[i as usize]).collect();
+                    let ys: Vec<f64> = order.iter().map(|&i| y[i as usize]).collect();
+                    p.dot(&xs, &ys)
+                }
+            }
+        };
+        let mut x = vec![0.0; n];
+        let mut r = system.b.clone();
+        let mut z = vec![0.0; n];
+        precond.apply(&r, &mut z);
+        let mut p = z.clone();
+        let mut ap = vec![0.0; n];
+        let mut rtz = dot(&self.dots, &r, &z, &mut rng);
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        let mut rtr = dot(&self.dots, &r, &r, &mut rng);
+        while iterations < self.max_iterations && rtr > self.rtr_tolerance {
+            system.matvec(&p, &mut ap);
+            let ptap = dot(&self.dots, &p, &ap, &mut rng);
+            if ptap <= 0.0 {
+                break;
+            }
+            let alpha = rtz / ptap;
+            for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
+                *xi += alpha * pi;
+                *ri -= alpha * api;
+            }
+            precond.apply(&r, &mut z);
+            let rtz_new = dot(&self.dots, &r, &z, &mut rng);
+            let beta = rtz_new / rtz;
+            for (pi, zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+            rtz = rtz_new;
+            rtr = dot(&self.dots, &r, &r, &mut rng);
+            trace.push(rtr);
+            iterations += 1;
+        }
+        CgSolution { x, iterations, final_rtr: rtr, rtr_trace: trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fingerprint(xs: &[f64]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in xs {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn cg_solves_the_system() {
+        let system = SpdSystem::random(64, 1);
+        for dots in [
+            DotPolicy::Standard,
+            DotPolicy::Compensated,
+            DotPolicy::Reproducible { fold: 3 },
+        ] {
+            let sol = Cg { dots, ..Cg::default() }.solve(&system);
+            let res = system.exact_residual_norm(&sol.x);
+            assert!(res < 1e-8, "{dots:?}: residual {res:e} after {} its", sol.iterations);
+            assert!(sol.iterations < 300, "{dots:?} took {}", sol.iterations);
+        }
+    }
+
+    #[test]
+    fn standard_dots_wander_under_shuffled_accumulation() {
+        let system = SpdSystem::random(96, 7);
+        let solve = |seed| {
+            Cg {
+                dots: DotPolicy::Standard,
+                shuffle_seed: Some(seed),
+                rtr_tolerance: 1e-24,
+                ..Cg::default()
+            }
+            .solve(&system)
+        };
+        let a = solve(1);
+        let b = solve(2);
+        // Trajectories diverge (almost surely from iteration 1).
+        assert_ne!(
+            fingerprint(&a.x),
+            fingerprint(&b.x),
+            "ST dots should feel accumulation order"
+        );
+        assert!(a.rtr_trace.iter().zip(&b.rtr_trace).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn reproducible_dots_give_bitwise_identical_solves() {
+        let system = SpdSystem::random(96, 7);
+        let solve = |seed| {
+            Cg {
+                dots: DotPolicy::Reproducible { fold: 3 },
+                shuffle_seed: Some(seed),
+                rtr_tolerance: 1e-24,
+                ..Cg::default()
+            }
+            .solve(&system)
+        };
+        let a = solve(1);
+        let b = solve(2);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(fingerprint(&a.x), fingerprint(&b.x));
+        assert_eq!(a.rtr_trace.len(), b.rtr_trace.len());
+        for (x, y) in a.rtr_trace.iter().zip(&b.rtr_trace) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn trajectories_match_without_shuffling_regardless_of_policy() {
+        let system = SpdSystem::random(48, 3);
+        for dots in [DotPolicy::Standard, DotPolicy::Reproducible { fold: 3 }] {
+            let a = Cg { dots, ..Cg::default() }.solve(&system);
+            let b = Cg { dots, ..Cg::default() }.solve(&system);
+            assert_eq!(fingerprint(&a.x), fingerprint(&b.x), "{dots:?}");
+        }
+    }
+
+    #[test]
+    fn exact_residual_oracle_is_tight() {
+        // For the exact solution of a tiny system, the residual is ~0.
+        let system = SpdSystem::random(8, 9);
+        let sol = Cg {
+            dots: DotPolicy::Compensated,
+            rtr_tolerance: 1e-28,
+            ..Cg::default()
+        }
+        .solve(&system);
+        assert!(system.exact_residual_norm(&sol.x) < 1e-10);
+        // And for x = 0 it equals ||b||.
+        let zero_res = system.exact_residual_norm(&[0.0; 8]);
+        let b_norm = repro_sum::dot_exact(&system.b, &system.b).sqrt();
+        assert!((zero_res - b_norm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preconditioned_cg_solves_and_stays_reproducible() {
+        let system = SpdSystem::random(80, 11);
+        let pc = JacobiPreconditioner::new(&system);
+        let solve = |dots, seed| {
+            Cg {
+                dots,
+                shuffle_seed: Some(seed),
+                rtr_tolerance: 1e-24,
+                ..Cg::default()
+            }
+            .solve_preconditioned(&system, &pc)
+        };
+        // Converges.
+        let sol = solve(DotPolicy::Compensated, 1);
+        assert!(system.exact_residual_norm(&sol.x) < 1e-8);
+        // Reproducible dots pin the preconditioned solve too.
+        let a = solve(DotPolicy::Reproducible { fold: 3 }, 1);
+        let b = solve(DotPolicy::Reproducible { fold: 3 }, 2);
+        assert_eq!(fingerprint(&a.x), fingerprint(&b.x));
+        // Standard dots wander.
+        let c = solve(DotPolicy::Standard, 1);
+        let d = solve(DotPolicy::Standard, 2);
+        assert_ne!(fingerprint(&c.x), fingerprint(&d.x));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = SpdSystem::random(16, 5);
+        let b = SpdSystem::random(16, 5);
+        assert_eq!(a.b, b.b);
+        assert_eq!(a.a, b.a);
+    }
+}

@@ -1,0 +1,123 @@
+//! Correlation coefficients — Pearson and Spearman — used by the Figure 3
+//! analysis ("does a cancellation census predict error magnitude?") and
+//! available to downstream analyses of error/feature relationships.
+//!
+//! Spearman handles **ties by midranking** (the standard convention), which
+//! matters here: cancellation counts are small integers with many ties, and
+//! naive ordinal ranking would bias the coefficient by iteration order.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `0.0` when either sample is constant (undefined correlation) or
+/// when the samples are shorter than 2.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "samples must have equal length");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Midranks of a sample: tied values all receive the average of the ranks
+/// they span (1-based, as in the statistics literature).
+pub fn midranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut ranks = vec![0.0; v.len()];
+    let mut pos = 0;
+    while pos < idx.len() {
+        let mut end = pos + 1;
+        while end < idx.len() && v[idx[end]] == v[idx[pos]] {
+            end += 1;
+        }
+        // Positions pos..end (0-based) share the midrank of 1-based ranks.
+        let mid = (pos + 1 + end) as f64 / 2.0;
+        for &i in &idx[pos..end] {
+            ranks[i] = mid;
+        }
+        pos = end;
+    }
+    ranks
+}
+
+/// Spearman rank correlation (Pearson on midranks). Ties are midranked.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    pearson(&midranks(a), &midranks(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_exact_line_is_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = a.iter().map(|x| -2.0 * x + 1.0).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases_return_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[5.0; 10], &(0..10).map(|i| i as f64).collect::<Vec<_>>()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pearson_rejects_length_mismatch() {
+        let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn spearman_is_invariant_under_monotone_transforms() {
+        let a: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x.exp().min(1e300)).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        // Pearson is NOT (the exp curve is wildly nonlinear).
+        assert!(pearson(&a, &b) < 0.9);
+    }
+
+    #[test]
+    fn midranks_average_over_ties() {
+        // [10, 20, 20, 30]: ranks 1, 2.5, 2.5, 4.
+        assert_eq!(midranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        // All tied: everyone gets (1+n)/2.
+        assert_eq!(midranks(&[7.0; 5]), vec![3.0; 5]);
+        assert!(midranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn spearman_with_heavy_ties_matches_hand_computation() {
+        // x = [1,1,2,2], y = [1,2,3,4]: midranks x = [1.5,1.5,3.5,3.5],
+        // y = [1,2,3,4]. Pearson of those is 2/sqrt(5) ≈ 0.894427.
+        let rho = spearman(&[1.0, 1.0, 2.0, 2.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert!((rho - 2.0 / 5.0f64.sqrt()).abs() < 1e-12, "{rho}");
+    }
+
+    #[test]
+    fn spearman_of_shuffled_independent_data_is_small() {
+        // Deterministic quasi-random pairing: golden-ratio stride.
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.618_033_988_75).fract()).collect();
+        let b: Vec<f64> = (0..500).map(|i| (i as f64 * 0.414_213_562_37).fract()).collect();
+        assert!(spearman(&a, &b).abs() < 0.15);
+    }
+}

@@ -1,0 +1,280 @@
+//! Means, standard deviations, quantiles, and boxplot summaries.
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    // Compensated accumulation: these statistics are *about* rounding
+    // error, so the statistics themselves should not add any.
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in data {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum / data.len() as f64
+}
+
+/// Population standard deviation (÷ n); `0.0` for fewer than 1 element.
+///
+/// Used for the cell shading of the paper's Figures 9–11 ("we compute the
+/// standard deviation of the errors and shade the cell according to that
+/// value").
+pub fn population_stddev(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    let var = mean(&data.iter().map(|&x| (x - m) * (x - m)).collect::<Vec<_>>());
+    var.sqrt()
+}
+
+/// Sample standard deviation (÷ n−1); `0.0` for fewer than 2 elements.
+pub fn sample_stddev(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    let ss: f64 = data.iter().map(|&x| (x - m) * (x - m)).sum();
+    (ss / (data.len() - 1) as f64).sqrt()
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`) of **sorted** data.
+///
+/// Panics in debug builds if the data is not sorted.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
+    match sorted.len() {
+        0 => f64::NAN,
+        1 => sorted[0],
+        n => {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Linear-interpolation quantile of unsorted data (sorts a copy).
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    let mut copy = data.to_vec();
+    copy.sort_by(f64::total_cmp);
+    quantile_sorted(&copy, q)
+}
+
+/// Median absolute deviation (MAD): a robust spread estimator, useful when
+/// a calibration cell's error sample contains a few wild outliers that
+/// would dominate the standard deviation.
+pub fn median_absolute_deviation(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let med = quantile(data, 0.5);
+    let deviations: Vec<f64> = data.iter().map(|x| (x - med).abs()).collect();
+    quantile(&deviations, 0.5)
+}
+
+/// A compact numeric summary of one sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (NaN-free input expected).
+    pub fn of(data: &[f64]) -> Self {
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self {
+            n: data.len(),
+            min: if data.is_empty() { f64::NAN } else { min },
+            max: if data.is_empty() { f64::NAN } else { max },
+            mean: mean(data),
+            stddev: population_stddev(data),
+        }
+    }
+}
+
+/// Five-number boxplot summary (Tukey), the representation behind the
+/// paper's Figure 6/7 panels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Boxplot {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Lower whisker: smallest observation within 1.5·IQR below Q1.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest observation within 1.5·IQR above Q3.
+    pub whisker_hi: f64,
+    /// Number of observations outside the whiskers.
+    pub outliers: usize,
+}
+
+impl Boxplot {
+    /// Compute a boxplot summary of a sample. NaN values are rejected.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "boxplot of empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "boxplot input contains NaN");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.50);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1]);
+        let outliers = sorted.iter().filter(|&&x| x < lo_fence || x > hi_fence).count();
+        Self {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[sorted.len() - 1],
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
+    }
+
+    /// Box width (interquartile range) — the paper's visual proxy for
+    /// "how much the sum varies across reduction trees".
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Full spread of the sample.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn mean_is_compensated() {
+        // 1e16 followed by many 1.0s: naive mean drifts, compensated doesn't.
+        let mut data = vec![1e16];
+        data.extend(std::iter::repeat(1.0).take(999));
+        let expected = (1e16 + 999.0) / 1000.0;
+        assert_eq!(mean(&data), expected);
+    }
+
+    #[test]
+    fn stddev_of_constant_sample_is_zero() {
+        assert_eq!(population_stddev(&[4.2; 50]), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(population_stddev(&data), 2.0);
+        // Sample stddev is 2 * sqrt(8/7).
+        let s = sample_stddev(&data);
+        assert!((s - 2.0 * (8.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        assert_eq!(quantile(&data, 0.25), 1.75);
+    }
+
+    #[test]
+    fn mad_is_robust_to_outliers() {
+        let mut data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let clean_mad = median_absolute_deviation(&data);
+        data.push(1e12);
+        let dirty_mad = median_absolute_deviation(&data);
+        // MAD barely moves; stddev explodes.
+        assert!((dirty_mad - clean_mad).abs() <= 1.0);
+        assert!(population_stddev(&data) > 1e9);
+        assert_eq!(median_absolute_deviation(&[]), 0.0);
+        assert_eq!(median_absolute_deviation(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn boxplot_of_uniform_grid() {
+        let data: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let b = Boxplot::of(&data);
+        assert_eq!(b.median, 51.0);
+        assert_eq!(b.q1, 26.0);
+        assert_eq!(b.q3, 76.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 101.0);
+        assert_eq!(b.outliers, 0);
+        assert_eq!(b.iqr(), 50.0);
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        data.push(1e6);
+        let b = Boxplot::of(&data);
+        assert_eq!(b.outliers, 1);
+        assert!(b.whisker_hi <= 100.0 + 1.5 * b.iqr());
+        assert_eq!(b.max, 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn boxplot_rejects_nan() {
+        let _ = Boxplot::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn summary_reports_extremes() {
+        let s = Summary::of(&[3.0, -1.0, 4.0, 1.5]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+    }
+}

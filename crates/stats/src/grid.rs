@@ -1,0 +1,237 @@
+//! Labelled 2-D grids of cell values, with the ASCII heat-map and CSV
+//! rendering used to reproduce the paper's Figures 9–12.
+//!
+//! The paper "represent\[s\] the spaces of (k, dr), (n, dr), and (n, k) as a
+//! grid of cells" and shades each cell by the standard deviation of the
+//! errors observed there. [`Grid`] is that artifact: rows × cols of `f64`
+//! cells plus axis labels; [`Grid::render_heat`] shades cells on a
+//! logarithmic scale the way the paper's gray-scale plots do.
+
+use std::fmt::Write as _;
+
+/// A rows × cols grid of `f64` cells with axis labels.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Label of the row axis (e.g. "k").
+    pub row_axis: String,
+    /// Label of the column axis (e.g. "dr").
+    pub col_axis: String,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    cells: Vec<f64>, // row-major
+}
+
+impl Grid {
+    /// New grid with all cells `NaN` (unset).
+    pub fn new(
+        row_axis: impl Into<String>,
+        col_axis: impl Into<String>,
+        row_labels: Vec<String>,
+        col_labels: Vec<String>,
+    ) -> Self {
+        let cells = vec![f64::NAN; row_labels.len() * col_labels.len()];
+        Self {
+            row_axis: row_axis.into(),
+            col_axis: col_axis.into(),
+            row_labels,
+            col_labels,
+            cells,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_labels.len()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.col_labels.len()
+    }
+
+    /// Set cell `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let c = self.cols();
+        self.cells[row * c + col] = value;
+    }
+
+    /// Get cell `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.cells[row * self.cols() + col]
+    }
+
+    /// Row labels.
+    pub fn row_labels(&self) -> &[String] {
+        &self.row_labels
+    }
+
+    /// Column labels.
+    pub fn col_labels(&self) -> &[String] {
+        &self.col_labels
+    }
+
+    /// Iterate `(row, col, value)` over set cells.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols();
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// CSV rendering: header = column labels, one row per row label.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}\\{}", self.row_axis, self.col_axis);
+        for c in &self.col_labels {
+            let _ = write!(out, ",{c}");
+        }
+        out.push('\n');
+        for (r, label) in self.row_labels.iter().enumerate() {
+            let _ = write!(out, "{label}");
+            for c in 0..self.cols() {
+                let _ = write!(out, ",{:e}", self.get(r, c));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// ASCII heat map: cells shaded by `log10` of their value across the
+    /// grid's dynamic range (darker = larger), mirroring the paper's
+    /// gray-scale figures. NaN cells render as `··`, exact zeros as `0`.
+    pub fn render_heat(&self) -> String {
+        const SHADES: [&str; 6] = ["  ", "░░", "▒▒", "▓▓", "██", "██"];
+        // Establish the log range over positive cells.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.cells {
+            if v.is_finite() && v > 0.0 {
+                lo = lo.min(v.log10());
+                hi = hi.max(v.log10());
+            }
+        }
+        let span = (hi - lo).max(1e-9);
+        let label_w = self
+            .row_labels
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(1)
+            .max(self.row_axis.len());
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>label_w$} | {}  (rows: {}, cols: {})",
+            self.row_axis, self.col_axis, self.row_axis, self.col_axis
+        );
+        let _ = write!(out, "{:>label_w$} |", "");
+        for c in &self.col_labels {
+            let _ = write!(out, " {c:>8}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}-+-{}", "-".repeat(label_w), "-".repeat(9 * self.cols()));
+        for (r, label) in self.row_labels.iter().enumerate() {
+            let _ = write!(out, "{label:>label_w$} |");
+            for c in 0..self.cols() {
+                let v = self.get(r, c);
+                let cell = if v.is_nan() {
+                    "      ··".to_string()
+                } else if v == 0.0 {
+                    "       0".to_string()
+                } else {
+                    let t = ((v.log10() - lo) / span * 4.0).round().clamp(0.0, 5.0);
+                    format!("{:>6}{}", format_short(v), SHADES[t as usize])
+                };
+                let _ = write!(out, " {cell}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "shading: log10 scale over [{:.2e}, {:.2e}]",
+            10f64.powf(lo),
+            10f64.powf(hi)
+        );
+        out
+    }
+}
+
+/// Compact scientific formatting for heat-map cells (e.g. `3e-13`).
+fn format_short(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let mut exp = v.abs().log10().floor() as i32;
+    let mut mant = v / 10f64.powi(exp);
+    if mant.abs().round() >= 10.0 {
+        mant /= 10.0;
+        exp += 1;
+    }
+    format!("{mant:.0}e{exp}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut g = Grid::new("k", "dr", labels(&["1", "1e8"]), labels(&["0", "16", "32"]));
+        g.set(1, 2, 3.5e-13);
+        assert_eq!(g.get(1, 2), 3.5e-13);
+        assert!(g.get(0, 0).is_nan());
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.cols(), 3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut g = Grid::new("n", "dr", labels(&["1000"]), labels(&["0", "8"]));
+        g.set(0, 0, 1e-15);
+        g.set(0, 1, 2e-14);
+        let csv = g.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("n\\dr,0,8"));
+        assert!(lines[1].starts_with("1000,1e-15,2e-14"));
+    }
+
+    #[test]
+    fn heat_map_renders_every_cell() {
+        let mut g = Grid::new("k", "dr", labels(&["1", "1e16"]), labels(&["0", "32"]));
+        g.set(0, 0, 1e-16);
+        g.set(0, 1, 1e-14);
+        g.set(1, 0, 1e-10);
+        g.set(1, 1, 1e-4);
+        let heat = g.render_heat();
+        assert!(heat.contains("1e16"));
+        assert!(heat.contains("shading"));
+        // Largest cell must be darker than the smallest.
+        assert!(heat.contains("██"));
+    }
+
+    #[test]
+    fn iter_visits_row_major() {
+        let mut g = Grid::new("a", "b", labels(&["r0", "r1"]), labels(&["c0"]));
+        g.set(0, 0, 1.0);
+        g.set(1, 0, 2.0);
+        let v: Vec<(usize, usize, f64)> = g.iter().collect();
+        assert_eq!(v, vec![(0, 0, 1.0), (1, 0, 2.0)]);
+    }
+
+    #[test]
+    fn zero_and_nan_cells_render_specially() {
+        let mut g = Grid::new("x", "y", labels(&["r"]), labels(&["c0", "c1", "c2"]));
+        g.set(0, 0, 0.0);
+        g.set(0, 1, 5e-13);
+        let heat = g.render_heat();
+        assert!(heat.contains("0"));
+        assert!(heat.contains("··"));
+    }
+}

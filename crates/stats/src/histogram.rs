@@ -1,0 +1,149 @@
+//! Fixed-bin histograms, with optional logarithmic binning for error
+//! magnitudes (which span many orders of magnitude in these experiments).
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus underflow and
+/// overflow counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// New histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi && bins > 0, "invalid histogram bounds/bins");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Histogram over log10 magnitudes in `[10^lo_exp, 10^hi_exp)`, one bin
+    /// per decade — the natural axis for summation-error magnitudes.
+    pub fn log10_decades(lo_exp: i32, hi_exp: i32) -> Self {
+        assert!(lo_exp < hi_exp);
+        Self::new(lo_exp as f64, hi_exp as f64, (hi_exp - lo_exp) as usize)
+    }
+
+    /// Record a raw value.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Record `log10(|x|)` (for [`Histogram::log10_decades`] histograms);
+    /// zero magnitudes count as underflow.
+    pub fn record_log10(&mut self, x: f64) {
+        let m = x.abs();
+        if m == 0.0 {
+            self.total += 1;
+            self.underflow += 1;
+        } else {
+            self.record(m.log10());
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Underflow and overflow counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Render as a horizontal ASCII bar chart, one line per bin.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+            let lo = self.bin_lo(i);
+            let hi = self.bin_lo(i + 1);
+            out.push_str(&format!("[{lo:>9.3e}, {hi:>9.3e})  {c:>8}  {bar}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("overflow:  {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_goes_to_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi edge is exclusive
+        h.record(55.0);
+        assert_eq!(h.outliers(), (1, 2));
+    }
+
+    #[test]
+    fn log_decade_binning() {
+        let mut h = Histogram::log10_decades(-16, 0);
+        h.record_log10(1e-15); // decade [-15, -14) -> bin 1
+        h.record_log10(-3e-8); // |.| in decade [-8, -7) -> bin 8
+        h.record_log10(0.0); // underflow
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[8], 1);
+        assert_eq!(h.outliers().0, 1);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 2);
+    }
+}

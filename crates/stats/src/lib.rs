@@ -1,0 +1,37 @@
+//! # `repro-stats` — descriptive statistics and figure-data rendering
+//!
+//! Small, dependency-free statistics used by every experiment in the
+//! workspace:
+//!
+//! * [`descriptive`] — means, standard deviations, quantiles, and the
+//!   five-number [`descriptive::Boxplot`] summaries behind the paper's
+//!   Figure 7 panels.
+//! * [`correlation`] — Pearson and tie-aware Spearman coefficients
+//!   (Figure 3's cancellation-vs-error analysis).
+//! * [`histogram`] — fixed-bin histograms (Figure 2's error distribution).
+//! * [`grid`] — labelled 2-D grids of cell values with ASCII heat-map and
+//!   CSV rendering (Figures 9–12).
+//! * [`online`] — Welford streaming statistics with parallel merge, for
+//!   experiments too long to buffer.
+//! * [`table`] — aligned-column ASCII tables and CSV writers shared by all
+//!   bench binaries.
+//!
+//! Everything here is deterministic and allocation-light; the experiments'
+//! numbers flow through these types on their way to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod descriptive;
+pub mod grid;
+pub mod histogram;
+pub mod online;
+pub mod table;
+
+pub use correlation::{pearson, spearman};
+pub use descriptive::{mean, median_absolute_deviation, population_stddev, quantile, Boxplot, Summary};
+pub use grid::Grid;
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use table::Table;

@@ -1,0 +1,199 @@
+//! Streaming (Welford) statistics: numerically stable running mean and
+//! variance for experiments too long to buffer — and, fittingly for this
+//! workspace, mergeable across partial streams.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm, with
+/// Chan et al.'s parallel merge).
+///
+/// ```
+/// use repro_stats::OnlineStats;
+/// let stats: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(stats.mean(), 5.0);
+/// assert_eq!(stats.population_stddev(), 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the current mean.
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty stream.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge a sibling stream (Chan/Golub/LeVeque pairwise update).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty stream).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation (÷ n−1).
+    pub fn sample_stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`NaN` for an empty stream).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` for an empty stream).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+
+    #[test]
+    fn matches_batch_statistics() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 31) % 97) as f64 - 48.0).collect();
+        let online: OnlineStats = data.iter().copied().collect();
+        assert_eq!(online.count(), 1000);
+        assert!((online.mean() - descriptive::mean(&data)).abs() < 1e-12);
+        assert!(
+            (online.population_stddev() - descriptive::population_stddev(&data)).abs() < 1e-9
+        );
+        assert_eq!(online.min(), *data.iter().min_by(|a, b| a.total_cmp(b)).unwrap());
+        assert_eq!(online.max(), *data.iter().max_by(|a, b| a.total_cmp(b)).unwrap());
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a_data: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 100.0).collect();
+        let b_data: Vec<f64> = (0..700).map(|i| (i as f64).cos() * 3.0 + 50.0).collect();
+        let mut a: OnlineStats = a_data.iter().copied().collect();
+        let b: OnlineStats = b_data.iter().copied().collect();
+        a.merge(&b);
+        let whole: OnlineStats = a_data.iter().chain(b_data.iter()).copied().collect();
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - whole.population_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty_streams() {
+        let mut a = OnlineStats::new();
+        let b: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.mean(), 2.0);
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Classic catastrophic case for the naive sum-of-squares formula.
+        let mut s = OnlineStats::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 2) as f64);
+        }
+        assert!((s.population_variance() - 0.25).abs() < 1e-6, "{}", s.population_variance());
+    }
+
+    #[test]
+    fn empty_stream_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_stddev(), 0.0);
+        assert_eq!(s.sample_stddev(), 0.0);
+        assert!(s.min().is_nan() && s.max().is_nan());
+    }
+}

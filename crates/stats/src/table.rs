@@ -1,0 +1,151 @@
+//! Aligned-column ASCII tables and CSV output for the bench binaries.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned text table with a header row.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable items.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with right-aligned, padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "{h:>w$}", w = widths[i]);
+            if i + 1 < cols {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{cell:>w$}", w = widths[i]);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows, comma-separated, no quoting — callers
+    /// emit numeric data).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float in compact scientific notation for table cells.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["alg", "error"]);
+        t.row(&["ST".into(), "1.5e-13".into()]);
+        t.row(&["K".into(), "2e-16".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Both data rows end aligned at the same column.
+        assert_eq!(lines[2].len(), lines[2].trim_end().len());
+        assert!(lines[0].contains("alg"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_display(&[1.5, 2.5]);
+        assert_eq!(t.to_csv(), "a,b\n1.5,2.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(f64::NAN), "NaN");
+        assert!(sci(1.23456e-13).starts_with("1.235e-13"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row(&["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the statistics layer: the experiments' conclusions are
+//! only as sound as these summaries.
+
+use proptest::prelude::*;
+use repro_stats::descriptive::{
+    mean, population_stddev, quantile, quantile_sorted, sample_stddev, Boxplot, Summary,
+};
+use repro_stats::{Grid, Histogram};
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// The mean lies within [min, max] and is translation-equivariant.
+    #[test]
+    fn mean_properties(data in sample(), shift in -1e3f64..1e3) {
+        let m = mean(&data);
+        let s = Summary::of(&data);
+        prop_assert!(m >= s.min - 1e-9 && m <= s.max + 1e-9);
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted) - (m + shift)).abs() < 1e-6);
+    }
+
+    /// Standard deviations are nonnegative, zero iff constant, and
+    /// scale-equivariant.
+    #[test]
+    fn stddev_properties(data in sample(), scale in 0.1f64..10.0) {
+        let sd = population_stddev(&data);
+        prop_assert!(sd >= 0.0);
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        let sd_scaled = population_stddev(&scaled);
+        prop_assert!((sd_scaled - sd * scale).abs() <= 1e-9 * (1.0 + sd * scale));
+        // Sample stddev >= population stddev (n/(n-1) inflation).
+        if data.len() >= 2 {
+            prop_assert!(sample_stddev(&data) >= sd - 1e-12);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(data in sample(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let qa = quantile(&data, lo);
+        let qb = quantile(&data, hi);
+        prop_assert!(qa <= qb + 1e-12);
+        let s = Summary::of(&data);
+        prop_assert!(quantile(&data, 0.0) == s.min && quantile(&data, 1.0) == s.max);
+    }
+
+    /// Boxplots are internally ordered and count outliers consistently.
+    #[test]
+    fn boxplot_ordering(data in sample()) {
+        let b = Boxplot::of(&data);
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3 && b.q3 <= b.max);
+        prop_assert!(b.whisker_lo >= b.min && b.whisker_hi <= b.max);
+        prop_assert!(b.outliers <= data.len());
+        prop_assert!(b.iqr() >= 0.0 && b.range() >= 0.0);
+    }
+
+    /// Histograms conserve counts: bins + underflow + overflow == total.
+    #[test]
+    fn histogram_conserves_mass(data in sample()) {
+        let mut h = Histogram::new(-1e5, 1e5, 17);
+        for &x in &data {
+            h.record(x);
+        }
+        let binned: u64 = h.counts().iter().sum();
+        let (under, over) = h.outliers();
+        prop_assert_eq!(binned + under + over, h.total());
+        prop_assert_eq!(h.total(), data.len() as u64);
+    }
+
+    /// Grid CSV renders every cell it was given.
+    #[test]
+    fn grid_csv_is_complete(rows in 1usize..8, cols in 1usize..8, fill in -1e3f64..1e3) {
+        let row_labels: Vec<String> = (0..rows).map(|r| format!("r{r}")).collect();
+        let col_labels: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+        let mut g = Grid::new("a", "b", row_labels, col_labels);
+        for r in 0..rows {
+            for c in 0..cols {
+                g.set(r, c, fill + (r * cols + c) as f64);
+            }
+        }
+        let csv = g.to_csv();
+        prop_assert_eq!(csv.lines().count(), rows + 1);
+        prop_assert!(csv.lines().skip(1).all(|l| l.split(',').count() == cols + 1));
+        // And every cell value round-trips through the CSV text.
+        for (r, line) in csv.lines().skip(1).enumerate() {
+            for (c, cell) in line.split(',').skip(1).enumerate() {
+                let parsed: f64 = cell.parse().unwrap();
+                prop_assert_eq!(parsed.to_bits(), g.get(r, c).to_bits());
+            }
+        }
+    }
+
+    /// quantile_sorted and quantile agree.
+    #[test]
+    fn sorted_and_unsorted_quantiles_agree(data in sample(), q in 0.0f64..1.0) {
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(
+            quantile(&data, q).to_bits(),
+            quantile_sorted(&sorted, q).to_bits()
+        );
+    }
+}
+
+fn paired() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2usize..100).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-1e6f64..1e6, n),
+            prop::collection::vec(-1e6f64..1e6, n),
+        )
+    })
+}
+
+proptest! {
+    /// Correlation coefficients live in [−1, 1] and are symmetric in their
+    /// arguments.
+    #[test]
+    fn correlations_are_bounded_and_symmetric((a, b) in paired()) {
+        use repro_stats::correlation::{pearson, spearman};
+        for f in [pearson, spearman] {
+            let r = f(&a, &b);
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r), "{r}");
+            prop_assert!((r - f(&b, &a)).abs() <= 1e-12);
+        }
+    }
+
+    /// Spearman is invariant under strictly increasing transforms of either
+    /// argument; Pearson under affine maps with positive slope.
+    #[test]
+    fn correlation_invariances((a, b) in paired(), scale in 0.1f64..10.0, shift in -1e3f64..1e3) {
+        use repro_stats::correlation::{pearson, spearman};
+        let cubed: Vec<f64> = a.iter().map(|x| x * x * x).collect();
+        prop_assert!((spearman(&cubed, &b) - spearman(&a, &b)).abs() <= 1e-9);
+        let affine: Vec<f64> = a.iter().map(|x| scale * x + shift).collect();
+        prop_assert!((pearson(&affine, &b) - pearson(&a, &b)).abs() <= 1e-6);
+    }
+
+    /// Midranks are a permutation-consistent relabeling: they sum to
+    /// n(n+1)/2 and preserve the order of distinct values.
+    #[test]
+    fn midranks_are_a_valid_ranking(a in prop::collection::vec(-1e3f64..1e3, 1..80)) {
+        let r = repro_stats::correlation::midranks(&a);
+        let total: f64 = r.iter().sum();
+        let n = a.len() as f64;
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() <= 1e-9);
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                if a[i] < a[j] {
+                    prop_assert!(r[i] < r[j]);
+                } else if a[i] == a[j] {
+                    prop_assert_eq!(r[i], r[j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! AccSum — Rump, Ogita & Oishi's *accurate summation with faithful
+//! rounding* (SIAM J. Sci. Comput. 2008), and the Demmel–Hida sorted
+//! summation the paper cites as reference \[5\] ("Accurate and Efficient
+//! Floating Point Summation", SIAM J. Sci. Comp. 2003).
+//!
+//! Both are **whole-slice** algorithms rather than mergeable reduction
+//! operators: AccSum needs the global maximum and repeated passes; sorted
+//! summation needs, well, the sort. They complete the algorithm zoo at the
+//! accuracy end and give the benches classical comparison points — and they
+//! are exactly the kind of "fix the order" methods the paper's Section III-A
+//! rules out at exascale ("fixing the reduction order ... cannot be done in
+//! a cost-effective way").
+
+use repro_fp::ulp::pow2;
+
+/// Rump–Ogita–Oishi `AccSum`: returns a **faithfully rounded** sum — the
+/// exact sum, or one of its two neighbouring floats.
+///
+/// ```
+/// use repro_sum::accsum;
+/// assert_eq!(accsum(&[1e16, 1.0, -1e16]), 1.0);
+/// ```
+///
+/// Strategy: extract the high-order parts of all values against a bias `σ`
+/// chosen so their sum is exact, add the extracted sum to the running
+/// result, and recurse on the residuals with a smaller `σ` until they can
+/// no longer affect the result.
+pub fn accsum(values: &[f64]) -> f64 {
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "accsum requires finite inputs"
+    );
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return 0.0;
+    }
+    // sigma_0 = 2^ceil(log2(n+2)) * 2^ceil(log2(max)) per Rump et al.: with
+    // this bias the extracted parts are multiples of ulp(sigma) whose
+    // running sums stay below 2^sigma_exp+1 — i.e. tau accumulates EXACTLY.
+    let mut work = values.to_vec();
+    let log_n = (usize::BITS - (n + 1).leading_zeros()) as i32;
+    let log_m = repro_fp::ulp::exponent(max_abs).expect("nonzero") + 1;
+    let mut sigma_exp = (log_n + log_m).min(1023);
+    // Each pass gains (52 - log_n - 1) bits; the full f64 range therefore
+    // bounds the pass count at ~2098 / gain.
+    let gain = (52 - log_n - 1).max(1);
+    let mut taus: Vec<f64> = Vec::new();
+    while sigma_exp >= -1021 {
+        let sigma = pow2(sigma_exp);
+        // Extract high parts: q = fl((sigma + x) - sigma).
+        let mut tau = 0.0f64;
+        let mut any_left = false;
+        for x in work.iter_mut() {
+            let q = (sigma + *x) - sigma;
+            *x -= q; // exact (Sterbenz)
+            tau += q; // exact by the sigma invariant
+            any_left |= *x != 0.0;
+        }
+        if tau != 0.0 {
+            taus.push(tau);
+        }
+        if !any_left {
+            break; // distillation complete: the taus ARE the exact sum
+        }
+        sigma_exp -= gain;
+    }
+    // The taus decrease geometrically (each below ulp-scale of the previous
+    // sigma), so double-double accumulation in generation order is faithful;
+    // any residue below the extraction floor is subnormal dust.
+    let mut acc = repro_fp::DoubleDouble::ZERO;
+    for &tau in &taus {
+        acc = acc.add_f64(tau);
+    }
+    for &x in &work {
+        acc = acc.add_f64(x);
+    }
+    acc.to_f64()
+}
+
+/// Demmel–Hida sorted summation: sort by decreasing magnitude, accumulate
+/// in double-double. Their analysis guarantees ~1 ulp accuracy whenever
+/// `n < 2^52` — the "fixed order done right" baseline.
+pub fn sorted_sum(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.abs().total_cmp(&a.abs()));
+    let mut acc = repro_fp::DoubleDouble::ZERO;
+    for &v in &sorted {
+        acc = acc.add_f64(v);
+    }
+    acc.to_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_fp::ulp::ulp;
+
+    fn assert_faithful(computed: f64, values: &[f64], label: &str) {
+        // Faithful: the error is below one ulp of the exact sum.
+        let err = repro_fp::abs_error(computed, values);
+        let exact = repro_fp::exact_sum(values);
+        let tol = ulp(if exact == 0.0 { f64::MIN_POSITIVE } else { exact }).abs();
+        assert!(err <= tol, "{label}: err {err:e} > ulp {tol:e} (exact {exact:e})");
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(accsum(&[]), 0.0);
+        assert_eq!(accsum(&[0.0, 0.0]), 0.0);
+        assert_eq!(accsum(&[42.5]), 42.5);
+        assert_eq!(sorted_sum(&[]), 0.0);
+        assert_eq!(sorted_sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn accsum_is_faithful_on_hostile_data() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1e16, 1.0, -1e16],
+            vec![1.0, 1e100, 1.0, -1e100],
+            (0..999).map(|i| ((i % 9) as f64 - 4.0) * 2f64.powi(i % 90 - 45)).collect(),
+        ];
+        for (i, values) in cases.iter().enumerate() {
+            assert_faithful(accsum(values), values, &format!("accsum case {i}"));
+        }
+    }
+
+    #[test]
+    fn sorted_sum_is_faithful_on_hostile_data() {
+        let values: Vec<f64> = (0..2000)
+            .map(|i| ((i * 31 % 101) as f64 - 50.0) * 2f64.powi(i % 80 - 40))
+            .collect();
+        assert_faithful(sorted_sum(&values), &values, "sorted");
+    }
+
+    #[test]
+    fn both_handle_exact_cancellation() {
+        let mut values = Vec::new();
+        for i in 0..500 {
+            let v = (1.0 + i as f64) * 2f64.powi(i % 40 - 20);
+            values.push(v);
+            values.push(-v);
+        }
+        assert_eq!(accsum(&values), 0.0);
+        assert_eq!(sorted_sum(&values), 0.0);
+    }
+
+    #[test]
+    fn agree_with_exact_oracle_on_random_sets() {
+        for seed in 0..5u64 {
+            let values = super::tests_support::pseudo_random(1000, seed);
+            assert_faithful(accsum(&values), &values, "accsum random");
+            assert_faithful(sorted_sum(&values), &values, "sorted random");
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    /// Dependency-free pseudo-random wide-range values for tests.
+    pub fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let mant = (state >> 12) as f64 / (1u64 << 52) as f64 + 1.0;
+                let e = ((state >> 5) % 120) as i32 - 60;
+                let sign = if state & 1 == 0 { 1.0 } else { -1.0 };
+                sign * mant * 2f64.powi(e)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,126 @@
+//! CP — composite precision summation (Taufer et al., IPDPS 2010).
+
+use crate::Accumulator;
+use repro_fp::two_sum;
+
+/// Composite precision summation, the paper's **CP**: "the error summation
+/// is kept and propagated as each of the summations are performed and added
+/// back in only at the end."
+///
+/// ```
+/// use repro_sum::CompositeSum;
+/// assert_eq!(CompositeSum::sum_slice(&[1e16, 1.0, -1e16]), 1.0);
+/// ```
+///
+/// The state is a *composite* `(value, error)` pair maintained with
+/// error-free transforms — effectively an unevaluated double-double whose
+/// low part is only folded in at [`Accumulator::finalize`]. Accumulation
+/// error is ~`u²`-level per step, which is why the paper finds CP (like PR)
+/// visually flat across reduction-tree permutations.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompositeSum {
+    value: f64,
+    error: f64,
+}
+
+impl CompositeSum {
+    /// A fresh, zero-valued accumulator.
+    #[inline]
+    pub fn new() -> Self {
+        Self { value: 0.0, error: 0.0 }
+    }
+
+    /// Sum a slice left to right in composite precision.
+    pub fn sum_slice(values: &[f64]) -> f64 {
+        let mut acc = Self::new();
+        acc.add_slice(values);
+        acc.finalize()
+    }
+
+    /// The unevaluated `(value, error)` pair (for diagnostics and tests).
+    #[inline]
+    pub fn parts(&self) -> (f64, f64) {
+        (self.value, self.error)
+    }
+}
+
+impl Accumulator for CompositeSum {
+    #[inline(always)]
+    fn add(&mut self, x: f64) {
+        let (t, e) = two_sum(self.value, x);
+        self.value = t;
+        self.error += e;
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &Self) {
+        let (t, e) = two_sum(self.value, other.value);
+        self.value = t;
+        self.error += other.error + e;
+    }
+
+    #[inline(always)]
+    fn finalize(&self) -> f64 {
+        self.value + self.error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_absorbed_terms() {
+        assert_eq!(CompositeSum::sum_slice(&[1e16, 1.0, -1e16]), 1.0);
+        assert_eq!(CompositeSum::sum_slice(&[1.0, 1e16, -1e16]), 1.0);
+    }
+
+    #[test]
+    fn error_term_is_applied_only_at_finalize() {
+        let mut acc = CompositeSum::new();
+        acc.add(1e16);
+        acc.add(1.0);
+        let (v, e) = acc.parts();
+        assert_eq!(v, 1e16);
+        assert_eq!(e, 1.0);
+    }
+
+    #[test]
+    fn handles_kahan_failure_case() {
+        // The large-addend case Kahan gets wrong: CP keeps the error term.
+        assert_eq!(CompositeSum::sum_slice(&[1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn zero_sum_series_is_exact_to_roundoff() {
+        // +-a pairs with wildly different magnitudes: CP must land near 0.
+        let mut values = Vec::new();
+        for i in 0..1000 {
+            let v = (1.0 + i as f64) * 2f64.powi((i % 64) - 32);
+            values.push(v);
+            values.push(-v);
+        }
+        let s = CompositeSum::sum_slice(&values);
+        assert_eq!(s, 0.0, "cancelled pairs must sum to exactly zero, got {s:e}");
+    }
+
+    #[test]
+    fn merge_matches_sequential_closely() {
+        let a_vals: Vec<f64> = (0..500).map(|i| 0.1 * (i as f64) - 17.3).collect();
+        let b_vals: Vec<f64> = (0..500).map(|i| 1e10 / (1.0 + i as f64)).collect();
+        let mut a = CompositeSum::new();
+        a.add_slice(&a_vals);
+        let mut b = CompositeSum::new();
+        b.add_slice(&b_vals);
+        a.merge(&b);
+        let all: Vec<f64> = a_vals.iter().chain(b_vals.iter()).copied().collect();
+        let exact = repro_fp::exact_sum(&all);
+        let err = (a.finalize() - exact).abs();
+        assert!(err <= repro_fp::ulp::ulp(exact), "merge error {err:e}");
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(CompositeSum::new().finalize(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Dot products — the BLAS-1 operation ReproBLAS actually ships, built from
+//! the same operator family as the sums.
+//!
+//! Every product `xᵢ·yᵢ` is split error-free with [`repro_fp::two_prod`]
+//! into `(hi, lo)`; both halves then flow through the chosen summation
+//! operator. That turns the dot product into a 2n-term sum, so every
+//! guarantee from the summation layer carries over verbatim: `dot2` gets
+//! compensated-class accuracy, [`dot_reproducible`] is **bitwise identical
+//! for any pairing order**, and [`dot_exact`] is the exact oracle.
+
+use crate::{Accumulator, BinnedSum, CompositeSum};
+use repro_fp::{two_prod, Superaccumulator};
+
+/// Plain dot product (the ST of dot products).
+pub fn dot_standard(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Ogita–Rump–Oishi `Dot2`: compensated dot product with twofold working
+/// precision (error ~`u + n²u²·cond`).
+pub fn dot2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = CompositeSum::new();
+    for (&a, &b) in x.iter().zip(y) {
+        let (p, e) = two_prod(a, b);
+        acc.add(p);
+        acc.add(e);
+    }
+    acc.finalize()
+}
+
+/// Bitwise-reproducible dot product: exact product splitting into the
+/// binned operator. The result is identical for every ordering of the
+/// index pairs and every merge topology, at the given fold.
+///
+/// ```
+/// use repro_sum::dot_reproducible;
+/// let fwd = dot_reproducible(&[1e8, 2.0, -1e8], &[1e8, 3.0, 1e8], 3);
+/// let rev = dot_reproducible(&[-1e8, 2.0, 1e8], &[1e8, 3.0, 1e8], 3);
+/// assert_eq!(fwd.to_bits(), rev.to_bits()); // pair order is irrelevant
+/// assert_eq!(fwd, 6.0);
+/// ```
+pub fn dot_reproducible(x: &[f64], y: &[f64], fold: usize) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = BinnedSum::new(fold);
+    for (&a, &b) in x.iter().zip(y) {
+        let (p, e) = two_prod(a, b);
+        acc.add(p);
+        acc.add(e);
+    }
+    acc.finalize()
+}
+
+/// Exact dot product (superaccumulator over the error-free product halves),
+/// rounded once — the oracle the others are measured against.
+pub fn dot_exact(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = Superaccumulator::new();
+    for (&a, &b) in x.iter().zip(y) {
+        let (p, e) = two_prod(a, b);
+        acc.add(p);
+        acc.add(e);
+    }
+    acc.to_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn ill_conditioned_pair(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        // Vectors whose dot product nearly cancels: x random, y built so
+        // the products alternate in sign with wide magnitudes.
+        let x = crate::accsum::tests_support::pseudo_random(n, seed);
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 2 == 0 { 1.0 / v } else { -1.0 / v })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(dot_standard(&[], &[]), 0.0);
+        assert_eq!(dot_exact(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot2(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dot_reproducible(&[1.0, 2.0], &[3.0, 4.0], 3), 11.0);
+    }
+
+    #[test]
+    fn exact_oracle_catches_product_roundoff() {
+        // x = y = [0.1; 3]: each square is inexact; the exact dot differs
+        // from the naive one at the last ulp.
+        let x = vec![0.1; 3];
+        let exact = dot_exact(&x, &x);
+        // Reference: 3 * (exact square of rounded 0.1).
+        let (p, e) = repro_fp::two_prod(0.1, 0.1);
+        let want = repro_fp::exact_sum(&[p, e, p, e, p, e]);
+        assert_eq!(exact.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn dot2_is_accurate_on_cancelling_products() {
+        let (x, y) = ill_conditioned_pair(2000, 11);
+        let exact = dot_exact(&x, &y);
+        let d2 = dot2(&x, &y);
+        let naive = dot_standard(&x, &y);
+        let e2 = (d2 - exact).abs();
+        let en = (naive - exact).abs();
+        assert!(e2 <= en, "dot2 {e2:e} must not lose to naive {en:e}");
+        // dot2 lands within a few ulps of the exact value's scale.
+        let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        assert!(e2 <= scale * repro_fp::UNIT_ROUNDOFF * 8.0);
+    }
+
+    #[test]
+    fn reproducible_dot_is_permutation_invariant() {
+        let (x, y) = ill_conditioned_pair(500, 3);
+        let reference = dot_reproducible(&x, &y, 3);
+        let mut idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            idx.shuffle(&mut rng);
+            let px: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
+            let py: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            assert_eq!(dot_reproducible(&px, &py, 3).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn reproducible_dot_tracks_the_exact_value() {
+        let (x, y) = ill_conditioned_pair(1000, 5);
+        let exact = dot_exact(&x, &y);
+        let pr = dot_reproducible(&x, &y, 3);
+        let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        assert!((pr - exact).abs() <= scale * 2f64.powi(-60));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = dot_standard(&[1.0], &[1.0, 2.0]);
+    }
+}

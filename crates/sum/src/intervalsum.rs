@@ -1,0 +1,120 @@
+//! Interval summation as a mergeable reduction operator — completing the
+//! paper's Section III taxonomy in operator form.
+//!
+//! The finalize value is the interval **midpoint**; the enclosure width is
+//! exposed for diagnostics. The interval itself is a guaranteed bound for
+//! every reduction order (soundness is order-independent), but the computed
+//! *endpoints* still depend on the order — which is precisely the paper's
+//! verdict on the technique: "reproducible by design" in the sense of
+//! guaranteed enclosures, yet "not suitable for applications needing many
+//! digits" because the width grows like `n·u·Σ|x|`.
+
+use crate::Accumulator;
+use repro_fp::interval::Interval;
+
+/// Interval-arithmetic summation operator.
+///
+/// ```
+/// use repro_sum::IntervalSum;
+/// let enclosure = IntervalSum::enclosure_of(&[1e16, 1.0, -1e16]);
+/// assert!(enclosure.contains(1.0)); // the exact sum is always inside
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalSum {
+    enclosure: Interval,
+}
+
+impl Default for IntervalSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntervalSum {
+    /// A fresh, zero-valued accumulator.
+    pub fn new() -> Self {
+        Self { enclosure: Interval::ZERO }
+    }
+
+    /// Sum a slice, returning the full enclosure.
+    pub fn enclosure_of(values: &[f64]) -> Interval {
+        let mut acc = Self::new();
+        acc.add_slice(values);
+        acc.enclosure
+    }
+
+    /// The current enclosure.
+    pub fn enclosure(&self) -> Interval {
+        self.enclosure
+    }
+}
+
+impl Accumulator for IntervalSum {
+    #[inline]
+    fn add(&mut self, x: f64) {
+        self.enclosure = self.enclosure.add_f64(x);
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &Self) {
+        self.enclosure = self.enclosure.add(other.enclosure);
+    }
+
+    fn finalize(&self) -> f64 {
+        self.enclosure.midpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclosure_is_sound_under_any_topology() {
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i % 23) as f64 - 11.0) * 2f64.powi(i % 40 - 20))
+            .collect();
+        let exact = repro_fp::exact_sum(&values);
+        // Sequential.
+        assert!(IntervalSum::enclosure_of(&values).contains(exact));
+        // Chunked merges.
+        let mut acc = IntervalSum::new();
+        for chunk in values.chunks(37) {
+            let mut part = IntervalSum::new();
+            part.add_slice(chunk);
+            acc.merge(&part);
+        }
+        assert!(acc.enclosure().contains(exact));
+    }
+
+    #[test]
+    fn midpoint_is_a_reasonable_estimate() {
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let acc = IntervalSum::enclosure_of(&values);
+        let exact = repro_fp::exact_sum(&values);
+        assert!((acc.midpoint() - exact).abs() <= acc.width());
+    }
+
+    #[test]
+    fn width_reflects_condition() {
+        // Interval width is order-of n*u*Σ|x| regardless of cancellation:
+        // for a zero-sum set the RELATIVE enclosure is useless — exactly the
+        // paper's "not suitable for many digits of accuracy".
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..2000 {
+            let v = 1.0 + (i as f64) * 1e-6;
+            values.push(v);
+            values.push(-v);
+        }
+        let enc = IntervalSum::enclosure_of(&values);
+        assert!(enc.contains(0.0));
+        assert!(enc.width() > 1e-13, "width {:e}", enc.width());
+    }
+
+    #[test]
+    fn empty_is_zero_point() {
+        let acc = IntervalSum::new();
+        assert_eq!(acc.finalize(), 0.0);
+        assert_eq!(acc.enclosure().width(), 0.0);
+    }
+}

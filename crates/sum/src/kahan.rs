@@ -1,0 +1,197 @@
+//! K — Kahan's compensated summation (1965), and Neumaier's 1974 variant.
+
+use crate::Accumulator;
+use repro_fp::two_sum;
+
+/// Kahan's compensated summation, the paper's **K**.
+///
+/// Carries a running compensation `c` — an estimate of the error in the
+/// current partial sum — and subtracts it from each incoming value ("the
+/// estimated error is added back into the sum at each step"). Error is
+/// bounded by ~`2u·Σ|xᵢ|` independent of `n`, but the result still varies
+/// with the reduction order.
+///
+/// As a reduction operator the state is the `(sum, c)` pair, merged the way
+/// Robey et al. merge their MPI Kahan operator: sums combine through an
+/// error-free transform whose residual flows into the merged compensation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    /// Running compensation: an amount to *subtract* from future addends.
+    c: f64,
+}
+
+impl KahanSum {
+    /// A fresh, zero-valued accumulator.
+    #[inline]
+    pub fn new() -> Self {
+        Self { sum: 0.0, c: 0.0 }
+    }
+
+    /// Sum a slice left to right with compensation.
+    pub fn sum_slice(values: &[f64]) -> f64 {
+        let mut acc = Self::new();
+        acc.add_slice(values);
+        acc.finalize()
+    }
+
+    /// The current compensation term (exposed for tests and diagnostics).
+    #[inline]
+    pub fn compensation(&self) -> f64 {
+        self.c
+    }
+}
+
+impl Accumulator for KahanSum {
+    #[inline(always)]
+    fn add(&mut self, x: f64) {
+        let y = x - self.c;
+        let t = self.sum + y;
+        self.c = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &Self) {
+        // Fold the partner's state in through compensated additions: its
+        // partial sum is one addend, its pending compensation (an amount to
+        // subtract) is another. This keeps the compensation *active* at
+        // every internal tree node — the behaviour that puts K between ST
+        // and CP on balanced reduction trees (paper, Figure 7) — while a
+        // `two_sum`-exact merge would either collapse K onto ST (dropping
+        // `c` at finalize) or onto CP (keeping it exactly).
+        self.add(other.sum);
+        if other.c != 0.0 {
+            self.add(-other.c);
+        }
+    }
+
+    #[inline(always)]
+    fn finalize(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Neumaier's improved compensated summation (extension beyond the paper).
+///
+/// Unlike Kahan, remains accurate when an addend is larger than the running
+/// sum (where Kahan's correction loses bits). The compensation accumulates
+/// lost low-order bits to be *added* at the end: `finalize = sum + c`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    /// Accumulated low-order error, applied once at finalize.
+    c: f64,
+}
+
+impl NeumaierSum {
+    /// A fresh, zero-valued accumulator.
+    #[inline]
+    pub fn new() -> Self {
+        Self { sum: 0.0, c: 0.0 }
+    }
+
+    /// Sum a slice left to right.
+    pub fn sum_slice(values: &[f64]) -> f64 {
+        let mut acc = Self::new();
+        acc.add_slice(values);
+        acc.finalize()
+    }
+}
+
+impl Accumulator for NeumaierSum {
+    #[inline(always)]
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        // Branchless form of Neumaier's |sum| >= |x| test.
+        self.c += if self.sum.abs() >= x.abs() {
+            (self.sum - t) + x
+        } else {
+            (x - t) + self.sum
+        };
+        self.sum = t;
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &Self) {
+        let (t, e) = two_sum(self.sum, other.sum);
+        self.sum = t;
+        self.c += other.c + e;
+    }
+
+    #[inline(always)]
+    fn finalize(&self) -> f64 {
+        self.sum + self.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_fixes_the_classic_drip() {
+        // 10000 additions of 0.1: plain summation drifts, Kahan does not.
+        let values = vec![0.1; 10_000];
+        let kahan = KahanSum::sum_slice(&values);
+        let exact = repro_fp::exact_sum(&values);
+        assert_eq!(kahan, exact);
+        let plain: f64 = values.iter().sum();
+        assert_ne!(plain, exact, "plain summation should drift here");
+    }
+
+    #[test]
+    fn kahan_weakness_large_addend() {
+        // Kahan's known failure: the next addend dwarfs the running sum.
+        // Neumaier handles it, Kahan does not.
+        let values = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(NeumaierSum::sum_slice(&values), 2.0);
+        assert_eq!(KahanSum::sum_slice(&values), 0.0);
+    }
+
+    #[test]
+    fn kahan_beats_standard_on_ill_conditioned_data() {
+        // Alternating large/small values; compare error magnitudes.
+        let mut values = Vec::new();
+        for i in 0..1000 {
+            values.push(1e12 + i as f64);
+            values.push(3.7e-4);
+        }
+        let exact = repro_fp::exact_sum_acc(&values);
+        let e_st = repro_fp::abs_error_vs(&exact, crate::StandardSum::sum_slice(&values));
+        let e_k = repro_fp::abs_error_vs(&exact, KahanSum::sum_slice(&values));
+        assert!(e_k <= e_st, "Kahan ({e_k:e}) must not lose to standard ({e_st:e})");
+    }
+
+    #[test]
+    fn merge_preserves_compensation_information() {
+        // Split a compensation-heavy workload across two accumulators; the
+        // merged result must stay within a few ulps of exact.
+        let left = vec![0.1; 5_000];
+        let right = vec![0.1; 5_000];
+        let mut a = KahanSum::new();
+        a.add_slice(&left);
+        let mut b = KahanSum::new();
+        b.add_slice(&right);
+        a.merge(&b);
+        let exact = repro_fp::exact_sum(&[&left[..], &right[..]].concat());
+        let err = (a.finalize() - exact).abs();
+        assert!(err <= 2.0 * repro_fp::ulp::ulp(exact), "merge error {err:e}");
+    }
+
+    #[test]
+    fn neumaier_merge_keeps_lost_bits() {
+        let mut a = NeumaierSum::new();
+        a.add_slice(&[1.0, 1e100]);
+        let mut b = NeumaierSum::new();
+        b.add_slice(&[1.0, -1e100]);
+        a.merge(&b);
+        assert_eq!(a.finalize(), 2.0);
+    }
+
+    #[test]
+    fn empty_accumulators_finalize_to_zero() {
+        assert_eq!(KahanSum::new().finalize(), 0.0);
+        assert_eq!(NeumaierSum::new().finalize(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Pairwise (cascade) summation — classical extension beyond the paper's
+//! four algorithms, included because a balanced reduction tree *is* pairwise
+//! summation; having it as an explicit operator lets the benches compare
+//! "balanced tree over f64" against "balanced tree over smarter operators".
+
+use crate::Accumulator;
+
+/// Online pairwise summation with a binary-counter stack of partials.
+///
+/// Slot `i` of the stack, when occupied, holds the sum of exactly `2^i`
+/// inputs; pushing a value carries like binary increment. The rounding
+/// pattern therefore matches a left-packed balanced tree, giving the
+/// classical `O(u·log n)` error growth.
+#[derive(Clone, Debug, Default)]
+pub struct PairwiseSum {
+    /// `partials[i]` = sum of `2^i` inputs, or `None` if the slot is empty.
+    partials: Vec<Option<f64>>,
+    count: u64,
+}
+
+impl PairwiseSum {
+    /// A fresh, zero-valued accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum a slice with pairwise cascading.
+    pub fn sum_slice(values: &[f64]) -> f64 {
+        let mut acc = Self::new();
+        acc.add_slice(values);
+        acc.finalize()
+    }
+
+    /// Number of values accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Insert a partial that represents `2^level` inputs, carrying upward.
+    fn push_at(&mut self, mut value: f64, mut level: usize) {
+        loop {
+            if self.partials.len() <= level {
+                self.partials.resize(level + 1, None);
+            }
+            match self.partials[level].take() {
+                None => {
+                    self.partials[level] = Some(value);
+                    return;
+                }
+                Some(existing) => {
+                    value += existing;
+                    level += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Accumulator for PairwiseSum {
+    #[inline]
+    fn add(&mut self, x: f64) {
+        self.push_at(x, 0);
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (level, slot) in other.partials.iter().enumerate() {
+            if let Some(v) = slot {
+                self.push_at(*v, level);
+            }
+        }
+        self.count += other.count;
+    }
+
+    fn finalize(&self) -> f64 {
+        // Fold low to high so small partials combine before meeting big ones.
+        self.partials
+            .iter()
+            .flatten()
+            .fold(0.0, |acc, &p| acc + p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_plain_sum_for_exact_values() {
+        let values: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        assert_eq!(PairwiseSum::sum_slice(&values), 64.0 * 65.0 / 2.0);
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for n in [1usize, 3, 7, 100, 1023] {
+            let values: Vec<f64> = (0..n).map(|i| (i as f64) + 0.5).collect();
+            let exact = repro_fp::exact_sum(&values);
+            let got = PairwiseSum::sum_slice(&values);
+            let err = (got - exact).abs();
+            assert!(
+                err <= 8.0 * repro_fp::ulp::ulp(exact.abs().max(1.0)),
+                "n={n}: err {err:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_slower_than_recursive() {
+        // Drip workload: pairwise should be exact here, recursive drifts.
+        let values = vec![0.1; 1 << 16];
+        let exact = repro_fp::exact_sum(&values);
+        let pw_err = (PairwiseSum::sum_slice(&values) - exact).abs();
+        let st_err = (values.iter().sum::<f64>() - exact).abs();
+        assert!(pw_err < st_err, "pairwise {pw_err:e} !< standard {st_err:e}");
+    }
+
+    #[test]
+    fn merge_is_count_aware() {
+        let mut a = PairwiseSum::new();
+        a.add_slice(&[1.0, 2.0, 3.0]);
+        let mut b = PairwiseSum::new();
+        b.add_slice(&[4.0, 5.0]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.finalize(), 15.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(PairwiseSum::new().finalize(), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Two-pass prerounded summation (Demmel & Hida style): the simplest-to-
+//! verify reproducible sum, given a pre-agreed bound on the data.
+//!
+//! A [`PreroundPlan`] fixes, up front, the quantum `δ₀` from the maximum
+//! magnitude and the count: `δ₀ = 2^(e_max + 1 + L − 52)` with
+//! `L = ⌈log₂ n⌉ + 1`. Every value is **pre-rounded** to a multiple of `δ₀`;
+//! those multiples sum *exactly* in plain f64 arithmetic (the total never
+//! exceeds 2⁵²·δ₀), so the high-order sum is independent of order and merge
+//! topology. Each further fold level repeats the trick on the residuals at a
+//! quantum `2^(53−L)` times finer.
+//!
+//! In a distributed reduction this corresponds to: one `allreduce(max)` to
+//! agree on the plan, then one ordinary `reduce(+)` per fold level — which
+//! is exactly how the paper's "prerounded summation" operator is deployed
+//! over MPI.
+//!
+//! Compared to [`crate::BinnedSum`] (one-pass, self-indexing), this operator
+//! needs the extra max-pass but has trivially inspectable exactness
+//! invariants; the two are cross-checked against each other in the tests.
+
+use crate::Accumulator;
+use repro_fp::ulp::{exponent, pow2};
+use repro_fp::Superaccumulator;
+
+/// Maximum fold levels supported.
+pub const MAX_FOLD: usize = 8;
+
+/// The pre-agreed parameters of a prerounded reduction: derived from
+/// `(max |x|, n, fold)` and shared by every accumulator participating in the
+/// same reduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreroundPlan {
+    /// Extraction bias per fold level: `M_l = 1.5 · 2^(e_l + 52)`.
+    biases: Vec<f64>,
+    /// Strict magnitude bound the plan was built for: `|x| < 2^(e_max+1)`.
+    magnitude_bound: f64,
+    /// Count bound the plan was built for.
+    n_max: usize,
+}
+
+impl PreroundPlan {
+    /// Build a plan for up to `n` values with `|x| <= max_abs`, keeping
+    /// `fold` levels of precision (each level adds `53 − ⌈log₂ n⌉ − 1` bits).
+    ///
+    /// Panics if `max_abs` is not finite-positive capable (zero is allowed:
+    /// a degenerate all-zero plan) or `fold` is out of range.
+    pub fn new(max_abs: f64, n: usize, fold: usize) -> Self {
+        assert!((1..=MAX_FOLD).contains(&fold), "fold must be in 1..={MAX_FOLD}");
+        assert!(max_abs.is_finite() && max_abs >= 0.0, "max_abs must be finite >= 0");
+        let e_max = match exponent(max_abs) {
+            Some(e) => e,
+            None => {
+                // All zeros: any quantum works; use a tiny degenerate plan.
+                return Self { biases: vec![], magnitude_bound: 0.0, n_max: n };
+            }
+        };
+        // L = ceil(log2 n) + 1; the per-level gain is S = 53 - L bits.
+        let l = (usize::BITS - n.max(1).leading_zeros()) as i32 + 1;
+        let step = 53 - l;
+        assert!(step >= 1, "n too large for prerounding (need n < 2^51)");
+        let e0 = e_max + 1 + l - 52;
+        let mut biases = Vec::with_capacity(fold);
+        for level in 0..fold as i32 {
+            let eq = e0 - level * step;
+            let bias_exp = eq + 52;
+            if bias_exp < -1022 {
+                break; // below the representable extraction floor
+            }
+            assert!(
+                bias_exp <= 1022,
+                "values too close to f64 overflow for prerounding"
+            );
+            biases.push(1.5 * pow2(bias_exp));
+        }
+        Self {
+            biases,
+            magnitude_bound: pow2_sat(e_max + 1),
+            n_max: n,
+        }
+    }
+
+    /// Build a plan by scanning the data (the "first pass": max + count).
+    pub fn for_data(values: &[f64]) -> Self {
+        Self::for_data_with_fold(values, 3)
+    }
+
+    /// Build a plan by scanning the data, at a chosen fold.
+    pub fn for_data_with_fold(values: &[f64], fold: usize) -> Self {
+        let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        Self::new(max_abs, values.len(), fold)
+    }
+
+    /// Number of usable fold levels (may be fewer than requested near the
+    /// subnormal floor).
+    pub fn levels(&self) -> usize {
+        self.biases.len()
+    }
+}
+
+fn pow2_sat(e: i32) -> f64 {
+    if e > 1023 {
+        f64::INFINITY
+    } else {
+        pow2(e)
+    }
+}
+
+/// A prerounded accumulator bound to a [`PreroundPlan`].
+///
+/// All accumulators sharing a plan may be merged in any topology; results
+/// are bitwise identical for every add/merge schedule. Values exceeding the
+/// plan's magnitude bound (or count bound) poison the accumulator to NaN —
+/// deterministically.
+#[derive(Clone, Debug)]
+pub struct PreroundedSum {
+    plan: PreroundPlan,
+    /// One exact partial sum per fold level.
+    sums: Vec<f64>,
+    count: usize,
+    poisoned: bool,
+    nan: bool,
+    pos_inf: bool,
+    neg_inf: bool,
+}
+
+impl PreroundedSum {
+    /// A fresh accumulator for the given plan.
+    pub fn new(plan: &PreroundPlan) -> Self {
+        Self {
+            sums: vec![0.0; plan.levels()],
+            plan: plan.clone(),
+            count: 0,
+            poisoned: false,
+            nan: false,
+            pos_inf: false,
+            neg_inf: false,
+        }
+    }
+
+    /// Plan + sum in one call (two passes over the slice).
+    pub fn sum_slice(values: &[f64], fold: usize) -> f64 {
+        let plan = PreroundPlan::for_data_with_fold(values, fold);
+        let mut acc = Self::new(&plan);
+        acc.add_slice(values);
+        acc.finalize()
+    }
+}
+
+impl Accumulator for PreroundedSum {
+    fn add(&mut self, x: f64) {
+        if x == 0.0 {
+            return;
+        }
+        if !x.is_finite() {
+            if x.is_nan() {
+                self.nan = true;
+            } else if x > 0.0 {
+                self.pos_inf = true;
+            } else {
+                self.neg_inf = true;
+            }
+            return;
+        }
+        self.count += 1;
+        if x.abs() >= self.plan.magnitude_bound || self.count > self.plan.n_max {
+            self.poisoned = true; // plan violated: deterministic poison
+            return;
+        }
+        let mut r = x;
+        for (level, &m) in self.plan.biases.iter().enumerate() {
+            // Pre-round the residual to this level's quantum against the
+            // CONSTANT bias: the slice (and its RNE tie-break) is a pure
+            // function of (x, plan).
+            let q = (r + m) - m;
+            self.sums[level] += q; // exact: multiple of quantum, in capacity
+            r -= q; // exact (Sterbenz)
+            if r == 0.0 {
+                break;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.plan, other.plan, "cannot merge different prerounding plans");
+        for (a, b) in self.sums.iter_mut().zip(other.sums.iter()) {
+            *a += *b; // exact: both multiples of the level quantum, in range
+        }
+        self.count += other.count;
+        self.poisoned |= other.poisoned || self.count > self.plan.n_max;
+        self.nan |= other.nan;
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+    }
+
+    fn finalize(&self) -> f64 {
+        if self.nan || self.poisoned || (self.pos_inf && self.neg_inf) {
+            return f64::NAN;
+        }
+        if self.pos_inf {
+            return f64::INFINITY;
+        }
+        if self.neg_inf {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = Superaccumulator::new();
+        for &s in &self.sums {
+            acc.add(s);
+        }
+        acc.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Accumulator;
+
+    #[test]
+    fn empty_plan_and_zero_data() {
+        let plan = PreroundPlan::for_data(&[]);
+        let acc = PreroundedSum::new(&plan);
+        assert_eq!(acc.finalize(), 0.0);
+        let plan = PreroundPlan::for_data(&[0.0, 0.0]);
+        let mut acc = PreroundedSum::new(&plan);
+        acc.add_slice(&[0.0, 0.0]);
+        assert_eq!(acc.finalize(), 0.0);
+    }
+
+    #[test]
+    fn order_independent_bitwise() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut values: Vec<f64> = (0..777)
+            .map(|i| ((i % 31) as f64 - 15.0) * 2f64.powi((i % 60) - 30))
+            .collect();
+        let plan = PreroundPlan::for_data(&values);
+        let reference = {
+            let mut acc = PreroundedSum::new(&plan);
+            acc.add_slice(&values);
+            acc.finalize()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            values.shuffle(&mut rng);
+            let mut acc = PreroundedSum::new(&plan);
+            acc.add_slice(&values);
+            assert_eq!(acc.finalize().to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_topology_independent() {
+        let values: Vec<f64> = (0..256).map(|i| (i as f64 - 127.5) * 1.37e-3).collect();
+        let plan = PreroundPlan::for_data(&values);
+        // Sequential.
+        let mut seq = PreroundedSum::new(&plan);
+        seq.add_slice(&values);
+        // Pairwise merge tree over 16 chunks.
+        let mut accs: Vec<PreroundedSum> = values
+            .chunks(16)
+            .map(|c| {
+                let mut a = PreroundedSum::new(&plan);
+                a.add_slice(c);
+                a
+            })
+            .collect();
+        while accs.len() > 1 {
+            let b = accs.pop().unwrap();
+            accs[0].merge(&b); // deliberately lopsided topology
+        }
+        assert_eq!(accs[0].finalize().to_bits(), seq.finalize().to_bits());
+    }
+
+    #[test]
+    fn accuracy_improves_with_fold() {
+        let mut values = Vec::new();
+        for i in 0..1500i32 {
+            let v = (1.0 + (i % 7) as f64) * 10f64.powi(i % 20 - 10);
+            values.push(v);
+            values.push(-v);
+        }
+        let mut prev = f64::INFINITY;
+        for fold in 1..=4 {
+            let err = PreroundedSum::sum_slice(&values, fold).abs();
+            assert!(err <= prev || err == 0.0, "fold {fold}: {err:e} > {prev:e}");
+            prev = err.max(f64::MIN_POSITIVE);
+        }
+    }
+
+    #[test]
+    fn agrees_with_binned_to_window_accuracy() {
+        // Independent reproducible sums must agree to their common window.
+        let values: Vec<f64> = (0..5000)
+            .map(|i| ((i * 31 % 101) as f64 - 50.0) * 2f64.powi((i % 50) - 25))
+            .collect();
+        let pr2 = PreroundedSum::sum_slice(&values, 3);
+        let bn = crate::BinnedSum::sum_slice(&values, 3);
+        let exact = repro_fp::exact_sum(&values);
+        let scale = repro_fp::exact_abs_sum(&values);
+        assert!((pr2 - exact).abs() <= scale * 2f64.powi(-64));
+        assert!((bn - exact).abs() <= scale * 2f64.powi(-64));
+    }
+
+    #[test]
+    fn plan_violation_poisons_deterministically() {
+        let plan = PreroundPlan::new(1.0, 4, 3);
+        let mut acc = PreroundedSum::new(&plan);
+        acc.add(0.5);
+        acc.add(100.0); // exceeds the magnitude bound
+        assert!(acc.finalize().is_nan());
+
+        let mut acc = PreroundedSum::new(&plan);
+        for _ in 0..5 {
+            acc.add(0.25); // exceeds the count bound
+        }
+        assert!(acc.finalize().is_nan());
+    }
+
+    #[test]
+    fn exactness_for_uniform_magnitudes() {
+        // n values in one binade: level 0 already captures ~30+ bits below
+        // the ulp of the max; with fold 3 the sum is exact here.
+        let values: Vec<f64> = (0..1000).map(|i| 1.0 + (i as f64) * 2f64.powi(-40)).collect();
+        let exact = repro_fp::exact_sum(&values);
+        assert_eq!(PreroundedSum::sum_slice(&values, 3), exact);
+    }
+
+    #[test]
+    fn specials_propagate() {
+        let plan = PreroundPlan::new(1.0, 10, 2);
+        let mut acc = PreroundedSum::new(&plan);
+        acc.add(f64::INFINITY);
+        assert_eq!(acc.finalize(), f64::INFINITY);
+        let mut acc2 = PreroundedSum::new(&plan);
+        acc2.add(f64::NEG_INFINITY);
+        acc2.merge(&acc);
+        assert!(acc2.finalize().is_nan());
+    }
+}

@@ -1,0 +1,79 @@
+//! ST — standard (recursive/iterative) floating-point summation.
+
+use crate::Accumulator;
+
+/// The baseline summation the paper labels **ST**: a single `f64` running
+/// total, each addition rounding once.
+///
+/// Cheapest and least reproducible: its result depends on the full reduction
+/// order, with worst-case error `n · u · Σ|xᵢ|`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StandardSum {
+    sum: f64,
+}
+
+impl StandardSum {
+    /// A fresh, zero-valued accumulator.
+    #[inline]
+    pub fn new() -> Self {
+        Self { sum: 0.0 }
+    }
+
+    /// Sum a slice left to right.
+    pub fn sum_slice(values: &[f64]) -> f64 {
+        let mut acc = Self::new();
+        acc.add_slice(values);
+        acc.finalize()
+    }
+}
+
+impl Accumulator for StandardSum {
+    #[inline(always)]
+    fn add(&mut self, x: f64) {
+        self.sum += x;
+    }
+
+    #[inline(always)]
+    fn merge(&mut self, other: &Self) {
+        self.sum += other.sum;
+    }
+
+    #[inline(always)]
+    fn finalize(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Accumulator;
+
+    #[test]
+    fn sums_left_to_right() {
+        assert_eq!(StandardSum::sum_slice(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn exhibits_absorption() {
+        // The defining weakness: small addends vanish into a big total.
+        assert_eq!(StandardSum::sum_slice(&[1e16, 1.0, -1e16]), 0.0);
+        // ... while another order keeps the answer.
+        assert_eq!(StandardSum::sum_slice(&[1e16, -1e16, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_for_exact_values() {
+        let mut a = StandardSum::new();
+        a.add_slice(&[1.0, 2.0]);
+        let mut b = StandardSum::new();
+        b.add_slice(&[3.0, 4.0]);
+        a.merge(&b);
+        assert_eq!(a.finalize(), 10.0);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(StandardSum::new().finalize(), 0.0);
+    }
+}

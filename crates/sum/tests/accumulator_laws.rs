@@ -1,0 +1,132 @@
+//! Generic laws every [`Accumulator`] implementation must satisfy,
+//! regardless of its accuracy class — checked across the whole algorithm
+//! registry so a new operator cannot quietly violate the trait contract.
+
+use proptest::prelude::*;
+use repro_sum::{Accumulator, Algorithm};
+
+fn values_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => ((-60.0f64..60.0), any::<bool>()).prop_map(|(e, neg)| {
+                let v = e.exp2();
+                if neg { -v } else { v }
+            }),
+            2 => -1e9f64..1e9,
+            1 => Just(0.0),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// finalize is non-destructive: calling it repeatedly, interleaved with
+    /// nothing, returns identical bits.
+    #[test]
+    fn finalize_is_pure(values in values_vec()) {
+        for alg in Algorithm::ALL {
+            let mut acc = alg.new_accumulator();
+            acc.add_slice(&values);
+            let a = acc.finalize();
+            let b = acc.finalize();
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} finalize not pure", alg);
+        }
+    }
+
+    /// finalize does not corrupt the state: more adds after a finalize act
+    /// exactly as if the finalize never happened.
+    #[test]
+    fn finalize_does_not_mutate(values in values_vec(), extra in -1e6f64..1e6) {
+        for alg in Algorithm::ALL {
+            let mut probed = alg.new_accumulator();
+            probed.add_slice(&values);
+            let _ = probed.finalize();
+            probed.add(extra);
+
+            let mut clean = alg.new_accumulator();
+            clean.add_slice(&values);
+            clean.add(extra);
+            prop_assert_eq!(
+                probed.finalize().to_bits(),
+                clean.finalize().to_bits(),
+                "{} state corrupted by finalize",
+                alg
+            );
+        }
+    }
+
+    /// Clones are independent: mutating the clone never affects the
+    /// original.
+    #[test]
+    fn clones_are_independent(values in values_vec(), extra in -1e6f64..1e6) {
+        for alg in Algorithm::ALL {
+            let mut original = alg.new_accumulator();
+            original.add_slice(&values);
+            let before = original.finalize();
+            let mut copy = original.clone();
+            copy.add(extra);
+            copy.add(extra);
+            prop_assert_eq!(original.finalize().to_bits(), before.to_bits(),
+                "{} clone aliases state", alg);
+        }
+    }
+
+    /// add_slice is exactly a loop of adds.
+    #[test]
+    fn add_slice_is_add_loop(values in values_vec()) {
+        for alg in Algorithm::ALL {
+            let mut a = alg.new_accumulator();
+            a.add_slice(&values);
+            let mut b = alg.new_accumulator();
+            for &v in &values {
+                b.add(v);
+            }
+            prop_assert_eq!(a.finalize().to_bits(), b.finalize().to_bits(),
+                "{} add_slice != adds", alg);
+        }
+    }
+
+    /// Merging an empty accumulator in either direction is value-preserving
+    /// for every operator (identity element law).
+    #[test]
+    fn empty_merge_is_identity(values in values_vec()) {
+        for alg in Algorithm::ALL {
+            let mut acc = alg.new_accumulator();
+            acc.add_slice(&values);
+            let want = acc.finalize();
+            acc.merge(&alg.new_accumulator());
+            prop_assert_eq!(acc.finalize().to_bits(), want.to_bits(),
+                "{} right-identity broken", alg);
+
+            let mut empty = alg.new_accumulator();
+            let mut full = alg.new_accumulator();
+            full.add_slice(&values);
+            empty.merge(&full);
+            // Left identity: value-preserving (bit-identical for all
+            // current operators).
+            prop_assert_eq!(empty.finalize().to_bits(), want.to_bits(),
+                "{} left-identity broken", alg);
+        }
+    }
+
+    /// Merge accuracy law: a two-way split+merge stays within the Higham
+    /// bound of the exact sum for every operator.
+    #[test]
+    fn split_merge_respects_global_bound(values in values_vec(), cut in any::<prop::sample::Index>()) {
+        let n = values.len();
+        let cut = if n == 0 { 0 } else { cut.index(n) };
+        let bound = repro_fp::higham_bound(n.max(1), repro_fp::exact_abs_sum(&values))
+            + f64::MIN_POSITIVE;
+        for alg in Algorithm::ALL {
+            let mut left = alg.new_accumulator();
+            left.add_slice(&values[..cut]);
+            let mut right = alg.new_accumulator();
+            right.add_slice(&values[cut..]);
+            left.merge(&right);
+            let err = repro_fp::abs_error(left.finalize(), &values);
+            prop_assert!(err <= bound, "{}: split-merge err {:e} > {:e}", alg, err, bound);
+        }
+    }
+}

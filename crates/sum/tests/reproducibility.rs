@@ -1,0 +1,230 @@
+//! Property tests for the summation operators, centred on the contract that
+//! separates PR from everything else: **bitwise reproducibility under any
+//! deposit order and any merge topology**, with accuracy bounded by the
+//! window. Also pins the accuracy hierarchy ST ≤ K ≤ CP ≤ exact that the
+//! paper's Figure 7 relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use repro_sum::prerounded::{PreroundPlan, PreroundedSum};
+use repro_sum::{Accumulator, Algorithm, BinnedSum, CompositeSum, KahanSum, NeumaierSum};
+
+/// Values spanning ~240 binades in both signs — adversarial for alignment
+/// error (multiple binned-window raises and renorm cycles), tame enough
+/// that every algorithm stays finite. The wide band matters: a narrower
+/// strategy once let a window-raise order dependence in `BinnedSum` slip
+/// through to the figure-7 workloads.
+fn mixed() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        6 => ((-120.0f64..120.0), any::<bool>()).prop_map(|(e, neg)| {
+            let v = e.exp2();
+            if neg { -v } else { v }
+        }),
+        3 => -1e12f64..1e12,
+        1 => Just(0.0),
+    ]
+}
+
+fn mixed_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(mixed(), 1..200)
+}
+
+/// Reduce values with random merge topology: split into random chunks,
+/// accumulate each, then merge the partials in a random order.
+fn random_topology_reduce<A: Accumulator>(
+    make: impl Fn() -> A,
+    values: &[f64],
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut partials: Vec<A> = Vec::new();
+    let mut i = 0;
+    while i < values.len() {
+        let take = rng.random_range(1..=values.len() - i);
+        let mut acc = make();
+        acc.add_slice(&values[i..i + take]);
+        partials.push(acc);
+        i += take;
+    }
+    while partials.len() > 1 {
+        let j = rng.random_range(1..partials.len());
+        let other = partials.swap_remove(j);
+        let k = rng.random_range(0..partials.len());
+        partials[k].merge(&other);
+    }
+    partials.pop().unwrap().finalize()
+}
+
+proptest! {
+    /// PR (binned): every permutation gives identical bits.
+    #[test]
+    fn binned_is_permutation_invariant(mut values in mixed_vec(), seed in any::<u64>()) {
+        let reference = BinnedSum::sum_slice(&values, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            values.shuffle(&mut rng);
+            let shuffled = BinnedSum::sum_slice(&values, 3);
+            prop_assert_eq!(shuffled.to_bits(), reference.to_bits());
+        }
+    }
+
+    /// PR (binned): every merge topology gives identical bits.
+    #[test]
+    fn binned_is_topology_invariant(values in mixed_vec(), seed in any::<u64>()) {
+        let reference = BinnedSum::sum_slice(&values, 3);
+        for s in 0..3u64 {
+            let r = random_topology_reduce(|| BinnedSum::new(3), &values, seed ^ s);
+            prop_assert_eq!(r.to_bits(), reference.to_bits());
+        }
+    }
+
+    /// PR (binned): accuracy is bounded by the fold window — relative to
+    /// the max magnitude, error below n · 2^(40·(1-fold) + 2), plus one ulp
+    /// of the result itself (dropped below-window content can tip the final
+    /// rounding across a representable boundary).
+    #[test]
+    fn binned_error_within_window_bound(values in mixed_vec()) {
+        let exact = repro_fp::exact_sum(&values);
+        let max = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let final_rounding = repro_fp::ulp::ulp(exact).abs();
+        for fold in 1..=4usize {
+            let got = BinnedSum::sum_slice(&values, fold);
+            let bound = (values.len() as f64)
+                * max
+                * 2f64.powi(40 * (1 - fold as i32) + 2)
+                + final_rounding
+                + f64::MIN_POSITIVE;
+            prop_assert!((got - exact).abs() <= bound,
+                "fold {}: |{:e} - {:e}| > {:e}", fold, got, exact, bound);
+        }
+    }
+
+    /// Two-pass prerounding: permutation + topology invariant under a
+    /// shared plan.
+    #[test]
+    fn prerounded_is_invariant(mut values in mixed_vec(), seed in any::<u64>()) {
+        let plan = PreroundPlan::for_data(&values);
+        let reference = {
+            let mut a = PreroundedSum::new(&plan);
+            a.add_slice(&values);
+            a.finalize()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        values.shuffle(&mut rng);
+        let shuffled = {
+            let mut a = PreroundedSum::new(&plan);
+            a.add_slice(&values);
+            a.finalize()
+        };
+        prop_assert_eq!(shuffled.to_bits(), reference.to_bits());
+        let topo = random_topology_reduce(|| PreroundedSum::new(&plan), &values, seed);
+        prop_assert_eq!(topo.to_bits(), reference.to_bits());
+    }
+
+    /// The two independent reproducible operators agree with the exact sum
+    /// to their common window accuracy (plus the final-rounding ulp of the
+    /// result; see `binned_error_within_window_bound`).
+    #[test]
+    fn reproducible_operators_agree(values in mixed_vec()) {
+        let exact = repro_fp::exact_sum(&values);
+        let scale = repro_fp::exact_abs_sum(&values).max(f64::MIN_POSITIVE);
+        let tol = scale * 2f64.powi(-60) + repro_fp::ulp::ulp(exact).abs();
+        let bn = BinnedSum::sum_slice(&values, 3);
+        let pr = PreroundedSum::sum_slice(&values, 3);
+        prop_assert!((bn - exact).abs() <= tol);
+        prop_assert!((pr - exact).abs() <= tol);
+    }
+
+    /// Accuracy hierarchy on sequential sums: CP error <= a few ulps of the
+    /// condition-scaled bound, and CP never loses to Kahan by more than
+    /// rounding noise; everything beats nothing. (Weak form: each
+    /// algorithm's error is within its analytic bound.)
+    #[test]
+    fn errors_respect_analytic_bounds(values in mixed_vec()) {
+        let n = values.len();
+        let abs_sum = repro_fp::exact_abs_sum(&values);
+        let exact = repro_fp::exact_sum_acc(&values);
+        let u = repro_fp::UNIT_ROUNDOFF;
+
+        let st = repro_fp::abs_error_vs(&exact, Algorithm::Standard.sum(&values));
+        prop_assert!(st <= (n as f64) * u * abs_sum + f64::MIN_POSITIVE,
+            "ST exceeded Higham bound");
+
+        let k = repro_fp::abs_error_vs(&exact, KahanSum::sum_slice(&values));
+        prop_assert!(k <= 4.0 * u * abs_sum + (n as f64) * u * u * abs_sum + f64::MIN_POSITIVE,
+            "Kahan exceeded its 2u-level bound: {:e}", k);
+
+        let nm = repro_fp::abs_error_vs(&exact, NeumaierSum::sum_slice(&values));
+        prop_assert!(nm <= 4.0 * u * abs_sum + (n as f64) * u * u * abs_sum + f64::MIN_POSITIVE);
+
+        let cp = repro_fp::abs_error_vs(&exact, CompositeSum::sum_slice(&values));
+        // CP is double-double-grade: error ~ u ulp of the result plus n u^2.
+        prop_assert!(cp <= 2.0 * u * abs_sum * ((n as f64) * u + 1.0) + f64::MIN_POSITIVE,
+            "CP error {:e} too large", cp);
+    }
+
+    /// Merging must be value-faithful for the compensated operators: a
+    /// split/merge reduction stays within the same analytic bound as the
+    /// sequential one.
+    #[test]
+    fn compensated_merge_stays_bounded(values in mixed_vec(), seed in any::<u64>()) {
+        let abs_sum = repro_fp::exact_abs_sum(&values);
+        let exact = repro_fp::exact_sum_acc(&values);
+        let u = repro_fp::UNIT_ROUNDOFF;
+        let n = values.len() as f64;
+
+        let k = random_topology_reduce(KahanSum::new, &values, seed);
+        prop_assert!(repro_fp::abs_error_vs(&exact, k)
+            <= (8.0 * u + n * u * u) * abs_sum + f64::MIN_POSITIVE);
+
+        let cp = random_topology_reduce(CompositeSum::new, &values, seed);
+        prop_assert!(repro_fp::abs_error_vs(&exact, cp)
+            <= (8.0 * u + n * u * u) * abs_sum + f64::MIN_POSITIVE);
+    }
+
+    /// Adding zeros anywhere never changes ST, Neumaier, CP, or PR.
+    ///
+    /// Deliberately excluded: **Kahan** (adding 0 computes `y = -c`,
+    /// flushing the running compensation into the sum — a real, documented
+    /// quirk of the algorithm) and **pairwise** (zeros shift element
+    /// positions and therefore the pairing tree).
+    #[test]
+    fn zeros_are_identity(values in mixed_vec(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zero_transparent = [
+            Algorithm::Standard,
+            Algorithm::Neumaier,
+            Algorithm::Composite,
+            Algorithm::PR,
+        ];
+        for alg in zero_transparent {
+            let reference = alg.sum(&values);
+            let mut padded = values.clone();
+            for _ in 0..5 {
+                let pos = rng.random_range(0..=padded.len());
+                padded.insert(pos, 0.0);
+            }
+            prop_assert_eq!(alg.sum(&padded).to_bits(), reference.to_bits(),
+                "{} changed by zero padding", alg);
+        }
+    }
+
+    /// Negating every input negates every algorithm's output exactly
+    /// (summation is odd; RNE is symmetric). Zero results are compared by
+    /// value: IEEE-754 gives `+0` for both `0 + 0` and `0 + (-0)`, so the
+    /// sign of a zero sum is legitimately not odd.
+    #[test]
+    fn negation_symmetry(values in mixed_vec()) {
+        let negated: Vec<f64> = values.iter().map(|v| -v).collect();
+        for alg in Algorithm::ALL {
+            let a = alg.sum(&values);
+            let b = alg.sum(&negated);
+            if a == 0.0 && b == 0.0 {
+                continue;
+            }
+            prop_assert_eq!(a.to_bits(), (-b).to_bits(), "{} not odd", alg);
+        }
+    }
+}

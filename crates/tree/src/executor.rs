@@ -1,0 +1,138 @@
+//! A threaded reduction whose merge order is genuine run-time arrival order.
+//!
+//! The paper's central premise is that at scale, "the high level of
+//! concurrency will not allow the user to enforce any specific reduction
+//! order". This executor reproduces that reality in miniature: worker
+//! threads reduce chunks locally and send their partial accumulators over a
+//! channel; the root merges them **in whatever order they arrive**. Two runs
+//! of the same program legitimately merge in different orders — which is
+//! exactly the nondeterminism a reproducible operator must absorb.
+
+use crossbeam::channel;
+use repro_sum::Accumulator;
+
+/// How the root combines worker partials.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeOrder {
+    /// Merge partials as they arrive from the channel (nondeterministic —
+    /// depends on OS scheduling).
+    Arrival,
+    /// Buffer all partials and merge them in chunk order (deterministic
+    /// topology, still parallel computation).
+    ChunkIndex,
+}
+
+/// Reduce `values` with `workers` threads, each reducing a contiguous chunk
+/// locally (serially), the root merging partials per `order`.
+///
+/// This is the "partial data is locally generated on multiple processes and
+/// then globally reduced" pattern of the paper's Section IV-C, with the
+/// nondeterminism knob exposed.
+pub fn parallel_reduce<A, F>(values: &[f64], workers: usize, make: F, order: MergeOrder) -> f64
+where
+    A: Accumulator + 'static,
+    F: Fn() -> A + Sync,
+{
+    assert!(workers >= 1);
+    if values.is_empty() {
+        return make().finalize();
+    }
+    let workers = workers.min(values.len());
+    let chunk = values.len().div_ceil(workers);
+
+    let partials: Vec<(usize, A)> = std::thread::scope(|scope| {
+        let (tx, rx) = channel::unbounded::<(usize, A)>();
+        for (i, piece) in values.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            let make = &make;
+            scope.spawn(move || {
+                let mut acc = make();
+                acc.add_slice(piece);
+                tx.send((i, acc)).expect("root outlives workers");
+            });
+        }
+        drop(tx);
+        rx.iter().collect() // arrival order
+    });
+
+    let mut root = make();
+    match order {
+        MergeOrder::Arrival => {
+            for (_, partial) in &partials {
+                root.merge(partial);
+            }
+        }
+        MergeOrder::ChunkIndex => {
+            let mut sorted = partials;
+            sorted.sort_by_key(|(i, _)| *i);
+            for (_, partial) in &sorted {
+                root.merge(partial);
+            }
+        }
+    }
+    root.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_sum::{BinnedSum, CompositeSum, StandardSum};
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        let values = repro_gen::uniform(10_000, -5.0, 5.0, 2);
+        let seq: f64 = values.iter().sum();
+        let par = parallel_reduce(&values, 1, StandardSum::new, MergeOrder::Arrival);
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn chunk_index_order_is_deterministic() {
+        let values = repro_gen::zero_sum_with_range(50_000, 24, 17);
+        let a = parallel_reduce(&values, 8, StandardSum::new, MergeOrder::ChunkIndex);
+        for _ in 0..5 {
+            let b = parallel_reduce(&values, 8, StandardSum::new, MergeOrder::ChunkIndex);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn binned_is_bitwise_stable_under_arrival_order() {
+        // The headline property: PR absorbs real scheduling nondeterminism.
+        let values = repro_gen::zero_sum_with_range(50_000, 32, 23);
+        let reference = parallel_reduce(&values, 8, || BinnedSum::new(3), MergeOrder::ChunkIndex);
+        for _ in 0..10 {
+            let run = parallel_reduce(&values, 8, || BinnedSum::new(3), MergeOrder::Arrival);
+            assert_eq!(run.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn composite_stays_accurate_under_any_arrival() {
+        let values = repro_gen::zero_sum_with_range(50_000, 16, 29);
+        for _ in 0..5 {
+            let run = parallel_reduce(&values, 8, CompositeSum::new, MergeOrder::Arrival);
+            // Exact sum is 0; CP must stay within a tight absolute band.
+            let bound = repro_fp::exact_abs_sum(&values) * repro_fp::UNIT_ROUNDOFF * 4.0;
+            assert!(run.abs() <= bound, "CP error {run:e} > {bound:e}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_binned_result() {
+        let values = repro_gen::uniform(10_000, -100.0, 100.0, 31);
+        let one = parallel_reduce(&values, 1, || BinnedSum::new(3), MergeOrder::Arrival);
+        for workers in [2usize, 3, 7, 16] {
+            let w = parallel_reduce(&values, workers, || BinnedSum::new(3), MergeOrder::Arrival);
+            assert_eq!(w.to_bits(), one.to_bits(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            parallel_reduce(&[], 4, StandardSum::new, MergeOrder::Arrival),
+            0.0
+        );
+    }
+}

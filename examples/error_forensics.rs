@@ -1,0 +1,81 @@
+//! Error forensics: *where* in a reduction tree does the error happen?
+//!
+//! Every internal node of a standard-summation tree computes `fl(a + b)`,
+//! losing an exactly recoverable residual. This example attributes the total
+//! error of a reduction to individual tree nodes (bitwise — the residuals
+//! sum back to the exact error), then shows how the choice of tree shape
+//! moves the damage around.
+//!
+//! ```sh
+//! cargo run --release -p repro-examples --bin error_forensics
+//! ```
+
+use repro_core::prelude::*;
+use repro_core::stats::{table::sci, Table};
+use repro_core::tree::{ReductionTree, TreeShape};
+
+fn main() {
+    // A small, readable catastrophe: big values absorb the small ones, then
+    // cancel.
+    let values = vec![1e16, 3.0, -7.5, 2.5, 1.0, -1e16, 0.125, 4.0];
+    println!("operands: {values:?}");
+    println!("exact sum: {}\n", exact_sum(&values));
+
+    let tree = ReductionTree::build(TreeShape::Serial, values.len());
+    println!("serial reduction tree:\n{}", tree.render(&values));
+
+    let (root, residuals) = tree.error_attribution(&values);
+    println!("computed (ST) result: {root:e}");
+    println!("total error: {:e}", abs_error(root, &values));
+    println!("\nper-node residuals (exact; they sum back to the exact error):");
+    for (i, r) in residuals.iter().enumerate() {
+        if *r != 0.0 {
+            println!("  node#{i}: lost {r:+e}");
+        }
+    }
+
+    // The identity, verified live:
+    let mut acc = Superaccumulator::new();
+    acc.add(root);
+    for r in &residuals {
+        acc.add(*r);
+    }
+    assert_eq!(acc.to_f64().to_bits(), exact_sum(&values).to_bits());
+    println!("\nidentity check: root + Σ residuals == exact sum (bitwise) ✓");
+
+    // Shape comparison on a bigger hostile workload: where the worst nodes
+    // sit and how bad they are, per shape.
+    let big = repro_core::gen::zero_sum_with_range(4096, 32, 7);
+    println!("\nworst single-node losses on a zero-sum dr=32 workload (n = 4096):");
+    let mut t = Table::new(&["shape", "depth", "total |error|", "worst node loss", "top-5 share"]);
+    for shape in [
+        TreeShape::Balanced,
+        TreeShape::Binomial,
+        TreeShape::Skewed { ratio: 100 },
+        TreeShape::Serial,
+    ] {
+        let tree = ReductionTree::build(shape, big.len());
+        let (root, residuals) = tree.error_attribution(&big);
+        let total_err = abs_error(root, &big);
+        let worst = tree.worst_nodes(&big, 5);
+        let worst_abs = worst.first().map(|(_, r)| r.abs()).unwrap_or(0.0);
+        let top5: f64 = worst.iter().map(|(_, r)| r.abs()).sum();
+        let residual_mass: f64 = residuals.iter().map(|r| r.abs()).sum();
+        t.row(&[
+            shape.label(),
+            tree.depth().to_string(),
+            sci(total_err),
+            sci(worst_abs),
+            format!("{:.0}%", 100.0 * top5 / residual_mass.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "reading: each node's loss is bounded by the ulp of its partial sum, so the\n\
+         damage tracks where large partials live: serial shapes keep large partial\n\
+         sums alive across the whole spine and accumulate several times the total\n\
+         error of balanced shapes, while no single node dominates (top-5 share stays\n\
+         small) — which is exactly why counting \"bad events\" (the paper's Fig. 3\n\
+         cancellation censuses) cannot rank orders by error."
+    );
+}

@@ -1,0 +1,82 @@
+//! The full pipeline, stage by stage: what a simulation code would actually
+//! do with this library at scale.
+//!
+//! 1. data appears on many ranks (here: an ill-conditioned global array);
+//! 2. each rank profiles its chunk; partial profiles reduce;
+//! 3. every rank selects the same operator from the global profile;
+//! 4. the reduction runs with that operator, under real scheduling jitter;
+//! 5. the result is verified against the exact oracle and re-run to show
+//!    run-to-run stability.
+//!
+//! ```sh
+//! cargo run --release -p repro-examples --bin pipeline
+//! ```
+
+use repro_core::mpisim::{adaptive_reduce_sum, ReduceConfig, ReduceTopology, World};
+use repro_core::prelude::*;
+use repro_core::stats::{table::sci, Table};
+
+fn chunk(values: &[f64], size: usize, rank: usize) -> &[f64] {
+    let per = values.len().div_ceil(size);
+    &values[(rank * per).min(values.len())..((rank + 1) * per).min(values.len())]
+}
+
+fn main() {
+    const RANKS: usize = 12;
+    println!("stage 1: the data — 300,000 values, exact sum 0, 28 decades of range\n");
+    let values = repro_core::gen::zero_sum_with_range(300_000, 28, 4242);
+
+    println!("stage 2+3: distributed profile -> one global choice per tolerance\n");
+    let mut t = Table::new(&["tolerance", "chosen (all ranks agree)", "result", "|error| vs exact"]);
+    for (label, tol) in [
+        ("abs 1e-3", Tolerance::AbsoluteSpread(1e-3)),
+        ("abs 1e-8", Tolerance::AbsoluteSpread(1e-8)),
+        ("abs 1e-12", Tolerance::AbsoluteSpread(1e-12)),
+        ("bitwise", Tolerance::Bitwise),
+    ] {
+        let cfg = ReduceConfig {
+            topology: ReduceTopology::FlatArrival,
+            jitter_us: 300,
+            jitter_seed: 7,
+        };
+        let out = World::run(RANKS, |comm| {
+            adaptive_reduce_sum(comm, chunk(&values, comm.size(), comm.rank()), tol, 0, &cfg)
+        });
+        let (sum, alg) = out[0].expect("root");
+        t.row(&[
+            label.to_string(),
+            alg.to_string(),
+            sci(sum),
+            sci(repro_core::fp::abs_error(sum, &values)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("stage 5: run-to-run stability of the bitwise configuration\n");
+    let mut bits = std::collections::HashSet::new();
+    for run in 0..5u64 {
+        let cfg = ReduceConfig {
+            topology: ReduceTopology::FlatArrival,
+            jitter_us: 300,
+            jitter_seed: run * 31,
+        };
+        let out = World::run(RANKS, |comm| {
+            adaptive_reduce_sum(
+                comm,
+                chunk(&values, comm.size(), comm.rank()),
+                Tolerance::Bitwise,
+                0,
+                &cfg,
+            )
+        });
+        let (sum, _) = out[0].unwrap();
+        println!("  run {run}: {sum:+.17e}  bits {:016x}", sum.to_bits());
+        bits.insert(sum.to_bits());
+    }
+    println!(
+        "\n=> {} distinct value(s) across 5 jittered runs — the pipeline's answer\n\
+         is a function of the data, not of the machine's mood.",
+        bits.len()
+    );
+    assert_eq!(bits.len(), 1);
+}

@@ -1,0 +1,85 @@
+//! Quickstart: why floating-point reductions are irreproducible, what each
+//! summation operator does about it, and how the adaptive selector picks one.
+//!
+//! ```sh
+//! cargo run --release -p repro-examples --bin quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use repro_core::prelude::*;
+use repro_core::stats::{descriptive::Summary, table::sci, Table};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Non-associativity in three lines (the paper's intro example).
+    // ------------------------------------------------------------------
+    let (a, b, c) = (1e9, -1e9, 1e-9);
+    println!("(a + b) + c = {:e}", (a + b) + c);
+    println!("a + (b + c) = {:e}", a + (b + c));
+    println!("exact       = {:e}\n", exact_sum(&[a, b, c]));
+
+    // ------------------------------------------------------------------
+    // 2. An ill-conditioned workload: exact sum zero, dr = 32 decades.
+    // ------------------------------------------------------------------
+    let values = repro_core::gen::zero_sum_with_range(100_000, 32, 42);
+    println!(
+        "workload: n = {}, k = {:e}, dr = {} decades, exact sum = {:e}",
+        values.len(),
+        condition_number(&values),
+        dynamic_range(&values).unwrap(),
+        exact_sum(&values),
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Shuffle the reduction order 20 times per algorithm and watch who
+    //    stays put (a miniature of the paper's Figure 7).
+    // ------------------------------------------------------------------
+    let mut table = Table::new(&[
+        "algorithm",
+        "min |error|",
+        "max |error|",
+        "spread (stddev)",
+        "bitwise stable",
+    ]);
+    let mut rng = StdRng::seed_from_u64(7);
+    for alg in Algorithm::PAPER_SET {
+        let mut shuffled = values.clone();
+        let mut errors = Vec::new();
+        let mut bits = std::collections::HashSet::new();
+        for _ in 0..20 {
+            shuffled.shuffle(&mut rng);
+            let sum = tree::reduce(&shuffled, TreeShape::Balanced, alg);
+            bits.insert(sum.to_bits());
+            errors.push(abs_error(sum, &values));
+        }
+        let s = Summary::of(&errors);
+        table.row(&[
+            alg.to_string(),
+            sci(s.min),
+            sci(s.max),
+            sci(s.stddev),
+            if bits.len() == 1 { "yes".into() } else { format!("no ({} values)", bits.len()) },
+        ]);
+    }
+    println!("\nerror across 20 random reduction orders (balanced tree):");
+    println!("{}", table.render());
+
+    // ------------------------------------------------------------------
+    // 4. Let the runtime pick: cheapest algorithm meeting each tolerance.
+    // ------------------------------------------------------------------
+    println!("adaptive selection on this workload:");
+    for t in [1e-6, 1e-10, 1e-13, 1e-16] {
+        let reducer = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(t));
+        let outcome = reducer.reduce(&values);
+        println!(
+            "  tolerance {:>8.0e}  ->  {:<12}  sum = {:e}",
+            t,
+            outcome.algorithm.to_string(),
+            outcome.sum
+        );
+    }
+    let bitwise = AdaptiveReducer::heuristic(Tolerance::Bitwise).reduce(&values);
+    println!("  bitwise          ->  {:<12}  sum = {:e}", bitwise.algorithm.to_string(), bitwise.sum);
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the example binaries (kept tiny on purpose — the
+//! examples demonstrate the public API of `repro-core`, not this crate).

@@ -1,0 +1,102 @@
+//! Oracle quorum: the workspace carries four independent ways to compute a
+//! sum exactly or faithfully — the superaccumulator (fixed point), BigFloat
+//! (arbitrary-precision softfloat), expansion distillation (Shewchuk), and
+//! AccSum/sorted-DD (fixed-order faithful algorithms). They share no
+//! arithmetic code. This test makes them vote, across every workload family
+//! and many seeds: the three exact methods must agree **bit for bit**, the
+//! faithful ones must land within one ulp.
+//!
+//! An implementation bug in any single oracle loses the vote immediately;
+//! an agreement across all of them on thousands of adversarial inputs is
+//! about as strong as software-only evidence gets.
+
+use repro_core::prelude::*;
+use repro_core::sum::{accsum, sorted_sum, DistillSum};
+
+fn workloads(seed: u64) -> Vec<(String, Vec<f64>)> {
+    vec![
+        ("uniform wide".into(), repro_core::gen::uniform(2_000, -1e6, 1e6, seed)),
+        ("zero-sum dr=32".into(), repro_core::gen::zero_sum_with_range(2_000, 32, seed)),
+        (
+            "grid k=1e9 dr=16".into(),
+            repro_core::gen::grid_cell(1_000, 1e9, 16, seed, 1e16),
+        ),
+        (
+            "nbody near-symmetric".into(),
+            repro_core::gen::nbody::force_reduction(2_000, 1e-6, seed).force_terms,
+        ),
+        (
+            "clustered".into(),
+            repro_core::gen::clustered::clustered(&repro_core::gen::clustered::ClusteredSpec {
+                seed,
+                ..Default::default()
+            })
+            .0,
+        ),
+    ]
+}
+
+#[test]
+fn exact_oracles_agree_bitwise_everywhere() {
+    for seed in 0..8u64 {
+        for (name, values) in workloads(seed) {
+            let superacc = repro_core::fp::exact_sum(&values);
+            let bigfloat = repro_core::hp::sum_exact(&values);
+            let distill = DistillSum::sum_slice(&values);
+            assert_eq!(
+                superacc.to_bits(),
+                bigfloat.to_bits(),
+                "superacc vs BigFloat on {name} (seed {seed})"
+            );
+            assert_eq!(
+                superacc.to_bits(),
+                distill.to_bits(),
+                "superacc vs distillation on {name} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn faithful_oracles_land_within_one_ulp() {
+    for seed in 0..8u64 {
+        for (name, values) in workloads(seed) {
+            let exact = repro_core::fp::exact_sum(&values);
+            let tol = repro_core::fp::ulp::ulp(if exact == 0.0 {
+                f64::MIN_POSITIVE
+            } else {
+                exact
+            })
+            .abs();
+            for (label, got) in [("accsum", accsum(&values)), ("sorted+DD", sorted_sum(&values))] {
+                assert!(
+                    (got - exact).abs() <= tol,
+                    "{label} off by {:e} (> ulp {tol:e}) on {name} (seed {seed})",
+                    (got - exact).abs()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quorum_holds_under_permutation_and_merge() {
+    // The exact oracles must agree not only on slice sums but through their
+    // mergeable paths.
+    for seed in 0..4u64 {
+        let values = repro_core::gen::zero_sum_with_range(3_000, 28, seed);
+        let (left, right) = values.split_at(1_234);
+        // Superaccumulator merge path.
+        let mut sa = repro_core::fp::exact_sum_acc(left);
+        sa.merge(&repro_core::fp::exact_sum_acc(right));
+        // Distillation merge path.
+        let mut da = DistillSum::new();
+        da.add_slice(left);
+        let mut db = DistillSum::new();
+        db.add_slice(right);
+        da.merge(&db);
+        let whole = repro_core::fp::exact_sum(&values);
+        assert_eq!(sa.to_f64().to_bits(), whole.to_bits(), "superacc merge (seed {seed})");
+        assert_eq!(da.finalize().to_bits(), whole.to_bits(), "distill merge (seed {seed})");
+    }
+}
