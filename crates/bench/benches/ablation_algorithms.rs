@@ -24,7 +24,13 @@ fn main() {
     let values = repro_core::gen::zero_sum_with_range(n, 32, p.seed ^ 0xA16);
     let exact = exact_sum_acc(&values);
 
-    let mut t = Table::new(&["algorithm", "cost rank", "median |error|", "stddev", "max |error|"]);
+    let mut t = Table::new(&[
+        "algorithm",
+        "cost rank",
+        "median |error|",
+        "stddev",
+        "max |error|",
+    ]);
     let mut spreads = std::collections::HashMap::new();
     for alg in Algorithm::ALL {
         let mut errors = Vec::new();
@@ -42,7 +48,11 @@ fn main() {
             sci(b.max),
         ]);
     }
-    println!("\nn = {n}, {} permutations, balanced trees:\n{}", p.fig7_perms, t.render());
+    println!(
+        "\nn = {n}, {} permutations, balanced trees:\n{}",
+        p.fig7_perms,
+        t.render()
+    );
 
     println!("readings:");
     println!(

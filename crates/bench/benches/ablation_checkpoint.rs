@@ -70,7 +70,10 @@ fn main() {
             bytes.to_string(),
         ]);
     }
-    println!("\n{n} values (zero-sum, dr = 28), PR fold 3:\n{}", t.render());
+    println!(
+        "\n{n} values (zero-sum, dr = 28), PR fold 3:\n{}",
+        t.render()
+    );
     println!(
         "reading: the accumulator state is exact, so restart commutes with any\n\
          split of the deposit stream — even when the restarted job replays its\n\

@@ -50,7 +50,11 @@ fn main() {
             format!("{:.2}", time * 1e9 / values.len() as f64),
         ]);
     }
-    println!("\nzero-sum workload, n = {}, dr = 32:\n{}", values.len(), t.render());
+    println!(
+        "\nzero-sum workload, n = {}, dr = 32:\n{}",
+        values.len(),
+        t.render()
+    );
     println!(
         "reading: every fold is bitwise reproducible (1 distinct result); accuracy\n\
          saturates by fold 3; cost grows mildly with fold — fold 3 is the sweet spot."

@@ -21,9 +21,18 @@ fn main() {
     );
     let n = p.timing_n / 4;
     let workloads: Vec<(&str, Vec<f64>)> = vec![
-        ("benign (k=1, dr=0)", repro_core::gen::grid_cell(n, 1.0, 0, p.seed, 1e16)),
-        ("moderate (k=1e6, dr=16)", repro_core::gen::grid_cell(n, 1e6, 16, p.seed, 1e16)),
-        ("hostile (k=inf, dr=32)", repro_core::gen::zero_sum_with_range(n, 32, p.seed)),
+        (
+            "benign (k=1, dr=0)",
+            repro_core::gen::grid_cell(n, 1.0, 0, p.seed, 1e16),
+        ),
+        (
+            "moderate (k=1e6, dr=16)",
+            repro_core::gen::grid_cell(n, 1e6, 16, p.seed, 1e16),
+        ),
+        (
+            "hostile (k=inf, dr=32)",
+            repro_core::gen::zero_sum_with_range(n, 32, p.seed),
+        ),
     ];
     let reducer = AdaptiveReducer::heuristic(Tolerance::RelativeSpread(1e-12));
 
@@ -41,9 +50,7 @@ fn main() {
             repro_core::select::profile(values).abs_sum
         });
         let (alg, _) = reducer.choose(values);
-        let adaptive_time = median_time(p.timing_reps.min(10), || {
-            reducer.reduce(values).sum
-        });
+        let adaptive_time = median_time(p.timing_reps.min(10), || reducer.reduce(values).sum);
         let pr_time = median_time(p.timing_reps.min(10), || Algorithm::PR.sum(values));
         let st_time = median_time(p.timing_reps.min(10), || {
             let mut acc = Algorithm::Standard.new_accumulator();
@@ -60,7 +67,10 @@ fn main() {
             format!("{:.2}x", pr_time / adaptive_time),
         ]);
     }
-    println!("\nn = {n} per workload, tolerance = relative 1e-12:\n{}", t.render());
+    println!(
+        "\nn = {n} per workload, tolerance = relative 1e-12:\n{}",
+        t.render()
+    );
     println!(
         "reading: profiling costs one compensated pass; when the data allows a cheap\n\
          operator, adaptive reduction recovers most of the gap to always-PR while\n\

@@ -20,7 +20,11 @@ fn mixed_workload(blocks: usize, block_len: usize, hostile_every: usize, seed: u
     let mut values = Vec::with_capacity(blocks * block_len);
     for b in 0..blocks {
         if b % hostile_every == hostile_every - 1 {
-            values.extend(repro_core::gen::zero_sum_with_range(block_len, 24, seed + b as u64));
+            values.extend(repro_core::gen::zero_sum_with_range(
+                block_len,
+                24,
+                seed + b as u64,
+            ));
         } else {
             values.extend((0..block_len).map(|i| 1.0 + ((b * block_len + i) % 97) as f64 * 1e-2));
         }
@@ -69,19 +73,28 @@ fn main() {
         "always-ST (unsafe)".into(),
         "ST".into(),
         format!("{:.2}", st_time * 1e3),
-        sci(repro_core::fp::abs_error(Algorithm::Standard.sum(&values), &values)),
+        sci(repro_core::fp::abs_error(
+            Algorithm::Standard.sum(&values),
+            &values,
+        )),
     ]);
     t.row(&[
         "always-PR (defensive)".into(),
         "PR".into(),
         format!("{:.2}", pr_time * 1e3),
-        sci(repro_core::fp::abs_error(Algorithm::PR.sum(&values), &values)),
+        sci(repro_core::fp::abs_error(
+            Algorithm::PR.sum(&values),
+            &values,
+        )),
     ]);
     t.row(&[
         "global adaptive".into(),
         global_alg.to_string(),
         format!("{:.2}", global_time * 1e3),
-        sci(repro_core::fp::abs_error(global.reduce(&values).sum, &values)),
+        sci(repro_core::fp::abs_error(
+            global.reduce(&values).sum,
+            &values,
+        )),
     ]);
     t.row(&[
         "subtree adaptive".into(),

@@ -99,7 +99,13 @@ fn main() {
         },
     ];
 
-    let mut t = Table::new(&["family", "method", "|error|", "ns/elem", "mergeable operator?"]);
+    let mut t = Table::new(&[
+        "family",
+        "method",
+        "|error|",
+        "ns/elem",
+        "mergeable operator?",
+    ]);
     for r in &rows {
         t.row(&[
             r.family.to_string(),
@@ -109,7 +115,10 @@ fn main() {
             r.mergeable.to_string(),
         ]);
     }
-    println!("\nzero-sum workload, n = {n}, dr = 24 (exact sum = 0):\n{}", t.render());
+    println!(
+        "\nzero-sum workload, n = {n}, dr = 24 (exact sum = 0):\n{}",
+        t.render()
+    );
 
     // The interval verdict, quantified.
     let enclosure = interval_sum(&values);

@@ -31,7 +31,14 @@ fn main() {
         TreeShape::Serial,
     ];
 
-    let mut t = Table::new(&["shape", "depth", "ST stddev", "K stddev", "CP stddev", "PR stddev"]);
+    let mut t = Table::new(&[
+        "shape",
+        "depth",
+        "ST stddev",
+        "K stddev",
+        "CP stddev",
+        "PR stddev",
+    ]);
     for shape in shapes {
         let mut row = vec![shape.label(), shape.depth(n).to_string()];
         for alg in Algorithm::PAPER_SET {
@@ -43,7 +50,11 @@ fn main() {
         }
         t.row(&row);
     }
-    println!("\nn = {n}, {} permutations per cell:\n{}", p.fig7_perms, t.render());
+    println!(
+        "\nn = {n}, {} permutations per cell:\n{}",
+        p.fig7_perms,
+        t.render()
+    );
     println!(
         "reading: ST/K variability grows as shapes deepen toward serial; CP stays\n\
          several orders below; PR is identically zero on every shape."

@@ -68,13 +68,19 @@ fn main() {
     for &e in &errors {
         h.record_log10(e);
     }
-    println!("distribution of measured |error| across orders:\n{}", h.render(50));
+    println!(
+        "distribution of measured |error| across orders:\n{}",
+        h.render(50)
+    );
 
     println!(
         "expected shape (paper): both bounds sit orders of magnitude above every\n\
          measured error; the measured errors alone span a wide range across orders."
     );
-    assert!(analytical > s.max * 10.0, "analytical bound should overestimate");
+    assert!(
+        analytical > s.max * 10.0,
+        "analytical bound should overestimate"
+    );
     assert!(statistical > s.max, "statistical bound should overestimate");
     println!("shape check: PASS");
 }

@@ -38,7 +38,14 @@ fn main() {
         rows.push((order, census.counts, err));
     }
 
-    let mut t = Table::new(&["order", "≥1 digit", "≥2 digits", "≥4 digits", "≥8 digits", "|error|"]);
+    let mut t = Table::new(&[
+        "order",
+        "≥1 digit",
+        "≥2 digits",
+        "≥4 digits",
+        "≥8 digits",
+        "|error|",
+    ]);
     for (order, counts, err) in rows.iter().take(20) {
         t.row(&[
             order.to_string(),
@@ -88,6 +95,9 @@ fn main() {
         "\nexpected shape (paper): cancellation counts do not consistently predict\n\
          error magnitude; |rho| well below 1. measured rho = {rho:.3}"
     );
-    assert!(rho.abs() < 0.9, "cancellation census should not rank errors");
+    assert!(
+        rho.abs() < 0.9,
+        "cancellation census should not rank errors"
+    );
     println!("shape check: PASS");
 }

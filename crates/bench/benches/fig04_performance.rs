@@ -25,7 +25,10 @@ fn figure_table() {
         "execution time to sum the series with ST / K / CP / PR (local + global reduce)",
     );
     let values = repro_core::gen::zero_sum_with_range(p.timing_n, 8, p.seed ^ 0xF164);
-    let ranks = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let ranks = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
     let cfg = ReduceConfig::default();
 
     let mut t = Table::new(&["algorithm", "median time (ms)", "ns / element", "vs ST"]);
@@ -76,8 +79,16 @@ fn figure_table() {
         "shape check (ST cheapest, PR most expensive): {}\n\
          paper's exact ST<K<CP<PR order: {} (K/CP can swap on out-of-order cores;\n\
          see fig05 and EXPERIMENTS.md)",
-        if all_pay && pr_most { "PASS" } else { "MARGINAL (thread-pool noise; see Criterion pass below)" },
-        if paper_exact_order { "also holds" } else { "middle pair inverted here" }
+        if all_pay && pr_most {
+            "PASS"
+        } else {
+            "MARGINAL (thread-pool noise; see Criterion pass below)"
+        },
+        if paper_exact_order {
+            "also holds"
+        } else {
+            "middle pair inverted here"
+        }
     );
 }
 
@@ -89,13 +100,17 @@ fn criterion_kernels(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.sample_size(20);
     for alg in Algorithm::PAPER_SET {
-        group.bench_with_input(BenchmarkId::from_parameter(alg.abbrev()), &alg, |b, &alg| {
-            b.iter(|| {
-                let mut acc = alg.new_accumulator();
-                acc.add_slice(&values);
-                acc.finalize()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.abbrev()),
+            &alg,
+            |b, &alg| {
+                b.iter(|| {
+                    let mut acc = alg.new_accumulator();
+                    acc.add_slice(&values);
+                    acc.finalize()
+                })
+            },
+        );
     }
     group.finish();
 }

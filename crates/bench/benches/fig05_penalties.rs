@@ -64,7 +64,15 @@ fn main() {
     let paper_exact_order = penalties.windows(2).all(|w| w[0] <= w[1] * 1.10);
     println!(
         "shape check: {} (paper's exact K<CP order: {})",
-        if all_pay && pr_most_expensive { "PASS" } else { "FAIL" },
-        if paper_exact_order { "also holds" } else { "inverted here, as documented" }
+        if all_pay && pr_most_expensive {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if paper_exact_order {
+            "also holds"
+        } else {
+            "inverted here, as documented"
+        }
     );
 }

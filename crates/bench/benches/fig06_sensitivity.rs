@@ -33,7 +33,10 @@ fn main() {
     for alg in algorithms {
         let mut errors = Vec::new();
         PermutationStudy::new(&values, p.fig7_perms, p.seed ^ 66).for_each(|_, permuted| {
-            errors.push(abs_error_vs(&exact, reduce(permuted, TreeShape::Balanced, alg)));
+            errors.push(abs_error_vs(
+                &exact,
+                reduce(permuted, TreeShape::Balanced, alg),
+            ));
         });
         per_alg.push((alg, errors));
     }
@@ -67,11 +70,14 @@ fn main() {
     println!("(a) zoom into CP and PR:\n{}", t.render());
 
     let range = |i: usize| Boxplot::of(&per_alg[i].1).range();
-    println!(
-        "expected shape (paper): sensitivity shrinks K >> CP >= PR, PR exactly 0."
-    );
+    println!("expected shape (paper): sensitivity shrinks K >> CP >= PR, PR exactly 0.");
     let (rk, rcp, rpr) = (range(0), range(1), range(2));
-    println!("measured ranges: K = {}, CP = {}, PR = {}", sci(rk), sci(rcp), sci(rpr));
+    println!(
+        "measured ranges: K = {}, CP = {}, PR = {}",
+        sci(rk),
+        sci(rcp),
+        sci(rpr)
+    );
     assert!(rk > rcp * 1e3, "K range must dwarf CP range");
     assert_eq!(rpr, 0.0, "PR must be exactly insensitive");
     println!("shape check: PASS");

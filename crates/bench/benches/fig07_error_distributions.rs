@@ -22,7 +22,10 @@ fn main() {
         "Figure 7 (a)-(h)",
         "error boxplots: {balanced, unbalanced} x {8K-class, 1M-class} x {ST, K, CP, PR}",
     );
-    let shapes = [(TreeShape::Balanced, "balanced"), (TreeShape::Serial, "unbalanced")];
+    let shapes = [
+        (TreeShape::Balanced, "balanced"),
+        (TreeShape::Serial, "unbalanced"),
+    ];
     let mut spreads: Vec<((String, usize, &str), f64)> = Vec::new();
 
     let panels = [
@@ -35,18 +38,23 @@ fn main() {
         let values = repro_core::gen::zero_sum_with_range(n, 32, p.seed ^ n as u64);
         let exact = exact_sum_acc(&values);
         let mut t = Table::new(&[
-            "algorithm", "min", "q1", "median", "q3", "max", "stddev", "distinct",
+            "algorithm",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+            "stddev",
+            "distinct",
         ]);
         for alg in Algorithm::PAPER_SET {
             let mut errors = Vec::new();
             let mut distinct = std::collections::HashSet::new();
-            PermutationStudy::new(&values, p.fig7_perms, p.seed ^ 0x77).for_each(
-                |_, permuted| {
-                    let s = reduce(permuted, shape, alg);
-                    distinct.insert(s.to_bits());
-                    errors.push(abs_error_vs(&exact, s));
-                },
-            );
+            PermutationStudy::new(&values, p.fig7_perms, p.seed ^ 0x77).for_each(|_, permuted| {
+                let s = reduce(permuted, shape, alg);
+                distinct.insert(s.to_bits());
+                errors.push(abs_error_vs(&exact, s));
+            });
             let b = Boxplot::of(&errors);
             let sd = population_stddev(&errors);
             spreads.push(((shape_name.to_string(), n, alg.abbrev()), sd));
@@ -88,7 +96,10 @@ fn main() {
         ),
         (
             "PR spread is exactly zero in every panel".to_string(),
-            spreads.iter().filter(|((_, _, a), _)| *a == "PR").all(|(_, v)| *v == 0.0),
+            spreads
+                .iter()
+                .filter(|((_, _, a), _)| *a == "PR")
+                .all(|(_, v)| *v == 0.0),
         ),
         (
             format!(

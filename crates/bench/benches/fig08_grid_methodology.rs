@@ -57,7 +57,12 @@ fn main() {
         });
         t.row(&[
             alg.to_string(),
-            errors.iter().take(3).map(|e| sci(*e)).collect::<Vec<_>>().join(", "),
+            errors
+                .iter()
+                .take(3)
+                .map(|e| sci(*e))
+                .collect::<Vec<_>>()
+                .join(", "),
             sci(population_stddev(&errors)),
         ]);
     }
@@ -69,7 +74,13 @@ fn main() {
 
     // And the packaged form the other benches call:
     let stds = sweep::cell_stddevs(
-        sweep::CellSpec { n: p.grid_n, k, dr, seed: p.seed, scaling: sweep::CellScaling::UnitSum },
+        sweep::CellSpec {
+            n: p.grid_n,
+            k,
+            dr,
+            seed: p.seed,
+            scaling: sweep::CellScaling::UnitSum,
+        },
         p.grid_perms,
         &Algorithm::PAPER_SET,
     );

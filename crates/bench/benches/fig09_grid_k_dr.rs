@@ -32,13 +32,15 @@ fn main() {
         .iter()
         .enumerate()
         .flat_map(|(ri, &k)| {
-            drs.iter().enumerate().map(move |(ci, &dr)| sweep::CellSpec {
-                n: p.grid_n,
-                k,
-                dr,
-                seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
-                scaling: sweep::CellScaling::UnitSum,
-            })
+            drs.iter()
+                .enumerate()
+                .map(move |(ci, &dr)| sweep::CellSpec {
+                    n: p.grid_n,
+                    k,
+                    dr,
+                    seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
+                    scaling: sweep::CellScaling::UnitSum,
+                })
         })
         .collect();
     let all = sweep::cells_stddevs_parallel(&specs, p.grid_perms, &algorithms);
@@ -50,7 +52,12 @@ fn main() {
     }
 
     for (alg, grid) in algorithms.iter().zip(&grids) {
-        println!("\npanel {} ({}), n = {}:", alg.abbrev(), alg.name(), p.grid_n);
+        println!(
+            "\npanel {} ({}), n = {}:",
+            alg.abbrev(),
+            alg.name(),
+            p.grid_n
+        );
         println!("{}", grid.render_heat());
         println!("csv:\n{}", grid.to_csv());
     }

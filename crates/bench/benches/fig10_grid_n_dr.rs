@@ -34,13 +34,15 @@ fn main() {
         .iter()
         .enumerate()
         .flat_map(|(ri, &n)| {
-            drs.iter().enumerate().map(move |(ci, &dr)| sweep::CellSpec {
-                n,
-                k: 1.0,
-                dr,
-                seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
-                scaling: sweep::CellScaling::UnitElements,
-            })
+            drs.iter()
+                .enumerate()
+                .map(move |(ci, &dr)| sweep::CellSpec {
+                    n,
+                    k: 1.0,
+                    dr,
+                    seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
+                    scaling: sweep::CellScaling::UnitElements,
+                })
         })
         .collect();
     let all = sweep::cells_stddevs_parallel(&specs, p.grid_perms, &algorithms);

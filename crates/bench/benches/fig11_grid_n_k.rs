@@ -52,7 +52,11 @@ fn main() {
     }
 
     for (alg, grid) in algorithms.iter().zip(&grids) {
-        println!("\npanel {} ({}), dr = {FIXED_DR}:", alg.abbrev(), alg.name());
+        println!(
+            "\npanel {} ({}), dr = {FIXED_DR}:",
+            alg.abbrev(),
+            alg.name()
+        );
         println!("{}", grid.render_heat());
         println!("csv:\n{}", grid.to_csv());
     }

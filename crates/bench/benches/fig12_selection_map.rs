@@ -34,20 +34,19 @@ fn main() {
         .iter()
         .enumerate()
         .flat_map(|(ri, &k)| {
-            drs.iter().enumerate().map(move |(ci, &dr)| sweep::CellSpec {
-                n: p.grid_n,
-                k,
-                dr,
-                seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
-                scaling: sweep::CellScaling::UnitSum,
-            })
+            drs.iter()
+                .enumerate()
+                .map(move |(ci, &dr)| sweep::CellSpec {
+                    n: p.grid_n,
+                    k,
+                    dr,
+                    seed: p.seed ^ ((ri as u64) << 16) ^ ci as u64,
+                    scaling: sweep::CellScaling::UnitSum,
+                })
         })
         .collect();
     let flat = sweep::cells_stddevs_parallel(&specs, p.grid_perms, &candidates);
-    let spread: Vec<Vec<Vec<f64>>> = flat
-        .chunks(drs.len())
-        .map(|row| row.to_vec())
-        .collect(); // [ki][di][alg]
+    let spread: Vec<Vec<Vec<f64>>> = flat.chunks(drs.len()).map(|row| row.to_vec()).collect(); // [ki][di][alg]
 
     let paper_thresholds = [5e-13, 3e-13, 2.5e-13, 1.5e-13, 5e-14];
     let wide_thresholds = [1e-8, 1e-10, 1e-12, 1e-14, 1e-16, 1e-20];
@@ -62,8 +61,7 @@ fn main() {
         for &t in thresholds {
             let mut header = vec!["k \\ dr".to_string()];
             header.extend(drs.iter().map(|d| d.to_string()));
-            let mut table =
-                Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            let mut table = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
             let mut flat = Vec::new();
             for (&k, spread_row) in ks.iter().zip(&spread) {
                 let mut row = vec![grid_axes::k_label(k)];
@@ -133,6 +131,10 @@ fn main() {
     );
     println!(
         "shape check: {}",
-        if monotone && corner && maps_differ { "PASS" } else { "FAIL" }
+        if monotone && corner && maps_differ {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

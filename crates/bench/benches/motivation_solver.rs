@@ -86,7 +86,13 @@ fn main() {
     );
     let c1 = st_distinct > 1;
     let c2 = pr_distinct == 1;
-    println!("  [{}] standard dots wander across runs ({st_distinct} distinct)", if c1 {"PASS"} else {"FAIL"});
-    println!("  [{}] reproducible dots pin the solve ({pr_distinct} distinct)", if c2 {"PASS"} else {"FAIL"});
+    println!(
+        "  [{}] standard dots wander across runs ({st_distinct} distinct)",
+        if c1 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  [{}] reproducible dots pin the solve ({pr_distinct} distinct)",
+        if c2 { "PASS" } else { "FAIL" }
+    );
     println!("shape check: {}", if c1 && c2 { "PASS" } else { "FAIL" });
 }

@@ -16,8 +16,8 @@
 use repro_bench::{banner, params};
 use repro_core::stats::{table::sci, Table};
 use repro_core::tree::topology::{
-    critical_path, random_live_cores, rank_order_tree, topology_aware_tree, total_link_cost,
-    Level, Machine,
+    critical_path, random_live_cores, rank_order_tree, topology_aware_tree, total_link_cost, Level,
+    Machine,
 };
 
 fn main() {
@@ -30,22 +30,58 @@ fn main() {
 
     // 1. The advantage grows with scale.
     let machines = [
-        ("1 node (16c)", Machine::new(&[
-            Level { arity: 8, latency: 5.0 },
-            Level { arity: 2, latency: 40.0 },
-        ])),
-        ("1 rack (128c)", Machine::new(&[
-            Level { arity: 8, latency: 5.0 },
-            Level { arity: 2, latency: 40.0 },
-            Level { arity: 8, latency: 400.0 },
-        ])),
+        (
+            "1 node (16c)",
+            Machine::new(&[
+                Level {
+                    arity: 8,
+                    latency: 5.0,
+                },
+                Level {
+                    arity: 2,
+                    latency: 40.0,
+                },
+            ]),
+        ),
+        (
+            "1 rack (128c)",
+            Machine::new(&[
+                Level {
+                    arity: 8,
+                    latency: 5.0,
+                },
+                Level {
+                    arity: 2,
+                    latency: 40.0,
+                },
+                Level {
+                    arity: 8,
+                    latency: 400.0,
+                },
+            ]),
+        ),
         ("2 racks (256c)", Machine::typical_cluster()),
-        ("8 racks (1024c)", Machine::new(&[
-            Level { arity: 8, latency: 5.0 },
-            Level { arity: 2, latency: 40.0 },
-            Level { arity: 8, latency: 400.0 },
-            Level { arity: 8, latency: 2000.0 },
-        ])),
+        (
+            "8 racks (1024c)",
+            Machine::new(&[
+                Level {
+                    arity: 8,
+                    latency: 5.0,
+                },
+                Level {
+                    arity: 2,
+                    latency: 40.0,
+                },
+                Level {
+                    arity: 8,
+                    latency: 400.0,
+                },
+                Level {
+                    arity: 8,
+                    latency: 2000.0,
+                },
+            ]),
+        ),
     ];
     let mut t = Table::new(&[
         "machine",
@@ -142,7 +178,10 @@ fn main() {
     println!(
         "  [{}] topology advantage grows (or holds) with scale: {:?}",
         if c1 { "PASS" } else { "FAIL" },
-        speedups.iter().map(|s| format!("{s:.2}x")).collect::<Vec<_>>()
+        speedups
+            .iter()
+            .map(|s| format!("{s:.2}x"))
+            .collect::<Vec<_>>()
     );
     all &= c1;
     let c2 = speedups.last().unwrap() > &1.2;

@@ -64,7 +64,11 @@ fn main() {
             sci(st_d.max_position),
             sci(st_d.rms_position),
             sci(pr_d.max_position),
-            if pr_d.bitwise_identical { "yes".into() } else { "NO".into() },
+            if pr_d.bitwise_identical {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     println!(
@@ -83,7 +87,11 @@ fn main() {
     println!("expected shapes (paper) and measurements:");
     println!(
         "  [{}] ST divergence is nonzero and compounds over time (final {})",
-        if st_nonzero && growing { "PASS" } else { "FAIL" },
+        if st_nonzero && growing {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         sci(*st_divs.last().unwrap())
     );
     println!(
@@ -92,6 +100,10 @@ fn main() {
     );
     println!(
         "shape check: {}",
-        if st_nonzero && growing && pr_always_bitwise { "PASS" } else { "FAIL" }
+        if st_nonzero && growing && pr_always_bitwise {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

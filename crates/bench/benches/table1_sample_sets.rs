@@ -17,7 +17,13 @@ fn main() {
         "sample sets with specified dynamic range and condition number",
     );
 
-    let mut t = Table::new(&["sample set", "claimed dr", "measured dr", "claimed k", "measured k"]);
+    let mut t = Table::new(&[
+        "sample set",
+        "claimed dr",
+        "measured dr",
+        "claimed k",
+        "measured k",
+    ]);
     for row in table1() {
         let m = measure(row.values);
         let set = row
@@ -30,21 +36,35 @@ fn main() {
             format!("{{{set}}}"),
             row.dr.to_string(),
             m.dr.to_string(),
-            if row.k.is_infinite() { "inf".into() } else { format!("{:.0}", row.k) },
+            if row.k.is_infinite() {
+                "inf".into()
+            } else {
+                format!("{:.0}", row.k)
+            },
             sci(m.k),
         ]);
     }
     println!("\npaper's Table I rows, measured exactly:\n{}", t.render());
 
     println!("generator hitting the same (dr, k) targets at n = 10,000:");
-    let mut g = Table::new(&["target dr", "target k", "measured dr", "measured k", "exact sum"]);
+    let mut g = Table::new(&[
+        "target dr",
+        "target k",
+        "measured dr",
+        "measured k",
+        "exact sum",
+    ]);
     for &dr in &[0u32, 8, 16] {
         for &k in &[1.0, 1000.0, f64::INFINITY] {
             let values = grid_cell(10_000, k, dr, 42, 1e16);
             let m = measure(&values);
             g.row(&[
                 dr.to_string(),
-                if k.is_infinite() { "inf".into() } else { format!("{k:.0}") },
+                if k.is_infinite() {
+                    "inf".into()
+                } else {
+                    format!("{k:.0}")
+                },
                 m.dr.to_string(),
                 sci(m.k),
                 sci(m.sum),

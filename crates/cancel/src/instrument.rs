@@ -150,7 +150,10 @@ mod tests {
         let total = repro_fp::exact_sum(&values);
         values.push(-total);
         let r = instrumented_sum(&values, 7);
-        assert!(r.total() > 0, "closing the sum must cancel catastrophically");
+        assert!(
+            r.total() > 0,
+            "closing the sum must cancel catastrophically"
+        );
         assert!(r.final_digits < 8.0, "final digits {}", r.final_digits);
     }
 

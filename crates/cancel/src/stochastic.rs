@@ -2,8 +2,7 @@
 //! of a computed value by running the computation several times with random
 //! rounding and measuring how the samples disagree.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 use repro_fp::ulp::{next_down, next_up};
 
 /// Number of concurrent samples (CESTAC/CADNA use 2–3; 3 gives the
@@ -27,7 +26,9 @@ pub struct StochasticDouble {
 impl StochasticDouble {
     /// Lift an exact value (all samples equal).
     pub fn exact(x: f64) -> Self {
-        Self { samples: [x; SAMPLES] }
+        Self {
+            samples: [x; SAMPLES],
+        }
     }
 
     /// Mean of the samples.
@@ -71,13 +72,15 @@ impl StochasticDouble {
 /// rounding, so whole computations are reproducible from one seed.
 #[derive(Debug)]
 pub struct CestacContext {
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl CestacContext {
     /// New context with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: DetRng::seed_from_u64(seed),
+        }
     }
 
     /// Randomly perturbed rounding of an already-rounded result: with

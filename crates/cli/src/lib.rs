@@ -82,8 +82,16 @@ struct Opts {
     seed: u64,
 }
 
-fn parse_opts(args: &[String], read_file: &dyn Fn(&str) -> Result<String, CliError>) -> Result<Opts, CliError> {
-    let mut o = Opts { dr: 0, seed: 2015, perms: 20, ..Default::default() };
+fn parse_opts(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        dr: 0,
+        seed: 2015,
+        perms: 20,
+        ..Default::default()
+    };
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -107,8 +115,10 @@ fn parse_opts(args: &[String], read_file: &dyn Fn(&str) -> Result<String, CliErr
             }
             "--tolerance" => {
                 let t = take("--tolerance")?;
-                o.tolerance =
-                    Some(t.parse().map_err(|_| err(format!("bad tolerance: {t:?}")))?)
+                o.tolerance = Some(
+                    t.parse()
+                        .map_err(|_| err(format!("bad tolerance: {t:?}")))?,
+                )
             }
             "--relative" => o.relative = true,
             "--bitwise" => o.bitwise = true,
@@ -220,14 +230,22 @@ pub fn run(
             let mut t = Table::new(&["quantity", "estimated (1 pass)", "exact"]);
             t.row(&["n".into(), p.n.to_string(), m.n.to_string()]);
             t.row(&["condition number k".into(), sci(p.k), sci(m.k)]);
-            t.row(&["dynamic range (decades)".into(), p.dr_decades().to_string(), m.dr.to_string()]);
+            t.row(&[
+                "dynamic range (decades)".into(),
+                p.dr_decades().to_string(),
+                m.dr.to_string(),
+            ]);
             t.row(&["Σ|x|".into(), sci(p.abs_sum), sci(m.abs_sum)]);
             t.row(&["Σx".into(), sci(p.sum_estimate), sci(m.sum)]);
             let mut rec = Table::new(&["tolerance", "recommended operator"]);
             for r in repro_core::select::recommendations(values) {
                 rec.row(&[format!("{:?}", r.tolerance), r.algorithm.to_string()]);
             }
-            Ok(format!("{}\nrecommendations:\n{}", t.render(), rec.render()))
+            Ok(format!(
+                "{}\nrecommendations:\n{}",
+                t.render(),
+                rec.render()
+            ))
         }
         "select" => {
             let values = need_values(&o)?;
@@ -281,7 +299,11 @@ pub fn run(
                     alg.to_string(),
                     format!("{r:+.17e}"),
                     sci(repro_core::fp::abs_error_vs(&exact, r)),
-                    if alg.is_reproducible() { "bitwise".into() } else { "no".into() },
+                    if alg.is_reproducible() {
+                        "bitwise".into()
+                    } else {
+                        "no".into()
+                    },
                 ]);
             }
             t.row(&[
@@ -305,10 +327,15 @@ pub fn run(
         }
         "dot" => {
             let parse_vec = |path: &Option<String>, flag: &str| -> Result<Vec<f64>, CliError> {
-                let path = path.as_ref().ok_or_else(|| err(format!("dot requires {flag}")))?;
+                let path = path
+                    .as_ref()
+                    .ok_or_else(|| err(format!("dot requires {flag}")))?;
                 read_file(path)?
                     .split_whitespace()
-                    .map(|t| t.parse().map_err(|_| err(format!("bad value {t:?} in {path}"))))
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| err(format!("bad value {t:?} in {path}")))
+                    })
                     .collect()
             };
             let x = parse_vec(&o.file_x, "--file-x")?;
@@ -317,7 +344,13 @@ pub fn run(
                 return Err(err(format!("length mismatch: {} vs {}", x.len(), y.len())));
             }
             use repro_core::sum::{dot2, dot_exact, dot_reproducible, dot_standard};
-            let result = match o.alg.as_deref().unwrap_or("PR").to_ascii_uppercase().as_str() {
+            let result = match o
+                .alg
+                .as_deref()
+                .unwrap_or("PR")
+                .to_ascii_uppercase()
+                .as_str()
+            {
                 "ST" => dot_standard(&x, &y),
                 "CP" => dot2(&x, &y),
                 "PR" => dot_reproducible(&x, &y, 3),
@@ -418,9 +451,16 @@ mod tests {
 
     #[test]
     fn select_escalates_on_hostile_input() {
-        let out =
-            run_cmd(&["select", "--tolerance", "1e-30", "3.14e8", "1.59e-8", "-3.14e8", "-1.59e-8"])
-                .unwrap();
+        let out = run_cmd(&[
+            "select",
+            "--tolerance",
+            "1e-30",
+            "3.14e8",
+            "1.59e-8",
+            "-3.14e8",
+            "-1.59e-8",
+        ])
+        .unwrap();
         assert!(out.contains("PR(fold=3)"), "{out}");
     }
 
@@ -440,7 +480,10 @@ mod tests {
 
     #[test]
     fn gen_emits_n_parseable_values_with_target_properties() {
-        let out = run_cmd(&["gen", "--n", "100", "--k", "inf", "--dr", "8", "--seed", "7"]).unwrap();
+        let out = run_cmd(&[
+            "gen", "--n", "100", "--k", "inf", "--dr", "8", "--seed", "7",
+        ])
+        .unwrap();
         let values: Vec<f64> = out.lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(values.len(), 100);
         let m = repro_core::gen::measure(&values);
@@ -457,7 +500,10 @@ mod tests {
                 Err(err("unknown file"))
             }
         };
-        let args: Vec<String> = ["sum", "--file", "pipe"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["sum", "--file", "pipe"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let out = run(&args, &fs).unwrap();
         assert!(out.contains("algorithm"), "{out}");
     }
@@ -489,7 +535,13 @@ mod tests {
     #[test]
     fn select_explains_its_decision_on_request() {
         let out = run_cmd(&[
-            "select", "--tolerance", "1e-30", "--explain", "3.14e8", "1.59e-8", "-3.14e8",
+            "select",
+            "--tolerance",
+            "1e-30",
+            "--explain",
+            "3.14e8",
+            "1.59e-8",
+            "-3.14e8",
             "-1.59e-8",
         ])
         .unwrap();

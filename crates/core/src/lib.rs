@@ -55,6 +55,7 @@ pub use repro_gen as gen;
 pub use repro_hp as hp;
 pub use repro_md as md;
 pub use repro_mpisim as mpisim;
+pub use repro_runtime as runtime;
 pub use repro_select as select;
 pub use repro_solver as solver;
 pub use repro_stats as stats;
@@ -64,6 +65,7 @@ pub use repro_tree as tree;
 /// The common imports for application code.
 pub mod prelude {
     pub use repro_fp::{abs_error, condition_number, dynamic_range, exact_sum, Superaccumulator};
+    pub use repro_runtime::{MergeOrder, ReductionPlan, Runtime, RuntimeStats};
     pub use repro_select::{AdaptiveReducer, Selector, Tolerance};
     pub use repro_sum::{Accumulator, Algorithm, BinnedSum, CompositeSum, KahanSum, StandardSum};
     pub use repro_tree as tree;

@@ -119,7 +119,10 @@ impl DoubleDouble {
     #[allow(clippy::should_implement_trait)]
     #[inline(always)]
     pub fn neg(self) -> Self {
-        Self { hi: -self.hi, lo: -self.lo }
+        Self {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
     }
 
     /// Absolute value (exact).
@@ -308,7 +311,10 @@ mod tests {
 
     #[test]
     fn abs_handles_negative_lo_at_zero_hi() {
-        let v = DoubleDouble { hi: 0.0, lo: -1e-300 };
+        let v = DoubleDouble {
+            hi: 0.0,
+            lo: -1e-300,
+        };
         assert!(v.abs().lo > 0.0);
     }
 

@@ -126,7 +126,13 @@ mod tests {
 
     #[test]
     fn fast_two_sum_matches_two_sum_when_ordered() {
-        let cases = [(1e10, 3.7), (5.0, 5.0), (-8.0, 1.0), (2.0, -2.0), (1.0, 0.0)];
+        let cases = [
+            (1e10, 3.7),
+            (5.0, 5.0),
+            (-8.0, 1.0),
+            (2.0, -2.0),
+            (1.0, 0.0),
+        ];
         for (a, b) in cases {
             let (s1, e1) = two_sum(a, b);
             let (s2, e2) = fast_two_sum(a, b);

@@ -177,7 +177,10 @@ mod tests {
 
     #[test]
     fn condition_number_of_zero_sum_is_infinite() {
-        assert_eq!(condition_number(&[3.14e8, 1.59e8, -3.14e8, -1.59e8]), f64::INFINITY);
+        assert_eq!(
+            condition_number(&[3.14e8, 1.59e8, -3.14e8, -1.59e8]),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -210,11 +213,23 @@ mod tests {
     #[test]
     fn dynamic_range_of_table1_rows() {
         // Paper Table I: each row's measured dr must match its label.
-        assert_eq!(dynamic_range(&[1.23e32, 1.35e32, 2.37e32, 3.54e32]), Some(0));
+        assert_eq!(
+            dynamic_range(&[1.23e32, 1.35e32, 2.37e32, 3.54e32]),
+            Some(0)
+        );
         assert_eq!(dynamic_range(&[2.37e16, 3.41e8, 4.32e8, 8.14e16]), Some(8));
-        assert_eq!(dynamic_range(&[3.14e32, 1.59e16, 2.65e18, 3.58e24]), Some(16));
-        assert_eq!(dynamic_range(&[3.14e4, 1.59e-4, -3.14e4, -1.59e-4]), Some(8));
-        assert_eq!(dynamic_range(&[3.14e8, 1.59e-8, -3.14e8, -1.59e-8]), Some(16));
+        assert_eq!(
+            dynamic_range(&[3.14e32, 1.59e16, 2.65e18, 3.58e24]),
+            Some(16)
+        );
+        assert_eq!(
+            dynamic_range(&[3.14e4, 1.59e-4, -3.14e4, -1.59e-4]),
+            Some(8)
+        );
+        assert_eq!(
+            dynamic_range(&[3.14e8, 1.59e-8, -3.14e8, -1.59e-8]),
+            Some(16)
+        );
     }
 
     #[test]
@@ -252,6 +267,9 @@ mod tests {
         let values = [0.1, 0.2, 0.3, -0.4];
         let reference = exact_sum_acc(&values);
         let computed: f64 = values.iter().sum();
-        assert_eq!(abs_error_vs(&reference, computed), abs_error(computed, &values));
+        assert_eq!(
+            abs_error_vs(&reference, computed),
+            abs_error(computed, &values)
+        );
     }
 }

@@ -210,7 +210,10 @@ mod tests {
     fn expansion_matches_superaccumulator_on_hard_sets() {
         let values = [1e300, -1e284, 0.1, 2f64.powi(-60), -1e300, 1e284, 7.25];
         let e = expansion_sum(&values);
-        assert_eq!(e.to_f64().to_bits(), crate::exact::exact_sum(&values).to_bits());
+        assert_eq!(
+            e.to_f64().to_bits(),
+            crate::exact::exact_sum(&values).to_bits()
+        );
         assert!(e.is_nonoverlapping(), "components: {:?}", e.components());
     }
 
@@ -221,7 +224,10 @@ mod tests {
         let mut merged = a.clone();
         merged.add_expansion(&b);
         let all = [0.1, 0.2, 1e10, -1e10, 0.3];
-        assert_eq!(merged.to_f64().to_bits(), crate::exact::exact_sum(&all).to_bits());
+        assert_eq!(
+            merged.to_f64().to_bits(),
+            crate::exact::exact_sum(&all).to_bits()
+        );
     }
 
     #[test]
@@ -236,7 +242,9 @@ mod tests {
     fn compress_shrinks_without_changing_value() {
         // Many same-magnitude values grow the expansion; compression should
         // collapse it dramatically.
-        let values: Vec<f64> = (0..200).map(|i| 1.0 + (i as f64) * 2f64.powi(-30)).collect();
+        let values: Vec<f64> = (0..200)
+            .map(|i| 1.0 + (i as f64) * 2f64.powi(-30))
+            .collect();
         let mut e = expansion_sum(&values);
         let before = e.to_f64();
         let len_before = e.len();

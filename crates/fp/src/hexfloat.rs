@@ -136,9 +136,7 @@ fn compose(m: u64, e: i32) -> Option<f64> {
     // Build via two exact power-of-two scalings to stay in range.
     let half = e / 2;
     let rest = e - half;
-    let scale = |k: i32| -> f64 {
-        crate::ulp::pow2(k.clamp(-1074, 1023))
-    };
+    let scale = |k: i32| -> f64 { crate::ulp::pow2(k.clamp(-1074, 1023)) };
     let v = (m as f64) * scale(half) * scale(rest);
     if v.is_finite() {
         Some(v)

@@ -86,7 +86,10 @@ impl Interval {
     #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn neg(self) -> Self {
-        Self { lo: -self.hi, hi: -self.lo }
+        Self {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 
     /// Outward-rounded subtraction.
@@ -107,7 +110,10 @@ impl Interval {
         ];
         let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { lo: down(lo), hi: up(hi) }
+        Self {
+            lo: down(lo),
+            hi: up(hi),
+        }
     }
 
     /// Outward-rounded division. Returns `None` when the divisor interval
@@ -126,7 +132,10 @@ impl Interval {
         ];
         let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Some(Self { lo: down(lo), hi: up(hi) })
+        Some(Self {
+            lo: down(lo),
+            hi: up(hi),
+        })
     }
 
     /// Hull of two intervals (smallest interval containing both).
@@ -251,7 +260,10 @@ mod tests {
         assert_eq!((n.lo, n.hi), (-2.0, -1.0));
         let d = a.sub(a);
         assert!(d.contains(0.0));
-        assert!(d.lo < 0.0 && d.hi > 0.0, "self-subtraction keeps uncertainty");
+        assert!(
+            d.lo < 0.0 && d.hi > 0.0,
+            "self-subtraction keeps uncertainty"
+        );
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   safe interchange for reproducibility artifacts.
 //! * [`bounds`] — the analytical (Higham) and statistical worst-case error
 //!   bounds the paper evaluates in its Figure 2.
+//! * [`rng`] — [`rng::DetRng`], a deterministic SplitMix64 generator: the
+//!   pinned randomness source behind every seeded workload generator and
+//!   simulator in the workspace (no external `rand` in library code).
 //!
 //! All of this crate is `#![forbid(unsafe_code)]`, deterministic, and
 //! dependency-free.
@@ -41,17 +44,18 @@ pub mod exact;
 pub mod expansion;
 pub mod hexfloat;
 pub mod interval;
+pub mod rng;
 pub mod superacc;
 pub mod ulp;
 
 pub use bounds::{higham_bound, statistical_bound, UNIT_ROUNDOFF};
 pub use dd::DoubleDouble;
 pub use eft::{fast_two_sum, two_prod, two_sum};
-pub use expansion::{expansion_sum, Expansion};
-pub use hexfloat::{format_hex, parse_hex};
-pub use interval::{interval_sum, Interval};
 pub use exact::{
     abs_error, abs_error_vs, condition_number, decimal_exponent, dynamic_range,
     dynamic_range_binary, exact_abs_sum, exact_sum, exact_sum_acc,
 };
+pub use expansion::{expansion_sum, Expansion};
+pub use hexfloat::{format_hex, parse_hex};
+pub use interval::{interval_sum, Interval};
 pub use superacc::Superaccumulator;

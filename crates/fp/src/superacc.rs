@@ -242,7 +242,11 @@ impl Superaccumulator {
         let p = top as i32 * 32 + msb_in_digit; // absolute bit position of MSB
         let e = p - 1074; // binary exponent of the value
         if e > 1023 {
-            return if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+            return if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
         }
         // Mantissa = bits [ulp_pos ..= p]; at most 53 bits. Values whose MSB
         // sits below bit 52 are subnormal-or-smaller and exact.
@@ -264,7 +268,11 @@ impl Superaccumulator {
             mantissa = 1u64 << 52;
             ulp_exp += 1;
             if ulp_exp + 52 > 1023 {
-                return if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+                return if negative {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                };
             }
         }
         // mantissa < 2^53 and ulp_exp in [-1074, 971]: the product is exact.
@@ -448,7 +456,10 @@ mod tests {
             1.0 + 2.0 * 2f64.powi(-52)
         );
         // A sticky bit below the halfway point forces rounding up.
-        assert_eq!(sum(&[1.0, 2f64.powi(-53), 2f64.powi(-80)]), 1.0 + 2f64.powi(-52));
+        assert_eq!(
+            sum(&[1.0, 2f64.powi(-53), 2f64.powi(-80)]),
+            1.0 + 2f64.powi(-52)
+        );
     }
 
     #[test]

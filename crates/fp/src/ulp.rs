@@ -70,7 +70,10 @@ pub fn ulp(x: f64) -> f64 {
 /// Panics if `e` is outside the representable range.
 #[inline]
 pub fn pow2(e: i32) -> f64 {
-    assert!((-1074..=1023).contains(&e), "2^{e} is not representable as f64");
+    assert!(
+        (-1074..=1023).contains(&e),
+        "2^{e} is not representable as f64"
+    );
     if e >= MIN_NORMAL_EXP {
         f64::from_bits(((e + EXP_BIAS) as u64) << 52)
     } else {

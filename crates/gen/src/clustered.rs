@@ -4,8 +4,7 @@
 //! constructions in the benches into a reusable, measured generator.
 
 use crate::targeted::{generate, CondTarget, DatasetSpec};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 
 /// Specification of a clustered workload.
 #[derive(Clone, Copy, Debug)]
@@ -37,7 +36,7 @@ impl Default for ClusteredSpec {
 /// Generate the clustered workload plus the block map (`true` = hostile).
 pub fn clustered(spec: &ClusteredSpec) -> (Vec<f64>, Vec<bool>) {
     assert!(spec.blocks >= 1 && spec.block_len >= 2 && spec.hostile_every >= 1);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = DetRng::seed_from_u64(spec.seed);
     let mut values = Vec::with_capacity(spec.blocks * spec.block_len);
     let mut map = Vec::with_capacity(spec.blocks);
     for b in 0..spec.blocks {
@@ -52,9 +51,7 @@ pub fn clustered(spec: &ClusteredSpec) -> (Vec<f64>, Vec<bool>) {
             )));
         } else {
             // Benign: positive, one decade, mild jitter.
-            values.extend(
-                (0..spec.block_len).map(|_| 1.0 + rng.random_range(0.0..9.0)),
-            );
+            values.extend((0..spec.block_len).map(|_| 1.0 + rng.random_range(0.0..9.0)));
         }
     }
     (values, map)
@@ -71,7 +68,10 @@ mod tests {
         let (values, map) = clustered(&spec);
         assert_eq!(values.len(), spec.blocks * spec.block_len);
         assert_eq!(map.len(), spec.blocks);
-        assert_eq!(map.iter().filter(|&&h| h).count(), spec.blocks / spec.hostile_every);
+        assert_eq!(
+            map.iter().filter(|&&h| h).count(),
+            spec.blocks / spec.hostile_every
+        );
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //! zero while individual terms stay large (high `k`); the `1/r²` law spreads
 //! magnitudes over many decades (high `dr`).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 
 /// A particle cloud workload: per-particle force x-components on a test
 /// particle at the origin.
@@ -30,7 +29,7 @@ pub struct NbodyWorkload {
 /// bring `k` down toward ~1/asymmetry.
 pub fn force_reduction(n: usize, asymmetry: f64, seed: u64) -> NbodyWorkload {
     assert!((0.0..=1.0).contains(&asymmetry));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let pairs = n / 2;
     let mut force_terms = Vec::with_capacity(pairs * 2);
     for _ in 0..pairs {
@@ -53,9 +52,11 @@ pub fn force_reduction(n: usize, asymmetry: f64, seed: u64) -> NbodyWorkload {
     }
     // A real traversal does not visit a particle next to its mirror image;
     // shuffle so adjacent-pair cancellation cannot mask the conditioning.
-    use rand::seq::SliceRandom;
-    force_terms.shuffle(&mut rng);
-    NbodyWorkload { force_terms, asymmetry }
+    rng.shuffle(&mut force_terms);
+    NbodyWorkload {
+        force_terms,
+        asymmetry,
+    }
 }
 
 #[cfg(test)]

@@ -16,17 +16,61 @@ pub struct SampleSet {
 /// All eleven rows of the paper's Table I, in order.
 pub fn table1() -> Vec<SampleSet> {
     vec![
-        SampleSet { values: &[1.23e32, 1.35e32, 2.37e32, 3.54e32], dr: 0, k: 1.0 },
-        SampleSet { values: &[1.23e-32, 1.35e-32, 2.37e-32, 3.54e-32], dr: 0, k: 1.0 },
-        SampleSet { values: &[-1.23e16, -1.35e16, -2.37e16, -3.54e16], dr: 0, k: 1.0 },
-        SampleSet { values: &[2.37e16, 3.41e8, 4.32e8, 8.14e16], dr: 8, k: 1.0 },
-        SampleSet { values: &[3.14e32, 1.59e16, 2.65e18, 3.58e24], dr: 16, k: 1.0 },
-        SampleSet { values: &[2.505e2, 2.5e2, -2.495e2, -2.5e2], dr: 0, k: 1000.0 },
-        SampleSet { values: &[5.00e2, 4.99999e-1, 1.0e-6, -4.995e2], dr: 8, k: 1000.0 },
-        SampleSet { values: &[5.00e2, 4.9999e-1, 1.0e-14, -4.995e2], dr: 16, k: 1000.0 },
-        SampleSet { values: &[3.14e8, 1.59e8, -3.14e8, -1.59e8], dr: 0, k: f64::INFINITY },
-        SampleSet { values: &[3.14e4, 1.59e-4, -3.14e4, -1.59e-4], dr: 8, k: f64::INFINITY },
-        SampleSet { values: &[3.14e8, 1.59e-8, -3.14e8, -1.59e-8], dr: 16, k: f64::INFINITY },
+        SampleSet {
+            values: &[1.23e32, 1.35e32, 2.37e32, 3.54e32],
+            dr: 0,
+            k: 1.0,
+        },
+        SampleSet {
+            values: &[1.23e-32, 1.35e-32, 2.37e-32, 3.54e-32],
+            dr: 0,
+            k: 1.0,
+        },
+        SampleSet {
+            values: &[-1.23e16, -1.35e16, -2.37e16, -3.54e16],
+            dr: 0,
+            k: 1.0,
+        },
+        SampleSet {
+            values: &[2.37e16, 3.41e8, 4.32e8, 8.14e16],
+            dr: 8,
+            k: 1.0,
+        },
+        SampleSet {
+            values: &[3.14e32, 1.59e16, 2.65e18, 3.58e24],
+            dr: 16,
+            k: 1.0,
+        },
+        SampleSet {
+            values: &[2.505e2, 2.5e2, -2.495e2, -2.5e2],
+            dr: 0,
+            k: 1000.0,
+        },
+        SampleSet {
+            values: &[5.00e2, 4.99999e-1, 1.0e-6, -4.995e2],
+            dr: 8,
+            k: 1000.0,
+        },
+        SampleSet {
+            values: &[5.00e2, 4.9999e-1, 1.0e-14, -4.995e2],
+            dr: 16,
+            k: 1000.0,
+        },
+        SampleSet {
+            values: &[3.14e8, 1.59e8, -3.14e8, -1.59e8],
+            dr: 0,
+            k: f64::INFINITY,
+        },
+        SampleSet {
+            values: &[3.14e4, 1.59e-4, -3.14e4, -1.59e-4],
+            dr: 8,
+            k: f64::INFINITY,
+        },
+        SampleSet {
+            values: &[3.14e8, 1.59e-8, -3.14e8, -1.59e-8],
+            dr: 16,
+            k: f64::INFINITY,
+        },
     ]
 }
 

@@ -9,9 +9,7 @@
 //! for separating *rounding* error (what the reduction operator controls)
 //! from *truncation* error (what it cannot).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use repro_fp::rng::DetRng;
 
 /// A telescoping series that sums to **exactly zero** in real arithmetic:
 /// the multiset `{+a₁, −a₁, +a₂, −a₂, …}` with `aᵢ` spread over a wide
@@ -23,8 +21,7 @@ use rand::SeedableRng;
 pub fn telescoping_zero(n: usize, seed: u64) -> Vec<f64> {
     let pairs = n / 2;
     let mut out = Vec::with_capacity(pairs * 2);
-    let mut rng = StdRng::seed_from_u64(seed);
-    use rand::RngExt;
+    let mut rng = DetRng::seed_from_u64(seed);
     for i in 0..pairs {
         // Magnitudes sweep ~16 decades deterministically plus jitter.
         let decade = (i % 17) as i32 - 8;
@@ -33,7 +30,7 @@ pub fn telescoping_zero(n: usize, seed: u64) -> Vec<f64> {
         out.push(a);
         out.push(-a);
     }
-    out.shuffle(&mut rng);
+    rng.shuffle(&mut out);
     out
 }
 

@@ -23,9 +23,7 @@
 //! the realized `k` and `dr` exactly, and the grid experiments label their
 //! cells with targets while recording realized values in their CSV output.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 
 /// Condition-number target for a generated set.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,9 +74,12 @@ pub fn generate(spec: &DatasetSpec) -> Vec<f64> {
         "window outside safe f64 decade range"
     );
     if let CondTarget::Finite(k) = spec.condition {
-        assert!(k > 1.0 && k.is_finite(), "finite condition target must be > 1");
+        assert!(
+            k > 1.0 && k.is_finite(),
+            "finite condition target must be > 1"
+        );
     }
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = DetRng::seed_from_u64(spec.seed);
     let mut values = match spec.condition {
         CondTarget::One => positive_window(spec.n, spec.dr, spec.scale, &mut rng),
         CondTarget::Infinite => {
@@ -97,12 +98,12 @@ pub fn generate(spec: &DatasetSpec) -> Vec<f64> {
             v
         }
     };
-    values.shuffle(&mut rng);
+    rng.shuffle(&mut values);
     values
 }
 
 /// `n` positive values with exponents spanning exactly `dr` decades.
-fn positive_window(n: usize, dr: u32, scale: i32, rng: &mut StdRng) -> Vec<f64> {
+fn positive_window(n: usize, dr: u32, scale: i32, rng: &mut DetRng) -> Vec<f64> {
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         // Pin the first two values to the window's ends so the realized dr
@@ -119,7 +120,7 @@ fn positive_window(n: usize, dr: u32, scale: i32, rng: &mut StdRng) -> Vec<f64> 
 }
 
 /// `2·(n/2)` values: positives over the window plus their exact negations.
-fn cancelling_pairs(n: usize, dr: u32, scale: i32, rng: &mut StdRng) -> Vec<f64> {
+fn cancelling_pairs(n: usize, dr: u32, scale: i32, rng: &mut DetRng) -> Vec<f64> {
     let half = n / 2;
     let pos = positive_window(half.max(1), dr, scale, rng);
     let mut out = Vec::with_capacity(half * 2);
@@ -262,8 +263,14 @@ mod tests {
 
     #[test]
     fn scale_shifts_magnitudes() {
-        let lo = DatasetSpec { scale: -100, ..DatasetSpec::new(50, CondTarget::One, 4, 1) };
-        let hi = DatasetSpec { scale: 100, ..DatasetSpec::new(50, CondTarget::One, 4, 1) };
+        let lo = DatasetSpec {
+            scale: -100,
+            ..DatasetSpec::new(50, CondTarget::One, 4, 1)
+        };
+        let hi = DatasetSpec {
+            scale: 100,
+            ..DatasetSpec::new(50, CondTarget::One, 4, 1)
+        };
         let m_lo = measure(&generate(&lo));
         let m_hi = measure(&generate(&hi));
         assert!(m_lo.abs_sum < 1e-90);

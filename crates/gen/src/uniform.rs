@@ -1,7 +1,6 @@
 //! Plain uniform samples — the workloads of the paper's Figures 2 and 3.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 
 /// `n` values uniformly distributed in `[lo, hi)`, deterministically from
 /// `seed`.
@@ -10,7 +9,7 @@ use rand::{RngExt, SeedableRng};
 /// Figure 3 uses `uniform(1_000, -1.0, 1.0, seed)`.
 pub fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
     assert!(lo < hi, "empty range");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n).map(|_| rng.random_range(lo..hi)).collect()
 }
 

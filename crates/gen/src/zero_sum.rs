@@ -50,11 +50,17 @@ mod tests {
         // Sanity: the workload must genuinely exercise error accumulation.
         let v = figure7_workload(8192, 7);
         let plain: f64 = v.iter().sum();
-        assert_ne!(plain, 0.0, "standard summation should not be exact on this set");
+        assert_ne!(
+            plain, 0.0,
+            "standard summation should not be exact on this set"
+        );
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(zero_sum_with_range(100, 16, 1), zero_sum_with_range(100, 16, 1));
+        assert_eq!(
+            zero_sum_with_range(100, 16, 1),
+            zero_sum_with_range(100, 16, 1)
+        );
     }
 }

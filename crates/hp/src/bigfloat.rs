@@ -46,13 +46,21 @@ impl BigFloat {
     /// multiple, minimum 64).
     pub fn zero(prec: u32) -> Self {
         let prec = prec.max(64).div_ceil(64) * 64;
-        Self { sign: 0, exp: 0, limbs: Vec::new(), prec }
+        Self {
+            sign: 0,
+            exp: 0,
+            limbs: Vec::new(),
+            prec,
+        }
     }
 
     /// Exact conversion from `f64`. NaN/infinity panic: the oracle is only
     /// defined over finite values (callers filter specials first).
     pub fn from_f64(x: f64) -> Self {
-        assert!(x.is_finite(), "BigFloat::from_f64 requires finite input, got {x}");
+        assert!(
+            x.is_finite(),
+            "BigFloat::from_f64 requires finite input, got {x}"
+        );
         if x == 0.0 {
             return Self::zero(64);
         }
@@ -116,7 +124,12 @@ impl BigFloat {
         }
         let mut exp = self.exp;
         round_rne(&mut mag, lw, sticky, &mut exp);
-        Self { sign: self.sign, exp, limbs: mag, prec }
+        Self {
+            sign: self.sign,
+            exp,
+            limbs: mag,
+            prec,
+        }
     }
 
     /// Correctly rounded addition; result precision is the max of the two.
@@ -180,7 +193,12 @@ impl BigFloat {
         let mut exp_out = exp;
         let mut mag = am;
         round_rne(&mut mag, lw, sticky, &mut exp_out);
-        Self { sign, exp: exp_out, limbs: mag, prec }
+        Self {
+            sign,
+            exp: exp_out,
+            limbs: mag,
+            prec,
+        }
     }
 
     /// Correctly rounded subtraction.
@@ -202,9 +220,8 @@ impl BigFloat {
             let mut carry: u128 = 0;
             for j in (0..lb).rev() {
                 let idx = i + j + 1;
-                let cur = prod[idx] as u128
-                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    prod[idx] as u128 + (self.limbs[i] as u128) * (other.limbs[j] as u128) + carry;
                 prod[idx] = cur as u64;
                 carry = cur >> 64;
             }
@@ -224,7 +241,10 @@ impl BigFloat {
         // value = sign · (prod / 2^(64(la+lb))) · 2^(ea+eb); normalize.
         let mut exp = self.exp + other.exp;
         let z = leading_zeros(&prod);
-        debug_assert!(z <= 1, "product of normalized mantissas has msb in top 2 bits");
+        debug_assert!(
+            z <= 1,
+            "product of normalized mantissas has msb in top 2 bits"
+        );
         if z > 0 {
             shl(&mut prod, z);
             exp -= z as i64;
@@ -239,7 +259,12 @@ impl BigFloat {
             prod.push(0);
         }
         round_rne(&mut prod, lw, sticky, &mut exp);
-        Self { sign: self.sign * other.sign, exp, limbs: prod, prec }
+        Self {
+            sign: self.sign * other.sign,
+            exp,
+            limbs: prod,
+            prec,
+        }
     }
 
     /// Correctly rounded division. Panics on division by zero.
@@ -282,7 +307,12 @@ impl BigFloat {
         let sticky = rem.iter().any(|&l| l != 0);
         let mut exp_out = exp;
         round_rne(&mut quo, lw, sticky, &mut exp_out);
-        Self { sign: self.sign * other.sign, exp: exp_out, limbs: quo, prec }
+        Self {
+            sign: self.sign * other.sign,
+            exp: exp_out,
+            limbs: quo,
+            prec,
+        }
     }
 
     /// Total-order comparison of represented values.
@@ -321,7 +351,10 @@ impl BigFloat {
         // Decimal exponent estimate from the binary exponent.
         let mut dec_exp = ((self.exp as f64 - 0.5) * std::f64::consts::LOG10_2).floor() as i64;
         // m = |v| / 10^dec_exp, then correct so m lands in [1, 10).
-        let mut m = self.abs().with_precision(work_prec).div(&pow_bf(&ten, dec_exp));
+        let mut m = self
+            .abs()
+            .with_precision(work_prec)
+            .div(&pow_bf(&ten, dec_exp));
         let one = BigFloat::from_f64(1.0);
         while m.cmp_value(&one) == Ordering::Less {
             m = m.mul(&ten);
@@ -400,9 +433,12 @@ impl BigFloat {
         let nbits = (k.min(53)) as u32;
         if nbits == 0 {
             // Magnitude in [2^-1075, 2^-1074): ties-to-even at the half point.
-            let tie = self.limbs[0] == 1u64 << 63
-                && self.limbs[1..].iter().all(|&l| l == 0);
-            return if tie { sign * 0.0 } else { sign * repro_fp::ulp::pow2(-1074) };
+            let tie = self.limbs[0] == 1u64 << 63 && self.limbs[1..].iter().all(|&l| l == 0);
+            return if tie {
+                sign * 0.0
+            } else {
+                sign * repro_fp::ulp::pow2(-1074)
+            };
         }
         let mut m = take_top_bits(&self.limbs, nbits);
         let guard = get_bit(&self.limbs, nbits);
@@ -603,7 +639,9 @@ fn pow_bf(base: &BigFloat, exp: i64) -> BigFloat {
         e >>= 1;
     }
     if exp < 0 {
-        BigFloat::from_f64(1.0).with_precision(base.prec).div(&result)
+        BigFloat::from_f64(1.0)
+            .with_precision(base.prec)
+            .div(&result)
     } else {
         result
     }
@@ -794,7 +832,10 @@ fn shl1_in(a: &mut [u64], inbit: u64) {
 /// On return the vector has `lw` limbs with the top bit set.
 fn round_rne(mag: &mut Vec<u64>, lw: usize, sticky_extra: bool, exp: &mut i64) {
     debug_assert_eq!(mag.len(), lw + 1);
-    debug_assert!(mag[0] >> 63 == 1, "round_rne requires a normalized mantissa");
+    debug_assert!(
+        mag[0] >> 63 == 1,
+        "round_rne requires a normalized mantissa"
+    );
     let ext = mag[lw];
     mag.truncate(lw);
     let guard = ext >> 63 != 0;
@@ -863,8 +904,18 @@ mod tests {
     #[test]
     fn f64_round_trip_is_exact() {
         for x in [
-            0.0, 1.0, -1.0, 0.1, -0.1, 1e300, -1e-300, f64::MAX, f64::MIN_POSITIVE,
-            f64::MIN_POSITIVE / 2048.0, 4.9e-324, std::f64::consts::PI,
+            0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -0.1,
+            1e300,
+            -1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2048.0,
+            4.9e-324,
+            std::f64::consts::PI,
         ] {
             assert_eq!(bf(x).to_f64().to_bits(), x.to_bits(), "round trip {x:e}");
         }
@@ -873,7 +924,13 @@ mod tests {
     #[test]
     fn addition_matches_f64_when_exact() {
         // Sums that are exact in f64 must round-trip through BigFloat.
-        let cases = [(1.0, 2.0), (0.5, 0.25), (1e16, 1.0), (-3.5, 3.5), (0.1, -0.1)];
+        let cases = [
+            (1.0, 2.0),
+            (0.5, 0.25),
+            (1e16, 1.0),
+            (-3.5, 3.5),
+            (0.1, -0.1),
+        ];
         for (a, b) in cases {
             let s = bf(a).add(&bf(b));
             let expected = repro_fp::exact_sum(&[a, b]);
@@ -931,7 +988,13 @@ mod tests {
     fn division_matches_f64_for_exact_quotients() {
         // Exact quotients only: an inexact quotient rounded first to the
         // BigFloat precision and then to f64 can legitimately double-round.
-        for (a, b) in [(6.0, 3.0), (1.0, 2.0), (-10.0, 4.0), (1e300, 2.0), (7.0, 8.0)] {
+        for (a, b) in [
+            (6.0, 3.0),
+            (1.0, 2.0),
+            (-10.0, 4.0),
+            (1e300, 2.0),
+            (7.0, 8.0),
+        ] {
             assert_eq!(bf(a).div(&bf(b)).to_f64(), a / b, "{a}/{b}");
         }
     }
@@ -1076,7 +1139,11 @@ mod tests {
         // sqrt(2) at 128 bits: squaring must return 2 to ~2^-120.
         let r2 = bf(2.0).with_precision(128).sqrt();
         let back = r2.mul(&r2).sub(&bf(2.0)).abs();
-        assert!(back.is_zero() || back.to_f64() < 2f64.powi(-118), "{}", back.to_f64());
+        assert!(
+            back.is_zero() || back.to_f64() < 2f64.powi(-118),
+            "{}",
+            back.to_f64()
+        );
         // Leading decimal digits of sqrt(2).
         let s = r2.to_decimal_string(20);
         assert!(s.starts_with("1.414213562373095048"), "{s}");

@@ -1,9 +1,7 @@
 //! The simulation: softened 2-D gravity, leapfrog integration, reductions
 //! through selectable summation operators.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 use repro_select::{AdaptiveReducer, Tolerance};
 use repro_sum::{Accumulator, Algorithm};
 
@@ -70,7 +68,7 @@ pub struct Simulation {
     /// Current particle states.
     particles: Vec<Particle>,
     config: SimConfig,
-    rng: Option<StdRng>,
+    rng: Option<DetRng>,
     steps_taken: u64,
     /// Scratch: contribution buffers reused across steps.
     fx_terms: Vec<f64>,
@@ -91,7 +89,7 @@ impl Simulation {
         Self {
             particles,
             config,
-            rng: config.shuffle_seed.map(StdRng::seed_from_u64),
+            rng: config.shuffle_seed.map(DetRng::seed_from_u64),
             steps_taken: 0,
             fx_terms: vec![0.0; n - 1],
             fy_terms: vec![0.0; n - 1],
@@ -120,8 +118,14 @@ impl Simulation {
     /// bodies on perturbed circular orbits (seeded).
     pub fn disk(n: usize, seed: u64, config: SimConfig) -> Self {
         assert!(n >= 2);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut particles = vec![Particle { x: 0.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1000.0 }];
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut particles = vec![Particle {
+            x: 0.0,
+            y: 0.0,
+            vx: 0.0,
+            vy: 0.0,
+            mass: 1000.0,
+        }];
         for _ in 1..n {
             let r: f64 = rng.random_range(1.0..10.0);
             let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
@@ -169,7 +173,7 @@ impl Simulation {
         }
         // Nondeterministic accumulation order, if configured.
         if let Some(rng) = &mut self.rng {
-            self.order.shuffle(rng);
+            rng.shuffle(&mut self.order);
         }
         let algorithm = match &self.adaptive {
             None => self.config.algorithm,
@@ -178,7 +182,11 @@ impl Simulation {
                 // governs both components of this force.
                 let (ax, _) = reducer.choose(&self.fx_terms[..k]);
                 let (ay, _) = reducer.choose(&self.fy_terms[..k]);
-                let alg = if ax.cost_rank() >= ay.cost_rank() { ax } else { ay };
+                let alg = if ax.cost_rank() >= ay.cost_rank() {
+                    ax
+                } else {
+                    ay
+                };
                 match self.choices.iter_mut().find(|(a, _)| *a == alg) {
                     Some((_, c)) => *c += 1,
                     None => {
@@ -346,7 +354,10 @@ mod tests {
         a.run(800);
         b.run(800);
         let d = divergence(&a, &b);
-        assert!(!d.bitwise_identical, "ST must feel the order nondeterminism");
+        assert!(
+            !d.bitwise_identical,
+            "ST must feel the order nondeterminism"
+        );
         assert!(d.max_position > 0.0);
     }
 
@@ -401,11 +412,41 @@ mod tests {
         // body sits between two equal opposite attractors (net force on it
         // cancels almost exactly), while the orbiters see benign sums.
         let particles = vec![
-            Particle { x: 0.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 },
-            Particle { x: 3.0, y: 0.0, vx: 0.0, vy: 5.0, mass: 500.0 },
-            Particle { x: -3.0, y: 0.0, vx: 0.0, vy: -5.0, mass: 500.0 },
-            Particle { x: 0.0, y: 6.0, vx: 4.0, vy: 0.0, mass: 0.5 },
-            Particle { x: 0.0, y: -6.0, vx: -4.0, vy: 0.0, mass: 0.5 },
+            Particle {
+                x: 0.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            },
+            Particle {
+                x: 3.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 5.0,
+                mass: 500.0,
+            },
+            Particle {
+                x: -3.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: -5.0,
+                mass: 500.0,
+            },
+            Particle {
+                x: 0.0,
+                y: 6.0,
+                vx: 4.0,
+                vy: 0.0,
+                mass: 0.5,
+            },
+            Particle {
+                x: 0.0,
+                y: -6.0,
+                vx: -4.0,
+                vy: 0.0,
+                mass: 0.5,
+            },
         ];
         let mut sim = Simulation::new(particles, SimConfig::default())
             .with_adaptive(Tolerance::RelativeSpread(1e-14));
@@ -436,7 +477,13 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_single_body() {
         let _ = Simulation::new(
-            vec![Particle { x: 0.0, y: 0.0, vx: 0.0, vy: 0.0, mass: 1.0 }],
+            vec![Particle {
+                x: 0.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+                mass: 1.0,
+            }],
             SimConfig::default(),
         );
     }

@@ -2,12 +2,27 @@
 //! reduction with pluggable topologies.
 
 use crate::comm::Comm;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
+use repro_runtime::{MergeOrder, ReductionPlan, Runtime};
 use repro_select::{DataProfile, HeuristicSelector, Selector, Tolerance};
-use repro_sum::{Accumulator, Algorithm};
+use repro_sum::{Accumulator, AlgoAccumulator, Algorithm};
 use std::any::Any;
 use std::time::Duration;
+
+/// Reduce this rank's chunk on the shared runtime pool, merging chunk
+/// partials along the plan's fixed tree. The plan depends only on the
+/// chunk length, so the local partial is deterministic for every worker
+/// count — rank-local parallelism never becomes another nondeterminism
+/// source on top of the message schedule.
+fn local_accumulate(values: &[f64], algorithm: Algorithm) -> AlgoAccumulator {
+    let plan = ReductionPlan::for_len(values.len());
+    Runtime::global().accumulate_planned(
+        values,
+        &plan,
+        || algorithm.new_accumulator(),
+        MergeOrder::Plan,
+    )
+}
 
 /// The communication pattern of a reduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,7 +155,7 @@ where
     let rank = comm.rank();
     if cfg.jitter_us > 0 {
         let mut rng =
-            StdRng::seed_from_u64(cfg.jitter_seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            DetRng::seed_from_u64(cfg.jitter_seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
         std::thread::sleep(Duration::from_micros(rng.random_range(0..cfg.jitter_us)));
     }
     match cfg.topology {
@@ -220,7 +235,12 @@ pub fn gather<T: Any + Send>(comm: &mut Comm, value: T, root: usize) -> Option<V
             debug_assert!(slots[from].is_none(), "duplicate gather contribution");
             slots[from] = Some(v);
         }
-        Some(slots.into_iter().map(|s| s.expect("all ranks contribute")).collect())
+        Some(
+            slots
+                .into_iter()
+                .map(|s| s.expect("all ranks contribute"))
+                .collect(),
+        )
     } else {
         comm.send(root, tag, value);
         None
@@ -243,8 +263,9 @@ pub fn adaptive_reduce_sum(
     root: usize,
     cfg: &ReduceConfig,
 ) -> Option<(f64, Algorithm)> {
-    // 1. Profile locally; 2. allreduce the profile (binomial up, bcast down).
-    let local = repro_select::profile(local_values);
+    // 1. Profile locally (chunk-parallel on the runtime pool);
+    // 2. allreduce the profile (binomial up, bcast down).
+    let local = repro_select::profile_parallel(local_values);
     let tag = comm.next_op_tag();
     let size = comm.size();
     let rank = comm.rank();
@@ -265,9 +286,8 @@ pub fn adaptive_reduce_sum(
     let global: DataProfile = broadcast(comm, 0, (rank == 0).then_some(acc));
     // 3. Same profile + same deterministic selector = same choice everywhere.
     let algorithm = HeuristicSelector::default().choose(&global, tolerance);
-    // 4. Reduce with the chosen operator.
-    let mut local_acc = algorithm.new_accumulator();
-    local_acc.add_slice(local_values);
+    // 4. Reduce with the chosen operator, local chunk on the runtime pool.
+    let local_acc = local_accumulate(local_values, algorithm);
     reduce_accumulator(comm, local_acc, root, cfg).map(|a| (a.finalize(), algorithm))
 }
 
@@ -345,8 +365,7 @@ pub fn reduce_sum(
     root: usize,
     cfg: &ReduceConfig,
 ) -> Option<f64> {
-    let mut acc = algorithm.new_accumulator();
-    acc.add_slice(local_values);
+    let acc = local_accumulate(local_values, algorithm);
     reduce_accumulator(comm, acc, root, cfg).map(|a| a.finalize())
 }
 
@@ -384,14 +403,19 @@ mod tests {
                 );
                 v
             });
-            assert!(out.iter().all(|v| v == &format!("payload-{root}")), "root {root}");
+            assert!(
+                out.iter().all(|v| v == &format!("payload-{root}")),
+                "root {root}"
+            );
         }
     }
 
     #[test]
     fn allreduce_max_agrees_everywhere() {
         let out = World::run(9, |c| allreduce_max(c, (c.rank() as f64 * 7.3) % 5.0));
-        let expected = (0..9).map(|r| (r as f64 * 7.3) % 5.0).fold(f64::MIN, f64::max);
+        let expected = (0..9)
+            .map(|r| (r as f64 * 7.3) % 5.0)
+            .fold(f64::MIN, f64::max);
         assert!(out.iter().all(|&m| m == expected), "{out:?} vs {expected}");
     }
 
@@ -403,7 +427,10 @@ mod tests {
             ReduceTopology::FlatArrival,
             ReduceTopology::Chain,
         ] {
-            let cfg = ReduceConfig { topology: topo, ..Default::default() };
+            let cfg = ReduceConfig {
+                topology: topo,
+                ..Default::default()
+            };
             let out = World::run(5, |c| {
                 let mine = chunks(&values, c.size(), c.rank());
                 reduce_sum(c, mine, Algorithm::Standard, 0, &cfg)
@@ -439,7 +466,10 @@ mod tests {
     #[test]
     fn nonzero_root_receives_the_result() {
         let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
-        let cfg = ReduceConfig { topology: ReduceTopology::Chain, ..Default::default() };
+        let cfg = ReduceConfig {
+            topology: ReduceTopology::Chain,
+            ..Default::default()
+        };
         let out = World::run(4, |c| {
             let mine = chunks(&values, c.size(), c.rank());
             reduce_sum(c, mine, Algorithm::Composite, 2, &cfg)
@@ -455,7 +485,10 @@ mod tests {
         // isolation except for the cancellation across ranks; the GLOBAL
         // profile sees k = inf and escalates.
         let values = repro_gen::zero_sum_with_range(20_000, 24, 5);
-        let cfg = ReduceConfig { topology: ReduceTopology::Binomial, ..Default::default() };
+        let cfg = ReduceConfig {
+            topology: ReduceTopology::Binomial,
+            ..Default::default()
+        };
         let out = World::run(8, |c| {
             let mine = chunks(&values, c.size(), c.rank());
             adaptive_reduce_sum(c, mine, Tolerance::AbsoluteSpread(1e-10), 0, &cfg)
@@ -536,7 +569,10 @@ mod tests {
     #[test]
     fn allreduce_sum_agrees_bitwise_on_every_rank() {
         let values = repro_gen::zero_sum_with_range(5_000, 16, 3);
-        let cfg = ReduceConfig { topology: ReduceTopology::FlatArrival, ..Default::default() };
+        let cfg = ReduceConfig {
+            topology: ReduceTopology::FlatArrival,
+            ..Default::default()
+        };
         let out = World::run(6, |c| {
             let mine = chunks(&values, c.size(), c.rank());
             let mut acc = BinnedSum::new(3);
@@ -558,8 +594,9 @@ mod tests {
     fn alltoall_transposes_the_exchange_matrix() {
         // Rank r sends r*10 + to; it must receive from*10 + r.
         let out = World::run(5, |c| {
-            let outgoing: Vec<u64> =
-                (0..c.size()).map(|to| (c.rank() * 10 + to) as u64).collect();
+            let outgoing: Vec<u64> = (0..c.size())
+                .map(|to| (c.rank() * 10 + to) as u64)
+                .collect();
             alltoall(c, outgoing)
         });
         for (r, incoming) in out.iter().enumerate() {

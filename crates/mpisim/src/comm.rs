@@ -1,7 +1,7 @@
 //! Ranks, mailboxes, and typed point-to-point messaging.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// An envelope in flight between ranks.
 struct Envelope {
@@ -110,7 +110,7 @@ impl World {
         let mut senders = Vec::with_capacity(size);
         let mut inboxes = Vec::with_capacity(size);
         for _ in 0..size {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             senders.push(tx);
             inboxes.push(rx);
         }

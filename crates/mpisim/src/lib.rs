@@ -24,5 +24,8 @@
 pub mod collectives;
 pub mod comm;
 
-pub use collectives::{adaptive_reduce_sum, allreduce_sum_acc, alltoall, gather, reduce_sum, scan_accumulator, ReduceConfig, ReduceTopology};
+pub use collectives::{
+    adaptive_reduce_sum, allreduce_sum_acc, alltoall, gather, reduce_sum, scan_accumulator,
+    ReduceConfig, ReduceTopology,
+};
 pub use comm::{Comm, World};

@@ -1,0 +1,417 @@
+//! The reduction engine: plans executed on the persistent pool.
+
+use crate::plan::{merge_in_plan_order, MergeOrder, ReductionPlan};
+use crate::pool::ThreadPool;
+use crate::stats::RuntimeStats;
+use repro_sum::Accumulator;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Which per-chunk kernel the workers run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkKernel {
+    /// `Accumulator::add_slice` — the operator's natural sequential loop.
+    Scalar,
+    /// `Accumulator::add_slice_lanes` with this many independent lanes,
+    /// merged in fixed lane order (ILP kernel; bitwise identical to
+    /// [`ChunkKernel::Scalar`] for reproducible operators).
+    Lanes(usize),
+}
+
+impl ChunkKernel {
+    fn run<A, F>(self, make: &F, chunk: &[f64]) -> A
+    where
+        A: Accumulator,
+        F: Fn() -> A,
+    {
+        match self {
+            ChunkKernel::Scalar => {
+                let mut acc = make();
+                acc.add_slice(chunk);
+                acc
+            }
+            ChunkKernel::Lanes(lanes) => repro_sum::lanes::accumulate_lanes(make, chunk, lanes),
+        }
+    }
+}
+
+/// A persistent parallel reduction runtime: one work-stealing pool reused
+/// by every reduction in the process.
+pub struct Runtime {
+    pool: ThreadPool,
+}
+
+static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+
+impl Runtime {
+    /// A runtime with its own pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Runtime {
+            pool: ThreadPool::new(workers),
+        }
+    }
+
+    /// The process-wide shared runtime. Worker count comes from
+    /// `REPRO_RUNTIME_WORKERS`, defaulting to the machine's available
+    /// parallelism.
+    pub fn global() -> &'static Runtime {
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("REPRO_RUNTIME_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&w| w >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                });
+            Runtime::new(workers)
+        })
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The underlying pool (for custom scoped work).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Reduce `values` under a default plan. See [`Runtime::reduce_planned`].
+    pub fn reduce<A, F>(&self, values: &[f64], make: F, order: MergeOrder) -> f64
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        self.reduce_planned(values, &ReductionPlan::for_len(values.len()), make, order)
+    }
+
+    /// Reduce `values` under an explicit plan with the scalar kernel.
+    pub fn reduce_planned<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        order: MergeOrder,
+    ) -> f64
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        self.reduce_stats(values, plan, make, order, ChunkKernel::Scalar)
+            .0
+    }
+
+    /// Like [`Runtime::reduce_planned`], but returns the merged
+    /// **accumulator** instead of finalizing — the local-compute building
+    /// block for distributed reductions, where the partial keeps travelling.
+    pub fn accumulate_planned<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        order: MergeOrder,
+    ) -> A
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        self.accumulate_stats(values, plan, make, order, ChunkKernel::Scalar)
+            .0
+    }
+
+    /// Full-control reduction: explicit plan, merge order, and chunk
+    /// kernel; returns the result plus this call's [`RuntimeStats`].
+    pub fn reduce_stats<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        order: MergeOrder,
+        kernel: ChunkKernel,
+    ) -> (f64, RuntimeStats)
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        let (acc, stats) = self.accumulate_stats(values, plan, make, order, kernel);
+        (acc.finalize(), stats)
+    }
+
+    fn accumulate_stats<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        order: MergeOrder,
+        kernel: ChunkKernel,
+    ) -> (A, RuntimeStats)
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        assert_eq!(
+            plan.len(),
+            values.len(),
+            "plan covers {} elements but {} were supplied",
+            plan.len(),
+            values.len()
+        );
+        let t0 = Instant::now();
+        let before = self.pool.counters();
+        let chunk_nanos = AtomicU64::new(0);
+        let mut merge_time = Duration::ZERO;
+
+        let result = self.pool.scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, A)>();
+            for (i, range) in plan.chunks().iter().enumerate() {
+                let tx = tx.clone();
+                let make = &make;
+                let chunk = &values[range.clone()];
+                let chunk_nanos = &chunk_nanos;
+                s.spawn(move || {
+                    let t = Instant::now();
+                    let acc = kernel.run(make, chunk);
+                    chunk_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    // The root hangs up early only if it panicked; ignore.
+                    let _ = tx.send((i, acc));
+                });
+            }
+            drop(tx);
+            match order {
+                MergeOrder::Arrival => {
+                    // Merge in genuine completion order, overlapping the
+                    // remaining chunk work.
+                    let mut root = make();
+                    for (_, part) in rx.iter() {
+                        let t = Instant::now();
+                        root.merge(&part);
+                        merge_time += t.elapsed();
+                    }
+                    root
+                }
+                MergeOrder::Plan => {
+                    let mut slots: Vec<Option<A>> = (0..plan.num_chunks()).map(|_| None).collect();
+                    for (i, part) in rx.iter() {
+                        slots[i] = Some(part);
+                    }
+                    let t = Instant::now();
+                    let merged = merge_in_plan_order(slots, |a: &mut A, b: &A| a.merge(b))
+                        .expect("plan has at least one chunk");
+                    merge_time = t.elapsed();
+                    merged
+                }
+            }
+        });
+
+        let after = self.pool.counters();
+        let stats = RuntimeStats {
+            workers: self.pool.workers(),
+            chunks: plan.num_chunks(),
+            tasks_executed: after.executed.saturating_sub(before.executed),
+            steals: after.stolen.saturating_sub(before.stolen),
+            merge_depth: plan.merge_depth(),
+            chunk_time: Duration::from_nanos(chunk_nanos.load(Ordering::Relaxed)),
+            merge_time,
+            total_time: t0.elapsed(),
+        };
+        (result, stats)
+    }
+
+    /// Apply `f` to every chunk of the plan on the pool and return the
+    /// results **in plan (chunk-index) order** — the parallel backbone for
+    /// operand profiling and other per-chunk passes.
+    pub fn map_chunks<T, F>(&self, plan: &ReductionPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        self.pool.scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, T)>();
+            for (i, range) in plan.chunks().iter().enumerate() {
+                let tx = tx.clone();
+                let f = &f;
+                let range = range.clone();
+                s.spawn(move || {
+                    let out = f(i, range);
+                    let _ = tx.send((i, out));
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<T>> = (0..plan.num_chunks()).map(|_| None).collect();
+            for (i, out) in rx.iter() {
+                slots[i] = Some(out);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every chunk task reports"))
+                .collect()
+        })
+    }
+}
+
+/// The old spawn-per-call reference path: one OS thread per chunk, every
+/// call. Kept for benchmarking against the pooled engine and as the
+/// semantic baseline the engine must match.
+pub fn spawn_reduce<A, F>(values: &[f64], workers: usize, make: F, order: MergeOrder) -> f64
+where
+    A: Accumulator,
+    F: Fn() -> A + Sync,
+{
+    assert!(workers >= 1);
+    if values.is_empty() {
+        return make().finalize();
+    }
+    let workers = workers.min(values.len());
+    let chunk = values.len().div_ceil(workers);
+
+    let partials: Vec<(usize, A)> = std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, A)>();
+        for (i, piece) in values.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            let make = &make;
+            scope.spawn(move || {
+                let mut acc = make();
+                acc.add_slice(piece);
+                tx.send((i, acc)).expect("root outlives workers");
+            });
+        }
+        drop(tx);
+        rx.iter().collect() // arrival order
+    });
+
+    let mut root = make();
+    match order {
+        MergeOrder::Arrival => {
+            for (_, partial) in &partials {
+                root.merge(partial);
+            }
+        }
+        MergeOrder::Plan => {
+            let mut sorted = partials;
+            sorted.sort_by_key(|(i, _)| *i);
+            for (_, partial) in &sorted {
+                root.merge(partial);
+            }
+        }
+    }
+    root.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_sum::{BinnedSum, StandardSum};
+
+    fn data(n: usize) -> Vec<f64> {
+        // Deterministic, sign-alternating, wide-exponent data.
+        (0..n)
+            .map(|i| {
+                let e = (i % 40) as i32 - 20;
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                sign * (i as f64 + 0.5) * (e as f64).exp2()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_chunk_matches_sequential() {
+        let rt = Runtime::new(4);
+        let values = data(10_000);
+        let seq: f64 = values.iter().sum();
+        let plan = ReductionPlan::with_chunk_count(values.len(), 1);
+        let par = rt.reduce_planned(&values, &plan, StandardSum::new, MergeOrder::Arrival);
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn plan_order_is_worker_count_invariant_for_any_operator() {
+        let values = data(50_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 1024);
+        let reference =
+            Runtime::new(1).reduce_planned(&values, &plan, StandardSum::new, MergeOrder::Plan);
+        for workers in [2usize, 4, 8] {
+            let rt = Runtime::new(workers);
+            for _ in 0..3 {
+                let got = rt.reduce_planned(&values, &plan, StandardSum::new, MergeOrder::Plan);
+                assert_eq!(
+                    got.to_bits(),
+                    reference.to_bits(),
+                    "ST diverged under plan order at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_order_is_absorbed_by_binned() {
+        let values = data(60_000);
+        let rt = Runtime::new(8);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 2048);
+        let reference = rt.reduce_planned(&values, &plan, || BinnedSum::new(3), MergeOrder::Plan);
+        for _ in 0..10 {
+            let got = rt.reduce_planned(&values, &plan, || BinnedSum::new(3), MergeOrder::Arrival);
+            assert_eq!(got.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn pooled_matches_spawn_reference_for_reproducible_ops() {
+        let values = data(30_000);
+        let rt = Runtime::new(4);
+        let spawned = spawn_reduce(&values, 4, || BinnedSum::new(3), MergeOrder::Arrival);
+        let pooled = rt.reduce(&values, || BinnedSum::new(3), MergeOrder::Arrival);
+        assert_eq!(spawned.to_bits(), pooled.to_bits());
+    }
+
+    #[test]
+    fn empty_input_reduces_to_identity() {
+        let rt = Runtime::new(2);
+        assert_eq!(rt.reduce(&[], StandardSum::new, MergeOrder::Arrival), 0.0);
+        assert_eq!(rt.reduce(&[], StandardSum::new, MergeOrder::Plan), 0.0);
+    }
+
+    #[test]
+    fn stats_report_the_call() {
+        let rt = Runtime::new(4);
+        let values = data(100_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 4096);
+        let (_, stats) = rt.reduce_stats(
+            &values,
+            &plan,
+            StandardSum::new,
+            MergeOrder::Plan,
+            ChunkKernel::Scalar,
+        );
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.chunks, values.len().div_ceil(4096));
+        assert!(stats.tasks_executed >= stats.chunks as u64);
+        assert_eq!(stats.merge_depth, 5); // 25 chunks -> depth 5
+        assert!(stats.total_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn map_chunks_returns_plan_order() {
+        let rt = Runtime::new(4);
+        let plan = ReductionPlan::with_chunk_len(1000, 64);
+        let firsts = rt.map_chunks(&plan, |i, range| (i, range.start));
+        for (i, (idx, start)) in firsts.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*start, i * 64);
+        }
+    }
+
+    #[test]
+    fn global_runtime_is_shared_and_alive() {
+        let a = Runtime::global();
+        let b = Runtime::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.workers() >= 1);
+        let sum = a.reduce(&[1.0, 2.0, 3.0], StandardSum::new, MergeOrder::Plan);
+        assert_eq!(sum, 6.0);
+    }
+}

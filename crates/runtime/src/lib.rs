@@ -1,0 +1,46 @@
+//! # repro-runtime
+//!
+//! Persistent parallel reduction runtime with deterministic scheduling.
+//!
+//! The paper's extreme-scale observation is that the *schedule* of a
+//! parallel reduction cannot be pinned down — cores finish when they
+//! finish. What a runtime **can** pin down is the *plan*: chunk boundaries
+//! and the merge topology. This crate provides:
+//!
+//! - [`ThreadPool`] — a persistent work-stealing pool over `std`
+//!   primitives, replacing spawn-per-call executors as the workspace's hot
+//!   path;
+//! - [`ReductionPlan`] / [`MergeOrder`] — up-front chunk boundaries and a
+//!   fixed balanced merge tree, so partials merge either in deterministic
+//!   plan order (bitwise worker-count-invariant for *any* operator) or in
+//!   genuine arrival order (the nondeterminism knob the paper's
+//!   reproducible operators must absorb);
+//! - [`Runtime`] — the engine tying both together, with
+//!   [`RuntimeStats`] counters (tasks, steals, merge depth, per-stage wall
+//!   time) for every call;
+//! - [`spawn_reduce`] — the old spawn-per-call reference path, kept as the
+//!   benchmark baseline.
+//!
+//! ```
+//! use repro_runtime::{MergeOrder, Runtime};
+//! use repro_sum::BinnedSum;
+//!
+//! let values: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+//! let rt = Runtime::new(4);
+//! let a = rt.reduce(&values, || BinnedSum::new(3), MergeOrder::Arrival);
+//! let b = rt.reduce(&values, || BinnedSum::new(3), MergeOrder::Arrival);
+//! assert_eq!(a.to_bits(), b.to_bits()); // reproducible under racing merges
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod engine;
+mod plan;
+mod pool;
+mod stats;
+
+pub use engine::{spawn_reduce, ChunkKernel, Runtime};
+pub use plan::{merge_in_plan_order, MergeOrder, ReductionPlan, DEFAULT_CHUNK_LEN};
+pub use pool::{PoolCounters, Scope, ThreadPool};
+pub use stats::RuntimeStats;

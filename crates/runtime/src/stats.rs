@@ -1,0 +1,47 @@
+//! Lightweight built-in counters for one engine call.
+
+use std::time::Duration;
+
+/// What one `Runtime::reduce_stats` / `map_chunks_stats` call did.
+///
+/// Counter semantics: `tasks_executed` and `steals` are deltas of the
+/// pool's lifetime counters around this call, so when several reductions
+/// run concurrently on the shared pool they are attributions, not exact
+/// per-call counts (the pool is shared; the paper's whole point is that
+/// nobody owns the schedule).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeStats {
+    /// Worker threads in the pool that served the call.
+    pub workers: usize,
+    /// Chunks in the plan (= leaf tasks submitted).
+    pub chunks: usize,
+    /// Pool tasks that ran during this call.
+    pub tasks_executed: u64,
+    /// Tasks taken from another worker's queue during this call.
+    pub steals: u64,
+    /// Depth of the fixed merge tree (0 for a single chunk).
+    pub merge_depth: usize,
+    /// Summed wall time workers spent inside chunk kernels.
+    pub chunk_time: Duration,
+    /// Wall time the root spent merging partials.
+    pub merge_time: Duration,
+    /// End-to-end wall time of the call.
+    pub total_time: Duration,
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workers={} chunks={} tasks={} steals={} merge_depth={} chunk={:.3?} merge={:.3?} total={:.3?}",
+            self.workers,
+            self.chunks,
+            self.tasks_executed,
+            self.steals,
+            self.merge_depth,
+            self.chunk_time,
+            self.merge_time,
+            self.total_time,
+        )
+    }
+}

@@ -73,7 +73,11 @@ impl CalibrationTable {
                 out.push_str(&format!(
                     "{},{},{},{},{:e}\n",
                     self.n,
-                    if cell.k.is_infinite() { "inf".into() } else { format!("{:e}", cell.k) },
+                    if cell.k.is_infinite() {
+                        "inf".into()
+                    } else {
+                        format!("{:e}", cell.k)
+                    },
                     cell.dr,
                     alg,
                     spread
@@ -109,7 +113,11 @@ impl CalibrationTable {
             let spread: f64 = parts[4].parse().ok()?;
             match cells.iter_mut().find(|c| c.k == k && c.dr == dr) {
                 Some(cell) => cell.spread.push((alg, spread)),
-                None => cells.push(CalCell { k, dr, spread: vec![(alg, spread)] }),
+                None => cells.push(CalCell {
+                    k,
+                    dr,
+                    spread: vec![(alg, spread)],
+                }),
             }
         }
         if cells.is_empty() {
@@ -144,7 +152,9 @@ fn parse_algorithm(s: &str) -> Option<Algorithm> {
         "DS" => Some(Algorithm::Distill),
         _ => {
             let fold = s.strip_prefix("PR(fold=")?.strip_suffix(')')?;
-            Some(Algorithm::Binned { fold: fold.parse().ok()? })
+            Some(Algorithm::Binned {
+                fold: fold.parse().ok()?,
+            })
         }
     }
 }
@@ -213,7 +223,10 @@ pub fn calibrate(cfg: &CalibrationConfig) -> CalibrationTable {
     });
     drop(cell_slots);
     CalibrationTable {
-        cells: cells.into_iter().map(|c| c.expect("all cells computed")).collect(),
+        cells: cells
+            .into_iter()
+            .map(|c| c.expect("all cells computed"))
+            .collect(),
         n: cfg.n,
     }
 }
@@ -236,12 +249,10 @@ fn calibrate_cell(
     let mut spread = Vec::with_capacity(cfg.algorithms.len());
     for &alg in &cfg.algorithms {
         let mut errors = Vec::with_capacity(cfg.permutations as usize);
-        PermutationStudy::new(&values, cfg.permutations, seed ^ 0xABCD).for_each(
-            |_, permuted| {
-                let sum = reduce(permuted, TreeShape::Balanced, alg);
-                errors.push(abs_error_vs(&exact, sum));
-            },
-        );
+        PermutationStudy::new(&values, cfg.permutations, seed ^ 0xABCD).for_each(|_, permuted| {
+            let sum = reduce(permuted, TreeShape::Balanced, alg);
+            errors.push(abs_error_vs(&exact, sum));
+        });
         spread.push((alg, population_stddev(&errors)));
     }
     CalCell { k, dr, spread }
@@ -281,7 +292,11 @@ mod tests {
                 .iter()
                 .find(|(a, _)| a.is_reproducible())
                 .unwrap();
-            assert_eq!(*pr_spread, 0.0, "PR varied in cell k={:e} dr={}", cell.k, cell.dr);
+            assert_eq!(
+                *pr_spread, 0.0,
+                "PR varied in cell k={:e} dr={}",
+                cell.k, cell.dr
+            );
         }
     }
 

@@ -60,11 +60,11 @@ pub mod verified;
 pub use calibrate::{calibrate, CalibrationConfig, CalibrationTable};
 pub use cost::CostModel;
 pub use explain::{explain, Explanation};
-pub use profile::{profile, DataProfile};
+pub use profile::{profile, profile_parallel, DataProfile};
+use repro_sum::{Accumulator, Algorithm};
 pub use selector::{HeuristicSelector, SampledSelector, Selector, Tolerance};
 pub use subtree::{BudgetSplit, SubtreeAdaptive, SubtreeOutcome};
 pub use verified::{VerifiedOutcome, VerifiedReducer};
-use repro_sum::{Accumulator, Algorithm};
 
 /// The result of one adaptive reduction.
 #[derive(Clone, Copy, Debug)]
@@ -110,12 +110,16 @@ impl AdaptiveReducer {
 
     /// An adaptive reducer with a custom selector.
     pub fn with_selector(selector: Box<dyn Selector + Send + Sync>, tolerance: Tolerance) -> Self {
-        Self { selector, tolerance }
+        Self {
+            selector,
+            tolerance,
+        }
     }
 
     /// Which algorithm would be chosen for this data (no reduction done).
+    /// Profiling runs chunk-parallel on the shared runtime pool.
     pub fn choose(&self, values: &[f64]) -> (Algorithm, DataProfile) {
-        let p = profile(values);
+        let p = profile::profile_parallel(values);
         (self.selector.choose(&p, self.tolerance), p)
     }
 

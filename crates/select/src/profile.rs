@@ -125,9 +125,54 @@ pub fn profile(values: &[f64]) -> DataProfile {
     }
 }
 
+/// Profile a dataset in parallel on the shared runtime pool: one
+/// [`profile`] pass per plan chunk, partial profiles merged in plan
+/// (chunk-index) order via [`DataProfile::merge`].
+///
+/// The plan depends only on `values.len()`, so the result is deterministic
+/// for every worker count. Falls back to the sequential pass when the data
+/// fits in a single chunk.
+pub fn profile_parallel(values: &[f64]) -> DataProfile {
+    use repro_runtime::{ReductionPlan, Runtime};
+    let plan = ReductionPlan::for_len(values.len());
+    if plan.num_chunks() == 1 {
+        return profile(values);
+    }
+    let parts = Runtime::global().map_chunks(&plan, |_, range| profile(&values[range]));
+    let mut acc = DataProfile::empty();
+    for p in &parts {
+        acc.merge(p);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_profile_agrees_with_sequential() {
+        // > 1 default chunk, so the pool path actually runs.
+        let values: Vec<f64> = (0..200_000)
+            .map(|i| {
+                let e = (i % 24) - 12;
+                (if i % 2 == 0 { 1.0 } else { -1.0 }) * (i as f64 + 0.25) * (e as f64).exp2()
+            })
+            .collect();
+        let seq = profile(&values);
+        let par = profile_parallel(&values);
+        assert_eq!(par.n, seq.n);
+        assert_eq!(par.max_abs, seq.max_abs);
+        assert_eq!(par.min_exp, seq.min_exp);
+        assert_eq!(par.max_exp, seq.max_exp);
+        assert_eq!(par.dr_binades, seq.dr_binades);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(f64::MIN_POSITIVE);
+        assert!(rel(par.abs_sum, seq.abs_sum) < 1e-12);
+        // Deterministic: chunk boundaries depend only on the length.
+        let again = profile_parallel(&values);
+        assert_eq!(par.sum_estimate.to_bits(), again.sum_estimate.to_bits());
+        assert_eq!(par.k.to_bits(), again.k.to_bits());
+    }
 
     #[test]
     fn profile_of_benign_data() {
@@ -156,7 +201,12 @@ mod tests {
         // CP-based estimate tracks the exact k closely even at k = 1e6.
         let ratio = p.k / m.k;
         assert!((0.99..1.01).contains(&ratio), "k̂/k = {ratio}");
-        assert!((p.dr_decades() - m.dr).abs() <= 1, "dr̂ {} vs {}", p.dr_decades(), m.dr);
+        assert!(
+            (p.dr_decades() - m.dr).abs() <= 1,
+            "dr̂ {} vs {}",
+            p.dr_decades(),
+            m.dr
+        );
     }
 
     #[test]

@@ -169,15 +169,13 @@ impl SampledSelector {
     /// Measured spread of `alg` over shuffled reductions of the subsample,
     /// rescaled from the subsample size to `n` (√ growth model).
     fn probe(&self, alg: Algorithm, sample: &[f64], n: usize) -> f64 {
-        use rand::rngs::StdRng;
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        use repro_fp::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut work = sample.to_vec();
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         for _ in 0..self.shuffles.max(2) {
-            work.shuffle(&mut rng);
+            rng.shuffle(&mut work);
             let r = alg.sum(&work);
             min = min.min(r);
             max = max.max(r);
@@ -209,7 +207,11 @@ impl Selector for SampledSelector {
         let m = self.subsample.min(n).max(2);
         let surrogate = repro_gen::grid_cell(
             m,
-            if profile.k.is_finite() { profile.k.max(1.0) } else { f64::INFINITY },
+            if profile.k.is_finite() {
+                profile.k.max(1.0)
+            } else {
+                f64::INFINITY
+            },
             profile.dr_decades().max(0) as u32,
             self.seed,
             1e16,
@@ -270,7 +272,10 @@ mod tests {
             last_rank = alg.cost_rank();
         }
         // The zero-tolerance end must be PR.
-        assert_eq!(sel.choose(&p, Tolerance::AbsoluteSpread(0.0)), Algorithm::PR);
+        assert_eq!(
+            sel.choose(&p, Tolerance::AbsoluteSpread(0.0)),
+            Algorithm::PR
+        );
     }
 
     #[test]
@@ -318,9 +323,15 @@ mod tests {
         // Hostile with a tiny budget -> escalates past ST.
         let hostile = repro_gen::zero_sum_with_range(4096, 24, 3);
         let choice = sel.choose(&profile(&hostile), Tolerance::AbsoluteSpread(1e-13));
-        assert!(choice.cost_rank() > Algorithm::Standard.cost_rank(), "chose {choice}");
+        assert!(
+            choice.cost_rank() > Algorithm::Standard.cost_rank(),
+            "chose {choice}"
+        );
         // Bitwise -> PR.
-        assert_eq!(sel.choose(&profile(&hostile), Tolerance::Bitwise), Algorithm::PR);
+        assert_eq!(
+            sel.choose(&profile(&hostile), Tolerance::Bitwise),
+            Algorithm::PR
+        );
     }
 
     #[test]

@@ -133,7 +133,11 @@ impl<S: Selector> SubtreeAdaptive<S> {
             let mut acc = algorithm.new_accumulator();
             acc.add_slice(chunk);
             top.add(acc.finalize());
-            chunks.push(ChunkReport { index, profile: p, algorithm });
+            chunks.push(ChunkReport {
+                index,
+                profile: p,
+                algorithm,
+            });
         }
         SubtreeOutcome {
             sum: top.to_f64(),
@@ -156,9 +160,7 @@ mod tests {
                 values.extend(repro_gen::zero_sum_with_range(1024, 24, block as u64));
             } else {
                 // Benign region: all positive, narrow.
-                values.extend(
-                    (0..1024).map(|i| 1.0 + ((block * 1024 + i) % 97) as f64 * 1e-2),
-                );
+                values.extend((0..1024).map(|i| 1.0 + ((block * 1024 + i) % 97) as f64 * 1e-2));
             }
         }
         values
@@ -204,11 +206,7 @@ mod tests {
     #[test]
     fn bitwise_tolerance_makes_every_chunk_reproducible() {
         let values = mixed_workload();
-        let reducer = SubtreeAdaptive::new(
-            HeuristicSelector::default(),
-            Tolerance::Bitwise,
-            512,
-        );
+        let reducer = SubtreeAdaptive::new(HeuristicSelector::default(), Tolerance::Bitwise, 512);
         let outcome = reducer.reduce(&values);
         assert!(outcome.chunks.iter().all(|c| c.algorithm.is_reproducible()));
         // And repeated runs give the same bits.

@@ -15,9 +15,7 @@
 //! more than hot loops (the ablation benches quantify the overhead).
 
 use crate::selector::Tolerance;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use repro_fp::rng::DetRng;
 use repro_sum::{Accumulator, Algorithm};
 
 /// Outcome of one verified reduction.
@@ -75,13 +73,13 @@ impl VerifiedReducer {
     /// ladder entry disagrees with itself beyond the tolerance (impossible
     /// for a reproducible final rung under [`Tolerance::Bitwise`]).
     pub fn reduce(&self, values: &[f64]) -> Option<VerifiedOutcome> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut shuffled = values.to_vec();
         let mut disagreements = Vec::new();
         for &alg in &self.ladder {
             // Run 1: given order. Run 2: independent random order.
             let first = run(alg, values);
-            shuffled.shuffle(&mut rng);
+            rng.shuffle(&mut shuffled);
             let second = run(alg, &shuffled);
             let disagreement = (first - second).abs();
             disagreements.push((alg, disagreement));
@@ -157,9 +155,11 @@ mod tests {
     #[test]
     fn ladder_without_reproducible_rung_can_fail() {
         let values = repro_gen::zero_sum_with_range(20_000, 32, 5);
-        let r = VerifiedReducer::new(Tolerance::Bitwise, 4)
-            .with_ladder(vec![Algorithm::Standard]);
-        assert!(r.reduce(&values).is_none(), "ST cannot self-agree bitwise here");
+        let r = VerifiedReducer::new(Tolerance::Bitwise, 4).with_ladder(vec![Algorithm::Standard]);
+        assert!(
+            r.reduce(&values).is_none(),
+            "ST cannot self-agree bitwise here"
+        );
     }
 
     #[test]

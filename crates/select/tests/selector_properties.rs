@@ -15,7 +15,11 @@ fn workload() -> impl Strategy<Value = Vec<f64>> {
         prop::collection::vec(
             ((-80.0f64..80.0), any::<bool>()).prop_map(|(e, neg)| {
                 let v = e.exp2();
-                if neg { -v } else { v }
+                if neg {
+                    -v
+                } else {
+                    v
+                }
             }),
             2..300
         ),

@@ -22,9 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 use repro_sum::{dot2, dot_reproducible, dot_standard};
 
 /// How the solver computes its inner products.
@@ -68,7 +66,7 @@ impl SpdSystem {
     /// conditioned, seeded.
     pub fn random(n: usize, seed: u64) -> Self {
         assert!(n >= 1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let bmat: Vec<f64> = (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect();
         let mut a = vec![0.0; n * n];
         for i in 0..n {
@@ -194,14 +192,14 @@ impl Cg {
     /// Solve `A x = b` from the zero initial guess.
     pub fn solve(&self, system: &SpdSystem) -> CgSolution {
         let n = system.dim();
-        let mut rng = self.shuffle_seed.map(StdRng::seed_from_u64);
+        let mut rng = self.shuffle_seed.map(DetRng::seed_from_u64);
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut dot = |p: &DotPolicy, x: &[f64], y: &[f64], rng: &mut Option<StdRng>| -> f64 {
+        let mut dot = |p: &DotPolicy, x: &[f64], y: &[f64], rng: &mut Option<DetRng>| -> f64 {
             match rng {
                 None => p.dot(x, y),
                 Some(rng) => {
                     // Shuffled accumulation order for this inner product.
-                    order.shuffle(rng);
+                    rng.shuffle(&mut order);
                     let xs: Vec<f64> = order.iter().map(|&i| x[i as usize]).collect();
                     let ys: Vec<f64> = order.iter().map(|&i| y[i as usize]).collect();
                     p.dot(&xs, &ys)
@@ -223,9 +221,7 @@ impl Cg {
                 break; // lost positive definiteness to roundoff: stop
             }
             let alpha = rtr / ptap;
-            for ((xi, pi), (ri, api)) in
-                x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
-            {
+            for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
                 *xi += alpha * pi;
                 *ri -= alpha * api;
             }
@@ -257,13 +253,13 @@ impl Cg {
         precond: &JacobiPreconditioner,
     ) -> CgSolution {
         let n = system.dim();
-        let mut rng = self.shuffle_seed.map(StdRng::seed_from_u64);
+        let mut rng = self.shuffle_seed.map(DetRng::seed_from_u64);
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut dot = |p: &DotPolicy, x: &[f64], y: &[f64], rng: &mut Option<StdRng>| -> f64 {
+        let mut dot = |p: &DotPolicy, x: &[f64], y: &[f64], rng: &mut Option<DetRng>| -> f64 {
             match rng {
                 None => p.dot(x, y),
                 Some(rng) => {
-                    order.shuffle(rng);
+                    rng.shuffle(&mut order);
                     let xs: Vec<f64> = order.iter().map(|&i| x[i as usize]).collect();
                     let ys: Vec<f64> = order.iter().map(|&i| y[i as usize]).collect();
                     p.dot(&xs, &ys)
@@ -302,7 +298,12 @@ impl Cg {
             trace.push(rtr);
             iterations += 1;
         }
-        CgSolution { x, iterations, final_rtr: rtr, rtr_trace: trace }
+        CgSolution {
+            x,
+            iterations,
+            final_rtr: rtr,
+            rtr_trace: trace,
+        }
     }
 }
 
@@ -329,9 +330,17 @@ mod tests {
             DotPolicy::Compensated,
             DotPolicy::Reproducible { fold: 3 },
         ] {
-            let sol = Cg { dots, ..Cg::default() }.solve(&system);
+            let sol = Cg {
+                dots,
+                ..Cg::default()
+            }
+            .solve(&system);
             let res = system.exact_residual_norm(&sol.x);
-            assert!(res < 1e-8, "{dots:?}: residual {res:e} after {} its", sol.iterations);
+            assert!(
+                res < 1e-8,
+                "{dots:?}: residual {res:e} after {} its",
+                sol.iterations
+            );
             assert!(sol.iterations < 300, "{dots:?} took {}", sol.iterations);
         }
     }
@@ -385,8 +394,16 @@ mod tests {
     fn trajectories_match_without_shuffling_regardless_of_policy() {
         let system = SpdSystem::random(48, 3);
         for dots in [DotPolicy::Standard, DotPolicy::Reproducible { fold: 3 }] {
-            let a = Cg { dots, ..Cg::default() }.solve(&system);
-            let b = Cg { dots, ..Cg::default() }.solve(&system);
+            let a = Cg {
+                dots,
+                ..Cg::default()
+            }
+            .solve(&system);
+            let b = Cg {
+                dots,
+                ..Cg::default()
+            }
+            .solve(&system);
             assert_eq!(fingerprint(&a.x), fingerprint(&b.x), "{dots:?}");
         }
     }

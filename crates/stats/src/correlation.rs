@@ -78,7 +78,10 @@ mod tests {
     fn pearson_degenerate_cases_return_zero() {
         assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
         assert_eq!(pearson(&[], &[]), 0.0);
-        assert_eq!(pearson(&[5.0; 10], &(0..10).map(|i| i as f64).collect::<Vec<_>>()), 0.0);
+        assert_eq!(
+            pearson(&[5.0; 10], &(0..10).map(|i| i as f64).collect::<Vec<_>>()),
+            0.0
+        );
     }
 
     #[test]
@@ -99,7 +102,10 @@ mod tests {
     #[test]
     fn midranks_average_over_ties() {
         // [10, 20, 20, 30]: ranks 1, 2.5, 2.5, 4.
-        assert_eq!(midranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            midranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
         // All tied: everyone gets (1+n)/2.
         assert_eq!(midranks(&[7.0; 5]), vec![3.0; 5]);
         assert!(midranks(&[]).is_empty());
@@ -116,8 +122,12 @@ mod tests {
     #[test]
     fn spearman_of_shuffled_independent_data_is_small() {
         // Deterministic quasi-random pairing: golden-ratio stride.
-        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.618_033_988_75).fract()).collect();
-        let b: Vec<f64> = (0..500).map(|i| (i as f64 * 0.414_213_562_37).fract()).collect();
+        let a: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.618_033_988_75).fract())
+            .collect();
+        let b: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.414_213_562_37).fract())
+            .collect();
         assert!(spearman(&a, &b).abs() < 0.15);
     }
 }

@@ -47,7 +47,10 @@ pub fn sample_stddev(data: &[f64]) -> f64 {
 /// Panics in debug builds if the data is not sorted.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "data must be sorted"
+    );
     match sorted.len() {
         0 => f64::NAN,
         1 => sorted[0],
@@ -139,7 +142,10 @@ impl Boxplot {
     /// Compute a boxplot summary of a sample. NaN values are rejected.
     pub fn of(data: &[f64]) -> Self {
         assert!(!data.is_empty(), "boxplot of empty sample");
-        assert!(data.iter().all(|x| !x.is_nan()), "boxplot input contains NaN");
+        assert!(
+            data.iter().all(|x| !x.is_nan()),
+            "boxplot input contains NaN"
+        );
         let mut sorted = data.to_vec();
         sorted.sort_by(f64::total_cmp);
         let q1 = quantile_sorted(&sorted, 0.25);
@@ -159,7 +165,10 @@ impl Boxplot {
             .copied()
             .find(|&x| x <= hi_fence)
             .unwrap_or(sorted[sorted.len() - 1]);
-        let outliers = sorted.iter().filter(|&&x| x < lo_fence || x > hi_fence).count();
+        let outliers = sorted
+            .iter()
+            .filter(|&&x| x < lo_fence || x > hi_fence)
+            .count();
         Self {
             min: sorted[0],
             q1,

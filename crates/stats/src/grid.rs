@@ -131,7 +131,12 @@ impl Grid {
             let _ = write!(out, " {c:>8}");
         }
         out.push('\n');
-        let _ = writeln!(out, "{}-+-{}", "-".repeat(label_w), "-".repeat(9 * self.cols()));
+        let _ = writeln!(
+            out,
+            "{}-+-{}",
+            "-".repeat(label_w),
+            "-".repeat(9 * self.cols())
+        );
         for (r, label) in self.row_labels.iter().enumerate() {
             let _ = write!(out, "{label:>label_w$} |");
             for c in 0..self.cols() {

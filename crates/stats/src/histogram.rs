@@ -86,7 +86,11 @@ impl Histogram {
         let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
-            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+            let bar = "#".repeat(
+                (c as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
             let lo = self.bin_lo(i);
             let hi = self.bin_lo(i + 1);
             out.push_str(&format!("[{lo:>9.3e}, {hi:>9.3e})  {c:>8}  {bar}\n"));

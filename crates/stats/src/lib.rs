@@ -30,7 +30,9 @@ pub mod online;
 pub mod table;
 
 pub use correlation::{pearson, spearman};
-pub use descriptive::{mean, median_absolute_deviation, population_stddev, quantile, Boxplot, Summary};
+pub use descriptive::{
+    mean, median_absolute_deviation, population_stddev, quantile, Boxplot, Summary,
+};
 pub use grid::Grid;
 pub use histogram::Histogram;
 pub use online::OnlineStats;

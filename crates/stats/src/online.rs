@@ -147,11 +147,15 @@ mod tests {
         let online: OnlineStats = data.iter().copied().collect();
         assert_eq!(online.count(), 1000);
         assert!((online.mean() - descriptive::mean(&data)).abs() < 1e-12);
-        assert!(
-            (online.population_stddev() - descriptive::population_stddev(&data)).abs() < 1e-9
+        assert!((online.population_stddev() - descriptive::population_stddev(&data)).abs() < 1e-9);
+        assert_eq!(
+            online.min(),
+            *data.iter().min_by(|a, b| a.total_cmp(b)).unwrap()
         );
-        assert_eq!(online.min(), *data.iter().min_by(|a, b| a.total_cmp(b)).unwrap());
-        assert_eq!(online.max(), *data.iter().max_by(|a, b| a.total_cmp(b)).unwrap());
+        assert_eq!(
+            online.max(),
+            *data.iter().max_by(|a, b| a.total_cmp(b)).unwrap()
+        );
     }
 
     #[test]
@@ -185,7 +189,11 @@ mod tests {
         for i in 0..1000 {
             s.push(1e9 + (i % 2) as f64);
         }
-        assert!((s.population_variance() - 0.25).abs() < 1e-6, "{}", s.population_variance());
+        assert!(
+            (s.population_variance() - 0.25).abs() < 1e-6,
+            "{}",
+            s.population_variance()
+        );
     }
 
     #[test]

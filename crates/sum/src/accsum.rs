@@ -103,8 +103,16 @@ mod tests {
         // Faithful: the error is below one ulp of the exact sum.
         let err = repro_fp::abs_error(computed, values);
         let exact = repro_fp::exact_sum(values);
-        let tol = ulp(if exact == 0.0 { f64::MIN_POSITIVE } else { exact }).abs();
-        assert!(err <= tol, "{label}: err {err:e} > ulp {tol:e} (exact {exact:e})");
+        let tol = ulp(if exact == 0.0 {
+            f64::MIN_POSITIVE
+        } else {
+            exact
+        })
+        .abs();
+        assert!(
+            err <= tol,
+            "{label}: err {err:e} > ulp {tol:e} (exact {exact:e})"
+        );
     }
 
     #[test]
@@ -121,7 +129,9 @@ mod tests {
         let cases: Vec<Vec<f64>> = vec![
             vec![1e16, 1.0, -1e16],
             vec![1.0, 1e100, 1.0, -1e100],
-            (0..999).map(|i| ((i % 9) as f64 - 4.0) * 2f64.powi(i % 90 - 45)).collect(),
+            (0..999)
+                .map(|i| ((i % 9) as f64 - 4.0) * 2f64.powi(i % 90 - 45))
+                .collect(),
         ];
         for (i, values) in cases.iter().enumerate() {
             assert_faithful(accsum(values), values, &format!("accsum case {i}"));

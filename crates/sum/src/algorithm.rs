@@ -124,9 +124,7 @@ impl Algorithm {
             Algorithm::Pairwise => AlgoAccumulator::Pairwise(PairwiseSum::new()),
             Algorithm::Composite => AlgoAccumulator::Composite(CompositeSum::new()),
             Algorithm::DoubleDouble => AlgoAccumulator::DoubleDouble(DoubleDoubleSum::new()),
-            Algorithm::Binned { fold } => {
-                AlgoAccumulator::Binned(BinnedSum::new(*fold as usize))
-            }
+            Algorithm::Binned { fold } => AlgoAccumulator::Binned(BinnedSum::new(*fold as usize)),
             Algorithm::Distill => AlgoAccumulator::Distill(DistillSum::new()),
         }
     }
@@ -180,7 +178,9 @@ impl AlgoAccumulator {
             AlgoAccumulator::Pairwise(_) => Algorithm::Pairwise,
             AlgoAccumulator::Composite(_) => Algorithm::Composite,
             AlgoAccumulator::DoubleDouble(_) => Algorithm::DoubleDouble,
-            AlgoAccumulator::Binned(b) => Algorithm::Binned { fold: b.fold() as u8 },
+            AlgoAccumulator::Binned(b) => Algorithm::Binned {
+                fold: b.fold() as u8,
+            },
             AlgoAccumulator::Distill(_) => Algorithm::Distill,
         }
     }
@@ -265,7 +265,10 @@ mod tests {
             Algorithm::Standard.sum(&values),
             crate::StandardSum::sum_slice(&values)
         );
-        assert_eq!(Algorithm::Kahan.sum(&values), crate::KahanSum::sum_slice(&values));
+        assert_eq!(
+            Algorithm::Kahan.sum(&values),
+            crate::KahanSum::sum_slice(&values)
+        );
         assert_eq!(
             Algorithm::Composite.sum(&values),
             crate::CompositeSum::sum_slice(&values)

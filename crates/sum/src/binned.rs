@@ -243,8 +243,10 @@ impl BinnedSum {
             .iter()
             .map(|p| format!("{:016x}", p.to_bits()))
             .collect();
-        let carries: Vec<String> =
-            self.carry[..self.slots()].iter().map(|c| c.to_string()).collect();
+        let carries: Vec<String> = self.carry[..self.slots()]
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         format!(
             "{};{};{};{};{}{}{}{}",
             self.fold,
@@ -419,12 +421,7 @@ impl BinnedSum {
     /// f64 can return. Finite-state only (specials go through
     /// [`Accumulator::finalize`]).
     pub fn value_dd(&self) -> repro_fp::DoubleDouble {
-        if self.nan
-            || self.range_overflow
-            || self.pos_inf
-            || self.neg_inf
-            || self.index < 0
-        {
+        if self.nan || self.range_overflow || self.pos_inf || self.neg_inf || self.index < 0 {
             return repro_fp::DoubleDouble::from_f64(self.finalize());
         }
         let mut acc = Superaccumulator::new();
@@ -685,7 +682,11 @@ mod tests {
             }
             results.insert(acc.finalize().to_bits());
         });
-        assert_eq!(results.len(), 1, "boundary round-up leaked order dependence");
+        assert_eq!(
+            results.len(),
+            1,
+            "boundary round-up leaked order dependence"
+        );
     }
 
     #[test]
@@ -829,7 +830,13 @@ mod tests {
 
     #[test]
     fn restore_rejects_garbage() {
-        for bad in ["", "9;0;;;0000", "3;0;zz;0;0000", "3", "3;0;0;0;00001;extra"] {
+        for bad in [
+            "",
+            "9;0;;;0000",
+            "3;0;zz;0;0000",
+            "3",
+            "3;0;0;0;00001;extra",
+        ] {
             assert!(BinnedSum::restore(bad).is_none(), "{bad:?}");
         }
     }

@@ -27,7 +27,10 @@ impl CompositeSum {
     /// A fresh, zero-valued accumulator.
     #[inline]
     pub fn new() -> Self {
-        Self { value: 0.0, error: 0.0 }
+        Self {
+            value: 0.0,
+            error: 0.0,
+        }
     }
 
     /// Sum a slice left to right in composite precision.
@@ -101,7 +104,10 @@ mod tests {
             values.push(-v);
         }
         let s = CompositeSum::sum_slice(&values);
-        assert_eq!(s, 0.0, "cancelled pairs must sum to exactly zero, got {s:e}");
+        assert_eq!(
+            s, 0.0,
+            "cancelled pairs must sum to exactly zero, got {s:e}"
+        );
     }
 
     #[test]

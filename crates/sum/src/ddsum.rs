@@ -19,7 +19,9 @@ impl DoubleDoubleSum {
     /// A fresh, zero-valued accumulator.
     #[inline]
     pub fn new() -> Self {
-        Self { acc: DoubleDouble::ZERO }
+        Self {
+            acc: DoubleDouble::ZERO,
+        }
     }
 
     /// Sum a slice in double-double.
@@ -70,7 +72,10 @@ mod tests {
         let exact = repro_fp::exact_sum_acc(&data);
         let dd_err = repro_fp::abs_error_vs(&exact, DoubleDoubleSum::sum_slice(&data));
         let cp_err = repro_fp::abs_error_vs(&exact, CompositeSum::sum_slice(&data));
-        assert!(dd_err <= cp_err * 2.0 + f64::MIN_POSITIVE, "{dd_err:e} vs {cp_err:e}");
+        assert!(
+            dd_err <= cp_err * 2.0 + f64::MIN_POSITIVE,
+            "{dd_err:e} vs {cp_err:e}"
+        );
     }
 
     #[test]

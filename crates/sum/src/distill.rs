@@ -105,7 +105,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10 {
             values.shuffle(&mut rng);
-            assert_eq!(DistillSum::sum_slice(&values).to_bits(), reference.to_bits());
+            assert_eq!(
+                DistillSum::sum_slice(&values).to_bits(),
+                reference.to_bits()
+            );
         }
     }
 

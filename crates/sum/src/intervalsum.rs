@@ -33,7 +33,9 @@ impl Default for IntervalSum {
 impl IntervalSum {
     /// A fresh, zero-valued accumulator.
     pub fn new() -> Self {
-        Self { enclosure: Interval::ZERO }
+        Self {
+            enclosure: Interval::ZERO,
+        }
     }
 
     /// Sum a slice, returning the full enclosure.

@@ -160,7 +160,10 @@ mod tests {
         let exact = repro_fp::exact_sum_acc(&values);
         let e_st = repro_fp::abs_error_vs(&exact, crate::StandardSum::sum_slice(&values));
         let e_k = repro_fp::abs_error_vs(&exact, KahanSum::sum_slice(&values));
-        assert!(e_k <= e_st, "Kahan ({e_k:e}) must not lose to standard ({e_st:e})");
+        assert!(
+            e_k <= e_st,
+            "Kahan ({e_k:e}) must not lose to standard ({e_st:e})"
+        );
     }
 
     #[test]
@@ -176,7 +179,10 @@ mod tests {
         a.merge(&b);
         let exact = repro_fp::exact_sum(&[&left[..], &right[..]].concat());
         let err = (a.finalize() - exact).abs();
-        assert!(err <= 2.0 * repro_fp::ulp::ulp(exact), "merge error {err:e}");
+        assert!(
+            err <= 2.0 * repro_fp::ulp::ulp(exact),
+            "merge error {err:e}"
+        );
     }
 
     #[test]

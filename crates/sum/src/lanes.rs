@@ -1,0 +1,198 @@
+//! Multi-lane (instruction-level-parallel) slice kernels.
+//!
+//! A scalar `add_slice` is one long dependency chain: every `add` waits on
+//! the previous one. Splitting the stream round-robin across `L`
+//! independent accumulator lanes gives the CPU `L` chains to overlap, then
+//! the lanes merge in a **fixed lane order** — a purely data-dependent
+//! schedule, so the kernel is deterministic for every operator and
+//! bit-identical to the scalar kernel for reproducible operators
+//! ([`crate::BinnedSum`], [`crate::DistillSum`]), whose results are
+//! schedule-invariant by construction.
+//!
+//! Element `i` goes to lane `i % L`, trailing elements continue the same
+//! round-robin, and lanes fold left-to-right: the layout depends only on
+//! the slice length and the lane count, never on timing.
+
+use crate::Accumulator;
+
+/// Accumulate `values` into a fresh accumulator using `lanes` independent
+/// lanes (see module docs). `lanes <= 1` is the scalar kernel. The common
+/// widths 4 and 8 take fully unrolled paths.
+pub fn accumulate_lanes<A, F>(make: F, values: &[f64], lanes: usize) -> A
+where
+    A: Accumulator,
+    F: Fn() -> A,
+{
+    match lanes {
+        0 | 1 => {
+            let mut acc = make();
+            acc.add_slice(values);
+            acc
+        }
+        4 => lanes4(&make, values),
+        8 => lanes8(&make, values),
+        n => lanes_n(&make, values, n),
+    }
+}
+
+fn lanes4<A, F>(make: &F, values: &[f64]) -> A
+where
+    A: Accumulator,
+    F: Fn() -> A,
+{
+    let mut a0 = make();
+    let mut a1 = make();
+    let mut a2 = make();
+    let mut a3 = make();
+    let mut quads = values.chunks_exact(4);
+    for q in quads.by_ref() {
+        a0.add(q[0]);
+        a1.add(q[1]);
+        a2.add(q[2]);
+        a3.add(q[3]);
+    }
+    for (j, &v) in quads.remainder().iter().enumerate() {
+        match j {
+            0 => a0.add(v),
+            1 => a1.add(v),
+            _ => a2.add(v),
+        }
+    }
+    a0.merge(&a1);
+    a2.merge(&a3);
+    a0.merge(&a2);
+    a0
+}
+
+fn lanes8<A, F>(make: &F, values: &[f64]) -> A
+where
+    A: Accumulator,
+    F: Fn() -> A,
+{
+    let mut lanes: [A; 8] = [
+        make(),
+        make(),
+        make(),
+        make(),
+        make(),
+        make(),
+        make(),
+        make(),
+    ];
+    let mut octs = values.chunks_exact(8);
+    for o in octs.by_ref() {
+        lanes[0].add(o[0]);
+        lanes[1].add(o[1]);
+        lanes[2].add(o[2]);
+        lanes[3].add(o[3]);
+        lanes[4].add(o[4]);
+        lanes[5].add(o[5]);
+        lanes[6].add(o[6]);
+        lanes[7].add(o[7]);
+    }
+    for (j, &v) in octs.remainder().iter().enumerate() {
+        lanes[j].add(v);
+    }
+    merge_lane_order(lanes.to_vec())
+}
+
+fn lanes_n<A, F>(make: &F, values: &[f64], n: usize) -> A
+where
+    A: Accumulator,
+    F: Fn() -> A,
+{
+    let mut lanes: Vec<A> = (0..n).map(|_| make()).collect();
+    let mut groups = values.chunks_exact(n);
+    for g in groups.by_ref() {
+        for (lane, &v) in lanes.iter_mut().zip(g) {
+            lane.add(v);
+        }
+    }
+    for (j, &v) in groups.remainder().iter().enumerate() {
+        lanes[j].add(v);
+    }
+    merge_lane_order(lanes)
+}
+
+/// Fold lanes left-to-right (lane 0 absorbs 1, then 2, ...): the fixed
+/// lane-order merge.
+fn merge_lane_order<A: Accumulator>(mut lanes: Vec<A>) -> A {
+    let mut root = lanes.remove(0);
+    for lane in &lanes {
+        root.merge(lane);
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinnedSum, KahanSum, StandardSum};
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let e = (i % 30) as i32 - 15;
+                let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+                sign * (i as f64 * 0.7 + 0.1) * (e as f64).exp2()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reproducible_operator_is_lane_invariant() {
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 1000, 4096, 4099] {
+            let values = data(n);
+            let mut scalar = BinnedSum::new(3);
+            scalar.add_slice(&values);
+            let reference = scalar.finalize().to_bits();
+            for lanes in [1usize, 2, 4, 5, 8, 16] {
+                let acc = accumulate_lanes(|| BinnedSum::new(3), &values, lanes);
+                assert_eq!(
+                    acc.finalize().to_bits(),
+                    reference,
+                    "BinnedSum diverged at n={n} lanes={lanes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_layout_is_deterministic_per_width() {
+        // Non-reproducible operators may differ from scalar, but the same
+        // width must always give the same bits.
+        let values = data(10_001);
+        for lanes in [4usize, 8] {
+            let a = accumulate_lanes(StandardSum::new, &values, lanes).finalize();
+            let b = accumulate_lanes(StandardSum::new, &values, lanes).finalize();
+            assert_eq!(a.to_bits(), b.to_bits());
+            let k1 = accumulate_lanes(KahanSum::new, &values, lanes).finalize();
+            let k2 = accumulate_lanes(KahanSum::new, &values, lanes).finalize();
+            assert_eq!(k1.to_bits(), k2.to_bits());
+        }
+    }
+
+    #[test]
+    fn unrolled_widths_match_generic_round_robin() {
+        // The 4- and 8-lane fast paths must implement exactly the generic
+        // round-robin layout.
+        for n in [0usize, 5, 8, 12, 100, 1003] {
+            let values = data(n);
+            for lanes in [4usize, 8] {
+                let fast = accumulate_lanes(StandardSum::new, &values, lanes).finalize();
+                let generic = lanes_n(&StandardSum::new, &values, lanes).finalize();
+                assert_eq!(fast.to_bits(), generic.to_bits(), "n={n} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_cover_every_element() {
+        // Integer-valued data: every layout sums exactly.
+        let values: Vec<f64> = (1..=97).map(|i| i as f64).collect();
+        for lanes in [1usize, 2, 4, 8, 13] {
+            let acc = accumulate_lanes(StandardSum::new, &values, lanes);
+            assert_eq!(acc.finalize(), 97.0 * 98.0 / 2.0);
+        }
+    }
+}

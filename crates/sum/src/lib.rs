@@ -51,14 +51,15 @@ pub mod distill;
 pub mod dot;
 pub mod intervalsum;
 pub mod kahan;
+pub mod lanes;
 pub mod pairwise;
 pub mod prerounded;
 pub mod standard;
 
 mod algorithm;
 
-pub use algorithm::{AlgoAccumulator, Algorithm};
 pub use accsum::{accsum, sorted_sum};
+pub use algorithm::{AlgoAccumulator, Algorithm};
 pub use binned::BinnedSum;
 pub use composite::CompositeSum;
 pub use ddsum::DoubleDoubleSum;

@@ -74,10 +74,7 @@ impl Accumulator for PairwiseSum {
 
     fn finalize(&self) -> f64 {
         // Fold low to high so small partials combine before meeting big ones.
-        self.partials
-            .iter()
-            .flatten()
-            .fold(0.0, |acc, &p| acc + p)
+        self.partials.iter().flatten().fold(0.0, |acc, &p| acc + p)
     }
 }
 
@@ -112,7 +109,10 @@ mod tests {
         let exact = repro_fp::exact_sum(&values);
         let pw_err = (PairwiseSum::sum_slice(&values) - exact).abs();
         let st_err = (values.iter().sum::<f64>() - exact).abs();
-        assert!(pw_err < st_err, "pairwise {pw_err:e} !< standard {st_err:e}");
+        assert!(
+            pw_err < st_err,
+            "pairwise {pw_err:e} !< standard {st_err:e}"
+        );
     }
 
     #[test]

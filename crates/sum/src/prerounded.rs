@@ -45,13 +45,23 @@ impl PreroundPlan {
     /// Panics if `max_abs` is not finite-positive capable (zero is allowed:
     /// a degenerate all-zero plan) or `fold` is out of range.
     pub fn new(max_abs: f64, n: usize, fold: usize) -> Self {
-        assert!((1..=MAX_FOLD).contains(&fold), "fold must be in 1..={MAX_FOLD}");
-        assert!(max_abs.is_finite() && max_abs >= 0.0, "max_abs must be finite >= 0");
+        assert!(
+            (1..=MAX_FOLD).contains(&fold),
+            "fold must be in 1..={MAX_FOLD}"
+        );
+        assert!(
+            max_abs.is_finite() && max_abs >= 0.0,
+            "max_abs must be finite >= 0"
+        );
         let e_max = match exponent(max_abs) {
             Some(e) => e,
             None => {
                 // All zeros: any quantum works; use a tiny degenerate plan.
-                return Self { biases: vec![], magnitude_bound: 0.0, n_max: n };
+                return Self {
+                    biases: vec![],
+                    magnitude_bound: 0.0,
+                    n_max: n,
+                };
             }
         };
         // L = ceil(log2 n) + 1; the per-level gain is S = 53 - L bits.
@@ -181,7 +191,10 @@ impl Accumulator for PreroundedSum {
     }
 
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.plan, other.plan, "cannot merge different prerounding plans");
+        assert_eq!(
+            self.plan, other.plan,
+            "cannot merge different prerounding plans"
+        );
         for (a, b) in self.sums.iter_mut().zip(other.sums.iter()) {
             *a += *b; // exact: both multiples of the level quantum, in range
         }
@@ -319,7 +332,9 @@ mod tests {
     fn exactness_for_uniform_magnitudes() {
         // n values in one binade: level 0 already captures ~30+ bits below
         // the ulp of the max; with fold 3 the sum is exact here.
-        let values: Vec<f64> = (0..1000).map(|i| 1.0 + (i as f64) * 2f64.powi(-40)).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| 1.0 + (i as f64) * 2f64.powi(-40))
+            .collect();
         let exact = repro_fp::exact_sum(&values);
         assert_eq!(PreroundedSum::sum_slice(&values, 3), exact);
     }

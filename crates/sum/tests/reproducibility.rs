@@ -33,11 +33,7 @@ fn mixed_vec() -> impl Strategy<Value = Vec<f64>> {
 
 /// Reduce values with random merge topology: split into random chunks,
 /// accumulate each, then merge the partials in a random order.
-fn random_topology_reduce<A: Accumulator>(
-    make: impl Fn() -> A,
-    values: &[f64],
-    seed: u64,
-) -> f64 {
+fn random_topology_reduce<A: Accumulator>(make: impl Fn() -> A, values: &[f64], seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut partials: Vec<A> = Vec::new();
     let mut i = 0;

@@ -2,28 +2,35 @@
 //!
 //! The paper's central premise is that at scale, "the high level of
 //! concurrency will not allow the user to enforce any specific reduction
-//! order". This executor reproduces that reality in miniature: worker
-//! threads reduce chunks locally and send their partial accumulators over a
-//! channel; the root merges them **in whatever order they arrive**. Two runs
-//! of the same program legitimately merge in different orders — which is
-//! exactly the nondeterminism a reproducible operator must absorb.
+//! order". This executor reproduces that reality in miniature: pool workers
+//! reduce chunks locally and report their partial accumulators; the root
+//! merges them **in whatever order they arrive**. Two runs of the same
+//! program legitimately merge in different orders — which is exactly the
+//! nondeterminism a reproducible operator must absorb.
+//!
+//! Since the `repro-runtime` crate landed, this module is a thin veneer
+//! over its persistent work-stealing engine ([`repro_runtime::Runtime`]):
+//! the chunk decomposition (`len.div_ceil(workers)` contiguous pieces) and
+//! the public API are unchanged, but the threads are pooled instead of
+//! spawned per call.
 
-use crossbeam::channel;
+use repro_runtime::{ReductionPlan, Runtime};
 use repro_sum::Accumulator;
 
 /// How the root combines worker partials.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MergeOrder {
-    /// Merge partials as they arrive from the channel (nondeterministic —
+    /// Merge partials as they arrive from the workers (nondeterministic —
     /// depends on OS scheduling).
     Arrival,
-    /// Buffer all partials and merge them in chunk order (deterministic
-    /// topology, still parallel computation).
+    /// Merge partials along the plan's fixed tree in chunk order
+    /// (deterministic topology, still parallel computation).
     ChunkIndex,
 }
 
-/// Reduce `values` with `workers` threads, each reducing a contiguous chunk
-/// locally (serially), the root merging partials per `order`.
+/// Reduce `values` with `workers`-way chunking, each chunk reduced locally
+/// (serially) on the shared runtime pool, the root merging partials per
+/// `order`.
 ///
 /// This is the "partial data is locally generated on multiple processes and
 /// then globally reduced" pattern of the paper's Section IV-C, with the
@@ -37,40 +44,12 @@ where
     if values.is_empty() {
         return make().finalize();
     }
-    let workers = workers.min(values.len());
-    let chunk = values.len().div_ceil(workers);
-
-    let partials: Vec<(usize, A)> = std::thread::scope(|scope| {
-        let (tx, rx) = channel::unbounded::<(usize, A)>();
-        for (i, piece) in values.chunks(chunk).enumerate() {
-            let tx = tx.clone();
-            let make = &make;
-            scope.spawn(move || {
-                let mut acc = make();
-                acc.add_slice(piece);
-                tx.send((i, acc)).expect("root outlives workers");
-            });
-        }
-        drop(tx);
-        rx.iter().collect() // arrival order
-    });
-
-    let mut root = make();
-    match order {
-        MergeOrder::Arrival => {
-            for (_, partial) in &partials {
-                root.merge(partial);
-            }
-        }
-        MergeOrder::ChunkIndex => {
-            let mut sorted = partials;
-            sorted.sort_by_key(|(i, _)| *i);
-            for (_, partial) in &sorted {
-                root.merge(partial);
-            }
-        }
-    }
-    root.finalize()
+    let plan = ReductionPlan::with_chunk_count(values.len(), workers);
+    let order = match order {
+        MergeOrder::Arrival => repro_runtime::MergeOrder::Arrival,
+        MergeOrder::ChunkIndex => repro_runtime::MergeOrder::Plan,
+    };
+    Runtime::global().reduce_planned(values, &plan, make, order)
 }
 
 #[cfg(test)]

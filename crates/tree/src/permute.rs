@@ -2,16 +2,14 @@
 //! reduction trees with the same shape can yield different values ... if the
 //! assignment of operands to leaves \[differs\]".
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use repro_fp::rng::DetRng;
 
 /// A uniformly random permutation of `0..n` (Fisher–Yates, seeded).
 pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
     assert!(n <= u32::MAX as usize);
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    perm.shuffle(&mut rng);
+    let mut rng = DetRng::seed_from_u64(seed);
+    rng.shuffle(&mut perm);
     perm
 }
 
@@ -50,7 +48,10 @@ impl<'a> PermutationStudy<'a> {
     /// permutation index and the permuted values.
     pub fn for_each(mut self, mut f: impl FnMut(u64, &[f64])) {
         while self.next < self.count {
-            let seed = self.base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.next);
+            let seed = self
+                .base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.next);
             let perm = random_permutation(self.values.len(), seed);
             for (slot, &src) in self.scratch.iter_mut().zip(perm.iter()) {
                 *slot = self.values[src as usize];
@@ -110,7 +111,10 @@ mod tests {
         PermutationStudy::new(&values, 5, 1).for_each(|_, p| arrangements.push(p.to_vec()));
         for i in 0..arrangements.len() {
             for j in i + 1..arrangements.len() {
-                assert_ne!(arrangements[i], arrangements[j], "perms {i} and {j} collide");
+                assert_ne!(
+                    arrangements[i], arrangements[j],
+                    "perms {i} and {j} collide"
+                );
             }
         }
     }

@@ -8,8 +8,7 @@
 //! reduction would.
 
 use crate::shape::{prev_power_of_two, split_at, TreeShape};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 use repro_sum::{Accumulator, Algorithm};
 
 /// Reduce `values` over a tree of the given shape with a runtime-selected
@@ -46,22 +45,18 @@ pub fn reduce_with<A: Accumulator>(values: &[f64], shape: TreeShape, make: &impl
             acc.add_slice(values);
             acc.finalize()
         }
-        TreeShape::Binomial => {
-            eval_split(values, make, &|n| {
-                let p = prev_power_of_two(n);
-                if p == n {
-                    n / 2
-                } else {
-                    p
-                }
-            })
-            .finalize()
-        }
-        TreeShape::Skewed { ratio } => {
-            eval_split(values, make, &|n| split_at(n, ratio)).finalize()
-        }
+        TreeShape::Binomial => eval_split(values, make, &|n| {
+            let p = prev_power_of_two(n);
+            if p == n {
+                n / 2
+            } else {
+                p
+            }
+        })
+        .finalize(),
+        TreeShape::Skewed { ratio } => eval_split(values, make, &|n| split_at(n, ratio)).finalize(),
         TreeShape::Random { seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             eval_random(values, make, &mut rng).finalize()
         }
     }
@@ -89,7 +84,7 @@ fn eval_split<A: Accumulator>(
     left
 }
 
-fn eval_random<A: Accumulator>(values: &[f64], make: &impl Fn() -> A, rng: &mut StdRng) -> A {
+fn eval_random<A: Accumulator>(values: &[f64], make: &impl Fn() -> A, rng: &mut DetRng) -> A {
     if values.len() == 1 {
         let mut acc = make();
         acc.add(values[0]);

@@ -19,8 +19,7 @@
 //! superaccumulator.
 
 use crate::shape::{prev_power_of_two, split_at, TreeShape};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use repro_fp::rng::DetRng;
 use repro_fp::two_sum;
 
 /// One node of an explicit reduction tree.
@@ -54,11 +53,15 @@ impl ReductionTree {
         assert!(n >= 1, "a reduction tree needs at least one leaf");
         let mut nodes = Vec::with_capacity(2 * n - 1);
         let mut rng = match shape {
-            TreeShape::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            TreeShape::Random { seed } => Some(DetRng::seed_from_u64(seed)),
             _ => None,
         };
         let root = build_range(&mut nodes, shape, &mut rng, 0, n);
-        Self { nodes, root, n_leaves: n }
+        Self {
+            nodes,
+            root,
+            n_leaves: n,
+        }
     }
 
     /// Assemble a tree from raw nodes (used by the topology builder).
@@ -66,7 +69,11 @@ impl ReductionTree {
     /// indices with `root` as its root; checked in debug builds.
     pub(crate) fn from_raw(nodes: Vec<Node>, root: u32, n_leaves: usize) -> Self {
         debug_assert_eq!(nodes.len(), 2 * n_leaves - 1);
-        let tree = Self { nodes, root, n_leaves };
+        let tree = Self {
+            nodes,
+            root,
+            n_leaves,
+        };
         debug_assert_eq!(tree.count_leaves(tree.root), n_leaves);
         tree
     }
@@ -75,9 +82,7 @@ impl ReductionTree {
     fn count_leaves(&self, node: u32) -> usize {
         match self.nodes[node as usize] {
             Node::Leaf { .. } => 1,
-            Node::Internal { left, right } => {
-                self.count_leaves(left) + self.count_leaves(right)
-            }
+            Node::Internal { left, right } => self.count_leaves(left) + self.count_leaves(right),
         }
     }
 
@@ -115,9 +120,7 @@ impl ReductionTree {
     fn depth_of(&self, node: u32) -> usize {
         match self.nodes[node as usize] {
             Node::Leaf { .. } => 0,
-            Node::Internal { left, right } => {
-                1 + self.depth_of(left).max(self.depth_of(right))
-            }
+            Node::Internal { left, right } => 1 + self.depth_of(left).max(self.depth_of(right)),
         }
     }
 
@@ -235,12 +238,14 @@ impl ReductionTree {
 fn build_range(
     nodes: &mut Vec<Node>,
     shape: TreeShape,
-    rng: &mut Option<StdRng>,
+    rng: &mut Option<DetRng>,
     lo: usize,
     len: usize,
 ) -> u32 {
     if len == 1 {
-        nodes.push(Node::Leaf { value_index: lo as u32 });
+        nodes.push(Node::Leaf {
+            value_index: lo as u32,
+        });
         return (nodes.len() - 1) as u32;
     }
     let split = match shape {
@@ -301,8 +306,7 @@ mod tests {
             TreeShape::Skewed { ratio: 300 },
         ] {
             let explicit = ReductionTree::build(shape, values.len()).evaluate(&values);
-            let streaming =
-                crate::reduce(&values, shape, repro_sum::Algorithm::Standard);
+            let streaming = crate::reduce(&values, shape, repro_sum::Algorithm::Standard);
             assert_eq!(explicit.to_bits(), streaming.to_bits(), "{}", shape.label());
         }
     }
@@ -311,7 +315,11 @@ mod tests {
     fn error_attribution_identity_is_bitwise() {
         // exact_sum == root + sum(residuals), exactly, on hostile data.
         let values = repro_gen::zero_sum_with_range(1000, 32, 4);
-        for shape in [TreeShape::Balanced, TreeShape::Serial, TreeShape::Random { seed: 8 }] {
+        for shape in [
+            TreeShape::Balanced,
+            TreeShape::Serial,
+            TreeShape::Random { seed: 8 },
+        ] {
             let tree = ReductionTree::build(shape, values.len());
             let (root, residuals) = tree.error_attribution(&values);
             let mut acc = Superaccumulator::new();

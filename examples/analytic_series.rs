@@ -70,10 +70,16 @@ fn main() {
     let exact_partial = exact_sum(&terms);
     let limit = series::basel_limit();
     println!("Basel series, {n} terms -> π²/6 = {limit:.15}:");
-    println!("  truncation (limit − exact partial): {}", sci(limit - exact_partial));
+    println!(
+        "  truncation (limit − exact partial): {}",
+        sci(limit - exact_partial)
+    );
     let mut t = Table::new(&["operator", "rounding |computed − exact partial|"]);
     for alg in Algorithm::PAPER_SET {
-        t.row(&[alg.to_string(), sci((alg.sum(&terms) - exact_partial).abs())]);
+        t.row(&[
+            alg.to_string(),
+            sci((alg.sum(&terms) - exact_partial).abs()),
+        ]);
     }
     println!("{}", t.render());
     println!(

@@ -11,9 +11,7 @@
 //! cargo run --release -p repro-examples --bin checkpoint_restart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use repro_core::fp::rng::DetRng;
 use repro_core::prelude::*;
 use repro_core::sum::BinnedSum;
 
@@ -29,7 +27,7 @@ fn main() {
     // Three "job segments" with a checkpoint between each; segment 2 and 3
     // additionally process their data in a scrambled order (a restarted job
     // rarely replays I/O identically).
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = DetRng::seed_from_u64(9);
     let segments: Vec<&[f64]> = vec![
         &values[..200_000],
         &values[200_000..400_000],
@@ -43,7 +41,7 @@ fn main() {
         };
         let mut data = segment.to_vec();
         if job > 0 {
-            data.shuffle(&mut rng); // replay order differs after restart
+            rng.shuffle(&mut data); // replay order differs after restart
         }
         acc.add_slice(&data);
         let saved = acc.checkpoint();
@@ -69,7 +67,7 @@ fn main() {
     for (job, segment) in segments.iter().enumerate() {
         let mut data = segment.to_vec();
         if job > 0 {
-            data.shuffle(&mut rng);
+            rng.shuffle(&mut data);
         }
         for v in &data {
             st += v;

@@ -47,7 +47,13 @@ fn main() {
     // sit and how bad they are, per shape.
     let big = repro_core::gen::zero_sum_with_range(4096, 32, 7);
     println!("\nworst single-node losses on a zero-sum dr=32 workload (n = 4096):");
-    let mut t = Table::new(&["shape", "depth", "total |error|", "worst node loss", "top-5 share"]);
+    let mut t = Table::new(&[
+        "shape",
+        "depth",
+        "total |error|",
+        "worst node loss",
+        "top-5 share",
+    ]);
     for shape in [
         TreeShape::Balanced,
         TreeShape::Binomial,
@@ -66,7 +72,10 @@ fn main() {
             tree.depth().to_string(),
             sci(total_err),
             sci(worst_abs),
-            format!("{:.0}%", 100.0 * top5 / residual_mass.max(f64::MIN_POSITIVE)),
+            format!(
+                "{:.0}%",
+                100.0 * top5 / residual_mass.max(f64::MIN_POSITIVE)
+            ),
         ]);
     }
     println!("{}", t.render());

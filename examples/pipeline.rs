@@ -27,7 +27,12 @@ fn main() {
     let values = repro_core::gen::zero_sum_with_range(300_000, 28, 4242);
 
     println!("stage 2+3: distributed profile -> one global choice per tolerance\n");
-    let mut t = Table::new(&["tolerance", "chosen (all ranks agree)", "result", "|error| vs exact"]);
+    let mut t = Table::new(&[
+        "tolerance",
+        "chosen (all ranks agree)",
+        "result",
+        "|error| vs exact",
+    ]);
     for (label, tol) in [
         ("abs 1e-3", Tolerance::AbsoluteSpread(1e-3)),
         ("abs 1e-8", Tolerance::AbsoluteSpread(1e-8)),

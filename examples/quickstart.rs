@@ -5,9 +5,7 @@
 //! cargo run --release -p repro-examples --bin quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use repro_core::fp::rng::DetRng;
 use repro_core::prelude::*;
 use repro_core::stats::{descriptive::Summary, table::sci, Table};
 
@@ -43,13 +41,13 @@ fn main() {
         "spread (stddev)",
         "bitwise stable",
     ]);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = DetRng::seed_from_u64(7);
     for alg in Algorithm::PAPER_SET {
         let mut shuffled = values.clone();
         let mut errors = Vec::new();
         let mut bits = std::collections::HashSet::new();
         for _ in 0..20 {
-            shuffled.shuffle(&mut rng);
+            rng.shuffle(&mut shuffled);
             let sum = tree::reduce(&shuffled, TreeShape::Balanced, alg);
             bits.insert(sum.to_bits());
             errors.push(abs_error(sum, &values));
@@ -60,7 +58,11 @@ fn main() {
             sci(s.min),
             sci(s.max),
             sci(s.stddev),
-            if bits.len() == 1 { "yes".into() } else { format!("no ({} values)", bits.len()) },
+            if bits.len() == 1 {
+                "yes".into()
+            } else {
+                format!("no ({} values)", bits.len())
+            },
         ]);
     }
     println!("\nerror across 20 random reduction orders (balanced tree):");
@@ -81,5 +83,42 @@ fn main() {
         );
     }
     let bitwise = AdaptiveReducer::heuristic(Tolerance::Bitwise).reduce(&values);
-    println!("  bitwise          ->  {:<12}  sum = {:e}", bitwise.algorithm.to_string(), bitwise.sum);
+    println!(
+        "  bitwise          ->  {:<12}  sum = {:e}",
+        bitwise.algorithm.to_string(),
+        bitwise.sum
+    );
+
+    // ------------------------------------------------------------------
+    // 5. The persistent runtime: same data, pooled workers, racing
+    //    arrival-order merges — and the reproducible operator holds.
+    // ------------------------------------------------------------------
+    use repro_core::runtime::{MergeOrder, ReductionPlan, Runtime};
+    use repro_core::sum::BinnedSum;
+    let rt = Runtime::global();
+    let plan = ReductionPlan::with_chunk_len(values.len(), 8 * 1024);
+    let mut arrival_bits = std::collections::HashSet::new();
+    for _ in 0..10 {
+        let sum = rt.reduce_planned(&values, &plan, || BinnedSum::new(3), MergeOrder::Arrival);
+        arrival_bits.insert(sum.to_bits());
+    }
+    let (sum, stats) = rt.reduce_stats(
+        &values,
+        &plan,
+        || BinnedSum::new(3),
+        MergeOrder::Plan,
+        repro_core::runtime::ChunkKernel::Lanes(4),
+    );
+    println!("\npersistent runtime ({} workers):", rt.workers());
+    println!(
+        "  PR over 10 racing arrival-order runs: {} distinct bit pattern(s)",
+        arrival_bits.len()
+    );
+    println!("  plan-order + 4-lane kernel: sum = {sum:e}");
+    println!("  {stats}");
+    assert_eq!(arrival_bits.len(), 1, "PR must absorb arrival-order races");
+    assert!(
+        arrival_bits.contains(&sum.to_bits()),
+        "kernels must agree for PR"
+    );
 }

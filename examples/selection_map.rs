@@ -37,7 +37,11 @@ fn main() {
         header.extend(cfg.dr_targets.iter().map(|d| d.to_string()));
         let mut rows = Vec::new();
         for &k in &cfg.k_targets {
-            let mut row = vec![if k.is_infinite() { "inf".into() } else { format!("{k:.0e}") }];
+            let mut row = vec![if k.is_infinite() {
+                "inf".into()
+            } else {
+                format!("{k:.0e}")
+            }];
             for &dr in &cfg.dr_targets {
                 let cell = table
                     .cells

@@ -29,7 +29,13 @@ fn main() {
 
     for tolerance in [Tolerance::AbsoluteSpread(1e-9), Tolerance::Bitwise] {
         println!("tolerance: {tolerance:?}");
-        let mut t = Table::new(&["workload", "ladder climbed", "accepted", "result", "|error|"]);
+        let mut t = Table::new(&[
+            "workload",
+            "ladder climbed",
+            "accepted",
+            "result",
+            "|error|",
+        ]);
         for (name, values) in &workloads {
             let reducer = VerifiedReducer::new(tolerance, 2015);
             let outcome = reducer.reduce(values).expect("PR terminates the ladder");

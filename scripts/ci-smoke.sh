@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: build the examples in release mode and run the two
+# that exercise the whole stack (operators, selector, runtime pool, and the
+# message-passing simulator). Used by CI after the unit-test stage; also
+# handy locally before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release -p repro-examples
+
+echo "== quickstart =="
+cargo run --release -p repro-examples --bin quickstart
+
+echo "== distributed_reduction =="
+cargo run --release -p repro-examples --bin distributed_reduction
+
+echo "== smoke OK =="

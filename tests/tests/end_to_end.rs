@@ -146,7 +146,10 @@ fn cancellation_census_distinguishes_workloads() {
     let hostile_report = instrumented_sum(&hostile, 1);
     let benign_report = instrumented_sum(&benign, 1);
     assert!(hostile_report.total() > benign_report.total());
-    assert_eq!(benign_report.counts[3], 0, "no 8-digit losses in benign data");
+    assert_eq!(
+        benign_report.counts[3], 0,
+        "no 8-digit losses in benign data"
+    );
 }
 
 /// The error-bound machinery brackets reality: measured errors never exceed

@@ -105,7 +105,10 @@ fn nbody_application_reproducibility() {
         shuffle_seed: Some(11),
         ..SimConfig::default()
     };
-    let cfg_b = SimConfig { shuffle_seed: Some(22), ..cfg };
+    let cfg_b = SimConfig {
+        shuffle_seed: Some(22),
+        ..cfg
+    };
     let mut a = Simulation::disk(20, 77, cfg);
     let mut b = Simulation::disk(20, 77, cfg_b);
     a.run(150);
@@ -124,7 +127,10 @@ fn fixed_order_algorithms_match_oracles() {
         let exact = repro_core::fp::exact_sum(&values);
         let ulp = repro_core::fp::ulp::ulp(exact.abs().max(f64::MIN_POSITIVE));
         assert!((accsum(&values) - exact).abs() <= ulp, "accsum seed {seed}");
-        assert!((sorted_sum(&values) - exact).abs() <= ulp, "sorted seed {seed}");
+        assert!(
+            (sorted_sum(&values) - exact).abs() <= ulp,
+            "sorted seed {seed}"
+        );
         assert_eq!(
             DistillSum::sum_slice(&values).to_bits(),
             exact.to_bits(),
@@ -209,7 +215,10 @@ fn online_stats_agree_with_batch_on_error_streams() {
     let mut batch = Vec::new();
     let mut online = OnlineStats::new();
     PermutationStudy::new(&values, 30, 5).for_each(|_, permuted| {
-        let e = repro_core::fp::abs_error_vs(&exact, reduce(permuted, TreeShape::Balanced, Algorithm::Standard));
+        let e = repro_core::fp::abs_error_vs(
+            &exact,
+            reduce(permuted, TreeShape::Balanced, Algorithm::Standard),
+        );
         batch.push(e);
         online.push(e);
     });

@@ -15,8 +15,14 @@ use repro_core::sum::{accsum, sorted_sum, DistillSum};
 
 fn workloads(seed: u64) -> Vec<(String, Vec<f64>)> {
     vec![
-        ("uniform wide".into(), repro_core::gen::uniform(2_000, -1e6, 1e6, seed)),
-        ("zero-sum dr=32".into(), repro_core::gen::zero_sum_with_range(2_000, 32, seed)),
+        (
+            "uniform wide".into(),
+            repro_core::gen::uniform(2_000, -1e6, 1e6, seed),
+        ),
+        (
+            "zero-sum dr=32".into(),
+            repro_core::gen::zero_sum_with_range(2_000, 32, seed),
+        ),
         (
             "grid k=1e9 dr=16".into(),
             repro_core::gen::grid_cell(1_000, 1e9, 16, seed, 1e16),
@@ -68,7 +74,10 @@ fn faithful_oracles_land_within_one_ulp() {
                 exact
             })
             .abs();
-            for (label, got) in [("accsum", accsum(&values)), ("sorted+DD", sorted_sum(&values))] {
+            for (label, got) in [
+                ("accsum", accsum(&values)),
+                ("sorted+DD", sorted_sum(&values)),
+            ] {
                 assert!(
                     (got - exact).abs() <= tol,
                     "{label} off by {:e} (> ulp {tol:e}) on {name} (seed {seed})",
@@ -96,7 +105,15 @@ fn quorum_holds_under_permutation_and_merge() {
         db.add_slice(right);
         da.merge(&db);
         let whole = repro_core::fp::exact_sum(&values);
-        assert_eq!(sa.to_f64().to_bits(), whole.to_bits(), "superacc merge (seed {seed})");
-        assert_eq!(da.finalize().to_bits(), whole.to_bits(), "distill merge (seed {seed})");
+        assert_eq!(
+            sa.to_f64().to_bits(),
+            whole.to_bits(),
+            "superacc merge (seed {seed})"
+        );
+        assert_eq!(
+            da.finalize().to_bits(),
+            whole.to_bits(),
+            "distill merge (seed {seed})"
+        );
     }
 }

@@ -28,7 +28,11 @@ fn section_2b_eight_value_tree_variability() {
     // the cited experiment.
     let values = [1e16, 1.0, 1.0, 1.0, -1e16, 1.0, 1.0, 1.0];
     // Different shapes disagree:
-    let shapes = [TreeShape::Balanced, TreeShape::Serial, TreeShape::Skewed { ratio: 250 }];
+    let shapes = [
+        TreeShape::Balanced,
+        TreeShape::Serial,
+        TreeShape::Skewed { ratio: 250 },
+    ];
     let results: Vec<u64> = shapes
         .iter()
         .map(|&s| reduce(&values, s, Algorithm::Standard).to_bits())
@@ -45,7 +49,10 @@ fn section_2b_eight_value_tree_variability() {
         let permuted = repro_core::tree::apply_permutation(&values, &perm);
         reduce(&permuted, TreeShape::Balanced, Algorithm::Standard).to_bits() != a.to_bits()
     });
-    assert!(disagreed, "no leaf assignment changed the balanced-tree sum");
+    assert!(
+        disagreed,
+        "no leaf assignment changed the balanced-tree sum"
+    );
 }
 
 /// §IV-A: the analytical worst-case bound overestimates real errors by
@@ -85,7 +92,10 @@ fn section_4b_cancellation_does_not_predict_error() {
         errors.push(repro_core::fp::abs_error_vs(&exact, values.iter().sum()));
     }
     let rho = spearman(&counts, &errors);
-    assert!(rho.abs() < 0.6, "cancellation census should not rank errors: rho = {rho}");
+    assert!(
+        rho.abs() < 0.6,
+        "cancellation census should not rank errors: rho = {rho}"
+    );
 }
 
 /// §IV-C: the robust algorithms cost more than ST, with PR the most

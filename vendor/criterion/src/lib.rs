@@ -1,0 +1,334 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The workspace must build its benches with **no access to crates.io**, so
+//! the real `criterion` cannot be fetched. This drop-in implements the API
+//! subset the benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] — and genuinely measures:
+//! each routine is warmed up, then timed over `sample_size` samples; the
+//! median time per iteration (and derived throughput) is printed.
+//!
+//! Environment knobs: `REPRO_BENCH_FILTER` (substring filter, in addition to
+//! any positional CLI filter) and `REPRO_BENCH_MS` (target measuring time
+//! per sample batch in milliseconds; default 10).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("REPRO_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(10);
+        Criterion {
+            filter: std::env::var("REPRO_BENCH_FILTER")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            sample_size: 10,
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply CLI arguments: the first non-flag argument is a substring
+    /// filter (flags such as `--bench`, which cargo passes, are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Top-level single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let name = id.id.clone();
+        let (sample_size, measure, skip) =
+            { (self.sample_size, self.measure, !self.matches(&name)) };
+        if !skip {
+            run_one(&name, None, sample_size, measure, &mut f);
+        }
+        self
+    }
+
+    /// Print the closing line (upstream writes reports; we just flush).
+    pub fn final_summary(&mut self) {
+        println!("(benchmarks complete)");
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| name.contains(f))
+    }
+}
+
+/// A named group sharing throughput and sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declare per-iteration throughput for derived reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&name) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(&name, self.throughput, n, self.criterion.measure, &mut f);
+        }
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&name) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(
+                &name,
+                self.throughput,
+                n,
+                self.criterion.measure,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the routine; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    measure: Duration,
+    f: &mut F,
+) {
+    // Calibrate: how many iterations fit in the measuring window?
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (measure.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+    // Warm up once at full batch size, then collect samples.
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    let lo = times[0];
+    let hi = times[times.len() - 1];
+
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", human_count(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}B/s", human_count(n as f64 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{:<48} time: [{} {} {}]{}",
+        name,
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+        thrpt
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+fn human_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.0} ")
+    }
+}
+
+/// Upstream-compatible macro: groups are plain functions here.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Upstream-compatible macro: runs the groups in a `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 1000), &1000usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        c.final_summary();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("ST").id, "ST");
+    }
+}
