@@ -13,6 +13,9 @@
 //! repro-reduce calibrate [--n N] [--perms P] [--seed S]
 //! repro-reduce tree    [--shape balanced|serial|random|binomial] [--alg A]
 //!                      [--dot] [--file F] [VALUES...]
+//! repro-reduce chaos   [--ranks R] [--n N] [--dr D] [--seed S] [--drop P]
+//!                      [--delay P] [--dup P] [--reorder P] [--kill K]
+//!                      [--topology binomial|flat|chain]
 //! ```
 //!
 //! Values come from positional arguments and/or `--file` (whitespace- or
@@ -57,6 +60,9 @@ USAGE:
   repro-reduce calibrate [--n N] [--perms P] [--seed S]
   repro-reduce tree    [--shape balanced|serial|random|binomial] [--alg A]
                        [--dot] [--seed S] [--file F] [VALUES...]
+  repro-reduce chaos   [--ranks R] [--n N] [--dr D] [--seed S] [--drop P]
+                       [--delay P] [--dup P] [--reorder P] [--kill K]
+                       [--topology binomial|flat|chain]
 
 Values come from positional args and/or --file (whitespace-separated;
 '-' = stdin).";
@@ -80,6 +86,13 @@ struct Opts {
     k: Option<f64>,
     dr: u32,
     seed: u64,
+    ranks: Option<usize>,
+    drop: f64,
+    delay: f64,
+    dup: f64,
+    reorder: f64,
+    kill: usize,
+    topology: Option<String>,
 }
 
 fn parse_opts(
@@ -152,6 +165,33 @@ fn parse_opts(
                 let v = take("--seed")?;
                 o.seed = v.parse().map_err(|_| err(format!("bad --seed: {v:?}")))?
             }
+            "--ranks" => {
+                let v = take("--ranks")?;
+                o.ranks = Some(v.parse().map_err(|_| err(format!("bad --ranks: {v:?}")))?)
+            }
+            "--drop" => {
+                let v = take("--drop")?;
+                o.drop = v.parse().map_err(|_| err(format!("bad --drop: {v:?}")))?
+            }
+            "--delay" => {
+                let v = take("--delay")?;
+                o.delay = v.parse().map_err(|_| err(format!("bad --delay: {v:?}")))?
+            }
+            "--dup" => {
+                let v = take("--dup")?;
+                o.dup = v.parse().map_err(|_| err(format!("bad --dup: {v:?}")))?
+            }
+            "--reorder" => {
+                let v = take("--reorder")?;
+                o.reorder = v
+                    .parse()
+                    .map_err(|_| err(format!("bad --reorder: {v:?}")))?
+            }
+            "--kill" => {
+                let v = take("--kill")?;
+                o.kill = v.parse().map_err(|_| err(format!("bad --kill: {v:?}")))?
+            }
+            "--topology" => o.topology = Some(take("--topology")?),
             _ if a.starts_with("--") => return Err(err(format!("unknown option {a}"))),
             _ => o
                 .values
@@ -400,9 +440,118 @@ pub fn run(
             let table = repro_core::select::calibrate(&cfg);
             Ok(table.to_csv())
         }
+        "chaos" => run_chaos(&o),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
+}
+
+/// `chaos`: run a fault-injected distributed reduction and check that the
+/// healed result is bitwise identical to a sequential reference over the
+/// survivor set, then demo the checkpoint-resumable engine on the same data.
+fn run_chaos(o: &Opts) -> Result<String, CliError> {
+    use repro_core::mpisim::{ft_reduce_sum, FaultPlan, ReduceConfig, ReduceTopology, World};
+    use repro_core::runtime::CheckpointStore;
+
+    let ranks = o.ranks.unwrap_or(8);
+    let n = o.n.unwrap_or(4096);
+    let topo_name = o.topology.as_deref().unwrap_or("binomial");
+    let topology = match topo_name {
+        "binomial" => ReduceTopology::Binomial,
+        "flat" => ReduceTopology::FlatArrival,
+        "chain" => ReduceTopology::Chain,
+        other => {
+            return Err(err(format!(
+                "unknown topology {other:?} (expected binomial|flat|chain)"
+            )))
+        }
+    };
+    let cfg = ReduceConfig::validated(topology, 0, 0).map_err(|e| err(e.0))?;
+    let mut plan = FaultPlan::new(o.seed)
+        .with_drop(o.drop)
+        .with_delay(o.delay, 1_500)
+        .with_duplicate(o.dup)
+        .with_reorder(o.reorder)
+        .with_timeouts(std::time::Duration::from_millis(10), 2);
+    // Kill the K highest ranks a few ops in — early enough that a single
+    // collective actually observes the failure and heals around it.
+    for i in 0..o.kill.min(ranks.saturating_sub(1)) {
+        plan = plan.with_kill(ranks - 1 - i, 3 + i as u64);
+    }
+    plan.validate().map_err(|e| err(e.0))?;
+
+    let values = repro_core::gen::zero_sum_with_range(n, o.dr, o.seed);
+    let per = n.div_ceil(ranks.max(1));
+    let chunk = |rank: usize| -> &[f64] { &values[(rank * per).min(n)..((rank + 1) * per).min(n)] };
+
+    let report = World::run_report(ranks, &plan, |comm| {
+        ft_reduce_sum(comm, chunk(comm.rank()), Algorithm::PR, 0, &cfg)
+    })
+    .map_err(|e| err(e.0))?;
+
+    let outcome = match &report.results[0] {
+        Ok(out) => out,
+        Err(e) => {
+            return Err(err(format!(
+                "root rank failed: {e}\n# report: {}",
+                report.summary()
+            )))
+        }
+    };
+    let sum = outcome
+        .value
+        .ok_or_else(|| err("root rank returned no value"))?;
+
+    // Sequential reference over the survivor set's inputs: PR is bitwise
+    // reproducible, so the healed distributed result must match exactly.
+    let mut reference = BinnedSum::new(3);
+    for &rank in &outcome.survivors {
+        reference.add_slice(chunk(rank));
+    }
+    let check = if reference.finalize().to_bits() == sum.to_bits() {
+        "OK (bitwise)".to_string()
+    } else {
+        format!("FAIL (reference {:.17e})", reference.finalize())
+    };
+
+    // Checkpoint-resumable engine demo on the same data: chunk 0 fails its
+    // first attempt, the engine retries it and heals the plan.
+    let rt = Runtime::new(2);
+    let rplan = ReductionPlan::with_chunk_count(values.len(), ranks.max(2));
+    let mut store = CheckpointStore::for_plan(&rplan);
+    let fail_once = |c: usize, attempt: u32| c == 0 && attempt == 0;
+    let (_, stats) = rt
+        .accumulate_resumable(
+            &values,
+            &rplan,
+            || BinnedSum::new(3),
+            &mut store,
+            Some(&fail_once),
+        )
+        .map_err(|e| err(e.to_string()))?;
+
+    Ok(format!(
+        "{sum:.17e}\n\
+         # survivors: {:?} (rounds={})\n\
+         # report: {}\n\
+         # survivor reference (PR fold=3): {check}\n\
+         # checkpoint demo: retries={} heals={} checkpoint_restores={}\n\
+         # replay: repro-reduce chaos --ranks {ranks} --n {n} --dr {} --seed {} \
+         --drop {} --delay {} --dup {} --reorder {} --kill {} --topology {topo_name}",
+        outcome.survivors,
+        outcome.rounds,
+        report.summary(),
+        stats.retries,
+        stats.heals,
+        stats.checkpoint_restores,
+        o.dr,
+        o.seed,
+        o.drop,
+        o.delay,
+        o.dup,
+        o.reorder,
+        o.kill,
+    ))
 }
 
 #[cfg(test)]
@@ -571,6 +720,65 @@ mod tests {
     #[test]
     fn tree_rejects_unknown_shape() {
         assert!(run_cmd(&["tree", "--shape", "mobius", "1", "2"]).is_err());
+    }
+
+    #[test]
+    fn chaos_clean_run_is_bitwise_ok() {
+        let out = run_cmd(&["chaos", "--ranks", "6", "--n", "512", "--seed", "42"]).unwrap();
+        assert!(out.contains("OK (bitwise)"), "{out}");
+        assert!(out.contains("completed=6 failed=0"), "{out}");
+        assert!(out.contains("(rounds=1)"), "{out}");
+        assert!(out.contains("replay: repro-reduce chaos"), "{out}");
+    }
+
+    #[test]
+    fn chaos_heals_around_kills_and_stays_bitwise() {
+        let out = run_cmd(&[
+            "chaos",
+            "--ranks",
+            "6",
+            "--n",
+            "512",
+            "--seed",
+            "7",
+            "--kill",
+            "1",
+            "--drop",
+            "0.05",
+            "--topology",
+            "chain",
+        ])
+        .unwrap();
+        assert!(out.contains("OK (bitwise)"), "{out}");
+        assert!(out.contains("failed=1"), "{out}");
+        // The checkpoint demo always injects one chunk failure.
+        assert!(
+            out.contains("checkpoint demo: retries=1 heals=1 checkpoint_restores=0"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn chaos_replay_is_deterministic() {
+        let args = [
+            "chaos", "--ranks", "5", "--n", "256", "--seed", "11", "--drop", "0.2",
+        ];
+        let a = run_cmd(&args).unwrap();
+        let b = run_cmd(&args).unwrap();
+        let head = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.contains("report:")) // retry counts are timing-dependent
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(head(&a), head(&b));
+    }
+
+    #[test]
+    fn chaos_rejects_bad_knobs() {
+        assert!(run_cmd(&["chaos", "--topology", "mesh"]).is_err());
+        assert!(run_cmd(&["chaos", "--drop", "1.5"]).is_err());
+        assert!(run_cmd(&["chaos", "--ranks", "0"]).is_err());
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //! reduction with pluggable topologies.
 
 use crate::comm::Comm;
+use crate::fault::{ConfigError, FaultError};
 use repro_fp::rng::DetRng;
 use repro_runtime::{MergeOrder, ReductionPlan, Runtime};
 use repro_select::{DataProfile, HeuristicSelector, Selector, Tolerance};
 use repro_sum::{Accumulator, AlgoAccumulator, Algorithm};
+use repro_tree::topology::{heal, HealedTree};
 use std::any::Any;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Reduce this rank's chunk on the shared runtime pool, merging chunk
 /// partials along the plan's fixed tree. The plan depends only on the
@@ -59,6 +61,49 @@ impl Default for ReduceConfig {
             jitter_us: 0,
             jitter_seed: 0,
         }
+    }
+}
+
+/// Largest jitter a [`ReduceConfig`] accepts (10 seconds): anything above
+/// is a typo'd unit, and would previously only surface as a hung worker
+/// thread.
+pub const MAX_JITTER_US: u64 = 10_000_000;
+
+impl ReduceConfig {
+    /// Build a validated configuration, rejecting out-of-range jitter with
+    /// a proper `Err` instead of letting a worker thread stall on a
+    /// ten-minute sleep.
+    pub fn validated(
+        topology: ReduceTopology,
+        jitter_us: u64,
+        jitter_seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let cfg = Self {
+            topology,
+            jitter_us,
+            jitter_seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check the configuration's bounds.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.jitter_us > MAX_JITTER_US {
+            return Err(ConfigError(format!(
+                "jitter_us {} exceeds the {MAX_JITTER_US}µs (10s) cap",
+                self.jitter_us
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn apply_jitter(cfg: &ReduceConfig, rank: usize) {
+    if cfg.jitter_us > 0 {
+        let mut rng =
+            DetRng::seed_from_u64(cfg.jitter_seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        std::thread::sleep(Duration::from_micros(rng.random_range(0..cfg.jitter_us)));
     }
 }
 
@@ -153,11 +198,7 @@ where
     let tag = comm.next_op_tag();
     let size = comm.size();
     let rank = comm.rank();
-    if cfg.jitter_us > 0 {
-        let mut rng =
-            DetRng::seed_from_u64(cfg.jitter_seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        std::thread::sleep(Duration::from_micros(rng.random_range(0..cfg.jitter_us)));
-    }
+    apply_jitter(cfg, rank);
     match cfg.topology {
         ReduceTopology::FlatArrival => {
             if rank == root {
@@ -353,6 +394,365 @@ pub fn alltoall<T: Any + Send>(comm: &mut Comm, outgoing: Vec<T>) -> Vec<T> {
         .into_iter()
         .map(|s| s.expect("every rank contributes"))
         .collect()
+}
+
+/// Healing rounds a fault-tolerant collective attempts before giving up.
+/// Every failed round is caused by a rank dying after the membership
+/// snapshot (permanent — the set shrinks next round) or by transient
+/// slowness (resolved by retrying with fresh tags), so the bound is never
+/// reached in practice; it guarantees termination regardless.
+const MAX_HEAL_ROUNDS: u64 = 16;
+
+/// Sub-tag for `(round, phase)` of a fault-tolerant collective. Base op
+/// tags keep their entropy in the low bits, so the high nibbles are free
+/// to namespace rounds and phases without collisions.
+fn phase_tag(base: u64, round: u64, phase: u64) -> u64 {
+    base ^ (round << 40) ^ (phase << 36)
+}
+
+/// Outcome of one fault-tolerant collective on one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FtOutcome<T> {
+    /// The collective's result: `Some` on the root (and on every survivor
+    /// for allreduce variants), `None` on non-root ranks of a reduce.
+    pub value: Option<T>,
+    /// The sorted survivor set the result was computed over.
+    pub survivors: Vec<usize>,
+    /// Rounds the collective took (1 = no healing needed).
+    pub rounds: u64,
+}
+
+/// One attempt at reducing over the healed tree. A `Timeout` error means a
+/// link on this rank's path died mid-round (round failure, root will
+/// re-plan); other errors are terminal for this rank.
+fn reduce_round<A>(
+    comm: &mut Comm,
+    tree: &HealedTree,
+    local: A,
+    topology: ReduceTopology,
+    tag: u64,
+    budget: Duration,
+) -> Result<Option<A>, FaultError>
+where
+    A: Accumulator + Any,
+{
+    let rank = comm.rank();
+    let m = tree.len();
+    let v = tree.vrank_of(rank).expect("caller verified membership");
+    let mut acc = local;
+    match topology {
+        ReduceTopology::FlatArrival => {
+            if v == 0 {
+                let deadline = Instant::now() + budget.saturating_mul(2);
+                for _ in 1..m {
+                    let (_, partial): (usize, A) = comm.recv_deadline(None, tag, deadline)?;
+                    acc.merge(&partial);
+                }
+                Ok(Some(acc))
+            } else {
+                comm.try_send(tree.rank_of(0), tag, acc)?;
+                Ok(None)
+            }
+        }
+        ReduceTopology::Chain => {
+            if v + 1 < m {
+                let upstream: A = comm.recv_timeout(tree.rank_of(v + 1), tag)?;
+                acc.merge(&upstream);
+            }
+            if v > 0 {
+                comm.try_send(tree.rank_of(v - 1), tag, acc)?;
+                Ok(None)
+            } else {
+                Ok(Some(acc))
+            }
+        }
+        ReduceTopology::Binomial => {
+            let mut mask = 1usize;
+            while mask < m {
+                if v & mask != 0 {
+                    comm.try_send(tree.rank_of(v & !mask), tag, acc)?;
+                    return Ok(None);
+                }
+                let child = v | mask;
+                if child < m {
+                    let partial: A = comm.recv_timeout(tree.rank_of(child), tag)?;
+                    acc.merge(&partial);
+                }
+                mask <<= 1;
+            }
+            Ok(Some(acc))
+        }
+    }
+}
+
+/// Self-healing reduction of per-rank accumulators to `root`.
+///
+/// Each round: (1) live ranks ping the root; (2) the root snapshots the
+/// **sorted** survivor set and distributes it; (3) everyone derives the
+/// same [`HealedTree`] from that set and reduces over it with timed links,
+/// each rank restarting from its original local accumulator. A dead or
+/// timed-out child anywhere blocks exactly one partial's path to the root,
+/// so the root itself observes the failure as a timeout, re-plans, and
+/// retries — a healing round, counted in [`crate::WorldReport::heals`].
+///
+/// Because the merge association is a pure function of the final survivor
+/// set (never of arrival order or of which ranks died first), reproducible
+/// operators yield results **bitwise identical** to a fault-free run over
+/// the same survivor set — the paper's reproducibility contract extended
+/// to degraded mode.
+///
+/// Errors: [`FaultError::Killed`] if this rank dies, [`FaultError::Excluded`]
+/// if it is alive but missed the membership snapshot,
+/// [`FaultError::RootUnreachable`] if the root dies.
+pub fn ft_reduce_accumulator<A>(
+    comm: &mut Comm,
+    local: A,
+    root: usize,
+    cfg: &ReduceConfig,
+) -> Result<FtOutcome<A>, FaultError>
+where
+    A: Accumulator + Any,
+{
+    cfg.validate()?;
+    let base = comm.next_op_tag();
+    let size = comm.size();
+    let rank = comm.rank();
+    assert!(root < size, "root must be a valid rank");
+    apply_jitter(cfg, rank);
+    if size == 1 {
+        return Ok(FtOutcome {
+            value: Some(local),
+            survivors: vec![rank],
+            rounds: 1,
+        });
+    }
+    let budget = comm.link_budget();
+    for round in 0..MAX_HEAL_ROUNDS {
+        let t_ping = phase_tag(base, round, 0);
+        let t_member = phase_tag(base, round, 1);
+        let t_part = phase_tag(base, round, 2);
+        let t_out = phase_tag(base, round, 3);
+
+        // Phase 1+2: membership. The root collects pings until the budget
+        // expires (each expired wait also releases drop-withheld traffic,
+        // so transiently lost pings still count), sorts the survivor set,
+        // and distributes it.
+        let survivors: Vec<usize> = if rank == root {
+            let mut alive = vec![root];
+            let deadline = Instant::now() + budget;
+            while alive.len() < size {
+                match comm.recv_deadline::<usize>(None, t_ping, deadline) {
+                    Ok((from, _)) => {
+                        if !alive.contains(&from) {
+                            alive.push(from);
+                        }
+                    }
+                    Err(FaultError::Timeout { .. }) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            alive.sort_unstable();
+            for &s in &alive {
+                if s != root {
+                    comm.try_send(s, t_member, alive.clone())?;
+                }
+            }
+            alive
+        } else {
+            comm.try_send(root, t_ping, rank)?;
+            let deadline = Instant::now() + budget.saturating_mul(3);
+            match comm.recv_deadline::<Vec<usize>>(Some(root), t_member, deadline) {
+                Ok((_, v)) => v,
+                Err(FaultError::Timeout { .. }) => {
+                    return Err(FaultError::RootUnreachable { root })
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        if !survivors.contains(&rank) {
+            return Err(FaultError::Excluded { rank });
+        }
+
+        // Phase 3: reduce over the healed tree, restarting from the
+        // original local accumulator so the final association depends only
+        // on the final survivor set.
+        let tree = heal(&survivors, root);
+        let attempt = match reduce_round(comm, &tree, local.clone(), cfg.topology, t_part, budget) {
+            Ok(v) => Some(v),
+            Err(FaultError::Timeout { .. }) => None,
+            Err(e) => return Err(e),
+        };
+
+        // Phase 4: outcome. Root success ⇒ every partial arrived (a failure
+        // anywhere blocks a path to the root); root failure ⇒ heal and
+        // retry with fresh tags.
+        if rank == root {
+            match attempt {
+                Some(value) => {
+                    for &s in &survivors {
+                        if s != root {
+                            comm.try_send(s, t_out, true)?;
+                        }
+                    }
+                    return Ok(FtOutcome {
+                        value,
+                        survivors,
+                        rounds: round + 1,
+                    });
+                }
+                None => {
+                    for &s in &survivors {
+                        if s != root {
+                            comm.try_send(s, t_out, false)?;
+                        }
+                    }
+                    comm.note_heal();
+                }
+            }
+        } else {
+            // The root may still be cascading through its own timeouts;
+            // scale the wait with the tree depth plus slack.
+            let depth = usize::BITS - survivors.len().leading_zeros() + 3;
+            let deadline = Instant::now() + budget.saturating_mul(depth);
+            match comm.recv_deadline::<bool>(Some(root), t_out, deadline) {
+                Ok((_, true)) => {
+                    return Ok(FtOutcome {
+                        value: None,
+                        survivors,
+                        rounds: round + 1,
+                    })
+                }
+                Ok((_, false)) => {} // heal: next round
+                Err(FaultError::Timeout { .. }) => {
+                    return Err(FaultError::RootUnreachable { root })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(FaultError::TooManyRounds {
+        rounds: MAX_HEAL_ROUNDS as usize,
+    })
+}
+
+/// Self-healing [`reduce_sum`]: local chunk on the runtime pool, global
+/// reduction via [`ft_reduce_accumulator`].
+pub fn ft_reduce_sum(
+    comm: &mut Comm,
+    local_values: &[f64],
+    algorithm: Algorithm,
+    root: usize,
+    cfg: &ReduceConfig,
+) -> Result<FtOutcome<f64>, FaultError> {
+    let acc = local_accumulate(local_values, algorithm);
+    let out = ft_reduce_accumulator(comm, acc, root, cfg)?;
+    Ok(FtOutcome {
+        value: out.value.map(|a| a.finalize()),
+        survivors: out.survivors,
+        rounds: out.rounds,
+    })
+}
+
+/// Self-healing allreduce: reduce to rank 0, then flat-broadcast the
+/// finalized scalar to every survivor. Every survivor returns the same
+/// value bitwise; if rank 0 dies the collective fails with
+/// [`FaultError::RootUnreachable`] (the root is the membership authority).
+pub fn ft_allreduce_sum_acc<A>(
+    comm: &mut Comm,
+    local: A,
+    cfg: &ReduceConfig,
+) -> Result<FtOutcome<f64>, FaultError>
+where
+    A: Accumulator + Any,
+{
+    let out = ft_reduce_accumulator(comm, local, 0, cfg)?;
+    let tag = comm.next_op_tag();
+    if comm.rank() == 0 {
+        let sum = out
+            .value
+            .as_ref()
+            .expect("root holds the merged accumulator")
+            .finalize();
+        for &s in &out.survivors {
+            if s != 0 {
+                comm.try_send(s, tag, sum)?;
+            }
+        }
+        Ok(FtOutcome {
+            value: Some(sum),
+            survivors: out.survivors,
+            rounds: out.rounds,
+        })
+    } else {
+        let deadline = Instant::now() + comm.link_budget().saturating_mul(2);
+        match comm.recv_deadline::<f64>(Some(0), tag, deadline) {
+            Ok((_, sum)) => Ok(FtOutcome {
+                value: Some(sum),
+                survivors: out.survivors,
+                rounds: out.rounds,
+            }),
+            Err(FaultError::Timeout { .. }) => Err(FaultError::RootUnreachable { root: 0 }),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Self-healing [`adaptive_reduce_sum`]: the root gathers whatever data
+/// profiles arrive within the link budget, selects once, flat-broadcasts
+/// the choice, and the reduction runs fault-tolerantly with the chosen
+/// operator. Profiling degrades gracefully — a missing profile can only
+/// make the selection more conservative for the data actually summed.
+pub fn ft_adaptive_reduce_sum(
+    comm: &mut Comm,
+    local_values: &[f64],
+    tolerance: Tolerance,
+    root: usize,
+    cfg: &ReduceConfig,
+) -> Result<FtOutcome<(f64, Algorithm)>, FaultError> {
+    cfg.validate()?;
+    let profile = repro_select::profile_parallel(local_values);
+    let base = comm.next_op_tag();
+    let t_prof = phase_tag(base, 0, 0);
+    let t_choice = phase_tag(base, 0, 1);
+    let size = comm.size();
+    let rank = comm.rank();
+    let algorithm = if rank == root {
+        let mut global = profile;
+        let deadline = Instant::now() + comm.link_budget();
+        let mut got = 1;
+        while got < size {
+            match comm.recv_deadline::<DataProfile>(None, t_prof, deadline) {
+                Ok((_, p)) => {
+                    global.merge(&p);
+                    got += 1;
+                }
+                Err(FaultError::Timeout { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let choice = HeuristicSelector::default().choose(&global, tolerance);
+        for s in 0..size {
+            if s != root {
+                comm.try_send(s, t_choice, choice)?;
+            }
+        }
+        choice
+    } else {
+        comm.try_send(root, t_prof, profile)?;
+        let deadline = Instant::now() + comm.link_budget().saturating_mul(3);
+        match comm.recv_deadline::<Algorithm>(Some(root), t_choice, deadline) {
+            Ok((_, a)) => a,
+            Err(FaultError::Timeout { .. }) => return Err(FaultError::RootUnreachable { root }),
+            Err(e) => return Err(e),
+        }
+    };
+    let acc = local_accumulate(local_values, algorithm);
+    let out = ft_reduce_accumulator(comm, acc, root, cfg)?;
+    Ok(FtOutcome {
+        value: out.value.map(|a| (a.finalize(), algorithm)),
+        survivors: out.survivors,
+        rounds: out.rounds,
+    })
 }
 
 /// The paper's Section IV-C pattern in one call: each rank reduces its local
@@ -621,5 +1021,167 @@ mod tests {
             (m, s)
         });
         assert_eq!(out[0], (3.5, Some(3.0)));
+    }
+
+    #[test]
+    fn reduce_config_validation() {
+        assert!(ReduceConfig::validated(ReduceTopology::Binomial, 500, 1).is_ok());
+        let err = ReduceConfig::validated(ReduceTopology::Chain, MAX_JITTER_US + 1, 0);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().0.contains("jitter_us"));
+    }
+
+    #[test]
+    fn ft_reduce_matches_plain_reduce_without_faults() {
+        let values = repro_gen::zero_sum_with_range(10_000, 24, 11);
+        for topo in [
+            ReduceTopology::Binomial,
+            ReduceTopology::FlatArrival,
+            ReduceTopology::Chain,
+        ] {
+            let cfg = ReduceConfig {
+                topology: topo,
+                ..Default::default()
+            };
+            let plan = crate::fault::FaultPlan::new(0);
+            let report = World::run_report(6, &plan, |c| {
+                let mine = chunks(&values, c.size(), c.rank());
+                ft_reduce_sum(c, mine, Algorithm::PR, 0, &cfg)
+            })
+            .unwrap();
+            assert_eq!(report.failed, 0, "{topo:?}");
+            let out = report.results[0].as_ref().unwrap();
+            assert_eq!(out.survivors, (0..6).collect::<Vec<_>>());
+            assert_eq!(out.rounds, 1);
+            let reference = {
+                let mut acc = BinnedSum::new(3);
+                acc.add_slice(&values);
+                acc.finalize()
+            };
+            assert_eq!(
+                out.value.unwrap().to_bits(),
+                reference.to_bits(),
+                "{topo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ft_reduce_heals_around_a_killed_rank_bitwise() {
+        let values = repro_gen::zero_sum_with_range(12_000, 24, 21);
+        let ranks = 6;
+        for topo in [
+            ReduceTopology::Binomial,
+            ReduceTopology::FlatArrival,
+            ReduceTopology::Chain,
+        ] {
+            let cfg = ReduceConfig {
+                topology: topo,
+                ..Default::default()
+            };
+            // Rank 4 dies on its very first communication op: it never
+            // pings, so round one already excludes it.
+            let plan = crate::fault::FaultPlan::new(5)
+                .with_kill(4, 1)
+                .with_timeouts(Duration::from_millis(10), 2);
+            let report = World::run_report(ranks, &plan, |c| {
+                let mine = chunks(&values, c.size(), c.rank());
+                ft_reduce_sum(c, mine, Algorithm::PR, 0, &cfg)
+            })
+            .unwrap();
+            let out = report.results[0].as_ref().unwrap();
+            assert_eq!(out.survivors, vec![0, 1, 2, 3, 5], "{topo:?}");
+            // Survivor-set reproducibility contract: bitwise identical to
+            // a sequential fault-free sum over the survivors' inputs.
+            let mut reference = BinnedSum::new(3);
+            for &r in &out.survivors {
+                reference.add_slice(chunks(&values, ranks, r));
+            }
+            assert_eq!(
+                out.value.unwrap().to_bits(),
+                reference.finalize().to_bits(),
+                "{topo:?}"
+            );
+            assert!(matches!(
+                report.results[4],
+                Err(FaultError::Killed { rank: 4, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn ft_reduce_mid_collective_kill_triggers_heal_rounds() {
+        let values = repro_gen::zero_sum_with_range(8_000, 16, 33);
+        let ranks = 8;
+        let cfg = ReduceConfig::default();
+        // Rank 3 pings (op 1), receives membership (op 2), then dies on a
+        // later op — the first reduce round must fail and heal.
+        let plan = crate::fault::FaultPlan::new(6)
+            .with_kill(3, 3)
+            .with_timeouts(Duration::from_millis(10), 2);
+        let report = World::run_report(ranks, &plan, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            ft_reduce_sum(c, mine, Algorithm::PR, 0, &cfg)
+        })
+        .unwrap();
+        let out = report.results[0].as_ref().unwrap();
+        assert!(out.rounds >= 2, "kill after membership must cost a round");
+        assert!(report.heals >= 1);
+        assert!(!out.survivors.contains(&3));
+        let mut reference = BinnedSum::new(3);
+        for &r in &out.survivors {
+            reference.add_slice(chunks(&values, ranks, r));
+        }
+        assert_eq!(out.value.unwrap().to_bits(), reference.finalize().to_bits());
+    }
+
+    #[test]
+    fn ft_allreduce_survivors_agree_bitwise() {
+        let values = repro_gen::zero_sum_with_range(6_000, 16, 44);
+        let ranks = 5;
+        let plan = crate::fault::FaultPlan::new(8)
+            .with_kill(2, 1)
+            .with_timeouts(Duration::from_millis(10), 2);
+        let cfg = ReduceConfig::default();
+        let report = World::run_report(ranks, &plan, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            let mut acc = BinnedSum::new(3);
+            acc.add_slice(mine);
+            ft_allreduce_sum_acc(c, acc, &cfg)
+        })
+        .unwrap();
+        let bits: Vec<u64> = report
+            .survivors()
+            .iter()
+            .map(|&r| report.results[r].as_ref().unwrap().value.unwrap().to_bits())
+            .collect();
+        assert!(bits.len() >= ranks - 1);
+        assert!(bits.windows(2).all(|w| w[0] == w[1]), "{bits:?}");
+    }
+
+    #[test]
+    fn ft_adaptive_reduce_survives_a_dead_profiler() {
+        let values = repro_gen::zero_sum_with_range(10_000, 24, 13);
+        let ranks = 6;
+        let plan = crate::fault::FaultPlan::new(9)
+            .with_kill(5, 1)
+            .with_timeouts(Duration::from_millis(10), 2);
+        let cfg = ReduceConfig::default();
+        let report = World::run_report(ranks, &plan, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            ft_adaptive_reduce_sum(c, mine, Tolerance::Bitwise, 0, &cfg)
+        })
+        .unwrap();
+        let out = report.results[0].as_ref().unwrap();
+        let (sum, alg) = out.value.unwrap();
+        assert!(alg.is_reproducible());
+        assert!(!out.survivors.contains(&5));
+        // The chosen reproducible operator over the survivor inputs,
+        // sequentially, must match bitwise.
+        let mut reference = alg.new_accumulator();
+        for &r in &out.survivors {
+            reference.add_slice(chunks(&values, ranks, r));
+        }
+        assert_eq!(sum.to_bits(), reference.finalize().to_bits());
     }
 }

@@ -16,16 +16,26 @@
 //!   last merging partials in genuine run-time arrival order, which is the
 //!   nondeterminism the paper says exascale cannot avoid,
 //! * [`collectives::ReduceConfig::jitter_us`] injects per-rank random delays
-//!   to scramble arrival order on demand.
+//!   to scramble arrival order on demand,
+//! * [`fault`] makes failure a first-class input: a seeded [`FaultPlan`]
+//!   kills ranks and drops/delays/duplicates/reorders envelopes,
+//!   [`World::run_report`] reaps dead ranks into a structured
+//!   [`WorldReport`], and the `ft_*` collectives **self-heal** — they
+//!   re-plan the reduction tree over the sorted survivor set
+//!   ([`repro_tree::topology::heal`]) so reproducible operators stay
+//!   bitwise identical to a fault-free run over the same survivors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 
 pub use collectives::{
-    adaptive_reduce_sum, allreduce_sum_acc, alltoall, gather, reduce_sum, scan_accumulator,
-    ReduceConfig, ReduceTopology,
+    adaptive_reduce_sum, allreduce_sum_acc, alltoall, ft_adaptive_reduce_sum, ft_allreduce_sum_acc,
+    ft_reduce_accumulator, ft_reduce_sum, gather, reduce_sum, scan_accumulator, FtOutcome,
+    ReduceConfig, ReduceTopology, MAX_JITTER_US,
 };
-pub use comm::{Comm, World};
+pub use comm::{Comm, World, WorldReport};
+pub use fault::{ConfigError, FaultError, FaultPlan, FaultStats, Kill};

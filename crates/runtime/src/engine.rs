@@ -37,6 +37,99 @@ impl ChunkKernel {
     }
 }
 
+/// Attempts per chunk (1 initial + retries) before
+/// [`Runtime::accumulate_resumable`] gives up on a persistently failing
+/// chunk.
+pub const MAX_CHUNK_ATTEMPTS: u32 = 8;
+
+/// Failure oracle for [`Runtime::accumulate_resumable`]: called with
+/// `(chunk index, attempt number)`; returning `true` makes that chunk task
+/// die without reporting, like a killed worker.
+pub type ChunkFailureInjector<'a> = &'a (dyn Fn(usize, u32) -> bool + Sync);
+
+/// Per-chunk accumulator snapshots taken at merge boundaries, so a retry
+/// resumes from the last checkpoint instead of re-reducing everything.
+///
+/// A store is bound to one plan shape (chunk count); reusing it across
+/// calls with the same plan and data turns completed chunks into
+/// `checkpoint_restores` instead of recomputation. [`CheckpointStore::invalidate`]
+/// models losing one chunk's state (that chunk alone is re-reduced).
+#[derive(Clone, Debug)]
+pub struct CheckpointStore<A> {
+    slots: Vec<Option<A>>,
+}
+
+impl<A> CheckpointStore<A> {
+    /// An empty store shaped for `plan`.
+    pub fn for_plan(plan: &ReductionPlan) -> Self {
+        CheckpointStore {
+            slots: (0..plan.num_chunks()).map(|_| None).collect(),
+        }
+    }
+
+    /// Whether this store matches `plan`'s chunk count.
+    pub fn matches(&self, plan: &ReductionPlan) -> bool {
+        self.slots.len() == plan.num_chunks()
+    }
+
+    /// Number of chunks currently checkpointed.
+    pub fn saved(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Drop one chunk's checkpoint (it will be re-reduced on resume).
+    pub fn invalidate(&mut self, chunk: usize) {
+        if let Some(slot) = self.slots.get_mut(chunk) {
+            *slot = None;
+        }
+    }
+
+    /// Drop every checkpoint.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+}
+
+/// Errors from the resumable engine path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The checkpoint store was built for a different plan shape.
+    PlanMismatch {
+        /// Chunk slots in the store.
+        store_chunks: usize,
+        /// Chunks in the plan.
+        plan_chunks: usize,
+    },
+    /// A chunk kept failing through every retry.
+    ChunkFailed {
+        /// The failing chunk index.
+        chunk: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::PlanMismatch {
+                store_chunks,
+                plan_chunks,
+            } => write!(
+                f,
+                "checkpoint store has {store_chunks} slots but the plan has {plan_chunks} chunks"
+            ),
+            EngineError::ChunkFailed { chunk, attempts } => {
+                write!(f, "chunk {chunk} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// A persistent parallel reduction runtime: one work-stealing pool reused
 /// by every reduction in the process.
 pub struct Runtime {
@@ -218,8 +311,128 @@ impl Runtime {
             chunk_time: Duration::from_nanos(chunk_nanos.load(Ordering::Relaxed)),
             merge_time,
             total_time: t0.elapsed(),
+            retries: 0,
+            heals: 0,
+            checkpoint_restores: 0,
         };
         (result, stats)
+    }
+
+    /// Resumable reduction with checkpointed partials: every completed
+    /// chunk's accumulator is snapshotted into `store` at the merge
+    /// boundary, chunks already checkpointed are restored instead of
+    /// re-reduced, and chunks whose task fails (as decided by `inject`,
+    /// modelling a dying worker or rank retry) are re-executed up to
+    /// [`MAX_CHUNK_ATTEMPTS`] times.
+    ///
+    /// The merge always follows **plan order** over the checkpoint slots,
+    /// so the result is bitwise identical to a plain
+    /// [`Runtime::accumulate_planned`] with [`MergeOrder::Plan`] for *any*
+    /// operator — interrupting, retrying, and resuming never change the
+    /// association.
+    pub fn accumulate_resumable<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        store: &mut CheckpointStore<A>,
+        inject: Option<ChunkFailureInjector<'_>>,
+    ) -> Result<(A, RuntimeStats), EngineError>
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        assert_eq!(
+            plan.len(),
+            values.len(),
+            "plan covers {} elements but {} were supplied",
+            plan.len(),
+            values.len()
+        );
+        if !store.matches(plan) {
+            return Err(EngineError::PlanMismatch {
+                store_chunks: store.slots.len(),
+                plan_chunks: plan.num_chunks(),
+            });
+        }
+        let t0 = Instant::now();
+        let before = self.pool.counters();
+        let chunk_nanos = AtomicU64::new(0);
+        let checkpoint_restores = store.saved() as u64;
+
+        let mut to_run: Vec<usize> = (0..plan.num_chunks())
+            .filter(|&i| store.slots[i].is_none())
+            .collect();
+        let mut retries = 0u64;
+        let mut healed_chunks = 0u64;
+        let mut attempt: u32 = 0;
+        while !to_run.is_empty() && attempt < MAX_CHUNK_ATTEMPTS {
+            if attempt > 0 {
+                retries += to_run.len() as u64;
+            }
+            let completed: Vec<(usize, A)> = self.pool.scope(|s| {
+                let (tx, rx) = mpsc::channel::<(usize, A)>();
+                for &i in &to_run {
+                    let tx = tx.clone();
+                    let make = &make;
+                    let chunk = &values[plan.chunks()[i].clone()];
+                    let chunk_nanos = &chunk_nanos;
+                    let inject = &inject;
+                    s.spawn(move || {
+                        if inject.as_ref().is_some_and(|f| f(i, attempt)) {
+                            // Injected failure: the task dies without
+                            // reporting, exactly like a killed worker.
+                            return;
+                        }
+                        let t = Instant::now();
+                        let mut acc = make();
+                        acc.add_slice(chunk);
+                        chunk_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let _ = tx.send((i, acc));
+                    });
+                }
+                drop(tx);
+                rx.iter().collect()
+            });
+            for (i, acc) in completed {
+                if attempt > 0 {
+                    healed_chunks += 1;
+                }
+                store.slots[i] = Some(acc);
+            }
+            to_run.retain(|&i| store.slots[i].is_none());
+            attempt += 1;
+        }
+        if let Some(&chunk) = to_run.first() {
+            return Err(EngineError::ChunkFailed {
+                chunk,
+                attempts: attempt,
+            });
+        }
+
+        // Merge clones of the checkpoints in plan order; the store keeps
+        // the partials so a later caller can invalidate and resume.
+        let t = Instant::now();
+        let slots: Vec<Option<A>> = store.slots.to_vec();
+        let result = merge_in_plan_order(slots, |a: &mut A, b: &A| a.merge(b))
+            .expect("plan has at least one chunk");
+        let merge_time = t.elapsed();
+
+        let after = self.pool.counters();
+        let stats = RuntimeStats {
+            workers: self.pool.workers(),
+            chunks: plan.num_chunks(),
+            tasks_executed: after.executed.saturating_sub(before.executed),
+            steals: after.stolen.saturating_sub(before.stolen),
+            merge_depth: plan.merge_depth(),
+            chunk_time: Duration::from_nanos(chunk_nanos.load(Ordering::Relaxed)),
+            merge_time,
+            total_time: t0.elapsed(),
+            retries,
+            heals: healed_chunks,
+            checkpoint_restores,
+        };
+        Ok((result, stats))
     }
 
     /// Apply `f` to every chunk of the plan on the pool and return the
@@ -403,6 +616,100 @@ mod tests {
             assert_eq!(*idx, i);
             assert_eq!(*start, i * 64);
         }
+    }
+
+    #[test]
+    fn resumable_matches_plain_plan_order_bitwise() {
+        let rt = Runtime::new(4);
+        let values = data(40_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 1024);
+        let plain = rt.accumulate_planned(&values, &plan, StandardSum::new, MergeOrder::Plan);
+        let mut store = CheckpointStore::for_plan(&plan);
+        let (resumed, stats) = rt
+            .accumulate_resumable(&values, &plan, StandardSum::new, &mut store, None)
+            .unwrap();
+        assert_eq!(resumed.finalize().to_bits(), plain.finalize().to_bits());
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.checkpoint_restores, 0);
+        assert_eq!(store.saved(), plan.num_chunks());
+    }
+
+    #[test]
+    fn injected_chunk_failures_are_retried_and_healed() {
+        let rt = Runtime::new(4);
+        let values = data(30_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 2048);
+        let plain = rt.accumulate_planned(&values, &plan, || BinnedSum::new(3), MergeOrder::Plan);
+        let mut store = CheckpointStore::for_plan(&plan);
+        // Every third chunk dies on its first attempt.
+        let inject = |chunk: usize, attempt: u32| attempt == 0 && chunk % 3 == 0;
+        let (resumed, stats) = rt
+            .accumulate_resumable(
+                &values,
+                &plan,
+                || BinnedSum::new(3),
+                &mut store,
+                Some(&inject),
+            )
+            .unwrap();
+        assert_eq!(resumed.finalize().to_bits(), plain.finalize().to_bits());
+        let failing = plan.num_chunks().div_ceil(3) as u64;
+        assert_eq!(stats.retries, failing);
+        assert_eq!(stats.heals, failing);
+    }
+
+    #[test]
+    fn resume_restores_checkpoints_instead_of_recomputing() {
+        let rt = Runtime::new(4);
+        let values = data(20_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 1024);
+        let mut store = CheckpointStore::for_plan(&plan);
+        let (first, _) = rt
+            .accumulate_resumable(&values, &plan, || BinnedSum::new(3), &mut store, None)
+            .unwrap();
+        // Lose two chunks' state; the resume must only recompute those.
+        store.invalidate(1);
+        store.invalidate(7);
+        let (second, stats) = rt
+            .accumulate_resumable(&values, &plan, || BinnedSum::new(3), &mut store, None)
+            .unwrap();
+        assert_eq!(second.finalize().to_bits(), first.finalize().to_bits());
+        assert_eq!(stats.checkpoint_restores, (plan.num_chunks() - 2) as u64);
+        assert!(stats.tasks_executed <= 2 + 1);
+    }
+
+    #[test]
+    fn persistently_failing_chunk_is_an_error() {
+        let rt = Runtime::new(2);
+        let values = data(5_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 512);
+        let mut store = CheckpointStore::for_plan(&plan);
+        let inject = |chunk: usize, _attempt: u32| chunk == 2;
+        let err = rt
+            .accumulate_resumable(&values, &plan, StandardSum::new, &mut store, Some(&inject))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ChunkFailed {
+                chunk: 2,
+                attempts: MAX_CHUNK_ATTEMPTS
+            }
+        );
+        // Healthy chunks were still checkpointed for a later resume.
+        assert_eq!(store.saved(), plan.num_chunks() - 1);
+    }
+
+    #[test]
+    fn store_shape_mismatch_is_an_error() {
+        let rt = Runtime::new(2);
+        let values = data(4_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 512);
+        let other = ReductionPlan::with_chunk_len(values.len(), 256);
+        let mut store = CheckpointStore::for_plan(&other);
+        let err = rt
+            .accumulate_resumable(&values, &plan, StandardSum::new, &mut store, None)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::PlanMismatch { .. }));
     }
 
     #[test]

@@ -27,13 +27,21 @@ pub struct RuntimeStats {
     pub merge_time: Duration,
     /// End-to-end wall time of the call.
     pub total_time: Duration,
+    /// Chunk tasks re-executed after a failed attempt
+    /// (`Runtime::accumulate_resumable` only; 0 on the plain paths).
+    pub retries: u64,
+    /// Chunks that failed at least once but eventually succeeded.
+    pub heals: u64,
+    /// Chunks whose partial was restored from a `CheckpointStore` instead
+    /// of being re-reduced.
+    pub checkpoint_restores: u64,
 }
 
 impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "workers={} chunks={} tasks={} steals={} merge_depth={} chunk={:.3?} merge={:.3?} total={:.3?}",
+            "workers={} chunks={} tasks={} steals={} merge_depth={} chunk={:.3?} merge={:.3?} total={:.3?} retries={} heals={} checkpoint_restores={}",
             self.workers,
             self.chunks,
             self.tasks_executed,
@@ -42,6 +50,9 @@ impl std::fmt::Display for RuntimeStats {
             self.chunk_time,
             self.merge_time,
             self.total_time,
+            self.retries,
+            self.heals,
+            self.checkpoint_restores,
         )
     }
 }

@@ -49,6 +49,7 @@ pub mod composite;
 pub mod ddsum;
 pub mod distill;
 pub mod dot;
+pub mod exact;
 pub mod intervalsum;
 pub mod kahan;
 pub mod lanes;

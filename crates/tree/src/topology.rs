@@ -286,6 +286,131 @@ pub fn random_live_cores(machine: &Machine, dropout: f64, seed: u64) -> Vec<usiz
     live
 }
 
+/// A reduction tree re-planned over the ranks that survived a failure.
+///
+/// The links are a pure function of the **sorted survivor set** and the
+/// root — never of arrival order — so every survivor that derives a
+/// `HealedTree` from the same membership list computes identical
+/// parent/child links, and re-running the reduction over the same survivor
+/// set reproduces the same merge association bitwise. Survivors are
+/// addressed by *virtual rank*: the root is virtual rank 0 and the
+/// remaining survivors follow in sorted order, rotated so rank arithmetic
+/// (binomial masks, chain neighbours) works unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealedTree {
+    survivors: Vec<usize>,
+    root_pos: usize,
+}
+
+impl HealedTree {
+    /// Plan links over `survivors` (must be sorted, duplicate-free, and
+    /// contain `root`).
+    pub fn new(survivors: &[usize], root: usize) -> Self {
+        assert!(!survivors.is_empty(), "survivor set cannot be empty");
+        assert!(
+            survivors.windows(2).all(|w| w[0] < w[1]),
+            "survivor set must be sorted and duplicate-free"
+        );
+        let root_pos = survivors
+            .binary_search(&root)
+            .expect("root must be in the survivor set");
+        Self {
+            survivors: survivors.to_vec(),
+            root_pos,
+        }
+    }
+
+    /// Number of surviving ranks.
+    pub fn len(&self) -> usize {
+        self.survivors.len()
+    }
+
+    /// Whether the tree is empty (never — construction requires a root).
+    pub fn is_empty(&self) -> bool {
+        self.survivors.is_empty()
+    }
+
+    /// The sorted survivor set this tree was planned over.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// Virtual rank of a survivor (root ↦ 0), or `None` if `rank` is not a
+    /// survivor.
+    pub fn vrank_of(&self, rank: usize) -> Option<usize> {
+        let pos = self.survivors.binary_search(&rank).ok()?;
+        let m = self.survivors.len();
+        Some((pos + m - self.root_pos) % m)
+    }
+
+    /// Real rank of a virtual rank.
+    pub fn rank_of(&self, vrank: usize) -> usize {
+        let m = self.survivors.len();
+        debug_assert!(vrank < m);
+        self.survivors[(vrank + self.root_pos) % m]
+    }
+
+    /// Parent of `rank` in the binomial tree over survivors (`None` for
+    /// the root): clear the lowest set bit of the virtual rank.
+    pub fn binomial_parent(&self, rank: usize) -> Option<usize> {
+        let v = self.vrank_of(rank)?;
+        if v == 0 {
+            return None;
+        }
+        Some(self.rank_of(v & (v - 1)))
+    }
+
+    /// Children of `rank` in the binomial tree over survivors, in the
+    /// mask order the reduction visits them.
+    pub fn binomial_children(&self, rank: usize) -> Vec<usize> {
+        let Some(v) = self.vrank_of(rank) else {
+            return Vec::new();
+        };
+        let m = self.survivors.len();
+        let mut children = Vec::new();
+        let mut mask = 1usize;
+        while mask < m {
+            if v & mask != 0 {
+                break;
+            }
+            let child = v | mask;
+            if child < m {
+                children.push(self.rank_of(child));
+            }
+            mask <<= 1;
+        }
+        children
+    }
+
+    /// Downstream neighbour in the survivor chain (toward the root), or
+    /// `None` for the root.
+    pub fn chain_parent(&self, rank: usize) -> Option<usize> {
+        let v = self.vrank_of(rank)?;
+        if v == 0 {
+            None
+        } else {
+            Some(self.rank_of(v - 1))
+        }
+    }
+
+    /// Upstream neighbour in the survivor chain (the rank whose partial
+    /// this rank merges), or `None` at the far end.
+    pub fn chain_child(&self, rank: usize) -> Option<usize> {
+        let v = self.vrank_of(rank)?;
+        if v + 1 < self.survivors.len() {
+            Some(self.rank_of(v + 1))
+        } else {
+            None
+        }
+    }
+}
+
+/// Re-plan a reduction tree over the sorted survivor set — the healing
+/// step of the fault-tolerant collectives. See [`HealedTree`].
+pub fn heal(survivors: &[usize], root: usize) -> HealedTree {
+    HealedTree::new(survivors, root)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +536,107 @@ mod tests {
             assert!(live.windows(2).all(|w| w[0] < w[1]));
             assert!(live.iter().all(|&c| c < m.cores()));
         }
+    }
+
+    // ---- healed-tree edge cases the fault-tolerant collectives rely on ----
+
+    #[test]
+    fn healed_single_rank_tree_has_no_links() {
+        let t = heal(&[3], 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.vrank_of(3), Some(0));
+        assert_eq!(t.binomial_parent(3), None);
+        assert!(t.binomial_children(3).is_empty());
+        assert_eq!(t.chain_parent(3), None);
+        assert_eq!(t.chain_child(3), None);
+    }
+
+    #[test]
+    fn healed_chain_is_fully_degenerate() {
+        // Survivors with gaps (ranks 1 and 4 died), root mid-set.
+        let survivors = [0, 2, 3, 5, 6];
+        let t = heal(&survivors, 3);
+        // Walk the chain from the far end to the root: every survivor
+        // appears exactly once — a completely unbalanced (serial) tree.
+        let mut order = vec![t.rank_of(t.len() - 1)];
+        while let Some(next) = t.chain_parent(*order.last().unwrap()) {
+            order.push(next);
+        }
+        assert_eq!(order.len(), survivors.len());
+        assert_eq!(*order.last().unwrap(), 3);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, survivors);
+        // chain_child is the inverse of chain_parent.
+        for &r in &survivors {
+            if let Some(c) = t.chain_child(r) {
+                assert_eq!(t.chain_parent(c), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn healed_binomial_handles_non_power_of_two_sets() {
+        for (survivors, root) in [
+            (vec![0usize, 1, 2, 4, 7], 0),
+            (vec![1, 2, 3, 5, 8, 9], 5),
+            (vec![0, 3, 4, 6, 7, 10, 12], 12),
+            ((0..11).collect::<Vec<_>>(), 6),
+        ] {
+            let t = heal(&survivors, root);
+            // Every non-root has exactly one parent; edges = m - 1.
+            let mut edges = 0;
+            for &r in &survivors {
+                match t.binomial_parent(r) {
+                    None => assert_eq!(r, root),
+                    Some(p) => {
+                        assert!(survivors.contains(&p));
+                        assert!(
+                            t.binomial_children(p).contains(&r),
+                            "parent/child disagree for rank {r} (root {root})"
+                        );
+                        edges += 1;
+                    }
+                }
+            }
+            assert_eq!(edges, survivors.len() - 1);
+            // Every survivor is reachable from the root.
+            let mut reached = vec![root];
+            let mut frontier = vec![root];
+            while let Some(r) = frontier.pop() {
+                for c in t.binomial_children(r) {
+                    assert!(!reached.contains(&c), "cycle at rank {c}");
+                    reached.push(c);
+                    frontier.push(c);
+                }
+            }
+            reached.sort_unstable();
+            assert_eq!(reached, survivors);
+        }
+    }
+
+    #[test]
+    fn healed_links_depend_only_on_the_sorted_set() {
+        let a = heal(&[1, 4, 6, 9], 4);
+        let b = heal(&[1, 4, 6, 9], 4);
+        assert_eq!(a, b);
+        // vrank assignment is a rotation of sorted positions.
+        assert_eq!(a.vrank_of(4), Some(0));
+        let mut vranks: Vec<usize> = [1, 4, 6, 9]
+            .iter()
+            .map(|&r| a.vrank_of(r).unwrap())
+            .collect();
+        vranks.sort_unstable();
+        assert_eq!(vranks, vec![0, 1, 2, 3]);
+        for v in 0..4 {
+            assert_eq!(a.vrank_of(a.rank_of(v)), Some(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn healed_tree_rejects_unsorted_survivors() {
+        let _ = heal(&[4, 1, 6], 4);
     }
 }

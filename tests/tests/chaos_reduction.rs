@@ -1,0 +1,297 @@
+//! Chaos harness: a seeded fault-injection matrix over
+//! {topology × operator × fault kind}, asserting the three properties the
+//! fault plane promises:
+//!
+//! 1. **liveness** — no run deadlocks: every rank either completes or is
+//!    reaped with a `FaultError`;
+//! 2. **survivor-set bitwise reproducibility** — for reproducible
+//!    operators (PR/binned, prerounded, superaccumulator) the healed
+//!    distributed result is bit-identical to a sequential reference over
+//!    the survivor ranks' inputs;
+//! 3. **bounded degradation** — even a non-reproducible operator (ST)
+//!    stays within the Higham error bound of the survivor inputs' exact
+//!    sum.
+//!
+//! Every plan is seeded, so any failure here is replayable verbatim:
+//! `repro-reduce chaos --seed <S> ...` with the printed knobs.
+
+use repro_core::fp::Superaccumulator;
+use repro_core::mpisim::{
+    ft_reduce_accumulator, ft_reduce_sum, FaultError, FaultPlan, ReduceConfig, ReduceTopology,
+    World,
+};
+use repro_core::prelude::*;
+use repro_core::sum::prerounded::{PreroundPlan, PreroundedSum};
+use std::time::Duration;
+
+const RANKS: usize = 6;
+const N: usize = 480;
+
+const TOPOLOGIES: [ReduceTopology; 3] = [
+    ReduceTopology::Binomial,
+    ReduceTopology::FlatArrival,
+    ReduceTopology::Chain,
+];
+
+fn data(seed: u64) -> Vec<f64> {
+    repro_core::gen::zero_sum_with_range(N, 12, seed)
+}
+
+fn chunk(values: &[f64], rank: usize) -> &[f64] {
+    let per = values.len().div_ceil(RANKS);
+    &values[(rank * per).min(values.len())..((rank + 1) * per).min(values.len())]
+}
+
+fn cfg(topology: ReduceTopology) -> ReduceConfig {
+    ReduceConfig {
+        topology,
+        jitter_us: 0,
+        jitter_seed: 0,
+    }
+}
+
+/// Tight timeouts keep the whole matrix inside the CI budget.
+fn fast(plan: FaultPlan) -> FaultPlan {
+    plan.with_timeouts(Duration::from_millis(10), 2)
+}
+
+/// Transient message faults (drops, delays, duplicates, reorders, and all
+/// four together) never change membership: every rank completes and the PR
+/// result is bit-identical to a sequential reference over the FULL data,
+/// on every topology.
+#[test]
+fn transient_faults_preserve_full_set_bitwise_reproducibility() {
+    let values = data(101);
+    let mut reference = BinnedSum::new(3);
+    reference.add_slice(&values);
+    let expected = reference.finalize().to_bits();
+
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("drop", FaultPlan::new(9001).with_drop(0.2)),
+        ("delay", FaultPlan::new(9002).with_delay(0.4, 800)),
+        ("dup", FaultPlan::new(9003).with_duplicate(0.3)),
+        ("reorder", FaultPlan::new(9004).with_reorder(0.3)),
+        (
+            "mixed",
+            FaultPlan::new(9005)
+                .with_drop(0.1)
+                .with_delay(0.2, 800)
+                .with_duplicate(0.1)
+                .with_reorder(0.2),
+        ),
+    ];
+    for (kind, plan) in plans {
+        let mut retries_across_topologies = 0;
+        for topology in TOPOLOGIES {
+            let c = cfg(topology);
+            let report = World::run_report(RANKS, &fast(plan.clone()), |comm| {
+                ft_reduce_sum(comm, chunk(&values, comm.rank()), Algorithm::PR, 0, &c)
+            })
+            .unwrap();
+            assert_eq!(
+                report.completed,
+                RANKS,
+                "{kind}/{topology:?}: {}",
+                report.summary()
+            );
+            let out = report.results[0].as_ref().unwrap();
+            assert_eq!(out.survivors, (0..RANKS).collect::<Vec<_>>());
+            assert_eq!(
+                out.value.unwrap().to_bits(),
+                expected,
+                "{kind}/{topology:?} drifted from the sequential reference"
+            );
+            retries_across_topologies += report.retries;
+        }
+        if kind == "drop" {
+            assert!(
+                retries_across_topologies > 0,
+                "drops must exercise the retry path somewhere in the matrix"
+            );
+        }
+    }
+}
+
+/// Kill matrix: every reproducible operator × every topology heals around a
+/// dead rank and lands bit-identical to a sequential reference over the
+/// survivor set's inputs.
+#[test]
+fn killed_ranks_heal_to_survivor_set_bitwise_result() {
+    let values = data(202);
+    let victim = 4;
+    let preround = PreroundPlan::for_data(&values);
+
+    // (name, local accumulator for a rank, sequential survivor reference).
+    type Build = Box<dyn Fn(&[f64]) -> f64 + Sync>;
+    let operators: Vec<(&str, Build)> = vec![
+        (
+            "binned",
+            Box::new(|vals: &[f64]| {
+                let mut a = BinnedSum::new(3);
+                a.add_slice(vals);
+                a.finalize()
+            }),
+        ),
+        ("prerounded", {
+            let preround = preround.clone();
+            Box::new(move |vals: &[f64]| {
+                let mut a = PreroundedSum::new(&preround);
+                a.add_slice(vals);
+                a.finalize()
+            })
+        }),
+        (
+            "superacc",
+            Box::new(|vals: &[f64]| {
+                let mut a = Superaccumulator::new();
+                Accumulator::add_slice(&mut a, vals);
+                Accumulator::finalize(&a)
+            }),
+        ),
+    ];
+
+    let survivors: Vec<usize> = (0..RANKS).filter(|&r| r != victim).collect();
+    let survivor_values: Vec<f64> = survivors
+        .iter()
+        .flat_map(|&r| chunk(&values, r).iter().copied())
+        .collect();
+
+    for (name, seq) in &operators {
+        let expected = seq(&survivor_values).to_bits();
+        for topology in TOPOLOGIES {
+            let c = cfg(topology);
+            let plan = fast(FaultPlan::new(303).with_kill(victim, 1));
+            let report = match *name {
+                "binned" => World::run_report(RANKS, &plan, |comm| {
+                    let mut a = BinnedSum::new(3);
+                    a.add_slice(chunk(&values, comm.rank()));
+                    ft_reduce_accumulator(comm, a, 0, &c)
+                        .map(|o| (o.value.map(|a| a.finalize()), o.survivors, o.rounds))
+                }),
+                "prerounded" => World::run_report(RANKS, &plan, |comm| {
+                    let mut a = PreroundedSum::new(&preround);
+                    a.add_slice(chunk(&values, comm.rank()));
+                    ft_reduce_accumulator(comm, a, 0, &c)
+                        .map(|o| (o.value.map(|a| a.finalize()), o.survivors, o.rounds))
+                }),
+                _ => World::run_report(RANKS, &plan, |comm| {
+                    let mut a = Superaccumulator::new();
+                    Accumulator::add_slice(&mut a, chunk(&values, comm.rank()));
+                    ft_reduce_accumulator(comm, a, 0, &c).map(|o| {
+                        (
+                            o.value.map(|a| Accumulator::finalize(&a)),
+                            o.survivors,
+                            o.rounds,
+                        )
+                    })
+                }),
+            }
+            .unwrap();
+
+            assert!(
+                matches!(report.results[victim], Err(FaultError::Killed { .. })),
+                "{name}/{topology:?}: victim should be reaped as killed"
+            );
+            let (value, got_survivors, _rounds) = report.results[0].as_ref().unwrap();
+            assert_eq!(
+                *got_survivors, survivors,
+                "{name}/{topology:?}: wrong survivor set"
+            );
+            assert_eq!(
+                value.unwrap().to_bits(),
+                expected,
+                "{name}/{topology:?}: healed result drifted from survivor reference"
+            );
+        }
+    }
+}
+
+/// A rank that dies mid-collective (after the membership snapshot) forces a
+/// failed round: the root re-plans, heals ≥ 1 time, and the final result is
+/// still bitwise the survivor reference.
+#[test]
+fn mid_collective_death_forces_heal_rounds_and_stays_bitwise() {
+    let values = data(404);
+    // Victim pings (op 1) and receives membership (op 2), then dies on a
+    // later op — so the first reduce round includes it and must fail.
+    let victim = 3;
+    let c = cfg(ReduceTopology::Binomial);
+    let plan = fast(FaultPlan::new(505).with_kill(victim, 3));
+    let report = World::run_report(RANKS, &plan, |comm| {
+        ft_reduce_sum(comm, chunk(&values, comm.rank()), Algorithm::PR, 0, &c)
+    })
+    .unwrap();
+
+    let out = report.results[0].as_ref().unwrap();
+    assert!(
+        out.rounds >= 2,
+        "expected a failed round, got {}",
+        out.rounds
+    );
+    assert!(report.heals >= 1, "{}", report.summary());
+    assert!(!out.survivors.contains(&victim));
+    let mut reference = BinnedSum::new(3);
+    for &r in &out.survivors {
+        reference.add_slice(chunk(&values, r));
+    }
+    assert_eq!(out.value.unwrap().to_bits(), reference.finalize().to_bits());
+}
+
+/// Even the non-reproducible standard operator degrades gracefully: with a
+/// killed rank, the healed ST result stays within the Higham bound of the
+/// exact sum over the survivor inputs.
+#[test]
+fn standard_sum_under_kills_stays_within_higham_bound() {
+    let values = data(606);
+    let victim = 2;
+    let survivor_values: Vec<f64> = (0..RANKS)
+        .filter(|&r| r != victim)
+        .flat_map(|r| chunk(&values, r).iter().copied())
+        .collect();
+    let exact = repro_core::fp::exact_sum(&survivor_values);
+    let abs_sum: f64 = survivor_values.iter().map(|v| v.abs()).sum();
+    let bound = repro_core::fp::bounds::higham_bound(survivor_values.len(), abs_sum);
+
+    let c = cfg(ReduceTopology::Binomial);
+    let plan = fast(FaultPlan::new(707).with_kill(victim, 1));
+    let report = World::run_report(RANKS, &plan, |comm| {
+        ft_reduce_sum(
+            comm,
+            chunk(&values, comm.rank()),
+            Algorithm::Standard,
+            0,
+            &c,
+        )
+    })
+    .unwrap();
+    let out = report.results[0].as_ref().unwrap();
+    let got = out.value.unwrap();
+    assert!(
+        (got - exact).abs() <= bound,
+        "|{got:e} - {exact:e}| exceeds Higham bound {bound:e}"
+    );
+}
+
+/// The whole fault plane is deterministic: the same seed replays to the
+/// same survivor set and the same bits, which is what makes a chaos failure
+/// report actionable.
+#[test]
+fn same_seed_replays_to_identical_survivors_and_bits() {
+    let values = data(808);
+    let c = cfg(ReduceTopology::Binomial);
+    let run = || {
+        let plan = fast(
+            FaultPlan::new(909)
+                .with_drop(0.1)
+                .with_reorder(0.2)
+                .with_kill(5, 2),
+        );
+        let report = World::run_report(RANKS, &plan, |comm| {
+            ft_reduce_sum(comm, chunk(&values, comm.rank()), Algorithm::PR, 0, &c)
+        })
+        .unwrap();
+        let out = report.results[0].as_ref().unwrap();
+        (out.survivors.clone(), out.value.unwrap().to_bits())
+    };
+    assert_eq!(run(), run());
+}
