@@ -16,12 +16,23 @@
 //! repro-reduce chaos   [--ranks R] [--n N] [--dr D] [--seed S] [--drop P]
 //!                      [--delay P] [--dup P] [--reorder P] [--kill K]
 //!                      [--topology binomial|flat|chain]
+//! repro-reduce trace reduce [--n N] [--k K|inf] [--dr D] [--seed S]
+//!                      [--tolerance T] [--bitwise] [--wall] [--file F] [VALUES...]
+//! repro-reduce trace chaos  [--ranks R] [--n N] [--dr D] [--seed S] [--drop P]
+//!                      [--delay P] [--dup P] [--reorder P] [--kill K]
+//! repro-reduce trace check  --file F
 //! ```
 //!
 //! Values come from positional arguments and/or `--file` (whitespace- or
 //! newline-separated floats; `-` reads stdin). All commands are pure
 //! functions from arguments + input to an output string, so the entire CLI
 //! is unit-testable without spawning processes.
+//!
+//! The `trace` family emits JSON Lines observability events (one per line)
+//! followed by `#`-prefixed human summary lines; `trace check` re-parses a
+//! saved trace and validates the schema contract. `trace chaos` runs a
+//! deterministic communication script, so two runs with the same seed
+//! produce byte-identical event streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,9 +74,15 @@ USAGE:
   repro-reduce chaos   [--ranks R] [--n N] [--dr D] [--seed S] [--drop P]
                        [--delay P] [--dup P] [--reorder P] [--kill K]
                        [--topology binomial|flat|chain]
+  repro-reduce trace reduce [--n N] [--k K|inf] [--dr D] [--seed S]
+                       [--tolerance T] [--bitwise] [--wall] [--file F] [VALUES...]
+  repro-reduce trace chaos  [--ranks R] [--n N] [--dr D] [--seed S] [--drop P]
+                       [--delay P] [--dup P] [--reorder P] [--kill K]
+  repro-reduce trace check  --file F
 
 Values come from positional args and/or --file (whitespace-separated;
-'-' = stdin).";
+'-' = stdin). trace emits JSONL events plus '#' summary lines; with the
+same seed, 'trace chaos' event streams are byte-identical across runs.";
 
 /// Parsed global options shared by value-consuming commands.
 #[derive(Debug, Default)]
@@ -93,6 +110,7 @@ struct Opts {
     reorder: f64,
     kill: usize,
     topology: Option<String>,
+    wall: bool,
 }
 
 fn parse_opts(
@@ -192,6 +210,7 @@ fn parse_opts(
                 o.kill = v.parse().map_err(|_| err(format!("bad --kill: {v:?}")))?
             }
             "--topology" => o.topology = Some(take("--topology")?),
+            "--wall" => o.wall = true,
             _ if a.starts_with("--") => return Err(err(format!("unknown option {a}"))),
             _ => o
                 .values
@@ -246,6 +265,11 @@ pub fn run(
     read_file: &dyn Fn(&str) -> Result<String, CliError>,
 ) -> Result<String, CliError> {
     let (cmd, rest) = args.split_first().ok_or_else(|| err(USAGE))?;
+    // `trace check` consumes --file as raw trace text, not floats, so the
+    // trace family dispatches before the shared option parser runs.
+    if cmd == "trace" {
+        return run_trace(rest, read_file);
+    }
     let o = parse_opts(rest, read_file)?;
     match cmd.as_str() {
         "sum" => {
@@ -554,6 +578,255 @@ fn run_chaos(o: &Opts) -> Result<String, CliError> {
     ))
 }
 
+/// `trace`: the observability family. Dispatches to a subcommand; each one
+/// emits JSON Lines events followed by `#`-prefixed human summary lines.
+fn run_trace(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let (sub, rest) = args
+        .split_first()
+        .ok_or_else(|| err("trace needs a subcommand: reduce|chaos|check"))?;
+    match sub.as_str() {
+        "reduce" => run_trace_reduce(&parse_opts(rest, read_file)?),
+        "chaos" => run_trace_chaos(&parse_opts(rest, read_file)?),
+        "check" => run_trace_check(rest, read_file),
+        other => Err(err(format!(
+            "unknown trace subcommand {other:?} (expected reduce|chaos|check)"
+        ))),
+    }
+}
+
+/// `trace reduce`: run the selector and the threaded runtime over one input
+/// with tracing on. The selector contributes a `decision` record in the
+/// `select` subsystem; the runtime contributes plan-derived `chunk_exec` /
+/// `merge` spans in the `runtime` subsystem (identical for any worker
+/// count); execution facts land in the metrics registry, rendered as `#`
+/// comment lines so the JSONL stream stays deterministic.
+fn run_trace_reduce(o: &Opts) -> Result<String, CliError> {
+    use repro_core::obs::{render_jsonl, Registry, Trace};
+
+    let values: Vec<f64> = if o.values.is_empty() {
+        let n = o.n.unwrap_or(4096);
+        repro_core::gen::grid_cell(n, o.k.unwrap_or(1.0), o.dr, o.seed, 1e16)
+    } else {
+        o.values.clone()
+    };
+    let tol = if o.bitwise || o.tolerance.is_none() {
+        Tolerance::Bitwise
+    } else {
+        tolerance_of(o)?
+    };
+
+    let (trace, sink) = Trace::to_memory();
+    let trace = trace.with_wall_clock(o.wall);
+
+    let mut select_scope = trace.scope("select");
+    let reducer = AdaptiveReducer::heuristic(tol);
+    let outcome = reducer.reduce_traced(&values, &mut select_scope);
+
+    let mut runtime_scope = trace.scope("runtime");
+    let rt = Runtime::new(2);
+    let plan = ReductionPlan::for_len(values.len());
+    let (sum, stats) = rt.reduce_traced(&values, &plan, || BinnedSum::new(3), &mut runtime_scope);
+
+    let registry = Registry::new();
+    stats.publish(&registry, "runtime");
+
+    let mut out = render_jsonl(&sink.drain());
+    out.push_str(&format!(
+        "# trace reduce: n={} selected={} selector sum={:.17e} PR sum={:.17e}\n",
+        values.len(),
+        outcome.algorithm,
+        outcome.sum,
+        sum,
+    ));
+    for line in registry.snapshot().render().lines() {
+        out.push_str("# metric ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.pop();
+    Ok(out)
+}
+
+/// `trace chaos`: a fault-injected distributed gather whose event stream is
+/// a pure function of the seed. Unlike the `chaos` command's fault-tolerant
+/// collective (whose retry/round structure depends on thread timing), this
+/// runs a fixed communication script: every non-root rank sends its chunk
+/// as [`SEGMENTS`] PR-checkpoint strings on predetermined tags, and the root
+/// polls every (rank, segment) slot with directed timed receives in a fixed
+/// order, dropping a rank wholesale on its first timeout. All fault draws
+/// come from per-rank seeded streams, so two runs with the same seed yield
+/// byte-identical JSONL (and PR merging keeps the healed sum bitwise equal
+/// to a sequential reference over the survivor set).
+fn run_trace_chaos(o: &Opts) -> Result<String, CliError> {
+    use repro_core::mpisim::{FaultError, FaultPlan, World};
+    use repro_core::obs::{f, render_jsonl, Trace};
+
+    const SEGMENTS: usize = 4;
+
+    let ranks = o.ranks.unwrap_or(6);
+    let n = o.n.unwrap_or(2048);
+    let mut plan = FaultPlan::new(o.seed)
+        .with_drop(o.drop)
+        .with_delay(o.delay, 1_500)
+        .with_duplicate(o.dup)
+        .with_reorder(o.reorder)
+        .with_timeouts(std::time::Duration::from_millis(10), 2);
+    // Same policy as `chaos`: kill the K highest ranks, never the root.
+    for i in 0..o.kill.min(ranks.saturating_sub(1)) {
+        plan = plan.with_kill(ranks - 1 - i, 3 + i as u64);
+    }
+    plan.validate().map_err(|e| err(e.0))?;
+
+    let values = repro_core::gen::zero_sum_with_range(n, o.dr, o.seed);
+    let per = n.div_ceil(ranks.max(1));
+    let chunk = |rank: usize| -> &[f64] { &values[(rank * per).min(n)..((rank + 1) * per).min(n)] };
+    let tag = |rank: usize, seg: usize| ((rank as u64) << 8) | seg as u64;
+
+    let (report, events) = World::run_report_traced(ranks, &plan, true, |comm| {
+        let rank = comm.rank();
+        let mine = chunk(rank);
+        if rank == 0 {
+            let mut merged = BinnedSum::new(3);
+            merged.add_slice(mine);
+            let mut survivors = vec![0usize];
+            for src in 1..comm.size() {
+                let mut partials = Vec::with_capacity(SEGMENTS);
+                for seg in 0..SEGMENTS {
+                    match comm.recv_timeout::<String>(src, tag(src, seg)) {
+                        Ok(cp) => match BinnedSum::restore(&cp) {
+                            Some(p) => partials.push(p),
+                            None => {
+                                partials.clear();
+                                break;
+                            }
+                        },
+                        Err(FaultError::Timeout { .. }) => {
+                            // A dead or lossy rank: skip its remaining
+                            // segments rather than paying the timeout
+                            // budget three more times.
+                            partials.clear();
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                if partials.len() == SEGMENTS {
+                    for p in &partials {
+                        merged.merge(p);
+                    }
+                    survivors.push(src);
+                }
+            }
+            let sum = merged.finalize();
+            comm.trace_event(
+                "gather_done",
+                vec![
+                    f("survivors", format!("{survivors:?}")),
+                    f("sum_bits", format!("{:016x}", sum.to_bits())),
+                ],
+            );
+            Ok((sum, survivors))
+        } else {
+            let seg_len = mine.len().div_ceil(SEGMENTS).max(1);
+            for seg in 0..SEGMENTS {
+                let lo = (seg * seg_len).min(mine.len());
+                let hi = ((seg + 1) * seg_len).min(mine.len());
+                let mut part = BinnedSum::new(3);
+                part.add_slice(&mine[lo..hi]);
+                comm.try_send(0, tag(rank, seg), part.checkpoint())?;
+            }
+            Ok((0.0, Vec::new()))
+        }
+    })
+    .map_err(|e| err(e.0))?;
+
+    let (sum, survivors) = match &report.results[0] {
+        Ok(v) => v.clone(),
+        Err(e) => return Err(err(format!("root rank failed: {e}"))),
+    };
+
+    // PR finalize is invariant under deposit order and merge trees, so the
+    // segment-merged gather must match a flat sequential pass bitwise.
+    let mut reference = BinnedSum::new(3);
+    for &r in &survivors {
+        reference.add_slice(chunk(r));
+    }
+    let check = if reference.finalize().to_bits() == sum.to_bits() {
+        "OK (bitwise)".to_string()
+    } else {
+        format!("FAIL (reference {:.17e})", reference.finalize())
+    };
+
+    // One selector decision record per traced run: profile the full input
+    // and record what the selector would do for a bitwise budget.
+    let (trace, sink) = Trace::to_memory();
+    let mut select_scope = trace.scope("select");
+    let profile = repro_core::select::profile_parallel(&values);
+    let explanation = repro_core::select::explain(&profile, Tolerance::Bitwise);
+    repro_core::select::record_decision(&mut select_scope, &profile, &explanation);
+    let select_events = sink.drain();
+    let total_events = select_events.len() + events.len();
+
+    let mut out = render_jsonl(&select_events);
+    out.push_str(&render_jsonl(&events));
+    out.push_str(&format!(
+        "# trace chaos: ranks={ranks} n={n} seed={} events={total_events}\n\
+         # ranks: completed={} failed={}\n\
+         # survivors: {survivors:?}\n\
+         # sum: {sum:.17e}\n\
+         # survivor reference (PR fold=3): {check}\n\
+         # replay: repro-reduce trace chaos --ranks {ranks} --n {n} --dr {} --seed {} \
+         --drop {} --delay {} --dup {} --reorder {} --kill {}",
+        o.seed,
+        report.completed,
+        report.failed,
+        o.dr,
+        o.seed,
+        o.drop,
+        o.delay,
+        o.dup,
+        o.reorder,
+        o.kill,
+    ));
+    Ok(out)
+}
+
+/// `trace check`: re-parse a saved trace and enforce the schema contract
+/// (JSON object per line, string `sub`/`kind`, strictly increasing `seq`
+/// per subsystem; `#` comments and blank lines ignored).
+fn run_trace_check(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                i += 1;
+                file = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--file needs a value"))?,
+                );
+            }
+            other => return Err(err(format!("trace check takes only --file, got {other:?}"))),
+        }
+        i += 1;
+    }
+    let path = file.ok_or_else(|| err("trace check requires --file"))?;
+    let text = read_file(&path)?;
+    let summary =
+        repro_core::obs::validate_trace(&text).map_err(|e| err(format!("invalid trace: {e}")))?;
+    Ok(format!(
+        "# trace OK: events={} subsystems={:?}",
+        summary.events, summary.subsystems
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -779,6 +1052,132 @@ mod tests {
         assert!(run_cmd(&["chaos", "--topology", "mesh"]).is_err());
         assert!(run_cmd(&["chaos", "--drop", "1.5"]).is_err());
         assert!(run_cmd(&["chaos", "--ranks", "0"]).is_err());
+    }
+
+    /// JSONL event lines only — the deterministic part of a trace.
+    fn event_lines(out: &str) -> Vec<&str> {
+        out.lines().filter(|l| !l.starts_with('#')).collect()
+    }
+
+    #[test]
+    fn trace_reduce_emits_decision_and_runtime_spans() {
+        let out = run_cmd(&["trace", "reduce", "--n", "512", "--dr", "8", "--seed", "3"]).unwrap();
+        let summary = repro_core::obs::validate_trace(&out).expect("schema");
+        assert_eq!(summary.subsystems, vec!["runtime", "select"]);
+        let events = event_lines(&out);
+        assert!(
+            events.iter().any(|l| l.contains("\"kind\":\"decision\"")),
+            "{out}"
+        );
+        assert!(
+            events.iter().any(|l| l.contains("\"kind\":\"reduce_end\"")),
+            "{out}"
+        );
+        assert!(
+            out.contains("# metric counter runtime.tasks_executed"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn trace_reduce_event_stream_is_deterministic_without_wall_clock() {
+        let args = ["trace", "reduce", "--n", "256", "--k", "inf", "--dr", "4"];
+        let a = run_cmd(&args).unwrap();
+        let b = run_cmd(&args).unwrap();
+        assert_eq!(event_lines(&a), event_lines(&b));
+        assert!(!a.contains("wall_us"), "{a}");
+        let walled = run_cmd(&["trace", "reduce", "--wall", "--n", "64"]).unwrap();
+        assert!(walled.contains("wall_us"), "{walled}");
+    }
+
+    #[test]
+    fn trace_chaos_replays_byte_identically() {
+        let args = [
+            "trace", "chaos", "--ranks", "4", "--n", "256", "--seed", "909", "--drop", "0.3",
+            "--dup", "0.2", "--kill", "1",
+        ];
+        let a = run_cmd(&args).unwrap();
+        let b = run_cmd(&args).unwrap();
+        // Full byte identity — summary lines included — because the script
+        // excludes every timing-dependent quantity.
+        assert_eq!(a, b);
+        let events = event_lines(&a);
+        assert!(
+            events.iter().any(|l| l.contains("\"kind\":\"decision\"")),
+            "{a}"
+        );
+        assert!(
+            events.iter().any(|l| l.contains("\"kind\":\"kill\"")),
+            "{a}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|l| l.contains("\"kind\":\"gather_done\"")),
+            "{a}"
+        );
+        assert!(a.contains("OK (bitwise)"), "{a}");
+        assert!(a.contains("failed=1"), "{a}");
+    }
+
+    #[test]
+    fn trace_chaos_clean_run_keeps_every_rank() {
+        let out = run_cmd(&[
+            "trace", "chaos", "--ranks", "3", "--n", "128", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("# survivors: [0, 1, 2]"), "{out}");
+        assert!(out.contains("OK (bitwise)"), "{out}");
+        repro_core::obs::validate_trace(&out).expect("schema");
+    }
+
+    #[test]
+    fn trace_check_round_trips_a_generated_trace() {
+        let trace =
+            run_cmd(&["trace", "chaos", "--ranks", "3", "--n", "64", "--seed", "8"]).unwrap();
+        let fs = move |path: &str| {
+            if path == "t.jsonl" {
+                Ok(trace.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["trace", "check", "--file", "t.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&args, &fs).unwrap();
+        assert!(out.contains("trace OK"), "{out}");
+        assert!(out.contains("select"), "{out}");
+
+        let bad_fs = |path: &str| {
+            if path == "bad.jsonl" {
+                Ok("{\"sub\":\"x\",\"seq\":1,\"kind\":\"a\"}\n{\"sub\":\"x\",\"seq\":1,\"kind\":\"b\"}".to_string())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["trace", "check", "--file", "bad.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&args, &bad_fs).unwrap_err();
+        assert!(e.0.contains("invalid trace"), "{e}");
+    }
+
+    #[test]
+    fn trace_error_paths() {
+        assert!(run_cmd(&["trace"]).is_err(), "needs subcommand");
+        assert!(run_cmd(&["trace", "bogus"]).is_err(), "unknown subcommand");
+        assert!(run_cmd(&["trace", "check"]).is_err(), "check needs --file");
+        assert!(
+            run_cmd(&["trace", "check", "--seed", "1"]).is_err(),
+            "check rejects stray options"
+        );
+        assert!(
+            run_cmd(&["trace", "chaos", "--drop", "2.0"]).is_err(),
+            "invalid fault probability"
+        );
     }
 
     #[test]

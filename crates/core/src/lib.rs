@@ -18,6 +18,7 @@
 //! | [`tree`] | reduction-tree shapes, permutations, threaded executor |
 //! | [`cancel`] | CESTAC stochastic arithmetic, cancellation tracking |
 //! | [`mpisim`] | message-passing runtime with reduction collectives |
+//! | [`obs`] | deterministic observability: logical-clock events, metrics, JSONL traces |
 //! | [`select`] | profiling + intelligent runtime algorithm selection |
 //! | [`md`] | miniature N-body simulation over selectable reductions (trajectory-divergence demos) |
 //! | [`solver`] | conjugate gradients over selectable inner products (solver-trajectory demos) |
@@ -55,6 +56,7 @@ pub use repro_gen as gen;
 pub use repro_hp as hp;
 pub use repro_md as md;
 pub use repro_mpisim as mpisim;
+pub use repro_obs as obs;
 pub use repro_runtime as runtime;
 pub use repro_select as select;
 pub use repro_solver as solver;

@@ -13,6 +13,7 @@
 
 use crate::fault::{ConfigError, FaultCounters, FaultError, FaultPlan, FaultStats};
 use repro_fp::rng::DetRng;
+use repro_obs::{f, Event, Scope, Trace, Value};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -87,6 +88,12 @@ pub struct Comm {
     /// sequence, so equal counters identify the same collective instance.
     op_counter: u64,
     fault: Option<FaultCtx>,
+    /// This rank's observability scope (`rank<N>`). Disabled unless the
+    /// world was started traced; each rank records into its own per-thread
+    /// buffer, concatenated in rank order after the join — events are
+    /// never interleaved live, which is what keeps a traced run
+    /// byte-identical for deterministic communication scripts.
+    obs: Scope,
 }
 
 impl Comm {
@@ -98,6 +105,19 @@ impl Comm {
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Whether this rank is recording observability events.
+    pub fn tracing(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Record a custom event into this rank's scope (no-op untraced).
+    /// Communication scripts use this to narrate application-level steps —
+    /// merges, heals, checkpoints — alongside the transport's own
+    /// send/recv/fault events, under the same logical clock.
+    pub fn trace_event(&mut self, kind: &str, fields: Vec<(String, Value)>) {
+        self.obs.event(kind, fields);
     }
 
     /// Fresh tag for one collective operation; advances identically on all
@@ -147,10 +167,11 @@ impl Comm {
             if ctx.kill_at.is_some_and(|k| ctx.ops >= k) {
                 ctx.killed_at = Some(ctx.ops);
                 FaultCounters::bump(&ctx.counters.killed);
-                return Err(FaultError::Killed {
-                    rank,
-                    at_op: ctx.ops,
-                });
+                let at_op = ctx.ops;
+                // The kill point is an op count from the seeded plan, so
+                // this event lands at the same logical timestamp every run.
+                self.obs.event("kill", vec![f("at_op", at_op)]);
+                return Err(FaultError::Killed { rank, at_op });
             }
         }
         Ok(())
@@ -158,10 +179,11 @@ impl Comm {
 
     /// Record one healing round (called by the root of a fault-tolerant
     /// collective when it re-plans over survivors).
-    pub(crate) fn note_heal(&self) {
+    pub(crate) fn note_heal(&mut self) {
         if let Some(ctx) = &self.fault {
             FaultCounters::bump(&ctx.counters.heals);
         }
+        self.obs.event("heal", vec![]);
     }
 
     fn note_retry(&self) {
@@ -201,6 +223,7 @@ impl Comm {
             payload,
         };
         let mut duplicate = false;
+        let mut fault_flags = None;
         if let Some(ctx) = &mut self.fault {
             // Fixed draw order keeps the per-rank stream replayable
             // regardless of which faults are enabled.
@@ -222,6 +245,20 @@ impl Comm {
             if duplicate {
                 FaultCounters::bump(&ctx.counters.duplicated);
             }
+            fault_flags = Some((drop, delay, duplicate, reorder));
+        }
+        if self.obs.enabled() {
+            // Fault decisions come from the seeded per-rank stream keyed to
+            // this rank's send sequence, so the flags — not just the send —
+            // replay identically from the seed.
+            let mut fields = vec![f("to", to), f("tag", tag)];
+            if let Some((drop, delay, dup, reorder)) = fault_flags {
+                fields.push(f("drop", drop));
+                fields.push(f("delay", delay));
+                fields.push(f("dup", dup));
+                fields.push(f("reorder", reorder));
+            }
+            self.obs.event("send", fields);
         }
         let delivered = self.senders[to].send(env).is_ok();
         if delivered && duplicate {
@@ -299,7 +336,36 @@ impl Comm {
         self.recv_policy::<T>(tag, from, WaitPolicy::Until(deadline))
     }
 
+    /// Every receive variant funnels through here, so recording at this
+    /// single point covers them all. Outcomes are recorded, attempts are
+    /// not: retry counts depend on thread timing, and the event stream must
+    /// stay deterministic for deterministic communication scripts.
     fn recv_policy<T: Any + Send>(
+        &mut self,
+        tag: u64,
+        from: Option<usize>,
+        policy: WaitPolicy,
+    ) -> Result<(usize, T), FaultError> {
+        let result = self.recv_policy_inner::<T>(tag, from, policy);
+        if self.obs.enabled() {
+            match &result {
+                Ok((src, _)) => self.obs.event("recv", vec![f("tag", tag), f("src", *src)]),
+                Err(FaultError::Timeout { .. }) => {
+                    let mut fields = vec![f("tag", tag)];
+                    if let Some(from) = from {
+                        fields.push(f("from", from));
+                    }
+                    self.obs.event("timeout", fields);
+                }
+                // Killed/torn-down outcomes are narrated elsewhere (the
+                // `kill` event, the world's reap records).
+                Err(_) => {}
+            }
+        }
+        result
+    }
+
+    fn recv_policy_inner<T: Any + Send>(
         &mut self,
         tag: u64,
         from: Option<usize>,
@@ -392,10 +458,28 @@ impl Comm {
             .iter()
             .position(|e| from.map_or(true, |f| f == e.from) && e.payload.is::<T>())?;
         let e = bucket.swap_remove(idx);
-        if bucket.is_empty() {
+        let matched = match e.payload.downcast::<T>() {
+            Ok(v) => Some((e.from, *v)),
+            // The position() predicate already type-checked the payload, so
+            // this arm is unreachable in practice — but a claim must never
+            // be able to panic the rank thread (which would poison the
+            // whole world join), so the envelope goes back instead.
+            Err(payload) => {
+                bucket.push(Envelope {
+                    from: e.from,
+                    tag: e.tag,
+                    dup: e.dup,
+                    deliver_after: e.deliver_after,
+                    drop_until_retry: e.drop_until_retry,
+                    payload,
+                });
+                None
+            }
+        };
+        if self.pending.get(&tag).is_some_and(|b| b.is_empty()) {
             self.pending.remove(&tag);
         }
-        Some((e.from, *e.payload.downcast::<T>().expect("checked")))
+        matched
     }
 
     fn ingest(&mut self, e: Envelope) {
@@ -512,7 +596,7 @@ impl World {
         F: Fn(&mut Comm) -> R + Sync,
     {
         assert!(size >= 1, "world needs at least one rank");
-        Self::spawn(size, |_| None, &f)
+        Self::spawn(size, |_| None, false, &f).0
     }
 
     /// Like [`World::run`] but rejects impossible worlds with an `Err`
@@ -525,7 +609,7 @@ impl World {
         if size == 0 {
             return Err(ConfigError("world needs at least one rank".into()));
         }
-        Ok(Self::spawn(size, |_| None, &f))
+        Ok(Self::spawn(size, |_| None, false, &f).0)
     }
 
     /// Run `f` on `size` ranks under a [`FaultPlan`]. Rank closures return
@@ -541,12 +625,36 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> Result<R, FaultError> + Sync,
     {
+        Self::run_report_traced(size, plan, false, f).map(|(report, _)| report)
+    }
+
+    /// [`World::run_report`] with per-rank observability: when `traced`,
+    /// every rank records its transport events (sends with fault flags,
+    /// receive outcomes, timeouts, kills, heals) plus anything the closure
+    /// adds via [`Comm::trace_event`] into a `rank<N>` scope, and the world
+    /// appends one `reap` record per failed rank under the `world` scope.
+    ///
+    /// Events are buffered per rank thread and concatenated **in rank
+    /// order** after the join, so for a communication script whose sends
+    /// and directed receives are data-independent of thread timing, the
+    /// returned event sequence is a pure function of `(size, plan seed,
+    /// script)` — two runs are byte-identical.
+    pub fn run_report_traced<R, F>(
+        size: usize,
+        plan: &FaultPlan,
+        traced: bool,
+        f: F,
+    ) -> Result<(WorldReport<R>, Vec<Event>), ConfigError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> Result<R, FaultError> + Sync,
+    {
         if size == 0 {
             return Err(ConfigError("world needs at least one rank".into()));
         }
         plan.validate()?;
         let counters = Arc::new(FaultCounters::default());
-        let results = Self::spawn(
+        let (results, mut events) = Self::spawn(
             size,
             |rank| {
                 Some(FaultCtx {
@@ -558,21 +666,44 @@ impl World {
                     killed_at: None,
                 })
             },
+            traced,
             &f,
         );
         let completed = results.iter().filter(|r| r.is_ok()).count();
         let failed = results.len() - completed;
-        Ok(WorldReport {
-            results,
-            completed,
-            failed,
-            retries: counters.retries.load(Ordering::Relaxed),
-            heals: counters.heals.load(Ordering::Relaxed),
-            faults: counters.snapshot(),
-        })
+        if traced {
+            // Reap records: derived from per-rank outcomes in rank order,
+            // after every rank thread has joined — deterministic given the
+            // outcomes themselves are.
+            let (world_trace, world_sink) = Trace::to_memory();
+            let mut world = world_trace.scope("world");
+            for (rank, result) in results.iter().enumerate() {
+                if let Err(e) = result {
+                    world.event(
+                        "reap",
+                        vec![
+                            repro_obs::f("rank", rank),
+                            repro_obs::f("error", e.to_string()),
+                        ],
+                    );
+                }
+            }
+            events.extend(world_sink.drain());
+        }
+        Ok((
+            WorldReport {
+                results,
+                completed,
+                failed,
+                retries: counters.retries.load(Ordering::Relaxed),
+                heals: counters.heals.load(Ordering::Relaxed),
+                faults: counters.snapshot(),
+            },
+            events,
+        ))
     }
 
-    fn spawn<R, F, C>(size: usize, ctx_for_rank: C, f: &F) -> Vec<R>
+    fn spawn<R, F, C>(size: usize, ctx_for_rank: C, traced: bool, f: &F) -> (Vec<R>, Vec<Event>)
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
@@ -591,6 +722,16 @@ impl World {
                 let senders = senders.clone();
                 let ctx_for_rank = &ctx_for_rank;
                 handles.push(scope.spawn(move || {
+                    let sink = if traced {
+                        let (trace, sink) = Trace::to_memory();
+                        Some((trace.scope(format!("rank{rank}")), sink))
+                    } else {
+                        None
+                    };
+                    let (obs, sink) = match sink {
+                        Some((scope, sink)) => (scope, Some(sink)),
+                        None => (Scope::disabled(), None),
+                    };
                     let mut comm = Comm {
                         rank,
                         size,
@@ -600,16 +741,23 @@ impl World {
                         withheld: Vec::new(),
                         op_counter: 0,
                         fault: ctx_for_rank(rank),
+                        obs,
                     };
-                    f(&mut comm)
+                    let result = f(&mut comm);
+                    drop(comm);
+                    (result, sink.map(|s| s.drain()).unwrap_or_default())
                 }));
             }
             // Drop the root copies so channels close when ranks finish.
             drop(senders);
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
+            let mut results = Vec::with_capacity(size);
+            let mut events = Vec::new();
+            for h in handles {
+                let (r, rank_events) = h.join().expect("rank panicked");
+                results.push(r);
+                events.extend(rank_events);
+            }
+            (results, events)
         })
     }
 }
@@ -807,6 +955,63 @@ mod tests {
             Err(FaultError::Killed { rank: 1, .. })
         ));
         assert_eq!(report.completed, 1);
+    }
+
+    /// A deterministic communication script (fixed per-rank send sequence,
+    /// directed receives in fixed order) traced twice must yield the exact
+    /// same event sequence: logical clocks, fault flags, reap records and
+    /// all. This is the transport-level half of the byte-identical-trace
+    /// guarantee; the CLI test asserts it end to end on the JSONL text.
+    #[test]
+    fn traced_chaos_script_replays_identically() {
+        let run = || {
+            let plan = FaultPlan::new(4242)
+                .with_drop(0.4)
+                .with_duplicate(0.4)
+                .with_kill(2, 3)
+                .with_timeouts(Duration::from_millis(5), 3);
+            World::run_report_traced(3, &plan, true, |c| {
+                if c.rank() == 0 {
+                    let mut got = 0u64;
+                    for src in 1..c.size() {
+                        for s in 0..4u64 {
+                            match c.recv_timeout::<u64>(src, (src as u64) << 8 | s) {
+                                Ok(v) => got += v,
+                                Err(FaultError::Timeout { .. }) => break,
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                    c.trace_event("gather_done", vec![f("got", got)]);
+                    Ok(got)
+                } else {
+                    for s in 0..4u64 {
+                        c.try_send(0, (c.rank() as u64) << 8 | s, s + 10)?;
+                    }
+                    Ok(0)
+                }
+            })
+            .unwrap()
+        };
+        let (report_a, events_a) = run();
+        let (report_b, events_b) = run();
+        assert_eq!(report_a.faults, report_b.faults);
+        assert_eq!(events_a, events_b);
+        let text = repro_obs::render_jsonl(&events_a);
+        let summary = repro_obs::validate_trace(&text).unwrap();
+        assert_eq!(summary.events, events_a.len());
+        // Rank 2 was killed at its third op: its kill event and the
+        // world's reap record are part of the deterministic stream.
+        assert!(events_a
+            .iter()
+            .any(|e| e.sub == "rank2" && e.kind == "kill"));
+        assert!(events_a
+            .iter()
+            .any(|e| e.sub == "world" && e.kind == "reap"));
+        // Untraced worlds record nothing.
+        let plan = FaultPlan::new(4242);
+        let (_, none) = World::run_report_traced(2, &plan, false, |c| Ok(c.rank())).unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

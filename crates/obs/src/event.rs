@@ -1,0 +1,245 @@
+//! Structured events and their JSON Lines serialization.
+
+use std::fmt::Write as _;
+
+/// A typed field value. The variants cover everything the instrumented
+/// crates need; serialization is deterministic for all of them (integers
+/// print exactly, floats print via Rust's shortest-round-trip formatter,
+/// non-finite floats degrade to tagged strings because JSON has no
+/// representation for them).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A boolean flag.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (tags, counters).
+    UInt(u64),
+    /// A double. `NaN`/`±inf` serialize as the strings `"nan"`, `"inf"`,
+    /// `"-inf"`.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Build one event field; sugar for the `(String, Value)` pairs
+/// [`crate::Scope::event`] consumes.
+///
+/// ```
+/// use repro_obs::f;
+/// let field = f("chunk", 3usize);
+/// assert_eq!(field.0, "chunk");
+/// ```
+pub fn f(name: &str, value: impl Into<Value>) -> (String, Value) {
+    (name.to_string(), value.into())
+}
+
+/// One structured event: a subsystem, its logical timestamp, an event
+/// kind, optional wall-clock microseconds, and typed fields.
+///
+/// The logical timestamp `seq` is a per-subsystem operation counter
+/// assigned by the recording [`crate::Scope`]; it orders events within a
+/// subsystem deterministically. `wall_us` is populated only when the trace
+/// asked for it — it is the one field excluded from byte-identity
+/// guarantees.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Subsystem name (e.g. `runtime`, `rank3`, `select`, `world`).
+    pub sub: String,
+    /// Logical timestamp: strictly increasing per subsystem.
+    pub seq: u64,
+    /// Event kind (e.g. `send`, `chunk_exec`, `decision`).
+    pub kind: String,
+    /// Wall-clock microseconds since the Unix epoch, if the trace was
+    /// configured with [`crate::Trace::with_wall_clock`].
+    pub wall_us: Option<u64>,
+    /// Typed payload fields, serialized in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Serialize as one JSON object (no trailing newline). Field order is
+    /// `sub`, `seq`, `kind`, then payload fields in insertion order, then
+    /// `wall_us` last (so stripping the wall column is a suffix edit).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push_str("{\"sub\":");
+        push_json_string(&mut out, &self.sub);
+        let _ = write!(out, ",\"seq\":{}", self.seq);
+        out.push_str(",\"kind\":");
+        push_json_string(&mut out, &self.kind);
+        for (name, value) in &self.fields {
+            out.push(',');
+            push_json_string(&mut out, name);
+            out.push(':');
+            push_json_value(&mut out, value);
+        }
+        if let Some(us) = self.wall_us {
+            let _ = write!(out, ",\"wall_us\":{us}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::F64(x) => push_json_f64(out, *x),
+        Value::Str(s) => push_json_string(out, s),
+    }
+}
+
+/// Floats print with Rust's shortest-round-trip `Display` (deterministic
+/// across platforms); JSON cannot represent non-finite values, so those
+/// become tagged strings.
+fn push_json_f64(out: &mut String, x: f64) {
+    if x.is_nan() {
+        out.push_str("\"nan\"");
+    } else if x == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if x == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_fields_in_insertion_order() {
+        let e = Event {
+            sub: "runtime".into(),
+            seq: 7,
+            kind: "chunk_exec".into(),
+            wall_us: None,
+            fields: vec![f("chunk", 3usize), f("len", 4096usize), f("last", true)],
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"sub":"runtime","seq":7,"kind":"chunk_exec","chunk":3,"len":4096,"last":true}"#
+        );
+    }
+
+    #[test]
+    fn wall_clock_column_is_a_suffix() {
+        let mut e = Event {
+            sub: "s".into(),
+            seq: 0,
+            kind: "k".into(),
+            wall_us: None,
+            fields: vec![],
+        };
+        let bare = e.to_json();
+        e.wall_us = Some(123);
+        let walled = e.to_json();
+        assert!(walled.starts_with(bare.trim_end_matches('}')));
+        assert!(walled.ends_with(",\"wall_us\":123}"));
+    }
+
+    #[test]
+    fn escapes_strings_and_tags_nonfinite_floats() {
+        let e = Event {
+            sub: "s".into(),
+            seq: 0,
+            kind: "k".into(),
+            wall_us: None,
+            fields: vec![
+                f("msg", "a \"b\"\n\t\\"),
+                f("inf", f64::INFINITY),
+                f("ninf", f64::NEG_INFINITY),
+                f("nan", f64::NAN),
+                f("x", 0.1f64),
+            ],
+        };
+        let json = e.to_json();
+        assert!(json.contains(r#""msg":"a \"b\"\n\t\\""#), "{json}");
+        assert!(json.contains(r#""inf":"inf""#));
+        assert!(json.contains(r#""ninf":"-inf""#));
+        assert!(json.contains(r#""nan":"nan""#));
+        assert!(json.contains(r#""x":0.1"#));
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 12345.6789e200, -0.0] {
+            let mut s = String::new();
+            push_json_f64(&mut s, x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # `repro-obs` — deterministic observability for reproducible reductions
+//!
+//! The paper's thesis is that a runtime can afford to *observe* its own
+//! reductions and act on what it sees. This crate is the other half of that
+//! bargain: the runtime must also be able to *explain* what it did, and the
+//! explanation must be as reproducible as the arithmetic. Everything here
+//! is built around that constraint:
+//!
+//! * **Events** ([`Event`]) carry a subsystem name, a **logical timestamp**
+//!   (a per-subsystem operation counter, not a wall clock), an event kind,
+//!   and typed fields. Two runs of the same seeded workload produce
+//!   byte-identical event streams; wall-clock time is an *optional* extra
+//!   column ([`Trace::with_wall_clock`]) that tooling strips before
+//!   comparing.
+//! * **Scopes** ([`Scope`]) own one subsystem's counter. A scope is
+//!   single-threaded by construction — concurrency is handled by giving
+//!   each thread (pool worker, simulated rank) its own scope and
+//!   concatenating buffers in a deterministic order afterwards, never by
+//!   interleaving live.
+//! * **Sinks** ([`Sink`]) decouple recording from output: [`MemorySink`]
+//!   for tests and deterministic post-processing, [`JsonlSink`] for
+//!   streaming JSON Lines, [`NoopSink`] so a disabled trace costs one
+//!   branch per call site.
+//! * **Metrics** ([`Registry`]) are counters, gauges, and fixed-bucket
+//!   histograms kept in ordered maps, so a snapshot renders identically on
+//!   every platform.
+//! * **Validation** ([`validate_trace`]) re-parses a JSONL trace with the
+//!   built-in parser ([`json::parse`]) and checks the schema contract:
+//!   every line parses, `sub`/`seq`/`kind` are present and well-typed, and
+//!   logical timestamps are strictly monotone per subsystem.
+//!
+//! The crate is dependency-free (JSON is hand-rolled both ways) so the
+//! instrumented crates pay nothing for it beyond what they use.
+//!
+//! ```
+//! use repro_obs::{f, Trace};
+//!
+//! let (trace, sink) = Trace::to_memory();
+//! let mut scope = trace.scope("runtime");
+//! scope.event("chunk_exec", vec![f("chunk", 0usize), f("len", 4096usize)]);
+//! scope.event("merge", vec![f("step", 0usize)]);
+//!
+//! let text = repro_obs::render_jsonl(&sink.drain());
+//! let summary = repro_obs::validate_trace(&text).unwrap();
+//! assert_eq!(summary.events, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+mod metrics;
+mod sink;
+mod trace;
+
+pub use event::{f, Event, Value};
+pub use json::{validate_trace, Json, TraceSummary};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry, TIME_BUCKET_EDGES_US};
+pub use sink::{render_jsonl, JsonlSink, MemorySink, NoopSink, Sink};
+pub use trace::{Scope, Trace};

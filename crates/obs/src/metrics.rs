@@ -1,0 +1,218 @@
+//! Counters, gauges, and fixed-bucket histograms with deterministic
+//! snapshots.
+//!
+//! Metrics complement the event stream: events answer "what happened, in
+//! what order", metrics answer "how much, how long". Timing metrics are
+//! inherently nondeterministic, which is why they live *here* and not in
+//! the event stream — the registry is the designated home for values that
+//! vary run to run, keeping the events byte-identical.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Bucket edges (microseconds) for latency-style histograms: roughly
+/// logarithmic from 1 µs to 10 s. Fixed so that two snapshots of the same
+/// workload are structurally comparable.
+pub const TIME_BUCKET_EDGES_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// A histogram with caller-fixed bucket edges. `counts[i]` counts samples
+/// `<= edges[i]`; one extra overflow bucket counts the rest.
+#[derive(Clone, Debug)]
+struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    fn new(edges: &[u64]) -> Self {
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+/// A point-in-time copy of one histogram, for rendering and assertions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket edges (inclusive); the final implicit bucket is `+inf`.
+    pub edges: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == edges.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+}
+
+/// A point-in-time copy of the whole registry. Maps are ordered, so
+/// [`MetricsSnapshot::render`] is deterministic given the same values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Render as stable, human-readable lines (`name value` for counters
+    /// and gauges; `name count=N sum=S` for histograms), sorted by name.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "histogram {name} count={} sum={}", h.count, h.sum);
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe metrics registry: monotone counters, last-write-wins
+/// gauges, and fixed-bucket histograms, all keyed by name in ordered maps.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut RegistryInner) -> R) -> R {
+        match self.inner.lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(poisoned) => f(&mut poisoned.into_inner()),
+        }
+    }
+
+    /// Add `delta` to the counter `name` (creating it at zero first).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with_inner(|inner| {
+            *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+        });
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with_inner(|inner| {
+            inner.gauges.insert(name.to_string(), value);
+        });
+    }
+
+    /// Record one sample into the histogram `name`. The histogram is
+    /// created with `edges` on first use; later calls reuse the existing
+    /// buckets (the edges argument is ignored then, so call sites should
+    /// agree — typically by sharing [`TIME_BUCKET_EDGES_US`]).
+    pub fn observe(&self, name: &str, edges: &[u64], value: u64) {
+        self.with_inner(|inner| {
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(edges))
+                .observe(value);
+        });
+    }
+
+    /// Copy out every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with_inner(|inner| MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            edges: h.edges.clone(),
+                            counts: h.counts.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                        },
+                    )
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.counter_add("runtime.steals", 2);
+        r.counter_add("runtime.steals", 3);
+        r.gauge_set("runtime.workers", 4.0);
+        r.gauge_set("runtime.workers", 8.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["runtime.steals"], 5);
+        assert_eq!(snap.gauges["runtime.workers"], 8.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_edge() {
+        let r = Registry::new();
+        let edges = &[10, 100];
+        r.observe("lat", edges, 10); // first bucket (<= 10)
+        r.observe("lat", edges, 11); // second bucket
+        r.observe("lat", edges, 1_000); // overflow bucket
+        let h = &r.snapshot().histograms["lat"];
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1_021);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.counter_add("b", 1);
+        r.counter_add("a", 1);
+        r.gauge_set("g", 0.5);
+        r.observe("h", TIME_BUCKET_EDGES_US, 42);
+        let text = r.snapshot().render();
+        assert_eq!(
+            text,
+            "counter a 1\ncounter b 1\ngauge g 0.5\nhistogram h count=1 sum=42\n"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Where recorded events go: nowhere, memory, or a JSONL writer.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A destination for recorded events. Implementations must be
+/// thread-safe: scopes on different threads may share one sink.
+pub trait Sink: Send + Sync {
+    /// Accept one event.
+    fn record(&self, event: Event);
+}
+
+/// Discards everything. The disabled-trace path: one virtual call that
+/// does nothing (and [`crate::Scope`] short-circuits before even building
+/// the event, so the field vectors are never allocated).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffers events in memory — the test sink, and the deterministic
+/// post-processing sink (buffer per thread, concatenate in a fixed order,
+/// then serialize).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take every buffered event, leaving the sink empty.
+    pub fn drain(&self) -> Vec<Event> {
+        match self.events.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match self.events.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: Event) {
+        match self.events.lock() {
+            Ok(mut guard) => guard.push(event),
+            Err(poisoned) => poisoned.into_inner().push(event),
+        }
+    }
+}
+
+/// Streams each event as one JSON line to a writer. Write errors cannot be
+/// surfaced through [`Sink::record`]; they are remembered and queryable
+/// via [`JsonlSink::had_error`] instead of panicking mid-trace.
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<(W, bool)>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            inner: Mutex::new((writer, false)),
+        }
+    }
+
+    /// Whether any write failed since construction.
+    pub fn had_error(&self) -> bool {
+        match self.inner.lock() {
+            Ok(guard) => guard.1,
+            Err(poisoned) => poisoned.into_inner().1,
+        }
+    }
+
+    /// Flush and return the writer.
+    pub fn into_inner(self) -> W {
+        let (mut w, _) = match self.inner.into_inner() {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: Event) {
+        let line = event.to_json();
+        match self.inner.lock() {
+            Ok(mut guard) => {
+                if writeln!(guard.0, "{line}").is_err() {
+                    guard.1 = true;
+                }
+            }
+            Err(poisoned) => {
+                let guard = &mut *poisoned.into_inner();
+                if writeln!(guard.0, "{line}").is_err() {
+                    guard.1 = true;
+                }
+            }
+        }
+    }
+}
+
+/// Render a slice of events as JSON Lines (one event per line, trailing
+/// newline after the last).
+pub fn render_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::f;
+
+    fn event(seq: u64) -> Event {
+        Event {
+            sub: "t".into(),
+            seq,
+            kind: "k".into(),
+            wall_us: None,
+            fields: vec![f("i", seq)],
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        sink.record(event(0));
+        sink.record(event(1));
+        assert_eq!(sink.len(), 2);
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.record(event(0));
+        sink.record(event(1));
+        assert!(!sink.had_error());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn render_jsonl_matches_jsonl_sink_output() {
+        let events = vec![event(0), event(1)];
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        for e in &events {
+            sink.record(e.clone());
+        }
+        let streamed = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(render_jsonl(&events), streamed);
+    }
+}

@@ -318,6 +318,124 @@ impl Runtime {
         (result, stats)
     }
 
+    /// Like [`Runtime::reduce_planned`] with [`MergeOrder::Plan`], but
+    /// narrating the call into an observability scope: a `reduce_begin`
+    /// event with the plan shape, one `chunk_exec` event per chunk **in
+    /// plan order** (regardless of which worker ran it when), one `merge`
+    /// event per merge step in the fixed tree order, and a `reduce_end`
+    /// event carrying the result's bit pattern.
+    ///
+    /// Because the merge order, the chunk boundaries, and the event order
+    /// all derive from the plan alone, the emitted events are
+    /// byte-identical across runs and worker counts. Nondeterministic
+    /// facts (steals, wall times) are deliberately left out of the event
+    /// stream; publish the returned [`RuntimeStats`] into a
+    /// [`repro_obs::Registry`] for those.
+    pub fn reduce_traced<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        scope: &mut repro_obs::Scope,
+    ) -> (f64, RuntimeStats)
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
+        use repro_obs::f;
+        assert_eq!(
+            plan.len(),
+            values.len(),
+            "plan covers {} elements but {} were supplied",
+            plan.len(),
+            values.len()
+        );
+        // Deliberately no worker count here: the event stream must be
+        // invariant across pool sizes, and `workers` is an execution fact,
+        // not a plan fact — it lives in RuntimeStats/the registry.
+        scope.event(
+            "reduce_begin",
+            vec![
+                f("n", values.len()),
+                f("chunks", plan.num_chunks()),
+                f("merge_depth", plan.merge_depth()),
+            ],
+        );
+        let t0 = Instant::now();
+        let before = self.pool.counters();
+        let chunk_nanos = AtomicU64::new(0);
+
+        let slots: Vec<Option<A>> = self.pool.scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, A)>();
+            for (i, range) in plan.chunks().iter().enumerate() {
+                let tx = tx.clone();
+                let make = &make;
+                let chunk = &values[range.clone()];
+                let chunk_nanos = &chunk_nanos;
+                s.spawn(move || {
+                    let t = Instant::now();
+                    let acc = ChunkKernel::Scalar.run(make, chunk);
+                    chunk_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let _ = tx.send((i, acc));
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<A>> = (0..plan.num_chunks()).map(|_| None).collect();
+            for (i, part) in rx.iter() {
+                slots[i] = Some(part);
+            }
+            slots
+        });
+
+        // Narrate chunk completion in plan order, after the barrier: the
+        // workers raced, the story must not.
+        for (i, range) in plan.chunks().iter().enumerate() {
+            scope.event(
+                "chunk_exec",
+                vec![
+                    f("chunk", i),
+                    f("start", range.start),
+                    f("len", range.len()),
+                ],
+            );
+        }
+
+        let t = Instant::now();
+        let mut merges = 0usize;
+        let result = merge_in_plan_order(slots, |a: &mut A, b: &A| {
+            scope.event("merge", vec![f("step", merges)]);
+            merges += 1;
+            a.merge(b);
+        })
+        .expect("plan has at least one chunk");
+        let merge_time = t.elapsed();
+
+        let sum = result.finalize();
+        scope.event(
+            "reduce_end",
+            vec![
+                f("merges", merges),
+                f("sum_bits", format!("{:016x}", sum.to_bits())),
+            ],
+        );
+
+        let after = self.pool.counters();
+        let stats = RuntimeStats {
+            workers: self.pool.workers(),
+            chunks: plan.num_chunks(),
+            tasks_executed: after.executed.saturating_sub(before.executed),
+            steals: after.stolen.saturating_sub(before.stolen),
+            merge_depth: plan.merge_depth(),
+            chunk_time: Duration::from_nanos(chunk_nanos.load(Ordering::Relaxed)),
+            merge_time,
+            total_time: t0.elapsed(),
+            retries: 0,
+            heals: 0,
+            checkpoint_restores: 0,
+        };
+        (sum, stats)
+    }
+
     /// Resumable reduction with checkpointed partials: every completed
     /// chunk's accumulator is snapshotted into `store` at the merge
     /// boundary, chunks already checkpointed are restored instead of
@@ -710,6 +828,54 @@ mod tests {
             .accumulate_resumable(&values, &plan, StandardSum::new, &mut store, None)
             .unwrap_err();
         assert!(matches!(err, EngineError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn traced_reduce_matches_plain_and_replays_identically() {
+        use repro_obs::{render_jsonl, Trace};
+        let values = data(30_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 2048);
+        let rt = Runtime::new(4);
+        let plain = rt.reduce_planned(&values, &plan, || BinnedSum::new(3), MergeOrder::Plan);
+
+        let run = |workers: usize| {
+            let rt = Runtime::new(workers);
+            let (trace, sink) = Trace::to_memory();
+            let mut scope = trace.scope("runtime");
+            let (sum, stats) = rt.reduce_traced(&values, &plan, || BinnedSum::new(3), &mut scope);
+            assert_eq!(stats.chunks, plan.num_chunks());
+            (sum, render_jsonl(&sink.drain()))
+        };
+        let (sum_a, trace_a) = run(4);
+        let (sum_b, trace_b) = run(7);
+        assert_eq!(sum_a.to_bits(), plain.to_bits());
+        assert_eq!(sum_b.to_bits(), plain.to_bits());
+        // The event stream depends only on the plan, not the worker count.
+        assert_eq!(trace_a, trace_b);
+        let summary = repro_obs::validate_trace(&trace_a).unwrap();
+        assert_eq!(summary.subsystems, vec!["runtime".to_string()]);
+        // begin + chunks + (chunks-1) merges + end
+        assert_eq!(summary.events, 2 * plan.num_chunks() + 1);
+    }
+
+    #[test]
+    fn stats_publish_into_a_registry() {
+        let rt = Runtime::new(2);
+        let values = data(10_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 1024);
+        let (_, stats) = rt.reduce_stats(
+            &values,
+            &plan,
+            StandardSum::new,
+            MergeOrder::Plan,
+            ChunkKernel::Scalar,
+        );
+        let registry = repro_obs::Registry::new();
+        stats.publish(&registry, "runtime");
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["runtime.workers"], 2.0);
+        assert!(snap.counters["runtime.tasks_executed"] >= plan.num_chunks() as u64);
+        assert_eq!(snap.histograms["runtime.total_time_us"].count, 1);
     }
 
     #[test]

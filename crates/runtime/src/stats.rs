@@ -37,6 +37,36 @@ pub struct RuntimeStats {
     pub checkpoint_restores: u64,
 }
 
+impl RuntimeStats {
+    /// Publish this call's counters into a metrics registry under
+    /// `prefix` (e.g. `runtime`). Counts accumulate across calls; sizing
+    /// facts (workers, chunks, merge depth) are gauges; wall times go to
+    /// fixed-bucket latency histograms. Timing and steal counts are
+    /// nondeterministic, which is exactly why they are published here and
+    /// *not* into the deterministic event stream.
+    pub fn publish(&self, registry: &repro_obs::Registry, prefix: &str) {
+        registry.gauge_set(&format!("{prefix}.workers"), self.workers as f64);
+        registry.gauge_set(&format!("{prefix}.chunks"), self.chunks as f64);
+        registry.gauge_set(&format!("{prefix}.merge_depth"), self.merge_depth as f64);
+        registry.counter_add(&format!("{prefix}.tasks_executed"), self.tasks_executed);
+        registry.counter_add(&format!("{prefix}.steals"), self.steals);
+        registry.counter_add(&format!("{prefix}.retries"), self.retries);
+        registry.counter_add(&format!("{prefix}.heals"), self.heals);
+        registry.counter_add(
+            &format!("{prefix}.checkpoint_restores"),
+            self.checkpoint_restores,
+        );
+        let edges = repro_obs::TIME_BUCKET_EDGES_US;
+        for (name, d) in [
+            ("chunk_time_us", self.chunk_time),
+            ("merge_time_us", self.merge_time),
+            ("total_time_us", self.total_time),
+        ] {
+            registry.observe(&format!("{prefix}.{name}"), edges, d.as_micros() as u64);
+        }
+    }
+}
+
 impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

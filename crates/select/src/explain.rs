@@ -113,6 +113,44 @@ pub fn explain(profile: &DataProfile, tolerance: Tolerance) -> Explanation {
     }
 }
 
+/// Emit one selection as a structured `decision` event: the input profile
+/// (the estimable quantities the choice was based on), the resolved
+/// budget, every candidate's predicted spread / relative cost / verdict
+/// (cheapest first, keyed by the algorithm's abbreviation), and the chosen
+/// algorithm. One event per selector invocation — the machine-readable
+/// counterpart of [`Explanation::render`].
+pub fn record_decision(
+    scope: &mut repro_obs::Scope,
+    profile: &DataProfile,
+    explanation: &Explanation,
+) {
+    use repro_obs::f;
+    if !scope.enabled() {
+        return;
+    }
+    let mut fields = vec![
+        f("n", profile.n),
+        f("k", profile.k),
+        f("dr_binades", profile.dr_binades),
+        f("max_abs", profile.max_abs),
+        f("abs_sum", profile.abs_sum),
+        f("sum_estimate", profile.sum_estimate),
+        f("tolerance", format!("{:?}", explanation.tolerance)),
+        match explanation.budget {
+            Some(b) => f("budget", b),
+            None => f("budget", "bitwise"),
+        },
+    ];
+    for c in &explanation.candidates {
+        let key = c.algorithm.abbrev();
+        fields.push(f(&format!("{key}_spread"), c.predicted_spread));
+        fields.push(f(&format!("{key}_cost"), c.relative_cost));
+        fields.push(f(&format!("{key}_fits"), c.fits));
+    }
+    fields.push(f("chosen", explanation.chosen.abbrev()));
+    scope.event("decision", fields);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +213,33 @@ mod tests {
         assert!(text.contains("CHOSEN"), "{text}");
         assert!(text.contains(&e.chosen.to_string()), "{text}");
         assert!(text.contains("exceeds budget"), "{text}");
+    }
+
+    #[test]
+    fn decision_record_carries_profile_candidates_and_choice() {
+        let values = [3.14e16, 1.59, -3.14e16, -1.59];
+        let p = profile(&values);
+        let e = explain(&p, Tolerance::AbsoluteSpread(1e-12));
+        let (trace, sink) = repro_obs::Trace::to_memory();
+        let mut scope = trace.scope("select");
+        record_decision(&mut scope, &p, &e);
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        let json = events[0].to_json();
+        let parsed = repro_obs::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("decision"));
+        assert_eq!(parsed.get("n").unwrap().as_num(), Some(4.0));
+        assert_eq!(
+            parsed.get("chosen").unwrap().as_str(),
+            Some(e.chosen.abbrev())
+        );
+        // Every candidate appears with spread, cost, and verdict.
+        for c in &e.candidates {
+            let key = c.algorithm.abbrev();
+            assert!(parsed.get(&format!("{key}_spread")).is_some(), "{json}");
+            assert!(parsed.get(&format!("{key}_cost")).is_some(), "{json}");
+            assert!(parsed.get(&format!("{key}_fits")).is_some(), "{json}");
+        }
     }
 
     #[test]

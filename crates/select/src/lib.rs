@@ -59,7 +59,7 @@ pub mod verified;
 
 pub use calibrate::{calibrate, CalibrationConfig, CalibrationTable};
 pub use cost::CostModel;
-pub use explain::{explain, Explanation};
+pub use explain::{explain, record_decision, Explanation};
 pub use profile::{profile, profile_parallel, DataProfile};
 use repro_sum::{Accumulator, Algorithm};
 pub use selector::{HeuristicSelector, SampledSelector, Selector, Tolerance};
@@ -126,6 +126,27 @@ impl AdaptiveReducer {
     /// Profile, select, and sequentially reduce.
     pub fn reduce(&self, values: &[f64]) -> Outcome {
         let (algorithm, profile) = self.choose(values);
+        let mut acc = algorithm.new_accumulator();
+        acc.add_slice(values);
+        Outcome {
+            sum: acc.finalize(),
+            algorithm,
+            profile,
+        }
+    }
+
+    /// Like [`AdaptiveReducer::reduce`], but emitting one `decision`
+    /// event into `scope` for the selection (see
+    /// [`explain::record_decision`]) before reducing. The record's
+    /// candidate table always comes from the analytic heuristic audit;
+    /// its `chosen` field is *this reducer's* actual choice, so a
+    /// calibrated selector that disagrees with the heuristic is recorded
+    /// faithfully.
+    pub fn reduce_traced(&self, values: &[f64], scope: &mut repro_obs::Scope) -> Outcome {
+        let (algorithm, profile) = self.choose(values);
+        let mut explanation = explain::explain(&profile, self.tolerance);
+        explanation.chosen = algorithm;
+        explain::record_decision(scope, &profile, &explanation);
         let mut acc = algorithm.new_accumulator();
         acc.add_slice(values);
         Outcome {

@@ -2,14 +2,28 @@
 //!
 //! The paper's premise is that `n`, `k`, and `dr` are "estimable quantities"
 //! a runtime can afford to compute. This profiler does it in one pass of
-//! compensated arithmetic: the condition-number estimate uses composite-
-//! precision sums of `x` and `|x|`, so it is itself reliable on exactly the
-//! ill-conditioned inputs where it matters.
+//! high-precision arithmetic: the condition-number estimate uses binned
+//! (ReproBLAS-style) sums of `x` and `|x|`, so it is itself reliable on
+//! exactly the ill-conditioned inputs where it matters — and, because the
+//! binned representation merges bitwise-reproducibly under *any* merge
+//! tree, a profile assembled from chunk partials is bit-identical to the
+//! profile of the whole dataset no matter how the partials were grouped.
 
 use repro_fp::ulp::exponent;
-use repro_sum::{Accumulator, CompositeSum};
+use repro_sum::{Accumulator, BinnedSum};
+
+/// Fold depth of the embedded binned accumulators: three 40-bit bins give
+/// ~120 bits of significand window, far more than the profile's accuracy
+/// needs, at 2×(fold+1) words of per-profile state.
+const PROFILE_FOLD: usize = 3;
 
 /// The profile the selector consumes.
+///
+/// The derived sums (`sum_estimate`, `abs_sum`, `k`) are plain doubles for
+/// the selector's convenience; the profile also carries the underlying
+/// binned accumulator state privately so that [`DataProfile::merge`] can
+/// recombine partials without collapsing precision. That is what makes
+/// merging associative *in bits*, not just approximately.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DataProfile {
     /// Number of values.
@@ -29,6 +43,11 @@ pub struct DataProfile {
     pub min_exp: i32,
     /// Largest binary exponent seen (`i32::MIN` when no nonzero values).
     pub max_exp: i32,
+    /// Binned accumulator for `Σx` — the full-precision residue carrier
+    /// behind `sum_estimate`.
+    sum_bins: BinnedSum,
+    /// Binned accumulator for `Σ|x|` behind `abs_sum`.
+    abs_bins: BinnedSum,
 }
 
 impl DataProfile {
@@ -47,9 +66,15 @@ impl DataProfile {
     /// rank profiles its chunk, the profiles reduce, every rank selects
     /// from the same global profile).
     ///
-    /// `n`, `Σ|x|`, `Σx`, and `max|x|` combine exactly/associatively; the
-    /// dynamic range combines via the tracked extreme exponents; `k` is
-    /// recomputed from the merged sums.
+    /// `n`, `max|x|`, and the extreme exponents combine exactly; `Σx` and
+    /// `Σ|x|` combine by merging the underlying binned accumulators, which
+    /// is bitwise order- and grouping-independent — so any permutation of
+    /// chunk partials, merged under any tree, reproduces the serial
+    /// [`profile`] of the whole dataset bit for bit. (The previous
+    /// implementation collapsed each partial to a double and re-summed
+    /// with `two_sum`, which rounded away the residues and made the merged
+    /// profile depend on merge order.) `k` is recomputed from the merged
+    /// sums.
     pub fn merge(&mut self, other: &Self) {
         if other.n == 0 {
             return;
@@ -59,11 +84,10 @@ impl DataProfile {
             return;
         }
         self.n += other.n;
-        // Recombine sums in compensated arithmetic via two_sum residues.
-        let (s, e) = repro_fp::two_sum(self.sum_estimate, other.sum_estimate);
-        self.sum_estimate = s + e;
-        let (a, ea) = repro_fp::two_sum(self.abs_sum, other.abs_sum);
-        self.abs_sum = a + ea;
+        self.sum_bins.merge(&other.sum_bins);
+        self.abs_bins.merge(&other.abs_bins);
+        self.sum_estimate = self.sum_bins.finalize();
+        self.abs_sum = self.abs_bins.finalize();
         self.max_abs = self.max_abs.max(other.max_abs);
         self.min_exp = self.min_exp.min(other.min_exp);
         self.max_exp = self.max_exp.max(other.max_exp);
@@ -72,22 +96,29 @@ impl DataProfile {
         } else {
             self.max_exp - self.min_exp
         };
-        self.k = if self.sum_estimate == 0.0 {
-            if self.abs_sum == 0.0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
+        self.k = condition_estimate(self.sum_estimate, self.abs_sum);
+    }
+}
+
+/// `k̂ = Σ|x| / |Σx|` with the degenerate cases pinned: an exactly
+/// cancelling sum is infinitely ill-conditioned, an all-zero (or empty)
+/// dataset is trivially well-conditioned.
+fn condition_estimate(sum: f64, abs_sum: f64) -> f64 {
+    if sum == 0.0 {
+        if abs_sum == 0.0 {
+            1.0
         } else {
-            self.abs_sum / self.sum_estimate.abs()
-        };
+            f64::INFINITY
+        }
+    } else {
+        abs_sum / sum.abs()
     }
 }
 
 /// Profile a dataset in one pass.
 pub fn profile(values: &[f64]) -> DataProfile {
-    let mut sum = CompositeSum::new();
-    let mut abs = CompositeSum::new();
+    let mut sum = BinnedSum::new(PROFILE_FOLD);
+    let mut abs = BinnedSum::new(PROFILE_FOLD);
     let mut min_e = i32::MAX;
     let mut max_e = i32::MIN;
     let mut max_abs = 0.0f64;
@@ -102,26 +133,17 @@ pub fn profile(values: &[f64]) -> DataProfile {
     }
     let s = sum.finalize();
     let a = abs.finalize();
-    let k = if values.is_empty() {
-        1.0
-    } else if s == 0.0 {
-        if a == 0.0 {
-            1.0 // all zeros: trivially well-conditioned
-        } else {
-            f64::INFINITY
-        }
-    } else {
-        a / s.abs()
-    };
     DataProfile {
         n: values.len(),
-        k,
+        k: condition_estimate(s, a),
         dr_binades: if min_e == i32::MAX { 0 } else { max_e - min_e },
         max_abs,
         abs_sum: a,
         sum_estimate: s,
         min_exp: min_e,
         max_exp: max_e,
+        sum_bins: sum,
+        abs_bins: abs,
     }
 }
 
@@ -166,8 +188,12 @@ mod tests {
         assert_eq!(par.min_exp, seq.min_exp);
         assert_eq!(par.max_exp, seq.max_exp);
         assert_eq!(par.dr_binades, seq.dr_binades);
-        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(f64::MIN_POSITIVE);
-        assert!(rel(par.abs_sum, seq.abs_sum) < 1e-12);
+        // Binned accumulators merge bitwise-reproducibly, so the parallel
+        // profile matches the serial one bit for bit — not just within a
+        // tolerance.
+        assert_eq!(par.abs_sum.to_bits(), seq.abs_sum.to_bits());
+        assert_eq!(par.sum_estimate.to_bits(), seq.sum_estimate.to_bits());
+        assert_eq!(par.k.to_bits(), seq.k.to_bits());
         // Deterministic: chunk boundaries depend only on the length.
         let again = profile_parallel(&values);
         assert_eq!(par.sum_estimate.to_bits(), again.sum_estimate.to_bits());

@@ -120,7 +120,7 @@ fn bin_of_exponent(e: i32) -> i32 {
 /// // Bitwise identical regardless of order:
 /// assert_eq!(forward.finalize().to_bits(), backward.finalize().to_bits());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BinnedSum {
     fold: usize,
     /// Absolute bin index of the window's top slot (the headroom bin);
@@ -378,7 +378,7 @@ impl Accumulator for BinnedSum {
         }
         if self.index < 0 {
             let flags = (self.nan, self.pos_inf, self.neg_inf, self.range_overflow);
-            *self = other.clone();
+            *self = *other;
             self.nan = flags.0;
             self.pos_inf = flags.1;
             self.neg_inf = flags.2;
@@ -390,7 +390,7 @@ impl Accumulator for BinnedSum {
             self.fold, other.fold,
             "cannot merge BinnedSum accumulators of different folds"
         );
-        let mut rhs = other.clone();
+        let mut rhs = *other;
         rhs.renormalize();
         self.renormalize();
         if rhs.index < self.index {

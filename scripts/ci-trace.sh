@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Observability smoke: run the traced commands, validate the JSONL schema
+# with the CLI's own checker, and prove the headline guarantee — a seeded
+# chaos trace replays byte-identically. Traces land in target/traces/ so CI
+# can upload them as an artifact (and a red run ships the evidence).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TRACE_DIR=target/traces
+mkdir -p "$TRACE_DIR"
+
+run() { cargo run --release -q -p repro-cli --bin repro-reduce -- "$@"; }
+
+echo "== build (release) =="
+cargo build --release -p repro-cli
+
+echo "== traced smoke reduction =="
+run trace reduce --n 4096 --k inf --dr 12 --seed 2015 > "$TRACE_DIR/reduce.jsonl"
+grep -q '"kind":"decision"' "$TRACE_DIR/reduce.jsonl" \
+  || { echo "traced reduction carried no selector decision record" >&2; exit 1; }
+grep -q '"kind":"reduce_end"' "$TRACE_DIR/reduce.jsonl" \
+  || { echo "traced reduction carried no runtime spans" >&2; exit 1; }
+
+echo "== schema check (reduce) =="
+run trace check --file "$TRACE_DIR/reduce.jsonl"
+
+echo "== traced chaos, twice, fixed seed =="
+CHAOS_ARGS=(trace chaos --ranks 6 --n 2048 --dr 12 --seed 2015 --drop 0.2 --dup 0.1 --kill 1)
+run "${CHAOS_ARGS[@]}" > "$TRACE_DIR/chaos-a.jsonl"
+run "${CHAOS_ARGS[@]}" > "$TRACE_DIR/chaos-b.jsonl"
+
+echo "== schema check (chaos) =="
+run trace check --file "$TRACE_DIR/chaos-a.jsonl"
+
+echo "== replay determinism (byte-for-byte) =="
+diff "$TRACE_DIR/chaos-a.jsonl" "$TRACE_DIR/chaos-b.jsonl" \
+  || { echo "seeded chaos trace failed to replay byte-identically" >&2; exit 1; }
+
+grep -q "survivor reference (PR fold=3): OK (bitwise)" "$TRACE_DIR/chaos-a.jsonl" \
+  || { echo "traced chaos run lost bitwise reproducibility" >&2; exit 1; }
+grep -q '"kind":"decision"' "$TRACE_DIR/chaos-a.jsonl" \
+  || { echo "traced chaos run carried no selector decision record" >&2; exit 1; }
+
+echo "== trace OK =="
