@@ -9,8 +9,9 @@
 //! * [`dd`] — [`dd::DoubleDouble`], an unevaluated sum of two `f64`s giving
 //!   roughly 106 bits of significand. This is the "composite precision"
 //!   carrier type of the paper, and the double-double type of He & Ding.
-//! * [`ulp`] — exponent extraction, unit-in-the-last-place computation, and
-//!   neighbour traversal for `f64`, including full subnormal handling.
+//! * [`ulp`] — exponent extraction, unit-in-the-last-place computation,
+//!   neighbour traversal, and sign-aware total-order ulp distances
+//!   ([`ulp::ulp_distance`]) for `f64`, including full subnormal handling.
 //! * [`superacc`] — [`superacc::Superaccumulator`], a Kulisch-style wide
 //!   fixed-point accumulator that adds *any* sequence of finite `f64` values
 //!   **exactly** and rounds to `f64` correctly (round-to-nearest-even) exactly
@@ -59,3 +60,4 @@ pub use expansion::{expansion_sum, Expansion};
 pub use hexfloat::{format_hex, parse_hex};
 pub use interval::{interval_sum, Interval};
 pub use superacc::Superaccumulator;
+pub use ulp::ulp_distance;

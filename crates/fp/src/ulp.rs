@@ -107,6 +107,58 @@ pub fn next_down(x: f64) -> f64 {
     -next_up(-x)
 }
 
+/// Map a non-NaN `f64` onto the sign-aware total order of representable
+/// values: negative values map below positive ones, adjacent representable
+/// values map to adjacent integers, and `-0.0`/`+0.0` occupy two adjacent
+/// slots in the middle.
+#[inline]
+fn total_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1u64 << 63)
+    }
+}
+
+/// Number of representable `f64` values strictly between `a` and `b` plus
+/// one — the "ulp distance" used by divergence forensics.
+///
+/// Semantics:
+///
+/// * `a == b` returns 0 (so `-0.0` vs `+0.0` is 0, matching `==`).
+/// * Otherwise the distance is measured along the sign-aware total order,
+///   which counts **both** zeros: `ulp_distance(-MIN_SUB, MIN_SUB) == 3`
+///   (`-min_sub → -0.0 → +0.0 → +min_sub`).
+/// * Infinities sit at the ends of the order: `ulp_distance(f64::MAX,
+///   f64::INFINITY) == 1`.
+/// * NaN never compares close to anything: any NaN operand yields
+///   `u64::MAX`, except two NaNs with identical bit patterns, which yield
+///   0 (same stored value, e.g. comparing a node's `sum_bits` field
+///   against itself).
+///
+/// ```
+/// use repro_fp::ulp::{next_up, ulp_distance};
+/// assert_eq!(ulp_distance(1.0, 1.0), 0);
+/// assert_eq!(ulp_distance(1.0, next_up(1.0)), 1);
+/// assert_eq!(ulp_distance(next_up(1.0), 1.0), 1);
+/// assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+/// ```
+#[inline]
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return if a.to_bits() == b.to_bits() {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    if a == b {
+        return 0;
+    }
+    total_order_key(a).abs_diff(total_order_key(b))
+}
+
 /// Decompose a finite nonzero `f64` into `(sign, mantissa, shift)` such that
 /// `x == sign * mantissa * 2^shift` **exactly**, with `mantissa` a positive
 /// integer `< 2^53` and `sign` in `{-1, 1}`.
@@ -193,6 +245,106 @@ mod tests {
             let up = next_up(x);
             assert!(up > x);
             assert_eq!(next_down(up), x);
+        }
+    }
+
+    #[test]
+    fn ulp_distance_of_equal_values_is_zero() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            assert_eq!(ulp_distance(x, x), 0, "{x:e}");
+        }
+        // `==` equality wins over bit identity for signed zeros.
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(-0.0, 0.0), 0);
+    }
+
+    #[test]
+    fn ulp_distance_of_neighbours_is_one() {
+        for x in [
+            1.0,
+            -1.0,
+            0.0,
+            1e300,
+            -1e-300,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            f64::MAX,
+            2.0 - f64::EPSILON, // crosses the binade boundary at 2.0
+        ] {
+            assert_eq!(ulp_distance(x, next_up(x)), 1, "{x:e}");
+            assert_eq!(ulp_distance(next_up(x), x), 1, "symmetry at {x:e}");
+        }
+    }
+
+    #[test]
+    fn ulp_distance_counts_steps_within_a_binade() {
+        let mut x = 1.0;
+        for k in 0..=64u64 {
+            assert_eq!(ulp_distance(1.0, x), k);
+            x = next_up(x);
+        }
+    }
+
+    #[test]
+    fn ulp_distance_crosses_zero_counting_both_zeros() {
+        let min_sub = f64::from_bits(1);
+        // -min_sub -> -0.0 -> +0.0 -> +min_sub: three steps.
+        assert_eq!(ulp_distance(-min_sub, min_sub), 3);
+        // But from either zero, one step to the nearest subnormal of the
+        // same sign, two to the other sign (both zeros are on the path).
+        assert_eq!(ulp_distance(0.0, min_sub), 1);
+        assert_eq!(ulp_distance(-0.0, -min_sub), 1);
+        assert_eq!(ulp_distance(-0.0, min_sub), 2);
+        assert_eq!(ulp_distance(0.0, -min_sub), 2);
+    }
+
+    #[test]
+    fn ulp_distance_handles_infinities_as_end_points() {
+        assert_eq!(ulp_distance(f64::MAX, f64::INFINITY), 1);
+        assert_eq!(ulp_distance(-f64::MAX, f64::NEG_INFINITY), 1);
+        // The full span of the order is finite and symmetric.
+        let span = ulp_distance(f64::NEG_INFINITY, f64::INFINITY);
+        assert!(span > 0 && span < u64::MAX);
+        assert_eq!(
+            ulp_distance(f64::NEG_INFINITY, 0.0) + ulp_distance(0.0, f64::INFINITY),
+            span
+        );
+    }
+
+    #[test]
+    fn ulp_distance_treats_nan_as_infinitely_far() {
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+        assert_eq!(ulp_distance(f64::NAN, f64::INFINITY), u64::MAX);
+        // Bit-identical NaNs are "the same stored value".
+        assert_eq!(ulp_distance(f64::NAN, f64::NAN), 0);
+        let other_nan = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(other_nan.is_nan());
+        assert_eq!(ulp_distance(f64::NAN, other_nan), u64::MAX);
+    }
+
+    #[test]
+    fn ulp_distance_is_symmetric_and_additive_along_the_order() {
+        let points = [-1e10, -1.0, -1e-310, 0.0, 2.5e-308, 1.0, 1e308];
+        for w in points.windows(2) {
+            assert_eq!(ulp_distance(w[0], w[1]), ulp_distance(w[1], w[0]));
+        }
+        // a < b < c on the real line => d(a,c) == d(a,b) + d(b,c).
+        for w in points.windows(3) {
+            assert_eq!(
+                ulp_distance(w[0], w[2]),
+                ulp_distance(w[0], w[1]) + ulp_distance(w[1], w[2]),
+                "{w:?}"
+            );
         }
     }
 

@@ -769,6 +769,141 @@ pub fn reduce_sum(
     reduce_accumulator(comm, acc, root, cfg).map(|a| a.finalize())
 }
 
+/// An accumulator that carries an exact shadow next to the real operator:
+/// the correctly-rounded sum (for exact ulp deviations) and the exact
+/// absolute-value sum plus element count (for the Higham bound
+/// `n·u·Σ|xᵢ|`). The shadow travels **inside** the collective's payload,
+/// so distributed telemetry needs no second communication round — and
+/// because [`repro_fp::Superaccumulator`] merges exactly, the shadow is
+/// topology- and arrival-order-invariant even when the inner operator is
+/// not.
+#[derive(Clone)]
+pub struct ShadowedAcc<A> {
+    /// The real operator under observation.
+    pub inner: A,
+    /// Correctly rounded exact sum of everything absorbed.
+    pub exact: repro_fp::Superaccumulator,
+    /// Exact sum of absolute values.
+    pub abs: repro_fp::Superaccumulator,
+    /// Elements absorbed.
+    pub n: usize,
+}
+
+impl<A: Accumulator> ShadowedAcc<A> {
+    /// Wrap `inner` (already holding `values`' reduction) with the exact
+    /// shadow of the same `values`.
+    pub fn over(inner: A, values: &[f64]) -> Self {
+        let mut exact = repro_fp::Superaccumulator::new();
+        let mut abs = repro_fp::Superaccumulator::new();
+        for &x in values {
+            exact.add(x);
+            abs.add(x.abs());
+        }
+        ShadowedAcc {
+            inner,
+            exact,
+            abs,
+            n: values.len(),
+        }
+    }
+
+    /// The Higham bound `n·u·Σ|xᵢ|` over everything absorbed so far.
+    pub fn bound(&self) -> f64 {
+        repro_fp::higham_bound(self.n, self.abs.to_f64())
+    }
+}
+
+impl<A: Accumulator> Accumulator for ShadowedAcc<A> {
+    fn add(&mut self, x: f64) {
+        self.inner.add(x);
+        self.exact.add(x);
+        self.abs.add(x.abs());
+        self.n += 1;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.inner.merge(&other.inner);
+        self.exact.merge(&other.exact);
+        self.abs.merge(&other.abs);
+        self.n += other.n;
+    }
+
+    fn finalize(&self) -> f64 {
+        self.inner.finalize()
+    }
+}
+
+/// Emit one `node` telemetry event into this rank's trace scope: the
+/// distributed counterpart of the runtime engine's per-node records, with
+/// the same field schema so `trace diff` aligns them uniformly.
+fn emit_node<A: Accumulator>(
+    comm: &mut Comm,
+    telemetry: &repro_obs::TelemetryConfig,
+    ordinal: u64,
+    node: String,
+    start: usize,
+    shadow: &ShadowedAcc<A>,
+) {
+    use repro_obs::f;
+    let partial = shadow.inner.finalize();
+    let mut fields = vec![
+        f("node", node),
+        f("start", start),
+        f("len", shadow.n),
+        f("sum_bits", format!("{:016x}", partial.to_bits())),
+        f("bound", shadow.bound()),
+    ];
+    if telemetry.sample_exact(ordinal) {
+        let exact = shadow.exact.to_f64();
+        fields.push(f("ulps", repro_fp::ulp_distance(partial, exact)));
+        fields.push(f("exact_bits", format!("{:016x}", exact.to_bits())));
+    }
+    comm.trace_event("node", fields);
+}
+
+/// [`reduce_sum`] with numerical-accuracy telemetry: each rank emits one
+/// `node` event for its local partial (id `leaf.r{rank}`, interval
+/// `[global_start, global_start + len)` in the **global** element space the
+/// caller distributes), and the root emits one `node` event for the merged
+/// result (id `root`, interval `[0, global_len)`). Exact shadows ride
+/// inside the collective payload via [`ShadowedAcc`], so the root's Higham
+/// bound and ulp deviation cover the whole distributed input. Sampling
+/// ordinals are `rank + 1` for leaves and `0` for the root, so any nonzero
+/// sampling period always measures the root exactly.
+///
+/// With telemetry disabled this is byte-for-byte [`reduce_sum`]: no extra
+/// events, no shadow payloads, no extra messages.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_sum_telemetry(
+    comm: &mut Comm,
+    local_values: &[f64],
+    global_start: usize,
+    global_len: usize,
+    algorithm: Algorithm,
+    root: usize,
+    cfg: &ReduceConfig,
+    telemetry: repro_obs::TelemetryConfig,
+) -> Option<f64> {
+    if !telemetry.enabled() {
+        return reduce_sum(comm, local_values, algorithm, root, cfg);
+    }
+    let inner = local_accumulate(local_values, algorithm);
+    let local = ShadowedAcc::over(inner, local_values);
+    let rank = comm.rank();
+    emit_node(
+        comm,
+        &telemetry,
+        rank as u64 + 1,
+        format!("leaf.r{rank}"),
+        global_start,
+        &local,
+    );
+    let merged = reduce_accumulator(comm, local, root, cfg)?;
+    debug_assert_eq!(merged.n, global_len, "global_len must cover all ranks");
+    emit_node(comm, &telemetry, 0, "root".to_string(), 0, &merged);
+    Some(merged.finalize())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1029,6 +1164,96 @@ mod tests {
         let err = ReduceConfig::validated(ReduceTopology::Chain, MAX_JITTER_US + 1, 0);
         assert!(err.is_err());
         assert!(err.unwrap_err().0.contains("jitter_us"));
+    }
+
+    #[test]
+    fn shadowed_acc_is_transparent_and_exact() {
+        let values = repro_gen::zero_sum_with_range(4_000, 24, 99);
+        let mut plain = BinnedSum::new(3);
+        plain.add_slice(&values);
+        let mut shadowed = ShadowedAcc::over(BinnedSum::new(3), &[]);
+        shadowed.add_slice(&values);
+        assert_eq!(shadowed.finalize().to_bits(), plain.finalize().to_bits());
+        assert_eq!(shadowed.n, values.len());
+        // Exact shadow of zero-sum data is exactly zero.
+        assert_eq!(shadowed.exact.to_f64(), 0.0);
+        assert!(shadowed.bound() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_reduce_emits_aligned_node_records() {
+        let values = repro_gen::zero_sum_with_range(6_400, 20, 7);
+        let ranks = 4;
+        let cfg = ReduceConfig::default();
+        let per = values.len().div_ceil(ranks);
+        let run = || {
+            let plan = crate::fault::FaultPlan::new(0);
+            let (report, events) = World::run_report_traced(ranks, &plan, true, |c| {
+                let mine = chunks(&values, c.size(), c.rank());
+                Ok(reduce_sum_telemetry(
+                    c,
+                    mine,
+                    c.rank() * per,
+                    values.len(),
+                    Algorithm::PR,
+                    0,
+                    &cfg,
+                    repro_obs::TelemetryConfig::full(),
+                ))
+            })
+            .unwrap();
+            (report, repro_obs::render_jsonl(&events))
+        };
+        let (report, text) = run();
+        let sum = report.results[0].as_ref().unwrap().unwrap();
+
+        let nodes = repro_obs::forensics::collect_nodes(&text).unwrap();
+        // One leaf per rank plus the root record.
+        assert_eq!(nodes.len(), ranks + 1);
+        let root = nodes.iter().find(|n| n.node == "root").unwrap();
+        assert_eq!((root.start, root.len as usize), (0, values.len()));
+        assert_eq!(root.sum_bits, sum.to_bits());
+        // PR is correctly rounded on this data: zero ulps from exact.
+        assert_eq!(root.ulps, Some(0));
+        for r in 0..ranks {
+            let leaf = nodes
+                .iter()
+                .find(|n| n.node == format!("leaf.r{r}"))
+                .unwrap();
+            assert_eq!(leaf.start as usize, r * per);
+            assert_eq!(leaf.sub, format!("rank{r}"));
+        }
+        // Same seed, same plan: the telemetry replays byte-identically,
+        // and a trace diff of the two runs is clean.
+        let (_, again) = run();
+        assert_eq!(text, again);
+        let report = repro_obs::forensics::diff_traces(&text, &again).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.aligned, ranks + 1);
+    }
+
+    #[test]
+    fn telemetry_off_reduce_sum_emits_no_node_events() {
+        let values: Vec<f64> = (0..800).map(|i| i as f64).collect();
+        let cfg = ReduceConfig::default();
+        let plan = crate::fault::FaultPlan::new(0);
+        let (_, events) = World::run_report_traced(3, &plan, true, |c| {
+            let mine = chunks(&values, c.size(), c.rank());
+            let per = values.len().div_ceil(c.size());
+            Ok(reduce_sum_telemetry(
+                c,
+                mine,
+                c.rank() * per,
+                values.len(),
+                Algorithm::Standard,
+                0,
+                &cfg,
+                repro_obs::TelemetryConfig::off(),
+            ))
+        })
+        .unwrap();
+        let text = repro_obs::render_jsonl(&events);
+        assert!(!text.contains("\"kind\":\"node\""), "{text}");
     }
 
     #[test]

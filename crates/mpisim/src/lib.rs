@@ -34,8 +34,8 @@ pub mod fault;
 
 pub use collectives::{
     adaptive_reduce_sum, allreduce_sum_acc, alltoall, ft_adaptive_reduce_sum, ft_allreduce_sum_acc,
-    ft_reduce_accumulator, ft_reduce_sum, gather, reduce_sum, scan_accumulator, FtOutcome,
-    ReduceConfig, ReduceTopology, MAX_JITTER_US,
+    ft_reduce_accumulator, ft_reduce_sum, gather, reduce_sum, reduce_sum_telemetry,
+    scan_accumulator, FtOutcome, ReduceConfig, ReduceTopology, ShadowedAcc, MAX_JITTER_US,
 };
 pub use comm::{Comm, World, WorldReport};
 pub use fault::{ConfigError, FaultError, FaultPlan, FaultStats, Kill};

@@ -28,9 +28,20 @@
 //!   built-in parser ([`json::parse`]) and checks the schema contract:
 //!   every line parses, `sub`/`seq`/`kind` are present and well-typed, and
 //!   logical timestamps are strictly monotone per subsystem.
+//! * **Numerical telemetry** ([`TelemetryConfig`]) is the sampling policy
+//!   for per-node accuracy instrumentation (partial-sum bits, Higham
+//!   bounds, exact shadow ulps) — **off by default**, and strictly
+//!   additive when on, so a run without it is byte-identical to the
+//!   pre-telemetry stream.
+//! * **Forensics** ([`forensics`]) aligns two traces of the same plan *by
+//!   node id, not sequence position*, finds the divergent nodes, and walks
+//!   the merge tree down to the leaf interval where divergence originated.
+//! * **Reports** ([`report`]) render a metrics snapshot as Prometheus text
+//!   exposition or a self-contained zero-dependency HTML page.
 //!
-//! The crate is dependency-free (JSON is hand-rolled both ways) so the
-//! instrumented crates pay nothing for it beyond what they use.
+//! The only dependency is the workspace's own `repro-fp` (itself
+//! dependency-free; forensics needs its ulp distance), so the instrumented
+//! crates pay nothing for this crate beyond what they use.
 //!
 //! ```
 //! use repro_obs::{f, Trace};
@@ -49,13 +60,19 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod forensics;
 pub mod json;
 mod metrics;
+pub mod report;
 mod sink;
+mod telemetry;
 mod trace;
 
 pub use event::{f, Event, Value};
 pub use json::{validate_trace, Json, TraceSummary};
-pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry, TIME_BUCKET_EDGES_US};
+pub use metrics::{
+    HistogramSnapshot, MetricsSnapshot, Registry, TIME_BUCKET_EDGES_US, ULP_BUCKET_EDGES,
+};
 pub use sink::{render_jsonl, JsonlSink, MemorySink, NoopSink, Sink};
+pub use telemetry::TelemetryConfig;
 pub use trace::{Scope, Trace};

@@ -19,6 +19,26 @@ pub const TIME_BUCKET_EDGES_US: &[u64] = &[
     200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
 ];
 
+/// Bucket edges for ulp-distance histograms: powers of two from 1 ulp up
+/// to 2^32 ulps. Node deviations beyond the last edge land in the explicit
+/// `+Inf` overflow bucket — at that point the result shares no leading
+/// bits with the exact reference and the exact magnitude stops mattering.
+pub const ULP_BUCKET_EDGES: &[u64] = &[
+    1,
+    2,
+    4,
+    8,
+    16,
+    64,
+    256,
+    1 << 10,
+    1 << 13,
+    1 << 16,
+    1 << 20,
+    1 << 26,
+    1 << 32,
+];
+
 /// A histogram with caller-fixed bucket edges. `counts[i]` counts samples
 /// `<= edges[i]`; one extra overflow bucket counts the rest.
 #[derive(Clone, Debug)]
@@ -54,14 +74,37 @@ impl Histogram {
 /// A point-in-time copy of one histogram, for rendering and assertions.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HistogramSnapshot {
-    /// Upper bucket edges (inclusive); the final implicit bucket is `+inf`.
+    /// Upper bucket edges (inclusive); the final bucket is the explicit
+    /// `+Inf` overflow bucket (see [`HistogramSnapshot::overflow`]).
     pub edges: Vec<u64>,
-    /// Per-bucket counts; `counts.len() == edges.len() + 1`.
+    /// Per-bucket counts; `counts.len() == edges.len() + 1` — the last
+    /// entry is the `+Inf` overflow bucket.
     pub counts: Vec<u64>,
     /// Total number of samples.
     pub count: u64,
     /// Sum of all samples (saturating).
     pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Samples above the last finite bucket edge — the `+Inf` bucket.
+    /// Values up there are *counted*, never dropped.
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+
+    /// Cumulative `(upper edge, count of samples <= edge)` pairs, ending
+    /// with the `+Inf` bucket (`None`), whose cumulative count equals
+    /// [`HistogramSnapshot::count`] — Prometheus bucket semantics.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut running = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            running += c;
+            out.push((self.edges.get(i).copied(), running));
+        }
+        out
+    }
 }
 
 /// A point-in-time copy of the whole registry. Maps are ordered, so
@@ -79,6 +122,12 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Render as stable, human-readable lines (`name value` for counters
     /// and gauges; `name count=N sum=S` for histograms), sorted by name.
+    ///
+    /// Each histogram's head line is followed by cumulative bucket lines
+    /// (`name le=EDGE CUM`) for the occupied buckets, always ending with
+    /// the explicit `le=+Inf` overflow bucket, whose cumulative count is
+    /// the total — samples beyond the last finite edge are visible, not
+    /// silently folded into `count`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
@@ -89,6 +138,17 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(out, "histogram {name} count={} sum={}", h.count, h.sum);
+            for (i, (edge, cum)) in h.cumulative().into_iter().enumerate() {
+                match edge {
+                    Some(e) if h.counts[i] > 0 => {
+                        let _ = writeln!(out, "histogram {name} le={e} {cum}");
+                    }
+                    Some(_) => {} // empty finite bucket: elide for brevity
+                    None => {
+                        let _ = writeln!(out, "histogram {name} le=+Inf {cum}");
+                    }
+                }
+            }
         }
         out
     }
@@ -212,7 +272,35 @@ mod tests {
         let text = r.snapshot().render();
         assert_eq!(
             text,
-            "counter a 1\ncounter b 1\ngauge g 0.5\nhistogram h count=1 sum=42\n"
+            "counter a 1\ncounter b 1\ngauge g 0.5\n\
+             histogram h count=1 sum=42\nhistogram h le=50 1\nhistogram h le=+Inf 1\n"
         );
+    }
+
+    #[test]
+    fn overflow_samples_are_visible_in_snapshot_and_render() {
+        let r = Registry::new();
+        let edges = &[10, 100];
+        r.observe("lat", edges, 5);
+        r.observe("lat", edges, 7_777); // above the last finite edge
+        r.observe("lat", edges, 9_999);
+        let snap = r.snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(
+            h.cumulative(),
+            vec![(Some(10), 1), (Some(100), 1), (None, 3)]
+        );
+        let text = snap.render();
+        assert!(text.contains("histogram lat le=+Inf 3"), "{text}");
+        // The empty 100-bucket is elided, the occupied ones are not.
+        assert!(text.contains("histogram lat le=10 1"), "{text}");
+        assert!(!text.contains("le=100"), "{text}");
+    }
+
+    #[test]
+    fn ulp_bucket_edges_are_strictly_increasing() {
+        assert!(ULP_BUCKET_EDGES.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*ULP_BUCKET_EDGES.first().unwrap(), 1);
     }
 }

@@ -1,0 +1,290 @@
+//! Rendering a metrics snapshot for external consumers: Prometheus text
+//! exposition (format 0.0.4) and a self-contained, zero-dependency HTML
+//! report with an error-trajectory table and fixed-bucket histograms.
+//!
+//! Both renderers are pure functions of a [`MetricsSnapshot`] (plus, for
+//! HTML, an optional list of node records for the trajectory table), so
+//! rendering the same snapshot twice produces byte-identical output —
+//! reports obey the same determinism contract as the traces they describe.
+
+use crate::forensics::NodeRecord;
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Map an internal metric name (`runtime.node_ulp`) to a Prometheus-legal
+/// one (`runtime_node_ulp`): every character outside `[a-zA-Z0-9_:]`
+/// becomes `_`, and a leading digit gets a `_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN` spelled
+/// out; otherwise Rust's shortest round-trip formatting).
+fn prom_num(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Render a metrics snapshot as Prometheus text exposition: counters as
+/// `counter`, gauges as `gauge`, histograms as the conventional
+/// `_bucket{le="..."}` / `_sum` / `_count` triple with cumulative buckets
+/// ending at `le="+Inf"`.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_num(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (edge, cum) in h.cumulative() {
+            let le = match edge {
+                Some(e) => e.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a self-contained HTML report: no external scripts, stylesheets,
+/// fonts, or images — a single file that renders anywhere, suitable as a CI
+/// artifact. Contains the counters/gauges tables, every histogram as a
+/// cumulative bucket table plus inline bar chart, and — when `nodes` is
+/// non-empty — the error trajectory: one row per telemetry node in
+/// emission order with its interval, partial sum, Higham bound, and
+/// sampled exact ulp deviation.
+pub fn render_html(title: &str, snap: &MetricsSnapshot, nodes: &[NodeRecord]) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>{}</title>\n<style>\n\
+         body{{font:14px/1.4 system-ui,sans-serif;margin:2em auto;max-width:60em;color:#222}}\n\
+         h1{{font-size:1.4em}} h2{{font-size:1.1em;margin-top:2em}}\n\
+         table{{border-collapse:collapse;width:100%}}\n\
+         th,td{{border:1px solid #ccc;padding:.3em .6em;text-align:left}}\n\
+         th{{background:#f4f4f4}} td.num{{text-align:right;font-variant-numeric:tabular-nums}}\n\
+         .bar{{background:#4a7db5;height:.9em;display:inline-block;min-width:1px}}\n\
+         .empty{{color:#999}}\n\
+         </style></head><body>\n<h1>{}</h1>\n",
+        escape_html(title),
+        escape_html(title)
+    );
+
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        out.push_str(
+            "<h2>Counters &amp; gauges</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n",
+        );
+        for (name, v) in &snap.counters {
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td class=\"num\">{v}</td></tr>",
+                escape_html(name)
+            );
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td class=\"num\">{}</td></tr>",
+                escape_html(name),
+                prom_num(*v)
+            );
+        }
+        out.push_str("</table>\n");
+    }
+
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "<h2>Histogram: {}</h2>", escape_html(name));
+        let _ = writeln!(
+            out,
+            "<p>count={} sum={} overflow={}</p>",
+            h.count,
+            h.sum,
+            h.overflow()
+        );
+        out.push_str("<table><tr><th>bucket (le)</th><th>count</th><th></th></tr>\n");
+        let max = h.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, (edge, _cum)) in h.cumulative().into_iter().enumerate() {
+            let label = match edge {
+                Some(e) => e.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let count = h.counts[i];
+            // Fixed-width inline bars: width in tenths of em, capped at 20em.
+            let width = (count as f64 / max as f64 * 200.0).round() as u64;
+            let _ = writeln!(
+                out,
+                "<tr><td class=\"num\">{label}</td><td class=\"num\">{count}</td>\
+                 <td><span class=\"bar\" style=\"width:{}em\"></span></td></tr>",
+                width as f64 / 10.0
+            );
+        }
+        out.push_str("</table>\n");
+    }
+
+    if !nodes.is_empty() {
+        out.push_str(
+            "<h2>Error trajectory</h2>\n\
+             <table><tr><th>sub</th><th>node</th><th>interval</th><th>partial sum</th>\
+             <th>Higham bound</th><th>exact ulps</th></tr>\n",
+        );
+        for n in nodes {
+            let bound = n
+                .bound
+                .map(prom_num)
+                .unwrap_or_else(|| "<span class=\"empty\">—</span>".to_string());
+            let ulps = n
+                .ulps
+                .map(|u| u.to_string())
+                .unwrap_or_else(|| "<span class=\"empty\">unsampled</span>".to_string());
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td class=\"num\">[{}, {})</td>\
+                 <td class=\"num\">{:e}</td><td class=\"num\">{bound}</td>\
+                 <td class=\"num\">{ulps}</td></tr>",
+                escape_html(&n.sub),
+                escape_html(&n.node),
+                n.start,
+                n.start + n.len,
+                n.sum()
+            );
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Registry, ULP_BUCKET_EDGES};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter_add("runtime.nodes_observed", 7);
+        r.gauge_set("select.realized_spread", 1.5e-12);
+        r.observe("runtime.node_ulp", ULP_BUCKET_EDGES, 0);
+        r.observe("runtime.node_ulp", ULP_BUCKET_EDGES, 3);
+        r.observe("runtime.node_ulp", ULP_BUCKET_EDGES, u64::MAX);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_buckets_and_inf() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(
+            text.contains("# TYPE runtime_nodes_observed counter"),
+            "{text}"
+        );
+        assert!(text.contains("runtime_nodes_observed 7"), "{text}");
+        assert!(
+            text.contains("# TYPE select_realized_spread gauge"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE runtime_node_ulp histogram"), "{text}");
+        assert!(
+            text.contains("runtime_node_ulp_bucket{le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("runtime_node_ulp_bucket{le=\"4\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("runtime_node_ulp_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("runtime_node_ulp_count 3"), "{text}");
+        // Dots are not legal in Prometheus metric names.
+        assert!(!text.contains("runtime.node_ulp"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic() {
+        let snap = sample_snapshot();
+        assert_eq!(render_prometheus(&snap), render_prometheus(&snap));
+    }
+
+    #[test]
+    fn html_report_is_self_contained() {
+        let nodes = vec![NodeRecord {
+            sub: "runtime".into(),
+            node: "c0".into(),
+            start: 0,
+            len: 256,
+            sum_bits: 256.0f64.to_bits(),
+            bound: Some(5.7e-14),
+            ulps: Some(0),
+        }];
+        let html = render_html("repro-report", &sample_snapshot(), &nodes);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</body></html>\n"));
+        // Self-contained: no external fetches of any kind.
+        for needle in [
+            "<script src",
+            "<link",
+            "href=\"http",
+            "src=\"http",
+            "@import",
+            "url(",
+        ] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+        assert!(html.contains("Error trajectory"), "{html}");
+        assert!(html.contains("[0, 256)"), "{html}");
+        assert!(html.contains("runtime.node_ulp"), "{html}");
+    }
+
+    #[test]
+    fn html_escapes_metric_names() {
+        let r = Registry::new();
+        r.counter_add("weird<name>&", 1);
+        let html = render_html("t", &r.snapshot(), &[]);
+        assert!(html.contains("weird&lt;name&gt;&amp;"), "{html}");
+    }
+}

@@ -69,53 +69,76 @@ impl Sink for MemorySink {
 /// Streams each event as one JSON line to a writer. Write errors cannot be
 /// surfaced through [`Sink::record`]; they are remembered and queryable
 /// via [`JsonlSink::had_error`] instead of panicking mid-trace.
+///
+/// The writer is flushed on drop (and on [`JsonlSink::flush`] /
+/// [`JsonlSink::into_inner`]), so a short-lived CLI process that exits
+/// right after tracing cannot lose buffered tail events.
 pub struct JsonlSink<W: Write + Send> {
-    inner: Mutex<(W, bool)>,
+    // `Option` so `into_inner` can move the writer out while the drop-flush
+    // impl still runs on `self` afterwards (it sees `None` and does nothing).
+    inner: Mutex<(Option<W>, bool)>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wrap a writer.
     pub fn new(writer: W) -> Self {
         Self {
-            inner: Mutex::new((writer, false)),
+            inner: Mutex::new((Some(writer), false)),
         }
     }
 
-    /// Whether any write failed since construction.
-    pub fn had_error(&self) -> bool {
+    fn with_inner<R>(&self, f: impl FnOnce(&mut (Option<W>, bool)) -> R) -> R {
         match self.inner.lock() {
-            Ok(guard) => guard.1,
-            Err(poisoned) => poisoned.into_inner().1,
+            Ok(mut guard) => f(&mut guard),
+            Err(poisoned) => f(&mut poisoned.into_inner()),
         }
+    }
+
+    /// Whether any write or flush failed since construction.
+    pub fn had_error(&self) -> bool {
+        self.with_inner(|(_, failed)| *failed)
+    }
+
+    /// Flush the underlying writer now. Failures are remembered in
+    /// [`JsonlSink::had_error`], same as write failures.
+    pub fn flush(&self) {
+        self.with_inner(|(writer, failed)| {
+            if let Some(w) = writer.as_mut() {
+                if w.flush().is_err() {
+                    *failed = true;
+                }
+            }
+        });
     }
 
     /// Flush and return the writer.
     pub fn into_inner(self) -> W {
-        let (mut w, _) = match self.inner.into_inner() {
-            Ok(pair) => pair,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut w = self
+            .with_inner(|(writer, _)| writer.take())
+            .expect("writer is present until into_inner");
         let _ = w.flush();
         w
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort: nothing left to report the error to during drop,
+        // but buffered tail events must reach the file/pipe.
+        self.flush();
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, event: Event) {
         let line = event.to_json();
-        match self.inner.lock() {
-            Ok(mut guard) => {
-                if writeln!(guard.0, "{line}").is_err() {
-                    guard.1 = true;
+        self.with_inner(|(writer, failed)| {
+            if let Some(w) = writer.as_mut() {
+                if writeln!(w, "{line}").is_err() {
+                    *failed = true;
                 }
             }
-            Err(poisoned) => {
-                let guard = &mut *poisoned.into_inner();
-                if writeln!(guard.0, "{line}").is_err() {
-                    guard.1 = true;
-                }
-            }
-        }
+        });
     }
 }
 
@@ -165,6 +188,61 @@ mod tests {
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    /// A writer that holds everything in a private buffer until `flush`
+    /// moves it into the shared output — so the test can observe whether a
+    /// flush actually happened.
+    struct BufferedProbe {
+        pending: Vec<u8>,
+        flushed: std::sync::Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Write for BufferedProbe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushed
+                .lock()
+                .unwrap()
+                .extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let flushed = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(BufferedProbe {
+            pending: Vec::new(),
+            flushed: flushed.clone(),
+        });
+        sink.record(event(0));
+        assert!(
+            flushed.lock().unwrap().is_empty(),
+            "probe must buffer until flushed"
+        );
+        drop(sink);
+        let text = String::from_utf8(flushed.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "drop did not flush: {text:?}");
+    }
+
+    #[test]
+    fn jsonl_sink_explicit_flush_pushes_buffered_lines() {
+        let flushed = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(BufferedProbe {
+            pending: Vec::new(),
+            flushed: flushed.clone(),
+        });
+        sink.record(event(0));
+        sink.record(event(1));
+        sink.flush();
+        assert!(!sink.had_error());
+        let text = String::from_utf8(flushed.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
     }
 
     #[test]

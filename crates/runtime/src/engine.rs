@@ -1,13 +1,105 @@
 //! The reduction engine: plans executed on the persistent pool.
 
-use crate::plan::{merge_in_plan_order, MergeOrder, ReductionPlan};
+use crate::plan::{merge_in_plan_order, merge_in_plan_order_indexed, MergeOrder, ReductionPlan};
 use crate::pool::ThreadPool;
 use crate::stats::RuntimeStats;
+use repro_fp::Superaccumulator;
 use repro_sum::Accumulator;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Exact shadow state carried alongside one reduction-tree node when
+/// telemetry is on: the correctly-rounded sum (for ulp deviation) and the
+/// exact absolute-value sum (for the Higham bound `n·u·Σ|xᵢ|`).
+struct NodeShadow {
+    exact: Superaccumulator,
+    abs: Superaccumulator,
+    n: usize,
+}
+
+impl NodeShadow {
+    fn over(chunk: &[f64]) -> Self {
+        let mut exact = Superaccumulator::new();
+        let mut abs = Superaccumulator::new();
+        for &x in chunk {
+            exact.add(x);
+            abs.add(x.abs());
+        }
+        NodeShadow {
+            exact,
+            abs,
+            n: chunk.len(),
+        }
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.exact.merge(&other.exact);
+        self.abs.merge(&other.abs);
+        self.n += other.n;
+    }
+}
+
+/// Emits `node` telemetry events and aggregates them into a registry.
+/// Ordinals count nodes in deterministic plan order (leaves first, then
+/// merges in tree order), which is what the sampling policy keys on.
+struct NodeObserver<'r> {
+    telemetry: repro_obs::TelemetryConfig,
+    registry: Option<&'r repro_obs::Registry>,
+    ordinal: u64,
+    max_ulps: u64,
+}
+
+impl<'r> NodeObserver<'r> {
+    fn new(
+        telemetry: repro_obs::TelemetryConfig,
+        registry: Option<&'r repro_obs::Registry>,
+    ) -> Self {
+        NodeObserver {
+            telemetry,
+            registry,
+            ordinal: 0,
+            max_ulps: 0,
+        }
+    }
+
+    fn emit(
+        &mut self,
+        scope: &mut repro_obs::Scope,
+        node: String,
+        span: Range<usize>,
+        partial: f64,
+        shadow: &NodeShadow,
+    ) {
+        use repro_obs::f;
+        let bound = repro_fp::higham_bound(shadow.n, shadow.abs.to_f64());
+        let mut fields = vec![
+            f("node", node),
+            f("start", span.start),
+            f("len", span.len()),
+            f("sum_bits", format!("{:016x}", partial.to_bits())),
+            f("bound", bound),
+        ];
+        if self.telemetry.sample_exact(self.ordinal) {
+            let exact = shadow.exact.to_f64();
+            let ulps = repro_fp::ulp_distance(partial, exact);
+            fields.push(f("ulps", ulps));
+            fields.push(f("exact_bits", format!("{:016x}", exact.to_bits())));
+            self.max_ulps = self.max_ulps.max(ulps);
+            if let Some(r) = self.registry {
+                r.counter_add("runtime.nodes_sampled", 1);
+                r.observe("runtime.node_ulp", repro_obs::ULP_BUCKET_EDGES, ulps);
+                r.gauge_set("runtime.max_node_ulp", self.max_ulps as f64);
+            }
+        }
+        if let Some(r) = self.registry {
+            r.counter_add("runtime.nodes_observed", 1);
+        }
+        self.ordinal += 1;
+        scope.event("node", fields);
+    }
+}
 
 /// Which per-chunk kernel the workers run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -342,6 +434,52 @@ impl Runtime {
         A: Accumulator,
         F: Fn() -> A + Sync,
     {
+        self.reduce_telemetry(
+            values,
+            plan,
+            make,
+            scope,
+            repro_obs::TelemetryConfig::off(),
+            None,
+        )
+    }
+
+    /// [`Runtime::reduce_traced`] with numerical-accuracy telemetry: when
+    /// `telemetry` is enabled, each reduction-tree node (leaf chunks and
+    /// plan-order merges) additionally emits one `node` event right after
+    /// its `chunk_exec`/`merge` event, carrying the plan-derived node id
+    /// ([`ReductionPlan::node_id`]), the element interval, the node's
+    /// partial-sum bits, and the running Higham bound `n·u·Σ|xᵢ|` over the
+    /// interval. At nodes selected by
+    /// [`repro_obs::TelemetryConfig::sample_exact`] (counted in plan
+    /// order), the event also carries the exact ulp deviation against a
+    /// [`repro_fp::Superaccumulator`] shadow reduction.
+    ///
+    /// The `node` events are strictly **additive**: with
+    /// [`repro_obs::TelemetryConfig::off`] the emitted stream is
+    /// byte-identical to [`Runtime::reduce_traced`]'s, and with telemetry
+    /// on, stripping the `node` events recovers it. Either way the stream
+    /// stays worker-count-invariant — the shadow reduction and bounds are
+    /// computed serially in plan order after the parallel phase.
+    ///
+    /// With a `registry`, per-node facts aggregate into it: counters
+    /// `runtime.nodes_observed` / `runtime.nodes_sampled`, the
+    /// `runtime.node_ulp` histogram (buckets
+    /// [`repro_obs::ULP_BUCKET_EDGES`]), and the `runtime.max_node_ulp`
+    /// gauge.
+    pub fn reduce_telemetry<A, F>(
+        &self,
+        values: &[f64],
+        plan: &ReductionPlan,
+        make: F,
+        scope: &mut repro_obs::Scope,
+        telemetry: repro_obs::TelemetryConfig,
+        registry: Option<&repro_obs::Registry>,
+    ) -> (f64, RuntimeStats)
+    where
+        A: Accumulator,
+        F: Fn() -> A + Sync,
+    {
         use repro_obs::f;
         assert_eq!(
             plan.len(),
@@ -387,6 +525,20 @@ impl Runtime {
             slots
         });
 
+        // Shadow state for telemetry: per-chunk exact superaccumulators
+        // and absolute-value sums, computed serially in plan order after
+        // the parallel phase — the telemetry must be as worker-count-
+        // invariant as the events it decorates.
+        let mut shadows: Vec<Option<NodeShadow>> = if telemetry.enabled() {
+            plan.chunks()
+                .iter()
+                .map(|r| Some(NodeShadow::over(&values[r.clone()])))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut nodes = NodeObserver::new(telemetry, registry);
+
         // Narrate chunk completion in plan order, after the barrier: the
         // workers raced, the story must not.
         for (i, range) in plan.chunks().iter().enumerate() {
@@ -398,14 +550,26 @@ impl Runtime {
                     f("len", range.len()),
                 ],
             );
+            if telemetry.enabled() {
+                let partial = slots[i].as_ref().expect("chunk reported").finalize();
+                let shadow = shadows[i].as_ref().expect("shadow slot filled");
+                nodes.emit(scope, plan.node_id(i, 0), range.clone(), partial, shadow);
+            }
         }
 
         let t = Instant::now();
         let mut merges = 0usize;
-        let result = merge_in_plan_order(slots, |a: &mut A, b: &A| {
+        let result = merge_in_plan_order_indexed(slots, |i, stride, a: &mut A, b: &A| {
             scope.event("merge", vec![f("step", merges)]);
             merges += 1;
             a.merge(b);
+            if telemetry.enabled() {
+                let right = shadows[i + stride].take().expect("shadow slot filled");
+                let left = shadows[i].as_mut().expect("shadow slot filled");
+                left.absorb(&right);
+                let span = plan.node_span(i, stride);
+                nodes.emit(scope, plan.node_id(i, stride), span, a.finalize(), left);
+            }
         })
         .expect("plan has at least one chunk");
         let merge_time = t.elapsed();
@@ -856,6 +1020,129 @@ mod tests {
         assert_eq!(summary.subsystems, vec!["runtime".to_string()]);
         // begin + chunks + (chunks-1) merges + end
         assert_eq!(summary.events, 2 * plan.num_chunks() + 1);
+    }
+
+    #[test]
+    fn telemetry_off_is_byte_identical_to_plain_traced() {
+        use repro_obs::{render_jsonl, TelemetryConfig, Trace};
+        let values = data(20_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 2048);
+        let rt = Runtime::new(4);
+        let run = |telemetry: Option<TelemetryConfig>| {
+            let (trace, sink) = Trace::to_memory();
+            let mut scope = trace.scope("runtime");
+            match telemetry {
+                None => {
+                    rt.reduce_traced(&values, &plan, || BinnedSum::new(3), &mut scope);
+                }
+                Some(cfg) => {
+                    rt.reduce_telemetry(
+                        &values,
+                        &plan,
+                        || BinnedSum::new(3),
+                        &mut scope,
+                        cfg,
+                        None,
+                    );
+                }
+            }
+            render_jsonl(&sink.drain())
+        };
+        // The telemetry entry point with the off config emits the exact
+        // bytes of the pre-telemetry path: the determinism contract.
+        assert_eq!(run(None), run(Some(TelemetryConfig::off())));
+        // And telemetry on is strictly additive: dropping the node lines
+        // recovers the off stream, up to the logical timestamps the extra
+        // events consumed.
+        let drop_seq = |text: String| -> Vec<String> {
+            text.lines()
+                .filter(|l| !l.contains("\"kind\":\"node\""))
+                .map(|l| {
+                    let start = l.find(",\"seq\":").unwrap();
+                    let rest = &l[start + 7..];
+                    let end = rest.find(',').unwrap();
+                    format!("{}{}", &l[..start], &rest[end..])
+                })
+                .collect()
+        };
+        assert_eq!(
+            drop_seq(run(Some(TelemetryConfig::full()))),
+            drop_seq(run(None))
+        );
+    }
+
+    #[test]
+    fn telemetry_nodes_cover_the_merge_tree_and_are_worker_invariant() {
+        use repro_obs::{render_jsonl, TelemetryConfig, Trace};
+        let values = data(10_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 1024); // 10 chunks
+        let run = |workers: usize| {
+            let rt = Runtime::new(workers);
+            let (trace, sink) = Trace::to_memory();
+            let mut scope = trace.scope("runtime");
+            let registry = repro_obs::Registry::new();
+            rt.reduce_telemetry(
+                &values,
+                &plan,
+                StandardSum::new,
+                &mut scope,
+                TelemetryConfig::full(),
+                Some(&registry),
+            );
+            (render_jsonl(&sink.drain()), registry.snapshot())
+        };
+        let (trace_a, snap) = run(4);
+        let (trace_b, _) = run(7);
+        assert_eq!(trace_a, trace_b, "telemetry must not depend on workers");
+
+        let nodes = repro_obs::forensics::collect_nodes(&trace_a).unwrap();
+        // 10 leaves + 9 merges, every one sampled under full().
+        assert_eq!(nodes.len(), 2 * plan.num_chunks() - 1);
+        assert_eq!(snap.counters["runtime.nodes_observed"], 19);
+        assert_eq!(snap.counters["runtime.nodes_sampled"], 19);
+        assert_eq!(snap.histograms["runtime.node_ulp"].count, 19);
+        // The root node covers the whole input and its bound holds.
+        let root = nodes
+            .iter()
+            .find(|n| n.len as usize == values.len())
+            .expect("root node present");
+        assert_eq!(root.start, 0);
+        assert!(root.node.starts_with('m'));
+        let exact: f64 = {
+            let mut s = Superaccumulator::new();
+            for &x in &values {
+                s.add(x);
+            }
+            s.to_f64()
+        };
+        assert!((root.sum() - exact).abs() <= root.bound.unwrap());
+        // Leaf node ids and intervals follow the plan.
+        let leaf0 = nodes.iter().find(|n| n.node == "c0").unwrap();
+        assert_eq!((leaf0.start, leaf0.len), (0, 1024));
+    }
+
+    #[test]
+    fn telemetry_sampling_limits_exact_shadow_measurements() {
+        use repro_obs::{render_jsonl, TelemetryConfig, Trace};
+        let values = data(8_000);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 1024); // 8 chunks
+        let rt = Runtime::new(4);
+        let (trace, sink) = Trace::to_memory();
+        let mut scope = trace.scope("runtime");
+        rt.reduce_telemetry(
+            &values,
+            &plan,
+            StandardSum::new,
+            &mut scope,
+            TelemetryConfig::sampled(4),
+            None,
+        );
+        let text = render_jsonl(&sink.drain());
+        let nodes = repro_obs::forensics::collect_nodes(&text).unwrap();
+        assert_eq!(nodes.len(), 15); // 8 leaves + 7 merges
+        let sampled = nodes.iter().filter(|n| n.ulps.is_some()).count();
+        assert_eq!(sampled, 4); // ordinals 0, 4, 8, 12
+        assert!(nodes.iter().all(|n| n.bound.is_some()));
     }
 
     #[test]

@@ -101,6 +101,35 @@ impl ReductionPlan {
         let n = self.chunks.len();
         (usize::BITS - (n - 1).leading_zeros()) as usize
     }
+
+    /// The element interval covered by the merge-tree node `(i, stride)`
+    /// produced by [`merge_in_plan_order_indexed`]: the union of chunks
+    /// `i..min(i + 2*stride, num_chunks)`. With `stride == 0`, the leaf —
+    /// chunk `i` alone.
+    ///
+    /// Together with [`ReductionPlan::node_id`] this is the contract the
+    /// forensics tooling aligns on: node ids and their intervals depend
+    /// only on the plan (`len`, `chunk_len`), never on the worker count or
+    /// the schedule.
+    pub fn node_span(&self, i: usize, stride: usize) -> Range<usize> {
+        let last = if stride == 0 {
+            i
+        } else {
+            (i + 2 * stride - 1).min(self.chunks.len() - 1)
+        };
+        self.chunks[i].start..self.chunks[last].end
+    }
+
+    /// The plan-derived node id: `c{i}` for leaf chunks, `m{i}.{stride}`
+    /// for the merge node that folds the subtree rooted at chunk
+    /// `i + stride` into the one rooted at chunk `i`.
+    pub fn node_id(&self, i: usize, stride: usize) -> String {
+        if stride == 0 {
+            format!("c{i}")
+        } else {
+            format!("m{i}.{stride}")
+        }
+    }
 }
 
 /// Merge chunk partials along the plan's fixed balanced binary tree:
@@ -121,6 +150,34 @@ where
             let right = parts[i + stride].take().expect("merge tree slot filled");
             let left = parts[i].as_mut().expect("merge tree slot filled");
             merge(left, &right);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    parts[0].take()
+}
+
+/// [`merge_in_plan_order`] with the tree position exposed: the callback
+/// receives `(i, stride, left, right)` for the merge node that folds the
+/// subtree rooted at chunk `i + stride` into the one rooted at chunk `i`.
+/// Same topology, same merge order — the telemetry-bearing twin of the
+/// plain version (`merge_in_plan_order(parts, m)` ≡
+/// `merge_in_plan_order_indexed(parts, |_, _, a, b| m(a, b))`).
+pub fn merge_in_plan_order_indexed<A, M>(mut parts: Vec<Option<A>>, mut merge: M) -> Option<A>
+where
+    M: FnMut(usize, usize, &mut A, &A),
+{
+    let n = parts.len();
+    if n == 0 {
+        return None;
+    }
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let right = parts[i + stride].take().expect("merge tree slot filled");
+            let left = parts[i].as_mut().expect("merge tree slot filled");
+            merge(i, stride, left, &right);
             i += 2 * stride;
         }
         stride *= 2;
@@ -188,6 +245,35 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn indexed_merge_matches_plain_merge_topology() {
+        let plain: Vec<Option<String>> = (0..5).map(|i| Some(i.to_string())).collect();
+        let indexed: Vec<Option<String>> = (0..5).map(|i| Some(i.to_string())).collect();
+        let a = merge_in_plan_order(plain, |a, b| *a = format!("({a} {b})")).unwrap();
+        let mut seen = Vec::new();
+        let b = merge_in_plan_order_indexed(indexed, |i, stride, a, b| {
+            seen.push((i, stride));
+            *a = format!("({a} {b})");
+        })
+        .unwrap();
+        assert_eq!(a, b);
+        // Stride-doubling rounds over 5 chunks: (0,1) (2,1) then (0,2) then (0,4).
+        assert_eq!(seen, vec![(0, 1), (2, 1), (0, 2), (0, 4)]);
+    }
+
+    #[test]
+    fn node_spans_cover_the_merged_subtrees() {
+        let plan = ReductionPlan::with_chunk_len(50, 10); // 5 chunks of 10
+        assert_eq!(plan.node_span(0, 0), 0..10); // leaf c0
+        assert_eq!(plan.node_span(4, 0), 40..50); // leaf c4
+        assert_eq!(plan.node_span(0, 1), 0..20); // m0.1 = c0+c1
+        assert_eq!(plan.node_span(2, 1), 20..40); // m2.1 = c2+c3
+        assert_eq!(plan.node_span(0, 2), 0..40); // m0.2
+        assert_eq!(plan.node_span(0, 4), 0..50); // root m0.4, clamped
+        assert_eq!(plan.node_id(3, 0), "c3");
+        assert_eq!(plan.node_id(0, 4), "m0.4");
     }
 
     #[test]

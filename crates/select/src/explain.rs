@@ -124,6 +124,23 @@ pub fn record_decision(
     profile: &DataProfile,
     explanation: &Explanation,
 ) {
+    record_decision_with_spread(scope, profile, explanation, None);
+}
+
+/// [`record_decision`] with an optional **realized** spread appended: the
+/// measured run-to-run variability of the chosen operator on this very
+/// input (see [`crate::AdaptiveReducer::reduce_telemetry`]). Pairing the
+/// prediction and the measurement in one record is what makes calibration
+/// drift observable: a selector whose `{alg}_spread` predictions
+/// systematically under- or over-shoot `realized_spread` needs
+/// recalibration. `None` omits the field, leaving the event bytes
+/// identical to [`record_decision`]'s.
+pub fn record_decision_with_spread(
+    scope: &mut repro_obs::Scope,
+    profile: &DataProfile,
+    explanation: &Explanation,
+    realized_spread: Option<f64>,
+) {
     use repro_obs::f;
     if !scope.enabled() {
         return;
@@ -148,6 +165,9 @@ pub fn record_decision(
         fields.push(f(&format!("{key}_fits"), c.fits));
     }
     fields.push(f("chosen", explanation.chosen.abbrev()));
+    if let Some(realized) = realized_spread {
+        fields.push(f("realized_spread", realized));
+    }
     scope.event("decision", fields);
 }
 

@@ -155,6 +155,73 @@ impl AdaptiveReducer {
             profile,
         }
     }
+
+    /// Permutations measured by [`AdaptiveReducer::reduce_telemetry`]
+    /// besides the given order: enough to see order sensitivity, cheap
+    /// enough to run inline.
+    pub const REALIZED_SPREAD_RUNS: usize = 3;
+
+    /// Like [`AdaptiveReducer::reduce_traced`], but also **measuring** the
+    /// chosen operator's order sensitivity on this very input: the values
+    /// are re-reduced under [`AdaptiveReducer::REALIZED_SPREAD_RUNS`]
+    /// deterministic permutations (seeded from the data profile, so two
+    /// runs of the same input measure identically) and the max−min spread
+    /// is appended to the `decision` event as `realized_spread` — the
+    /// measured counterpart of the record's predicted `{alg}_spread`
+    /// columns.
+    ///
+    /// With a `registry`, the pair lands as gauges for calibration-drift
+    /// monitoring: `select.predicted_spread`, `select.realized_spread`,
+    /// and `select.spread_drift` (realized − predicted; positive means the
+    /// predictor undershot, the dangerous direction).
+    pub fn reduce_telemetry(
+        &self,
+        values: &[f64],
+        scope: &mut repro_obs::Scope,
+        registry: Option<&repro_obs::Registry>,
+    ) -> Outcome {
+        use repro_fp::rng::DetRng;
+        let (algorithm, profile) = self.choose(values);
+        let mut explanation = explain::explain(&profile, self.tolerance);
+        explanation.chosen = algorithm;
+
+        let run = |vals: &[f64]| {
+            let mut acc = algorithm.new_accumulator();
+            acc.add_slice(vals);
+            acc.finalize()
+        };
+        let sum = run(values);
+        let (mut lo, mut hi) = (sum, sum);
+        // Seed from plan-independent data facts so the measurement (and
+        // with it the decision record) is a pure function of the input.
+        let mut rng = DetRng::seed_from_u64(0x2015 ^ profile.n as u64);
+        let mut shuffled = values.to_vec();
+        for _ in 0..Self::REALIZED_SPREAD_RUNS {
+            rng.shuffle(&mut shuffled);
+            let s = run(&shuffled);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        let realized = hi - lo;
+        explain::record_decision_with_spread(scope, &profile, &explanation, Some(realized));
+
+        if let Some(registry) = registry {
+            let predicted = explanation
+                .candidates
+                .iter()
+                .find(|c| c.algorithm == algorithm)
+                .map(|c| c.predicted_spread)
+                .unwrap_or(0.0);
+            registry.gauge_set("select.predicted_spread", predicted);
+            registry.gauge_set("select.realized_spread", realized);
+            registry.gauge_set("select.spread_drift", realized - predicted);
+        }
+        Outcome {
+            sum,
+            algorithm,
+            profile,
+        }
+    }
 }
 
 /// One row of a selection report: a tolerance and the operator the
@@ -217,5 +284,67 @@ mod tests {
         assert_eq!(out.sum, 4950.0);
         assert_eq!(out.profile.n, 99);
         assert_eq!(out.algorithm.abbrev(), "ST");
+    }
+
+    #[test]
+    fn telemetry_decision_record_carries_realized_spread() {
+        let values = repro_gen::zero_sum_with_range(2_000, 28, 11);
+        let r = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(1e-6));
+        let registry = repro_obs::Registry::new();
+
+        let run = || {
+            let (trace, sink) = repro_obs::Trace::to_memory();
+            let mut scope = trace.scope("select");
+            let out = r.reduce_telemetry(&values, &mut scope, Some(&registry));
+            (out, repro_obs::render_jsonl(&sink.drain()))
+        };
+        let (out, text) = run();
+        let parsed = repro_obs::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("decision"));
+        let realized = parsed.get("realized_spread").unwrap().as_num().unwrap();
+        assert!(realized >= 0.0);
+        assert_eq!(
+            parsed.get("chosen").unwrap().as_str(),
+            Some(out.algorithm.abbrev())
+        );
+        // The measurement is deterministic: same input, same record bytes.
+        let (_, again) = run();
+        assert_eq!(text, again);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["select.realized_spread"], realized);
+        assert!(
+            (snap.gauges["select.realized_spread"]
+                - snap.gauges["select.predicted_spread"]
+                - snap.gauges["select.spread_drift"])
+                .abs()
+                < 1e-300
+        );
+    }
+
+    #[test]
+    fn telemetry_realized_spread_is_zero_for_reproducible_choice() {
+        let values = repro_gen::zero_sum_with_range(1_000, 30, 13);
+        let r = AdaptiveReducer::heuristic(Tolerance::Bitwise);
+        let (trace, sink) = repro_obs::Trace::to_memory();
+        let mut scope = trace.scope("select");
+        let out = r.reduce_telemetry(&values, &mut scope, None);
+        assert!(out.algorithm.is_reproducible());
+        let text = repro_obs::render_jsonl(&sink.drain());
+        let parsed = repro_obs::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.get("realized_spread").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn untelemetried_decision_record_bytes_are_unchanged() {
+        // reduce_traced must not grow a realized_spread field: the
+        // telemetry is opt-in, and off means byte-identical records.
+        let values: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let r = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(1e-9));
+        let (trace, sink) = repro_obs::Trace::to_memory();
+        let mut scope = trace.scope("select");
+        r.reduce_traced(&values, &mut scope);
+        let text = repro_obs::render_jsonl(&sink.drain());
+        assert!(!text.contains("realized_spread"), "{text}");
     }
 }

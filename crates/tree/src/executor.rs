@@ -52,6 +52,39 @@ where
     Runtime::global().reduce_planned(values, &plan, make, order)
 }
 
+/// [`parallel_reduce`] with the merge pinned to the plan tree and the run
+/// narrated into an observability scope, optionally with numerical-accuracy
+/// telemetry: per-node partial sums, Higham bounds, and sampled exact-ulp
+/// deviations (see [`repro_runtime::Runtime::reduce_telemetry`]).
+///
+/// Arrival-order merging is intentionally not offered here: a trace of a
+/// genuinely nondeterministic merge would defeat the byte-identical-replay
+/// contract. The executor keeps the same `workers`-way chunk decomposition
+/// as [`parallel_reduce`], so the emitted node ids and intervals describe
+/// the exact tree the untraced call would have used under
+/// [`MergeOrder::ChunkIndex`].
+pub fn parallel_reduce_telemetry<A, F>(
+    values: &[f64],
+    workers: usize,
+    make: F,
+    scope: &mut repro_obs::Scope,
+    telemetry: repro_obs::TelemetryConfig,
+    registry: Option<&repro_obs::Registry>,
+) -> f64
+where
+    A: Accumulator + 'static,
+    F: Fn() -> A + Sync,
+{
+    assert!(workers >= 1);
+    if values.is_empty() {
+        return make().finalize();
+    }
+    let plan = ReductionPlan::with_chunk_count(values.len(), workers);
+    Runtime::global()
+        .reduce_telemetry(values, &plan, make, scope, telemetry, registry)
+        .0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +146,31 @@ mod tests {
             parallel_reduce(&[], 4, StandardSum::new, MergeOrder::Arrival),
             0.0
         );
+    }
+
+    #[test]
+    fn telemetry_executor_matches_untraced_chunk_index_result() {
+        use repro_obs::{TelemetryConfig, Trace};
+        let values = repro_gen::zero_sum_with_range(20_000, 24, 41);
+        let plain = parallel_reduce(&values, 6, StandardSum::new, MergeOrder::ChunkIndex);
+        let (trace, sink) = Trace::to_memory();
+        let mut scope = trace.scope("tree");
+        let registry = repro_obs::Registry::new();
+        let traced = parallel_reduce_telemetry(
+            &values,
+            6,
+            StandardSum::new,
+            &mut scope,
+            TelemetryConfig::sampled(2),
+            Some(&registry),
+        );
+        assert_eq!(traced.to_bits(), plain.to_bits());
+        let text = repro_obs::render_jsonl(&sink.drain());
+        let nodes = repro_obs::forensics::collect_nodes(&text).unwrap();
+        // 6 leaves + 5 merges, each with a bound; every second one sampled.
+        assert_eq!(nodes.len(), 11);
+        assert!(nodes.iter().all(|n| n.bound.is_some()));
+        assert_eq!(nodes.iter().filter(|n| n.ulps.is_some()).count(), 6);
+        assert_eq!(registry.snapshot().counters["runtime.nodes_observed"], 11);
     }
 }

@@ -42,4 +42,48 @@ grep -q "survivor reference (PR fold=3): OK (bitwise)" "$TRACE_DIR/chaos-a.jsonl
 grep -q '"kind":"decision"' "$TRACE_DIR/chaos-a.jsonl" \
   || { echo "traced chaos run carried no selector decision record" >&2; exit 1; }
 
+echo "== telemetry off by default (no node events) =="
+grep -q '"kind":"node"' "$TRACE_DIR/chaos-a.jsonl" \
+  && { echo "untelemetried trace leaked node events" >&2; exit 1; }
+
+echo "== telemetried chaos, twice, fixed seed =="
+TELEM_ARGS=(trace chaos --ranks 6 --n 2048 --dr 12 --seed 2015 --telemetry)
+run "${TELEM_ARGS[@]}" > "$TRACE_DIR/telemetry-a.jsonl"
+run "${TELEM_ARGS[@]}" > "$TRACE_DIR/telemetry-b.jsonl"
+grep -q '"kind":"node"' "$TRACE_DIR/telemetry-a.jsonl" \
+  || { echo "telemetried trace carried no node events" >&2; exit 1; }
+run trace check --file "$TRACE_DIR/telemetry-a.jsonl"
+
+echo "== trace diff: same-seed telemetry traces must align cleanly =="
+run trace diff "$TRACE_DIR/telemetry-a.jsonl" "$TRACE_DIR/telemetry-b.jsonl" \
+  || { echo "same-seed telemetry traces diverged" >&2; exit 1; }
+
+echo "== trace diff: one-ulp perturbation must be caught and localized =="
+# Index 567 holds the input's max-magnitude element, so the one-ulp nudge
+# survives its segment's rounding: the diff must localize the divergence to
+# that exact leaf (rank 1, segment 2, interval [514, 600)), not just notice
+# the root moved.
+run "${TELEM_ARGS[@]}" --perturb 567 > "$TRACE_DIR/telemetry-perturbed.jsonl"
+if run trace diff "$TRACE_DIR/telemetry-a.jsonl" "$TRACE_DIR/telemetry-perturbed.jsonl" \
+    > "$TRACE_DIR/diff-perturbed.txt" 2>&1; then
+  echo "trace diff missed an injected one-ulp perturbation" >&2
+  exit 1
+fi
+grep -q "first divergent node:" "$TRACE_DIR/diff-perturbed.txt" \
+  || { echo "perturbed diff did not name the first divergent node" >&2; exit 1; }
+grep -q "origin: node rank1/leaf.r1.s2 leaf interval \[514, 600) ulps=1" "$TRACE_DIR/diff-perturbed.txt" \
+  || { echo "perturbed diff did not walk to the injected leaf origin" >&2; exit 1; }
+
+echo "== accuracy report (prometheus + self-contained html) =="
+run report --n 4096 --k inf --dr 12 --seed 2015 --format prom > "$TRACE_DIR/report.prom"
+grep -q "# TYPE runtime_nodes_observed counter" "$TRACE_DIR/report.prom" \
+  || { echo "prometheus report lacks the node counter" >&2; exit 1; }
+grep -q "^select_spread_drift " "$TRACE_DIR/report.prom" \
+  || { echo "prometheus report lacks the calibration-drift gauge" >&2; exit 1; }
+run report --n 4096 --k inf --dr 12 --seed 2015 --format html > "$TRACE_DIR/report.html"
+grep -q "Error trajectory" "$TRACE_DIR/report.html" \
+  || { echo "html report lacks the error-trajectory table" >&2; exit 1; }
+grep -Eq '<script src|<link|href="http|src="http' "$TRACE_DIR/report.html" \
+  && { echo "html report is not self-contained" >&2; exit 1; }
+
 echo "== trace OK =="

@@ -1,0 +1,123 @@
+//! Divergence-forensics guarantees that span crates.
+//!
+//! Two properties of the PR 4 telemetry + `trace diff` pipeline:
+//!
+//! 1. **Worker-count invariance.** Node telemetry derives from the
+//!    reduction *plan*, never from scheduling, so two traces of the same
+//!    seed and plan taken under different worker counts align with zero
+//!    divergent nodes (they are in fact byte-identical).
+//! 2. **Perturbation localization.** A single one-ulp perturbation at a
+//!    known input index diverges exactly the nodes whose intervals contain
+//!    that index — the leaf's root-to-origin subtree path — and the diff's
+//!    origin names that leaf's interval.
+
+use proptest::prelude::*;
+use repro_core::obs::forensics::{collect_nodes, diff_traces};
+use repro_core::obs::{render_jsonl, TelemetryConfig, Trace};
+use repro_core::prelude::*;
+
+/// One fully-sampled telemetry trace of `values` reduced under `plan` on a
+/// private `workers`-thread pool.
+fn telemetry_trace(values: &[f64], plan: &ReductionPlan, workers: usize) -> String {
+    let (trace, sink) = Trace::to_memory();
+    let mut scope = trace.scope("runtime");
+    let rt = Runtime::new(workers);
+    rt.reduce_telemetry(
+        values,
+        plan,
+        || BinnedSum::new(3),
+        &mut scope,
+        TelemetryConfig::full(),
+        None,
+    );
+    render_jsonl(&sink.drain())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed, same plan, different worker counts: the diff aligns every
+    /// node and finds zero divergences.
+    #[test]
+    fn same_plan_traces_diff_clean_across_worker_counts(
+        seed in 0u64..1_000,
+        dr in 0u32..24,
+        wa in 1usize..8,
+        wb in 1usize..8,
+    ) {
+        let values = repro_core::gen::zero_sum_with_range(1_024, dr, seed);
+        let plan = ReductionPlan::with_chunk_len(values.len(), 64);
+        let a = telemetry_trace(&values, &plan, wa);
+        let b = telemetry_trace(&values, &plan, wb);
+        // Stronger than a clean diff: the streams are byte-identical.
+        prop_assert_eq!(&a, &b);
+        let report = diff_traces(&a, &b).unwrap();
+        prop_assert!(report.is_clean(), "{}", report.render());
+        let nodes = collect_nodes(&a).unwrap();
+        prop_assert_eq!(report.aligned, nodes.len());
+        // 16 leaves and 15 merges over a 1024/64 plan.
+        prop_assert_eq!(nodes.len(), 31);
+    }
+
+    /// A one-ulp perturbation of the dominant element of chunk `p` diverges
+    /// exactly the nodes on that leaf's subtree path, and the origin walk
+    /// names the leaf and its interval.
+    #[test]
+    fn one_ulp_perturbation_is_localized_to_the_leaf_subtree(
+        chunks in 2usize..7,
+        p_seed in any::<u64>(),
+    ) {
+        const CHUNK: usize = 8;
+        let p = (p_seed % chunks as u64) as usize;
+        let idx = p * CHUNK;
+        // The perturbed element dominates the whole input (1.0 against
+        // ~2^-70 noise), so the one-ulp nudge survives rounding at the
+        // leaf and at every ancestor merge.
+        let mut values: Vec<f64> = (0..chunks * CHUNK)
+            .map(|i| ((i % 7) + 1) as f64 * 2f64.powi(-70))
+            .collect();
+        values[idx] = 1.0;
+        let mut perturbed = values.clone();
+        perturbed[idx] = f64::from_bits(perturbed[idx].to_bits() + 1);
+
+        let plan = ReductionPlan::with_chunk_len(values.len(), CHUNK);
+        let a = telemetry_trace(&values, &plan, 4);
+        let b = telemetry_trace(&perturbed, &plan, 4);
+        let report = diff_traces(&a, &b).unwrap();
+
+        prop_assert!(!report.is_clean());
+        prop_assert!(report.only_a.is_empty() && report.only_b.is_empty());
+        let origin = report.origin.clone().expect("origin");
+        prop_assert_eq!(&origin.node, &format!("c{p}"));
+        prop_assert_eq!(origin.start, idx as u64);
+        prop_assert_eq!(origin.len, CHUNK as u64);
+
+        // Exactly the nodes whose interval contains the perturbed index
+        // diverge — each by exactly one ulp — and the path covers them all,
+        // widest first, origin last.
+        let nodes = collect_nodes(&a).unwrap();
+        let containing = nodes
+            .iter()
+            .filter(|n| n.start <= idx as u64 && (idx as u64) < n.start + n.len)
+            .count();
+        prop_assert_eq!(report.divergent.len(), containing);
+        for d in &report.divergent {
+            prop_assert!(d.start <= idx as u64 && (idx as u64) < d.start + d.len);
+            prop_assert_eq!(d.ulps, 1);
+        }
+        prop_assert_eq!(report.path.len(), containing);
+        prop_assert!(report.path.windows(2).all(|w| w[0].len >= w[1].len));
+        prop_assert_eq!(&report.path.last().unwrap().node, &format!("c{p}"));
+
+        let rendered = report.render();
+        prop_assert!(
+            rendered.contains(&format!(
+                "origin: node runtime/c{p} leaf interval [{}, {})",
+                idx,
+                idx + CHUNK
+            )),
+            "{}",
+            rendered
+        );
+    }
+}
