@@ -267,6 +267,241 @@ pub mod sweep {
     }
 }
 
+/// The tracked throughput harness behind `repro-reduce bench` and the
+/// repo-root `BENCH_*.json` perf trajectory.
+///
+/// Every future PR appends a comparable point: the workload (uniform values,
+/// seeded [`params`] sizes), the op list, and the JSON schema are fixed, so
+/// two same-seed runs differ only in the timing fields (`ns_per_elem`,
+/// `bytes_per_sec`) — everything else is byte-identical, which is what the
+/// CI determinism gate asserts.
+pub mod throughput {
+    use repro_core::fp::rng::DetRng;
+    use repro_core::fp::Superaccumulator;
+    use repro_core::select::profile::{profile, profile_and_sum};
+    use repro_core::sum::lanes::accumulate_lanes;
+    use repro_core::sum::{Accumulator, Algorithm, StandardSum};
+
+    /// One measured point of the fixed schema
+    /// `op, n, ns_per_elem, bytes_per_sec, seed, git_rev`.
+    #[derive(Clone, Debug)]
+    pub struct BenchEntry {
+        /// Operation label (e.g. `sum/ST`, `superacc/batched`, `lanes/4`).
+        pub op: String,
+        /// Elements per timed run.
+        pub n: usize,
+        /// Median wall time per element, nanoseconds.
+        pub ns_per_elem: f64,
+        /// Sustained input bandwidth, bytes per second (`8 n / t`).
+        pub bytes_per_sec: f64,
+        /// Workload RNG seed.
+        pub seed: u64,
+        /// Git revision the numbers were measured at.
+        pub git_rev: String,
+    }
+
+    /// The uniform `[0, 1)` workload every op is timed on (the harness's
+    /// baseline distribution: benign exponent range, so the superaccumulator
+    /// digit window stays anchored and the ≥ 2× batched-vs-scalar
+    /// acceptance ratio is measured under favourable-but-realistic data).
+    pub fn uniform_workload(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_f64()).collect()
+    }
+
+    /// Best-effort current git revision, read from `.git` without spawning a
+    /// process; `"unknown"` outside a checkout.
+    pub fn git_rev() -> String {
+        fn read_rev(dir: &std::path::Path) -> Option<String> {
+            let head = std::fs::read_to_string(dir.join(".git/HEAD")).ok()?;
+            let head = head.trim();
+            let full = if let Some(reference) = head.strip_prefix("ref: ") {
+                std::fs::read_to_string(dir.join(".git").join(reference.trim()))
+                    .ok()?
+                    .trim()
+                    .to_string()
+            } else {
+                head.to_string()
+            };
+            if full.len() >= 12 && full.chars().all(|c| c.is_ascii_hexdigit()) {
+                Some(full[..12].to_string())
+            } else {
+                None
+            }
+        }
+        let mut dir = std::env::current_dir().unwrap_or_default();
+        loop {
+            if let Some(rev) = read_rev(&dir) {
+                return rev;
+            }
+            if !dir.pop() {
+                return "unknown".to_string();
+            }
+        }
+    }
+
+    /// Median ns/element of `f` over `values` (warm cache, [`super::median_time`]).
+    fn measure(
+        op: &str,
+        values: &[f64],
+        seed: u64,
+        git_rev: &str,
+        reps: usize,
+        mut f: impl FnMut(&[f64]) -> f64,
+    ) -> BenchEntry {
+        let secs = super::median_time(reps, || f(values));
+        let n = values.len().max(1);
+        BenchEntry {
+            op: op.to_string(),
+            n: values.len(),
+            ns_per_elem: secs * 1e9 / n as f64,
+            bytes_per_sec: (n * std::mem::size_of::<f64>()) as f64 / secs.max(1e-12),
+            seed,
+            git_rev: git_rev.to_string(),
+        }
+    }
+
+    /// Run the full suite at the current [`super::scale`]: every `sum`
+    /// operator, the superaccumulator scalar vs batched paths, lane widths
+    /// {1, 4, 8} over the exact operator, and the selector's profile pass
+    /// (serial and fused). Entry order is fixed.
+    pub fn run_suite() -> Vec<BenchEntry> {
+        let p = super::params();
+        let n = p.timing_n;
+        let seed = p.seed;
+        let reps = p.timing_reps.clamp(3, 20);
+        let rev = git_rev();
+        let values = uniform_workload(n, seed);
+        let mut out = Vec::new();
+        for alg in Algorithm::ALL {
+            out.push(measure(
+                &format!("sum/{}", alg.abbrev()),
+                &values,
+                seed,
+                &rev,
+                reps,
+                |v| {
+                    let mut acc = alg.new_accumulator();
+                    acc.add_slice(v);
+                    acc.finalize()
+                },
+            ));
+        }
+        out.push(measure("superacc/scalar", &values, seed, &rev, reps, |v| {
+            let mut acc = Superaccumulator::new();
+            for &x in v {
+                acc.add(x);
+            }
+            acc.to_f64()
+        }));
+        out.push(measure(
+            "superacc/batched",
+            &values,
+            seed,
+            &rev,
+            reps,
+            |v| {
+                let mut acc = Superaccumulator::new();
+                acc.add_slice(v);
+                acc.to_f64()
+            },
+        ));
+        for lanes in [1usize, 4, 8] {
+            out.push(measure(
+                &format!("lanes/{lanes}"),
+                &values,
+                seed,
+                &rev,
+                reps,
+                |v| {
+                    let acc = accumulate_lanes(Superaccumulator::new, v, lanes);
+                    Accumulator::finalize(&acc)
+                },
+            ));
+        }
+        out.push(measure("select/profile", &values, seed, &rev, reps, |v| {
+            profile(v).sum_estimate
+        }));
+        out.push(measure(
+            "select/profile_and_sum",
+            &values,
+            seed,
+            &rev,
+            reps,
+            |v| {
+                let mut acc = StandardSum::new();
+                profile_and_sum(v, &mut acc);
+                acc.finalize()
+            },
+        ));
+        out
+    }
+
+    /// Measured batched-over-scalar superaccumulator throughput ratio
+    /// (the PR-5 acceptance number), if both entries are present.
+    pub fn batched_over_scalar_ratio(entries: &[BenchEntry]) -> Option<f64> {
+        let ns = |op: &str| entries.iter().find(|e| e.op == op).map(|e| e.ns_per_elem);
+        Some(ns("superacc/scalar")? / ns("superacc/batched")?)
+    }
+
+    /// Render entries as the tracked `BENCH_*.json` document. Field order,
+    /// separators, and terminating newline are fixed so the CI determinism
+    /// gate can diff two runs byte-for-byte after stripping the two timing
+    /// fields.
+    pub fn render_json(entries: &[BenchEntry]) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"repro-bench-throughput-v1\",\n");
+        s.push_str(&format!("  \"scale\": \"{:?}\",\n", super::scale()));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"op\": \"{}\", \"n\": {}, \"ns_per_elem\": {:.4}, \"bytes_per_sec\": {:.0}, \"seed\": {}, \"git_rev\": \"{}\"}}{}\n",
+                e.op,
+                e.n,
+                e.ns_per_elem,
+                e.bytes_per_sec,
+                e.seed,
+                e.git_rev,
+                if i + 1 == entries.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn suite_covers_required_ops_and_renders_valid_json() {
+            std::env::set_var("REPRO_SCALE", "quick");
+            let entries = run_suite();
+            for op in [
+                "superacc/scalar",
+                "superacc/batched",
+                "lanes/1",
+                "lanes/4",
+                "lanes/8",
+                "select/profile",
+            ] {
+                assert!(entries.iter().any(|e| e.op == op), "missing {op}");
+            }
+            for alg in Algorithm::ALL {
+                let op = format!("sum/{}", alg.abbrev());
+                assert!(entries.iter().any(|e| e.op == op), "missing {op}");
+            }
+            assert!(batched_over_scalar_ratio(&entries).unwrap() > 0.0);
+            let json = render_json(&entries);
+            let parsed = repro_core::obs::Json::parse(json.trim()).expect("valid JSON");
+            assert_eq!(
+                parsed.get("schema").unwrap().as_str(),
+                Some("repro-bench-throughput-v1")
+            );
+        }
+    }
+}
+
 /// Time a closure, returning (result, seconds). Used by the timing figures
 /// (Criterion is used for the microbenchmarks; the figure tables need raw
 /// numbers to print ratios).

@@ -26,6 +26,7 @@
 //! repro-reduce trace diff   A.jsonl B.jsonl
 //! repro-reduce report  [--format prom|html] [--n N] [--k K|inf] [--dr D]
 //!                      [--seed S] [--sample N] [--file F] [VALUES...]
+//! repro-reduce bench   [--out PATH|-]
 //! ```
 //!
 //! Values come from positional arguments and/or `--file` (whitespace- or
@@ -101,6 +102,7 @@ USAGE:
   repro-reduce trace diff   A.jsonl B.jsonl
   repro-reduce report  [--format prom|html] [--n N] [--k K|inf] [--dr D]
                        [--seed S] [--sample N] [--file F] [VALUES...]
+  repro-reduce bench   [--out PATH|-]
 
 Values come from positional args and/or --file (whitespace-separated;
 '-' = stdin). trace emits JSONL events plus '#' summary lines; with the
@@ -141,6 +143,7 @@ struct Opts {
     sample: Option<u64>,
     perturb: Option<usize>,
     format: Option<String>,
+    out: Option<String>,
 }
 
 fn parse_opts(
@@ -254,6 +257,7 @@ fn parse_opts(
                 )
             }
             "--format" => o.format = Some(take("--format")?),
+            "--out" => o.out = Some(take("--out")?),
             _ if a.starts_with("--") => return Err(err(format!("unknown option {a}"))),
             _ => o
                 .values
@@ -539,6 +543,7 @@ pub fn run(
         }
         "chaos" => run_chaos(&o),
         "report" => run_report(&o),
+        "bench" => run_bench(&o),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -937,10 +942,8 @@ fn chaos_node_event(
     let mut abs = Superaccumulator::new();
     let mut n = 0usize;
     for part in parts {
-        for &v in *part {
-            exact.add(v);
-            abs.add(v.abs());
-        }
+        exact.add_slice(part);
+        abs.add_slice_abs(part);
         n += part.len();
     }
     let mut fields = vec![
@@ -991,6 +994,35 @@ fn run_trace_diff(
         Ok(rendered)
     } else {
         Err(err(rendered))
+    }
+}
+
+/// `bench`: run the tracked throughput harness (`repro_bench::throughput`)
+/// at the current `REPRO_SCALE` and write the fixed-schema `BENCH_*.json`
+/// document — the repo's perf trajectory, one comparable point per PR.
+/// `--out -` prints the JSON (plus `#` summary lines) instead of writing;
+/// the default target is `BENCH_05.json` in the working directory.
+fn run_bench(o: &Opts) -> Result<String, CliError> {
+    use repro_bench::throughput;
+    let entries = throughput::run_suite();
+    let json = throughput::render_json(&entries);
+    let ratio = throughput::batched_over_scalar_ratio(&entries)
+        .ok_or_else(|| err("bench suite missing superaccumulator entries"))?;
+    let summary = format!(
+        "# {} ops at scale {:?}, n = {}, seed = {}, rev = {}\n\
+         # batched/scalar superaccumulator throughput ratio: {ratio:.2}x",
+        entries.len(),
+        repro_bench::scale(),
+        entries.first().map(|e| e.n).unwrap_or(0),
+        entries.first().map(|e| e.seed).unwrap_or(0),
+        entries.first().map(|e| e.git_rev.as_str()).unwrap_or("?"),
+    );
+    let out = o.out.as_deref().unwrap_or("BENCH_05.json");
+    if out == "-" {
+        Ok(format!("{json}{summary}"))
+    } else {
+        std::fs::write(out, &json).map_err(|e| err(format!("writing {out}: {e}")))?;
+        Ok(format!("# wrote {out}\n{summary}"))
     }
 }
 
@@ -1107,6 +1139,28 @@ mod tests {
     fn run_cmd(args: &[&str]) -> Result<String, CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         run(&args, &no_fs)
+    }
+
+    #[test]
+    fn bench_emits_schema_entries_and_summary() {
+        std::env::set_var("REPRO_SCALE", "quick");
+        let out = run_cmd(&["bench", "--out", "-"]).unwrap();
+        assert!(
+            out.contains("\"schema\": \"repro-bench-throughput-v1\""),
+            "{out}"
+        );
+        for op in [
+            "superacc/scalar",
+            "superacc/batched",
+            "lanes/4",
+            "select/profile",
+        ] {
+            assert!(out.contains(op), "missing {op} in {out}");
+        }
+        assert!(out.contains("# batched/scalar superaccumulator"), "{out}");
+        // The document half parses as JSON on its own.
+        let json: String = out.lines().take_while(|l| !l.starts_with('#')).collect();
+        assert!(repro_core::obs::Json::parse(&json).is_ok(), "{json}");
     }
 
     #[test]

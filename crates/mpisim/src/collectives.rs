@@ -795,10 +795,8 @@ impl<A: Accumulator> ShadowedAcc<A> {
     pub fn over(inner: A, values: &[f64]) -> Self {
         let mut exact = repro_fp::Superaccumulator::new();
         let mut abs = repro_fp::Superaccumulator::new();
-        for &x in values {
-            exact.add(x);
-            abs.add(x.abs());
-        }
+        exact.add_slice(values);
+        abs.add_slice_abs(values);
         ShadowedAcc {
             inner,
             exact,

@@ -23,10 +23,8 @@ impl NodeShadow {
     fn over(chunk: &[f64]) -> Self {
         let mut exact = Superaccumulator::new();
         let mut abs = Superaccumulator::new();
-        for &x in chunk {
-            exact.add(x);
-            abs.add(x.abs());
-        }
+        exact.add_slice(chunk);
+        abs.add_slice_abs(chunk);
         NodeShadow {
             exact,
             abs,

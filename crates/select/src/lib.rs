@@ -124,12 +124,30 @@ impl AdaptiveReducer {
     }
 
     /// Profile, select, and sequentially reduce.
+    ///
+    /// The profile pass speculates: [`profile::profile_and_sum`] computes
+    /// the profile *and* a [`repro_sum::StandardSum`] reduction — the
+    /// cheapest rung of the ladder — in one sweep over the data. When the
+    /// selector then picks ST (the common benign-workload case) the sum is
+    /// already done and the values were read exactly once; otherwise only
+    /// the chosen operator re-reads them. Bitwise identical to the unfused
+    /// pipeline either way: the fused profile equals the serial profile
+    /// bit-for-bit (which itself equals [`profile::profile_parallel`], a
+    /// tested invariant), and the speculative accumulator saw the elements
+    /// in plain slice order.
     pub fn reduce(&self, values: &[f64]) -> Outcome {
-        let (algorithm, profile) = self.choose(values);
-        let mut acc = algorithm.new_accumulator();
-        acc.add_slice(values);
+        let mut speculative = repro_sum::StandardSum::new();
+        let profile = profile::profile_and_sum(values, &mut speculative);
+        let algorithm = self.selector.choose(&profile, self.tolerance);
+        let sum = if algorithm == Algorithm::Standard {
+            speculative.finalize()
+        } else {
+            let mut acc = algorithm.new_accumulator();
+            acc.add_slice(values);
+            acc.finalize()
+        };
         Outcome {
-            sum: acc.finalize(),
+            sum,
             algorithm,
             profile,
         }
@@ -284,6 +302,30 @@ mod tests {
         assert_eq!(out.sum, 4950.0);
         assert_eq!(out.profile.n, 99);
         assert_eq!(out.algorithm.abbrev(), "ST");
+    }
+
+    #[test]
+    fn fused_reduce_matches_unfused_pipeline_bitwise() {
+        // Covers both speculation outcomes: benign data keeps the fused
+        // StandardSum pass, hostile data escalates and re-reduces.
+        let benign: Vec<f64> = (1..1000).map(|i| 1.0 + (i % 10) as f64).collect();
+        let hostile = repro_gen::zero_sum_with_range(5_000, 32, 7);
+        for (values, expect_st) in [(&benign, true), (&hostile, false)] {
+            let r = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(1e-10));
+            let out = r.reduce(values);
+            assert_eq!(out.algorithm == Algorithm::Standard, expect_st);
+            // The unfused pipeline: parallel profile, choose, serial reduce.
+            let (algorithm, profile) = r.choose(values);
+            let mut acc = algorithm.new_accumulator();
+            acc.add_slice(values);
+            assert_eq!(out.algorithm, algorithm);
+            assert_eq!(out.sum.to_bits(), acc.finalize().to_bits());
+            assert_eq!(out.profile.k.to_bits(), profile.k.to_bits());
+            assert_eq!(
+                out.profile.sum_estimate.to_bits(),
+                profile.sum_estimate.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -147,6 +147,51 @@ pub fn profile(values: &[f64]) -> DataProfile {
     }
 }
 
+/// Profile a dataset and accumulate it into `acc` in one fused pass.
+///
+/// [`profile`] followed by a separate reduction reads every cache line of
+/// `values` twice; this visits each block once, interleaving the profile
+/// statistics with `acc.add_slice` over L1-sized blocks. Both outputs are
+/// bit-identical to the unfused pair: the profile statistics see the
+/// elements in the same serial order as [`profile`], and block-chunked
+/// `add_slice` preserves the accumulator's element order exactly (the two
+/// accumulations are independent — neither reads the other's state).
+pub fn profile_and_sum<A: Accumulator>(values: &[f64], acc: &mut A) -> DataProfile {
+    /// Elements per fused block: 4 KiB of f64s, comfortably cache-resident.
+    const BLOCK: usize = 512;
+    let mut sum = BinnedSum::new(PROFILE_FOLD);
+    let mut abs = BinnedSum::new(PROFILE_FOLD);
+    let mut min_e = i32::MAX;
+    let mut max_e = i32::MIN;
+    let mut max_abs = 0.0f64;
+    for block in values.chunks(BLOCK) {
+        for &x in block {
+            sum.add(x);
+            abs.add(x.abs());
+            if let Some(e) = exponent(x) {
+                min_e = min_e.min(e);
+                max_e = max_e.max(e);
+            }
+            max_abs = max_abs.max(x.abs());
+        }
+        acc.add_slice(block);
+    }
+    let s = sum.finalize();
+    let a = abs.finalize();
+    DataProfile {
+        n: values.len(),
+        k: condition_estimate(s, a),
+        dr_binades: if min_e == i32::MAX { 0 } else { max_e - min_e },
+        max_abs,
+        abs_sum: a,
+        sum_estimate: s,
+        min_exp: min_e,
+        max_exp: max_e,
+        sum_bins: sum,
+        abs_bins: abs,
+    }
+}
+
 /// Profile a dataset in parallel on the shared runtime pool: one
 /// [`profile`] pass per plan chunk, partial profiles merged in plan
 /// (chunk-index) order via [`DataProfile::merge`].
@@ -198,6 +243,61 @@ mod tests {
         let again = profile_parallel(&values);
         assert_eq!(par.sum_estimate.to_bits(), again.sum_estimate.to_bits());
         assert_eq!(par.k.to_bits(), again.k.to_bits());
+    }
+
+    #[test]
+    fn fused_profile_and_sum_is_bitwise_unfused() {
+        use repro_fp::Superaccumulator;
+        use repro_sum::{KahanSum, StandardSum};
+        for (seed, n) in [
+            (1u64, 0usize),
+            (2, 1),
+            (3, 511),
+            (4, 512),
+            (5, 513),
+            (6, 20_000),
+        ] {
+            let values = repro_gen::zero_sum_with_range(n.max(2), 20, seed);
+            let values = &values[..n];
+            let seq = profile(values);
+            for_each_acc(values, &seq);
+            // Exact operator too: batched add_slice under the fused loop.
+            let mut fused_exact = Superaccumulator::new();
+            let fp = profile_and_sum(values, &mut fused_exact);
+            let mut serial_exact = Superaccumulator::new();
+            serial_exact.add_slice(values);
+            assert_eq!(
+                Accumulator::finalize(&fused_exact).to_bits(),
+                Accumulator::finalize(&serial_exact).to_bits()
+            );
+            assert_eq!(fp.sum_estimate.to_bits(), seq.sum_estimate.to_bits());
+        }
+
+        fn for_each_acc(values: &[f64], seq: &DataProfile) {
+            use repro_sum::Accumulator;
+            fn check<A: Accumulator>(
+                mut fused: A,
+                mut serial: A,
+                values: &[f64],
+                seq: &DataProfile,
+            ) {
+                let p = profile_and_sum(values, &mut fused);
+                serial.add_slice(values);
+                assert_eq!(fused.finalize().to_bits(), serial.finalize().to_bits());
+                assert_eq!(p.n, seq.n);
+                assert_eq!(p.k.to_bits(), seq.k.to_bits());
+                assert_eq!(p.sum_estimate.to_bits(), seq.sum_estimate.to_bits());
+                assert_eq!(p.abs_sum.to_bits(), seq.abs_sum.to_bits());
+                assert_eq!(p.max_abs.to_bits(), seq.max_abs.to_bits());
+                assert_eq!(
+                    (p.min_exp, p.max_exp, p.dr_binades),
+                    (seq.min_exp, seq.max_exp, seq.dr_binades)
+                );
+            }
+            check(StandardSum::new(), StandardSum::new(), values, seq);
+            check(KahanSum::new(), KahanSum::new(), values, seq);
+            check(BinnedSum::new(3), BinnedSum::new(3), values, seq);
+        }
     }
 
     #[test]

@@ -16,6 +16,12 @@ impl Accumulator for Superaccumulator {
         Superaccumulator::add(self, x);
     }
 
+    /// Route slices through the batched digit-window kernel (bit-identical
+    /// to the default per-element loop, substantially faster).
+    fn add_slice(&mut self, values: &[f64]) {
+        Superaccumulator::add_slice(self, values);
+    }
+
     fn merge(&mut self, other: &Self) {
         Superaccumulator::merge(self, other);
     }

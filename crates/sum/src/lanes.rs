@@ -96,22 +96,37 @@ where
     merge_lane_order(lanes.to_vec())
 }
 
+std::thread_local! {
+    /// Per-thread gather scratch for [`lanes_n`]. The runtime pool's workers
+    /// are persistent threads, so this buffer is allocated once per worker
+    /// and reused across every chunk that worker executes.
+    static LANE_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 fn lanes_n<A, F>(make: &F, values: &[f64], n: usize) -> A
 where
     A: Accumulator,
     F: Fn() -> A,
 {
-    let mut lanes: Vec<A> = (0..n).map(|_| make()).collect();
-    let mut groups = values.chunks_exact(n);
-    for g in groups.by_ref() {
-        for (lane, &v) in lanes.iter_mut().zip(g) {
-            lane.add(v);
-        }
-    }
-    for (j, &v) in groups.remainder().iter().enumerate() {
-        lanes[j].add(v);
-    }
-    merge_lane_order(lanes)
+    // Gather each lane's strided elements (j, j+n, j+2n, ...) into a
+    // contiguous scratch run and feed them through the operator's batched
+    // `add_slice`. Per-lane element order is exactly the round-robin layout
+    // the per-element loop produced, so the result is bit-identical for
+    // every operator — odd widths are no longer pessimized to one `add` at
+    // a time.
+    LANE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let lanes: Vec<A> = (0..n)
+            .map(|j| {
+                scratch.clear();
+                scratch.extend(values.iter().skip(j).step_by(n.max(1)));
+                let mut lane = make();
+                lane.add_slice(&scratch);
+                lane
+            })
+            .collect();
+        merge_lane_order(lanes)
+    })
 }
 
 /// Fold lanes left-to-right (lane 0 absorbs 1, then 2, ...): the fixed

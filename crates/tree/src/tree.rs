@@ -324,9 +324,7 @@ mod tests {
             let (root, residuals) = tree.error_attribution(&values);
             let mut acc = Superaccumulator::new();
             acc.add(root);
-            for r in &residuals {
-                acc.add(*r);
-            }
+            acc.add_slice(&residuals);
             let reconstructed = acc.to_f64();
             let exact = repro_fp::exact_sum(&values);
             assert_eq!(

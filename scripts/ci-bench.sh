@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Throughput-harness smoke: run the deterministic bench suite at quick
+# scale, validate the BENCH JSON schema, and prove the harness itself is
+# deterministic — two same-seed runs must agree byte-for-byte once the
+# timing fields (the only nondeterministic outputs) are stripped. No
+# wall-clock thresholds: CI runners share cores, so asserting on absolute
+# ns/elem would only manufacture flakes. Artifacts land in target/bench/
+# so CI uploads them for offline comparison against a developer machine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_DIR=target/bench
+mkdir -p "$BENCH_DIR"
+
+run() { cargo run --release -q -p repro-cli --bin repro-reduce -- "$@"; }
+
+echo "== build (release) =="
+cargo build --release -p repro-cli
+
+echo "== bench suite (quick scale), twice, fixed seed =="
+REPRO_SCALE=quick run bench --out "$BENCH_DIR/bench-a.json"
+REPRO_SCALE=quick run bench --out "$BENCH_DIR/bench-b.json"
+
+echo "== schema check =="
+grep -q '"schema": "repro-bench-throughput-v1"' "$BENCH_DIR/bench-a.json" \
+  || { echo "bench output lacks the schema marker" >&2; exit 1; }
+for op in sum/ST sum/PW sum/K sum/N sum/CP sum/DD sum/PR sum/DS \
+          superacc/scalar superacc/batched lanes/1 lanes/4 lanes/8 \
+          select/profile select/profile_and_sum; do
+  grep -q "\"op\": \"$op\"" "$BENCH_DIR/bench-a.json" \
+    || { echo "bench output is missing op $op" >&2; exit 1; }
+done
+grep -Eq '"ns_per_elem": [0-9]+\.[0-9]+' "$BENCH_DIR/bench-a.json" \
+  || { echo "bench output lacks ns_per_elem readings" >&2; exit 1; }
+grep -Eq '"git_rev": "[0-9a-f]{12}|unknown"' "$BENCH_DIR/bench-a.json" \
+  || { echo "bench output lacks a git revision" >&2; exit 1; }
+
+echo "== harness determinism (byte-for-byte modulo timing fields) =="
+strip_timing() {
+  sed -E 's/"ns_per_elem": [0-9]+\.[0-9]+/"ns_per_elem": X/; s/"bytes_per_sec": [0-9]+/"bytes_per_sec": X/' "$1"
+}
+diff <(strip_timing "$BENCH_DIR/bench-a.json") <(strip_timing "$BENCH_DIR/bench-b.json") \
+  || { echo "same-seed bench runs diverged outside the timing fields" >&2; exit 1; }
+
+echo "== bench OK =="
