@@ -277,9 +277,10 @@ pub mod sweep {
 /// CI determinism gate asserts.
 pub mod throughput {
     use repro_core::fp::rng::DetRng;
+    use repro_core::fp::simd::{supported_tiers, SimdTier};
     use repro_core::fp::Superaccumulator;
     use repro_core::select::profile::{profile, profile_and_sum};
-    use repro_core::sum::lanes::accumulate_lanes;
+    use repro_core::sum::lanes::{lane_chunks, merge_in_lane_order};
     use repro_core::sum::{Accumulator, Algorithm, StandardSum};
 
     /// One measured point of the fixed schema
@@ -362,9 +363,20 @@ pub mod throughput {
     }
 
     /// Run the full suite at the current [`super::scale`]: every `sum`
-    /// operator, the superaccumulator scalar vs batched paths, lane widths
-    /// {1, 4, 8} over the exact operator, and the selector's profile pass
-    /// (serial and fused). Entry order is fixed.
+    /// operator, the superaccumulator scalar vs batched paths, the batched
+    /// path once per supported SIMD dispatch tier (`simd/<tier>` — the
+    /// entry *list* follows the machine, which the CI op-coverage check
+    /// probes via `repro-reduce simd --check`), lane widths {1, 4, 8} over
+    /// the exact operator, and the selector's profile pass (serial and
+    /// fused). Entry order is fixed.
+    ///
+    /// The `lanes/N` entries pin the **scalar** tier and use `N` as both
+    /// the contiguous-chunk lane count and the kernel's accumulator-chain
+    /// width: they isolate the instruction-level-parallelism effect of the
+    /// lane rework (one chain serializes on FP-add latency; 4/8 chains
+    /// overlap) from vector dispatch, which the `simd/*` entries measure
+    /// separately at fixed width. `superacc/batched` stays on the active
+    /// tier — it reports what `add_slice` actually delivers here.
     pub fn run_suite() -> Vec<BenchEntry> {
         let p = super::params();
         let n = p.timing_n;
@@ -406,6 +418,20 @@ pub mod throughput {
                 acc.to_f64()
             },
         ));
+        for &tier in supported_tiers() {
+            out.push(measure(
+                &format!("simd/{}", tier.label()),
+                &values,
+                seed,
+                &rev,
+                reps,
+                |v| {
+                    let mut acc = Superaccumulator::new();
+                    acc.add_slice_dispatch(v, tier, 8);
+                    acc.to_f64()
+                },
+            ));
+        }
         for lanes in [1usize, 4, 8] {
             out.push(measure(
                 &format!("lanes/{lanes}"),
@@ -414,7 +440,14 @@ pub mod throughput {
                 &rev,
                 reps,
                 |v| {
-                    let acc = accumulate_lanes(Superaccumulator::new, v, lanes);
+                    let parts: Vec<Superaccumulator> = lane_chunks(v, lanes)
+                        .map(|chunk| {
+                            let mut lane = Superaccumulator::new();
+                            lane.add_slice_dispatch(chunk, SimdTier::Scalar, lanes);
+                            lane
+                        })
+                        .collect();
+                    let acc = merge_in_lane_order(parts).unwrap_or_default();
                     Accumulator::finalize(&acc)
                 },
             ));
@@ -480,11 +513,16 @@ pub mod throughput {
             for op in [
                 "superacc/scalar",
                 "superacc/batched",
+                "simd/scalar", // always supported; other tiers follow the machine
                 "lanes/1",
                 "lanes/4",
                 "lanes/8",
                 "select/profile",
             ] {
+                assert!(entries.iter().any(|e| e.op == op), "missing {op}");
+            }
+            for tier in repro_core::fp::simd::supported_tiers() {
+                let op = format!("simd/{}", tier.label());
                 assert!(entries.iter().any(|e| e.op == op), "missing {op}");
             }
             for alg in Algorithm::ALL {

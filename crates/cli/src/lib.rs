@@ -27,6 +27,7 @@
 //! repro-reduce report  [--format prom|html] [--n N] [--k K|inf] [--dr D]
 //!                      [--seed S] [--sample N] [--file F] [VALUES...]
 //! repro-reduce bench   [--out PATH|-]
+//! repro-reduce simd    [--check scalar|sse2|avx2]
 //! ```
 //!
 //! Values come from positional arguments and/or `--file` (whitespace- or
@@ -103,6 +104,7 @@ USAGE:
   repro-reduce report  [--format prom|html] [--n N] [--k K|inf] [--dr D]
                        [--seed S] [--sample N] [--file F] [VALUES...]
   repro-reduce bench   [--out PATH|-]
+  repro-reduce simd    [--check scalar|sse2|avx2]
 
 Values come from positional args and/or --file (whitespace-separated;
 '-' = stdin). trace emits JSONL events plus '#' summary lines; with the
@@ -346,6 +348,10 @@ pub fn run(
     // trace family dispatches before the shared option parser runs.
     if cmd == "trace" {
         return run_trace(rest, read_file);
+    }
+    // `simd --check <tier>` takes a tier name, not floats.
+    if cmd == "simd" {
+        return run_simd(rest);
     }
     let o = parse_opts(rest, read_file)?;
     match cmd.as_str() {
@@ -997,11 +1003,42 @@ fn run_trace_diff(
     }
 }
 
+/// `simd`: report the runtime SIMD dispatch decision. With no arguments,
+/// prints the active tier, where the decision came from (`REPRO_SIMD`
+/// override or CPU feature detection), and every tier this CPU supports.
+/// `--check <tier>` answers through the exit status — the CI matrix probes
+/// it before exporting `REPRO_SIMD=<tier>`, so an unavailable tier is
+/// skipped loudly instead of silently exercising the fallback.
+fn run_simd(rest: &[String]) -> Result<String, CliError> {
+    use repro_core::fp::simd;
+    match rest {
+        [] => {
+            let tiers: Vec<&str> = simd::supported_tiers().iter().map(|t| t.label()).collect();
+            Ok(format!(
+                "active: {}\nsource: {}\nsupported: {}",
+                simd::active_tier().label(),
+                simd::dispatch_source(),
+                tiers.join(" "),
+            ))
+        }
+        [flag, tier] if flag == "--check" => {
+            let t = simd::SimdTier::parse(tier)
+                .ok_or_else(|| err(format!("--check {tier:?}: expected scalar|sse2|avx2")))?;
+            if simd::tier_supported(t) {
+                Ok(format!("{} supported", t.label()))
+            } else {
+                Err(err(format!("{} not supported on this CPU", t.label())))
+            }
+        }
+        _ => Err(err("usage: repro-reduce simd [--check scalar|sse2|avx2]")),
+    }
+}
+
 /// `bench`: run the tracked throughput harness (`repro_bench::throughput`)
 /// at the current `REPRO_SCALE` and write the fixed-schema `BENCH_*.json`
 /// document — the repo's perf trajectory, one comparable point per PR.
 /// `--out -` prints the JSON (plus `#` summary lines) instead of writing;
-/// the default target is `BENCH_05.json` in the working directory.
+/// the default target is `BENCH_06.json` in the working directory.
 fn run_bench(o: &Opts) -> Result<String, CliError> {
     use repro_bench::throughput;
     let entries = throughput::run_suite();
@@ -1017,7 +1054,7 @@ fn run_bench(o: &Opts) -> Result<String, CliError> {
         entries.first().map(|e| e.seed).unwrap_or(0),
         entries.first().map(|e| e.git_rev.as_str()).unwrap_or("?"),
     );
-    let out = o.out.as_deref().unwrap_or("BENCH_05.json");
+    let out = o.out.as_deref().unwrap_or("BENCH_06.json");
     if out == "-" {
         Ok(format!("{json}{summary}"))
     } else {
@@ -1161,6 +1198,39 @@ mod tests {
         // The document half parses as JSON on its own.
         let json: String = out.lines().take_while(|l| !l.starts_with('#')).collect();
         assert!(repro_core::obs::Json::parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn bench_covers_one_simd_op_per_supported_tier() {
+        std::env::set_var("REPRO_SCALE", "quick");
+        let out = run_cmd(&["bench", "--out", "-"]).unwrap();
+        for tier in repro_core::fp::simd::supported_tiers() {
+            let op = format!("simd/{}", tier.label());
+            assert!(out.contains(&op), "missing {op} in {out}");
+        }
+    }
+
+    #[test]
+    fn simd_reports_dispatch_and_supported_tiers() {
+        let out = run_cmd(&["simd"]).unwrap();
+        assert!(out.contains("active: "), "{out}");
+        assert!(out.contains("source: "), "{out}");
+        assert!(out.contains("supported: scalar"), "{out}");
+    }
+
+    #[test]
+    fn simd_check_answers_by_exit_status() {
+        // scalar is supported everywhere; an unknown tier is a usage error.
+        assert!(run_cmd(&["simd", "--check", "scalar"]).is_ok());
+        assert!(run_cmd(&["simd", "--check", "mmx"]).is_err());
+        assert!(run_cmd(&["simd", "--bogus"]).is_err());
+        for tier in ["sse2", "avx2"] {
+            let got = run_cmd(&["simd", "--check", tier]);
+            let supported = repro_core::fp::simd::SimdTier::parse(tier)
+                .map(repro_core::fp::simd::tier_supported)
+                .unwrap_or(false);
+            assert_eq!(got.is_ok(), supported, "tier {tier}");
+        }
     }
 
     #[test]

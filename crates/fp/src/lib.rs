@@ -31,11 +31,15 @@
 //! * [`rng`] — [`rng::DetRng`], a deterministic SplitMix64 generator: the
 //!   pinned randomness source behind every seeded workload generator and
 //!   simulator in the workspace (no external `rand` in library code).
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 kernels for the batched
+//!   superaccumulator hot path, selected once per process (with a
+//!   `REPRO_SIMD` override) and bit-identical to the scalar tier.
 //!
-//! All of this crate is `#![forbid(unsafe_code)]`, deterministic, and
-//! dependency-free.
+//! This crate is `#![deny(unsafe_code)]`, deterministic, and
+//! dependency-free; the only `unsafe` lives in [`simd`], confined to
+//! `#[target_feature]` intrinsics behind runtime CPU detection.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounds;
@@ -46,6 +50,7 @@ pub mod expansion;
 pub mod hexfloat;
 pub mod interval;
 pub mod rng;
+pub mod simd;
 pub mod superacc;
 pub mod ulp;
 
@@ -59,5 +64,6 @@ pub use exact::{
 pub use expansion::{expansion_sum, Expansion};
 pub use hexfloat::{format_hex, parse_hex};
 pub use interval::{interval_sum, Interval};
+pub use simd::SimdTier;
 pub use superacc::Superaccumulator;
 pub use ulp::ulp_distance;

@@ -1,0 +1,542 @@
+//! Runtime-dispatched SIMD kernels for the batched superaccumulator.
+//!
+//! [`crate::Superaccumulator::add_slice`] spends essentially all of its time
+//! in two loops: the branch-free [`window_digit`] scan that qualifies a block
+//! for the fast kernel, and the Rump–Ogita–Oishi two-part extraction that
+//! splits every qualified value onto the digit grid. Both are pure
+//! data-parallel streams, so this module provides explicit SSE2 and AVX2
+//! implementations next to the portable scalar ones, selected **once per
+//! process**:
+//!
+//! * `REPRO_SIMD=scalar|sse2|avx2` forces a tier (mirroring the
+//!   `REPRO_RUNTIME_WORKERS` / `REPRO_SCALE` env knobs). Forcing a tier the
+//!   CPU lacks, or a value that parses to no tier, panics loudly — a silent
+//!   fallback would let a CI dispatch matrix "pass" without ever running the
+//!   tier it claimed to test.
+//! * `REPRO_SIMD=auto` (or unset) picks the best tier
+//!   [`std::arch::is_x86_feature_detected!`] reports.
+//!
+//! # Why every tier produces identical bits
+//!
+//! The extraction kernel only ever performs **exact** floating-point
+//! additions: each value `x` in digit window `d` splits as `x = q + r` with
+//! `q = (x + C) - C` a multiple of the grid `2^g` and `r = x - q` exact
+//! (see [`crate::Superaccumulator`]'s kernel docs), and partial sums of `q`s
+//! and `r`s stay far inside the `2^53` exact-integer range in grid units as
+//! long as no accumulator chain folds more than 1024 elements between
+//! deposits ([`SUB_BLOCK`]). Exact additions are associative, so *any*
+//! chain count, vector width, or fold order yields the same real number —
+//! and therefore bit-identical deposits into the exact register. The lane
+//! count below is purely an instruction-level-parallelism knob (how many
+//! independent FP dependency chains the CPU can overlap), never a semantic
+//! one. The [`window_digit`] scan is integer classification with the same
+//! lane-invariance argument (bitwise OR is associative and commutative).
+
+// The crate is `deny(unsafe_code)`; the `std::arch` intrinsics live behind
+// `#[target_feature]` functions in this module only, each reachable solely
+// through the runtime-dispatch checks below.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// A dispatch tier for the batched exact-summation kernels.
+///
+/// Ordered from most portable to most specialized; [`active_tier`] selects
+/// the highest supported tier unless `REPRO_SIMD` forces one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SimdTier {
+    /// Portable Rust, the verbatim batched kernel every target builds.
+    Scalar,
+    /// 128-bit `std::arch` kernels (baseline on `x86_64`).
+    Sse2,
+    /// 256-bit `std::arch` kernels (runtime-detected).
+    Avx2,
+}
+
+impl SimdTier {
+    /// The env-knob / CLI spelling of the tier.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Parse a `REPRO_SIMD` tier name (`auto` is handled by the caller).
+    pub fn parse(s: &str) -> Option<SimdTier> {
+        match s {
+            "scalar" => Some(SimdTier::Scalar),
+            "sse2" => Some(SimdTier::Sse2),
+            "avx2" => Some(SimdTier::Avx2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The tiers this build + CPU can actually run, lowest first.
+/// [`SimdTier::Scalar`] is always present.
+pub fn supported_tiers() -> &'static [SimdTier] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            &[SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2]
+        } else {
+            // SSE2 is part of the x86_64 baseline.
+            &[SimdTier::Scalar, SimdTier::Sse2]
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        &[SimdTier::Scalar]
+    }
+}
+
+/// `true` if [`active_tier`]/`add_slice` can execute `tier` on this machine.
+pub fn tier_supported(tier: SimdTier) -> bool {
+    supported_tiers().contains(&tier)
+}
+
+fn resolve_dispatch() -> (SimdTier, &'static str) {
+    let best = *supported_tiers().last().expect("scalar always supported");
+    match std::env::var("REPRO_SIMD") {
+        Err(_) => (best, "auto (REPRO_SIMD unset)"),
+        Ok(v) if v.is_empty() || v == "auto" => (best, "auto (REPRO_SIMD=auto)"),
+        Ok(v) => match SimdTier::parse(&v) {
+            Some(tier) if tier_supported(tier) => (tier, "forced by REPRO_SIMD"),
+            Some(tier) => panic!(
+                "REPRO_SIMD={} forces a tier this CPU does not support (supported: {})",
+                tier.label(),
+                supported_tiers()
+                    .iter()
+                    .map(|t| t.label())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+            None => panic!("REPRO_SIMD={v:?} is not one of scalar|sse2|avx2|auto"),
+        },
+    }
+}
+
+static DISPATCH: OnceLock<(SimdTier, &'static str)> = OnceLock::new();
+
+/// The tier every `add_slice` in this process uses, resolved once from
+/// `REPRO_SIMD` and CPU feature detection.
+pub fn active_tier() -> SimdTier {
+    DISPATCH.get_or_init(resolve_dispatch).0
+}
+
+/// How [`active_tier`] was chosen (for `repro-reduce simd` diagnostics).
+pub fn dispatch_source() -> &'static str {
+    DISPATCH.get_or_init(resolve_dispatch).1
+}
+
+/// Elements per deposit group of the extraction kernels. Every accumulator
+/// chain folds at most this many elements before collapsing into one `hi`
+/// and one `lo` deposit, which keeps the folded sums exact: `hi` stays below
+/// `1024 * (2^42 + 1) = 2^52 + 2^10` grid units and `lo` below `2^51`, both
+/// inside the `2^53` exact-integer range (see [`crate::Superaccumulator`]'s
+/// kernel docs for the per-element bounds).
+pub const SUB_BLOCK: usize = 1024;
+
+/// One scalar element of the [`window_digit`] classification.
+#[inline]
+fn scan_one(x: f64, lo: u64) -> u64 {
+    // In-window iff (raw_exponent - 1) - 32d < 32 as an unsigned value;
+    // zeros and subnormals (raw = 0) wrap negative, infinities and NaNs
+    // (raw = 0x7ff) land far above.
+    let p = ((x.to_bits() >> 52) & 0x7ff).wrapping_sub(1);
+    p.wrapping_sub(lo) & !31u64
+}
+
+fn scan_scalar(block: &[f64], lo: u64) -> u64 {
+    let mut bad = 0u64;
+    for &x in block {
+        bad |= scan_one(x, lo);
+    }
+    bad
+}
+
+/// Branch-free scan deciding whether a block qualifies for the
+/// error-free-extraction kernel, on an explicit dispatch `tier`.
+///
+/// Returns `Some(d)` when every element is a **normal, finite** number
+/// whose mantissa's least significant bit lies in digit window `d` (bit
+/// positions `[32d, 32d + 32)`), with `d <= 62` so the extraction constant
+/// stays representable. The biased-exponent range test folds zero,
+/// subnormal, and non-finite rejection into one wrapping compare — three
+/// integer ops per element, which the SSE2/AVX2 tiers run 2/4 elements at
+/// a time.
+pub fn window_digit(tier: SimdTier, block: &[f64]) -> Option<usize> {
+    let first = block.first()?;
+    let raw0 = (first.to_bits() >> 52) & 0x7ff;
+    if raw0 == 0 || raw0 == 0x7ff {
+        return None;
+    }
+    // Digit of the mantissa's LSB: p = raw - 1 for normal numbers.
+    let d = ((raw0 - 1) >> 5) as usize;
+    if d > 62 {
+        return None;
+    }
+    let lo = (d as u64) << 5;
+    let bad = match tier {
+        SimdTier::Scalar => scan_scalar(block, lo),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: callers only pass tiers from `supported_tiers()` /
+        // `active_tier()`, so the required CPU features are present.
+        SimdTier::Sse2 => unsafe { scan_sse2(block, lo) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2 was runtime-detected.
+        SimdTier::Avx2 => unsafe { scan_avx2(block, lo) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scan_scalar(block, lo),
+    };
+    (bad == 0).then_some(d)
+}
+
+/// Portable extraction kernel over one [`SUB_BLOCK`]: `L` independent
+/// accumulator chains, staged exactly like the pre-dispatch batched kernel
+/// so the auto-vectorizer packs it even at baseline SSE2. Returns the folded
+/// `(hi, lo)` grid sums — both exact by the [`SUB_BLOCK`] bound.
+fn extract_scalar<const L: usize>(sub: &[f64], c: f64) -> (f64, f64) {
+    debug_assert!(sub.len() <= SUB_BLOCK);
+    let mut hi = [0.0f64; L];
+    let mut lo = [0.0f64; L];
+    // Stage the rounded parts through a small stack array: the counted
+    // loops over fixed-size arrays are the shape the loop vectorizer packs
+    // fully (fusing extraction and accumulation per element defeats it).
+    const STAGE: usize = 64;
+    let mut chunks = sub.chunks_exact(STAGE);
+    for chunk in chunks.by_ref() {
+        let mut q = [0.0f64; STAGE];
+        for j in 0..STAGE {
+            q[j] = (chunk[j] + c) - c;
+        }
+        for g in 0..STAGE / L {
+            for j in 0..L {
+                hi[j] += q[g * L + j];
+                lo[j] += chunk[g * L + j] - q[g * L + j];
+            }
+        }
+    }
+    for &x in chunks.remainder() {
+        let q = (x + c) - c;
+        hi[0] += q;
+        lo[0] += x - q;
+    }
+    // All chain folds are exact (SUB_BLOCK bound), so order is free.
+    (hi.iter().sum(), lo.iter().sum())
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::SUB_BLOCK;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn scan_sse2(block: &[f64], lo: u64) -> u64 {
+        let lov = _mm_set1_epi64x(lo as i64);
+        let expmask = _mm_set1_epi64x(0x7ff);
+        let one = _mm_set1_epi64x(1);
+        let outside = _mm_set1_epi64x(!31i64);
+        let mut badv = _mm_setzero_si128();
+        let mut pairs = block.chunks_exact(2);
+        for pair in pairs.by_ref() {
+            let x = _mm_loadu_si128(pair.as_ptr() as *const __m128i);
+            let raw = _mm_and_si128(_mm_srli_epi64(x, 52), expmask);
+            let p = _mm_sub_epi64(raw, one);
+            badv = _mm_or_si128(badv, _mm_and_si128(_mm_sub_epi64(p, lov), outside));
+        }
+        let mut folded = [0u64; 2];
+        _mm_storeu_si128(folded.as_mut_ptr() as *mut __m128i, badv);
+        let mut bad = folded[0] | folded[1];
+        for &x in pairs.remainder() {
+            bad |= super::scan_one(x, lo);
+        }
+        bad
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_avx2(block: &[f64], lo: u64) -> u64 {
+        let lov = _mm256_set1_epi64x(lo as i64);
+        let expmask = _mm256_set1_epi64x(0x7ff);
+        let one = _mm256_set1_epi64x(1);
+        let outside = _mm256_set1_epi64x(!31i64);
+        let mut badv = _mm256_setzero_si256();
+        let mut quads = block.chunks_exact(4);
+        for quad in quads.by_ref() {
+            let x = _mm256_loadu_si256(quad.as_ptr() as *const __m256i);
+            let raw = _mm256_and_si256(_mm256_srli_epi64(x, 52), expmask);
+            let p = _mm256_sub_epi64(raw, one);
+            badv = _mm256_or_si256(badv, _mm256_and_si256(_mm256_sub_epi64(p, lov), outside));
+        }
+        let mut folded = [0u64; 4];
+        _mm256_storeu_si256(folded.as_mut_ptr() as *mut __m256i, badv);
+        let mut bad = folded[0] | folded[1] | folded[2] | folded[3];
+        for &x in quads.remainder() {
+            bad |= super::scan_one(x, lo);
+        }
+        bad
+    }
+
+    /// SSE2 extraction: `L` independent `__m128d` chains (2 sublane
+    /// accumulators each). Exactness bound as in [`super::extract_scalar`].
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn extract_sse2<const L: usize>(sub: &[f64], c: f64) -> (f64, f64) {
+        debug_assert!(sub.len() <= SUB_BLOCK);
+        let cv = _mm_set1_pd(c);
+        let mut hi = [_mm_setzero_pd(); L];
+        let mut lo = [_mm_setzero_pd(); L];
+        let mut groups = sub.chunks_exact(2 * L);
+        for group in groups.by_ref() {
+            for j in 0..L {
+                let x = _mm_loadu_pd(group.as_ptr().add(2 * j));
+                let q = _mm_sub_pd(_mm_add_pd(x, cv), cv);
+                hi[j] = _mm_add_pd(hi[j], q);
+                lo[j] = _mm_add_pd(lo[j], _mm_sub_pd(x, q));
+            }
+        }
+        let (mut hi_t, mut lo_t) = (0.0f64, 0.0f64);
+        let mut sublanes = [0.0f64; 2];
+        for j in 0..L {
+            _mm_storeu_pd(sublanes.as_mut_ptr(), hi[j]);
+            hi_t += sublanes[0] + sublanes[1];
+            _mm_storeu_pd(sublanes.as_mut_ptr(), lo[j]);
+            lo_t += sublanes[0] + sublanes[1];
+        }
+        for &x in groups.remainder() {
+            let q = (x + c) - c;
+            hi_t += q;
+            lo_t += x - q;
+        }
+        (hi_t, lo_t)
+    }
+
+    /// AVX2 extraction: `L` independent `__m256d` chains (4 sublane
+    /// accumulators each). Exactness bound as in [`super::extract_scalar`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn extract_avx2<const L: usize>(sub: &[f64], c: f64) -> (f64, f64) {
+        debug_assert!(sub.len() <= SUB_BLOCK);
+        let cv = _mm256_set1_pd(c);
+        let mut hi = [_mm256_setzero_pd(); L];
+        let mut lo = [_mm256_setzero_pd(); L];
+        let mut groups = sub.chunks_exact(4 * L);
+        for group in groups.by_ref() {
+            for j in 0..L {
+                let x = _mm256_loadu_pd(group.as_ptr().add(4 * j));
+                let q = _mm256_sub_pd(_mm256_add_pd(x, cv), cv);
+                hi[j] = _mm256_add_pd(hi[j], q);
+                lo[j] = _mm256_add_pd(lo[j], _mm256_sub_pd(x, q));
+            }
+        }
+        let (mut hi_t, mut lo_t) = (0.0f64, 0.0f64);
+        let mut sublanes = [0.0f64; 4];
+        for j in 0..L {
+            _mm256_storeu_pd(sublanes.as_mut_ptr(), hi[j]);
+            hi_t += (sublanes[0] + sublanes[1]) + (sublanes[2] + sublanes[3]);
+            _mm256_storeu_pd(sublanes.as_mut_ptr(), lo[j]);
+            lo_t += (sublanes[0] + sublanes[1]) + (sublanes[2] + sublanes[3]);
+        }
+        for &x in groups.remainder() {
+            let q = (x + c) - c;
+            hi_t += q;
+            lo_t += x - q;
+        }
+        (hi_t, lo_t)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{extract_avx2, extract_sse2, scan_avx2, scan_sse2};
+
+/// Clamp a requested lane count to the kernel widths we instantiate.
+pub(crate) fn clamp_lanes(lanes: usize) -> usize {
+    match lanes {
+        0..=1 => 1,
+        2..=3 => 2,
+        4..=7 => 4,
+        _ => 8,
+    }
+}
+
+/// Run the two-part extraction over `block` (every element in digit window
+/// anchored by constant `c`) with `lanes` independent accumulator chains on
+/// dispatch `tier`, feeding each exact grid-sum to `deposit`.
+///
+/// Every tier × lane-count combination deposits the same total (all interior
+/// additions are exact — see the module docs), so the caller's accumulator
+/// ends bit-identical regardless of dispatch.
+pub fn extract_deposits(
+    tier: SimdTier,
+    lanes: usize,
+    block: &[f64],
+    c: f64,
+    deposit: &mut impl FnMut(f64),
+) {
+    for sub in block.chunks(SUB_BLOCK) {
+        let (hi, lo) = extract_sub(tier, clamp_lanes(lanes), sub, c);
+        deposit(hi);
+        deposit(lo);
+    }
+}
+
+fn extract_sub(tier: SimdTier, lanes: usize, sub: &[f64], c: f64) -> (f64, f64) {
+    match tier {
+        SimdTier::Scalar => match lanes {
+            1 => extract_scalar::<1>(sub, c),
+            2 => extract_scalar::<2>(sub, c),
+            4 => extract_scalar::<4>(sub, c),
+            _ => extract_scalar::<8>(sub, c),
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: callers only pass supported tiers (see `window_digit`).
+        SimdTier::Sse2 => unsafe {
+            match lanes {
+                1 => extract_sse2::<1>(sub, c),
+                2 => extract_sse2::<2>(sub, c),
+                4 => extract_sse2::<4>(sub, c),
+                _ => extract_sse2::<8>(sub, c),
+            }
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2 was runtime-detected.
+        SimdTier::Avx2 => unsafe {
+            match lanes {
+                1 => extract_avx2::<1>(sub, c),
+                2 => extract_avx2::<2>(sub, c),
+                4 => extract_avx2::<4>(sub, c),
+                _ => extract_avx2::<8>(sub, c),
+            }
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => match lanes {
+            1 => extract_scalar::<1>(sub, c),
+            2 => extract_scalar::<2>(sub, c),
+            4 => extract_scalar::<4>(sub, c),
+            _ => extract_scalar::<8>(sub, c),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    fn window_values(d: usize, n: usize, seed: u64) -> Vec<f64> {
+        // Normal values whose mantissa LSB lands in digit window d:
+        // biased exponent raw = 32d + r + 1 for r in [0, 32).
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let raw = (32 * d + (rng.next_u64() % 32) as usize + 1) as u64;
+                let mant = rng.next_u64() & ((1 << 52) - 1);
+                let sign = (rng.next_u64() & 1) << 63;
+                f64::from_bits(sign | (raw << 52) | mant)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tier_labels_round_trip() {
+        for &tier in &[SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+            assert_eq!(SimdTier::parse(tier.label()), Some(tier));
+        }
+        assert_eq!(SimdTier::parse("auto"), None);
+        assert_eq!(SimdTier::parse("avx512"), None);
+    }
+
+    #[test]
+    fn supported_tiers_start_at_scalar_and_contain_active() {
+        let tiers = supported_tiers();
+        assert_eq!(tiers.first(), Some(&SimdTier::Scalar));
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]), "ordered ascending");
+        assert!(tiers.contains(&active_tier()));
+        assert!(!dispatch_source().is_empty());
+    }
+
+    #[test]
+    fn window_digit_agrees_across_tiers() {
+        let mut blocks: Vec<Vec<f64>> = Vec::new();
+        // Clean in-window blocks at assorted digits and odd lengths.
+        for (d, n) in [
+            (31usize, 0usize),
+            (31, 1),
+            (31, 5),
+            (40, 64),
+            (2, 127),
+            (62, 31),
+        ] {
+            blocks.push(window_values(d, n, (d + n) as u64));
+        }
+        // Poisoned blocks: a zero, a subnormal, a NaN, an infinity, and an
+        // out-of-window straggler, each at an awkward position.
+        for (i, poison) in [
+            0.0,
+            f64::from_bits(7),
+            f64::NAN,
+            f64::INFINITY,
+            2f64.powi(300),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut b = window_values(31, 67, 99 + i as u64);
+            let pos = [0usize, 1, 32, 65, 66][i];
+            b[pos] = poison;
+            blocks.push(b);
+        }
+        // Digit window 63 (raw exponent too high for the kernel constant).
+        blocks.push(window_values(63, 8, 5));
+        for block in &blocks {
+            let reference = window_digit(SimdTier::Scalar, block);
+            for &tier in supported_tiers() {
+                assert_eq!(
+                    window_digit(tier, block),
+                    reference,
+                    "tier {tier} diverged on block of len {}",
+                    block.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_identical_across_tiers_and_lanes() {
+        for d in [20usize, 33, 62] {
+            let a = 32 * d;
+            let c = f64::from_bits((((a as i64 - 980 + 1023) as u64) << 52) | (1 << 51));
+            for n in [1usize, 2, 3, 7, 63, 64, 65, 255, 1023, 1024] {
+                let sub = window_values(d, n, (3 * d + n) as u64);
+                let reference = extract_scalar::<8>(&sub, c);
+                for &tier in supported_tiers() {
+                    for lanes in [1usize, 2, 4, 8] {
+                        let got = extract_sub(tier, lanes, &sub, c);
+                        assert_eq!(
+                            (got.0.to_bits(), got.1.to_bits()),
+                            (reference.0.to_bits(), reference.1.to_bits()),
+                            "tier {tier} lanes {lanes} d {d} n {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_lanes_picks_instantiated_widths() {
+        assert_eq!(clamp_lanes(0), 1);
+        assert_eq!(clamp_lanes(1), 1);
+        assert_eq!(clamp_lanes(3), 2);
+        assert_eq!(clamp_lanes(4), 4);
+        assert_eq!(clamp_lanes(7), 4);
+        assert_eq!(clamp_lanes(8), 8);
+        assert_eq!(clamp_lanes(100), 8);
+    }
+}

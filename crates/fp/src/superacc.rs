@@ -27,6 +27,7 @@
 //! ```
 
 use crate::dd::DoubleDouble;
+use crate::simd::{self, SimdTier};
 use crate::ulp::decompose;
 
 /// Number of base-2³² digits in the register.
@@ -67,46 +68,14 @@ const ACC_LANES: usize = 4;
 /// representable (see [`Superaccumulator::add_block_extracted`]).
 const BLOCK: usize = 2048;
 
-/// Lockstep lane width of the error-free-extraction kernel. Eight
-/// independent `f64` accumulator sets break the one-FP-add-latency-per-
-/// element dependency chain and give the auto-vectorizer a clean shape;
-/// each lane sees at most `BLOCK / FP_LANES = 256` elements, which keeps
-/// every partial sum exactly representable (see
-/// [`Superaccumulator::add_block_extracted`]).
+/// Default accumulator-chain count of the error-free-extraction kernel.
+/// Independent chains break the one-FP-add-latency-per-element dependency
+/// chain; each chain folds at most [`simd::SUB_BLOCK`] elements between
+/// deposits, which keeps every partial sum exactly representable (see
+/// [`Superaccumulator::add_block_extracted`]). Callers can narrow or widen
+/// the chain count through [`Superaccumulator::add_slice_lanes`] — the
+/// result is bit-identical either way.
 const FP_LANES: usize = 8;
-
-/// Branch-free scan deciding whether a block qualifies for the
-/// error-free-extraction kernel.
-///
-/// Returns `Some(d)` when every element is a **normal, finite** number
-/// whose mantissa's least significant bit lies in digit window `d` (bit
-/// positions `[32d, 32d + 32)`), with `d <= 62` so the extraction
-/// constant stays representable. The biased-exponent range test folds
-/// zero, subnormal, and non-finite rejection into one wrapping compare,
-/// and the whole scan is three integer ops per element — cheap enough to
-/// run ahead of every block and vectorizer-friendly.
-fn window_digit(block: &[f64]) -> Option<usize> {
-    let first = block.first()?;
-    let raw0 = (first.to_bits() >> 52) & 0x7ff;
-    if raw0 == 0 || raw0 == 0x7ff {
-        return None;
-    }
-    // Digit of the mantissa's LSB: p = raw - 1 for normal numbers.
-    let d = ((raw0 - 1) >> 5) as usize;
-    if d > 62 {
-        return None;
-    }
-    let lo = (d as u64) << 5;
-    let mut bad = 0u64;
-    for &x in block {
-        // In-window iff (raw - 1) - 32d < 32 as an unsigned value; zeros
-        // and subnormals (raw = 0) wrap negative, infinities and NaNs
-        // (raw = 0x7ff) land far above.
-        let p = ((x.to_bits() >> 52) & 0x7ff).wrapping_sub(1);
-        bad |= p.wrapping_sub(lo) & !31u64;
-    }
-    (bad == 0).then_some(d)
-}
 
 /// A wide fixed-point accumulator that sums `f64` values exactly.
 ///
@@ -215,11 +184,42 @@ impl Superaccumulator {
     ///   (the common case — locally similar exponents), the block runs
     ///   through the error-free-extraction kernel
     ///   ([`Self::add_block_extracted`]): six FP add/subs per element split
-    ///   each value exactly onto three grid-aligned accumulators, and the
-    ///   whole block collapses into three deposits.
+    ///   each value exactly onto grid-aligned accumulator chains, and the
+    ///   whole block collapses into a handful of exact deposits.
     /// * Otherwise the generic kernel ([`Self::add_block`]) deposits each
     ///   element through [`WINDOW_BITS`]-anchored `i128` lane registers.
+    ///
+    /// Both hot loops run on the process-wide SIMD dispatch tier
+    /// ([`simd::active_tier`]; `REPRO_SIMD` overrides) — every tier is
+    /// bit-identical, see the [`simd`] module docs.
     pub fn add_slice(&mut self, values: &[f64]) {
+        self.add_slice_impl(values, simd::active_tier(), FP_LANES);
+    }
+
+    /// [`Self::add_slice`] on an explicit dispatch tier (bit-identical to
+    /// every other tier; used by the cross-tier equivalence tests, the CI
+    /// dispatch matrix, and the bench suite's per-tier entries).
+    pub fn add_slice_with_tier(&mut self, values: &[f64], tier: SimdTier) {
+        self.add_slice_impl(values, tier, FP_LANES);
+    }
+
+    /// [`Self::add_slice`] with an explicit accumulator-chain count
+    /// (`lanes`, clamped to 1/2/4/8) for the extraction kernel. The lane
+    /// count is purely an instruction-level-parallelism knob: narrow widths
+    /// serialize on FP-add latency, wide widths overlap chains. The result
+    /// is bit-identical for every width.
+    pub fn add_slice_lanes(&mut self, values: &[f64], lanes: usize) {
+        self.add_slice_impl(values, simd::active_tier(), lanes);
+    }
+
+    /// [`Self::add_slice`] with both dispatch knobs explicit — the entry the
+    /// cross-tier property tests and the bench suite sweep. Bit-identical
+    /// for every `(tier, lanes)` combination.
+    pub fn add_slice_dispatch(&mut self, values: &[f64], tier: SimdTier, lanes: usize) {
+        self.add_slice_impl(values, tier, lanes);
+    }
+
+    fn add_slice_impl(&mut self, values: &[f64], tier: SimdTier, lanes: usize) {
         let mut rest = values;
         while !rest.is_empty() {
             // Keep digit growth since the last normalization under the
@@ -231,8 +231,8 @@ impl Superaccumulator {
             let take = rest.len().min(budget);
             let (head, tail) = rest.split_at(take);
             for block in head.chunks(BLOCK) {
-                match window_digit(block) {
-                    Some(d) => self.add_block_extracted(block, d),
+                match simd::window_digit(tier, block) {
+                    Some(d) => self.add_block_extracted(block, d, tier, lanes),
                     None => self.add_block(block),
                 }
             }
@@ -370,49 +370,21 @@ impl Superaccumulator {
     ///               r = k0 * 2^a       (|k0| <  2^41)
     /// ```
     ///
-    /// Parts accumulate in plain `f64` adds that are all **exact**: with
-    /// at most `BLOCK / FP_LANES = 256` elements per lane, a `hi` lane
-    /// stays below `256 * (2^42 + 1) < 2^50 + 2^8` grid units and a `lo`
-    /// lane below `2^49`, far inside the `2^53` exact-integer range. Each
-    /// four-lane fold stays below `2^52 + 2^10` units, so the whole block
-    /// collapses into four exact deposits. No integer ops, no branches,
-    /// no sign special-casing — the loop vectorizer turns the lockstep
-    /// lanes into SIMD FP adds even at baseline SSE2.
-    fn add_block_extracted(&mut self, block: &[f64], d: usize) {
+    /// Parts accumulate in plain `f64` adds that are all **exact**: chains
+    /// fold at most [`simd::SUB_BLOCK`] = 1024 elements per deposit group,
+    /// so a folded `hi` sum stays below `1024 * (2^42 + 1) = 2^52 + 2^10`
+    /// grid units and a folded `lo` sum below `2^51`, inside the `2^53`
+    /// exact-integer range. Each deposit group collapses into two exact
+    /// deposits (one `hi`, one `lo`). No integer ops, no branches, no sign
+    /// special-casing — and because exact additions are associative, every
+    /// dispatch tier and chain count lands the identical register state
+    /// (see [`simd::extract_deposits`]).
+    fn add_block_extracted(&mut self, block: &[f64], d: usize, tier: SimdTier, lanes: usize) {
         let a = 32 * d; // window base as a bit position (weight 2^(a-1074))
                         // C = 1.5 * 2^(a + 94 - 1074): grid 2^(a + 42 - 1074).
         let c = f64::from_bits((((a as i64 - 980 + 1023) as u64) << 52) | (1 << 51));
-        let mut hi = [0.0f64; FP_LANES];
-        let mut lo = [0.0f64; FP_LANES];
-        // Stage the rounded parts through a small stack array: the counted
-        // loops over fixed-size arrays below are the shape the loop
-        // vectorizer packs fully even at baseline SSE2 (fusing extraction
-        // and accumulation per element defeats it).
-        const STAGE: usize = 64;
-        let mut chunks = block.chunks_exact(STAGE);
-        for chunk in chunks.by_ref() {
-            let mut q = [0.0f64; STAGE];
-            for j in 0..STAGE {
-                q[j] = (chunk[j] + c) - c;
-            }
-            for g in 0..STAGE / FP_LANES {
-                for j in 0..FP_LANES {
-                    hi[j] += q[g * FP_LANES + j];
-                    lo[j] += chunk[g * FP_LANES + j] - q[g * FP_LANES + j];
-                }
-            }
-        }
-        for &x in chunks.remainder() {
-            let q = (x + c) - c;
-            hi[0] += q;
-            lo[0] += x - q;
-        }
-        // Fold four lanes per deposit: sums stay exact (see above), and the
-        // deposits via `add` are exact by construction of the register.
-        self.add((hi[0] + hi[1]) + (hi[2] + hi[3]));
-        self.add((hi[4] + hi[5]) + (hi[6] + hi[7]));
-        self.add((lo[0] + lo[1]) + (lo[2] + lo[3]));
-        self.add((lo[4] + lo[5]) + (lo[6] + lo[7]));
+        let mut deposit = |v: f64| self.add(v);
+        simd::extract_deposits(tier, lanes, block, c, &mut deposit);
     }
 
     /// Record a non-finite input (shared by `add` and the batched path).

@@ -1,0 +1,192 @@
+//! Dispatch-equivalence property tests: every SIMD tier this machine
+//! supports, at every accumulator-chain width, must produce results
+//! **bit-identical** to the portable scalar kernel — on hostile data
+//! (subnormals, signed zeros, non-finites, mixed exponents, adversarial
+//! cancellation) and at awkward lengths (odd widths, short tails below one
+//! SIMD block, exact block multiples).
+//!
+//! These are the tests the CI `simd` job runs once per `REPRO_SIMD` tier;
+//! running them under one process here additionally cross-checks tiers
+//! against each other directly through the explicit-tier entry points.
+
+use proptest::prelude::*;
+use repro_fp::simd::{self, SimdTier};
+use repro_fp::Superaccumulator;
+
+/// Sum on an explicit tier and chain width, returning the full-precision
+/// readout (`to_dd` exposes the sub-ulp residual, so a divergence anywhere
+/// in the top ~106 bits of the register is caught, not just in the rounded
+/// result).
+fn sum_with(values: &[f64], tier: SimdTier, lanes: usize) -> (u64, u64, u64) {
+    let mut acc = Superaccumulator::new();
+    acc.add_slice_dispatch(values, tier, lanes);
+    let dd = acc.to_dd();
+    (acc.to_f64().to_bits(), dd.hi.to_bits(), dd.lo.to_bits())
+}
+
+/// Scalar-tier per-element reference: the definitional semantics.
+fn reference(values: &[f64]) -> (u64, u64, u64) {
+    let mut acc = Superaccumulator::new();
+    for &x in values {
+        acc.add(x);
+    }
+    let dd = acc.to_dd();
+    (acc.to_f64().to_bits(), dd.hi.to_bits(), dd.lo.to_bits())
+}
+
+fn assert_all_dispatches_match(values: &[f64], label: &str) {
+    let expect = reference(values);
+    for &tier in simd::supported_tiers() {
+        for lanes in [1usize, 2, 3, 4, 7, 8] {
+            let got = sum_with(values, tier, lanes);
+            assert_eq!(
+                got,
+                expect,
+                "{label}: tier {tier} lanes {lanes} diverged (n = {})",
+                values.len()
+            );
+        }
+    }
+}
+
+/// Hostile mix: wide exponent spread, subnormals, signed zeros.
+fn hostile() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        12 => (any::<u64>(), -300i32..300).prop_map(|(m, e)| (m as i64 as f64) * (e as f64).exp2()),
+        2 => any::<u64>().prop_map(|b| f64::from_bits(b % 4096)), // subnormals
+        2 => any::<u64>().prop_map(|b| -f64::from_bits(b % 4096)),
+        1 => Just(0.0),
+        1 => Just(-0.0),
+        2 => (-1022i32..1023).prop_map(|e| (e as f64).exp2()),
+    ]
+}
+
+proptest! {
+    /// All tiers × all chain widths, random lengths (including short tails
+    /// under one SIMD block and under one staging chunk).
+    #[test]
+    fn tiers_and_lane_widths_are_bitwise_identical(
+        values in prop::collection::vec(hostile(), 0..600),
+    ) {
+        assert_all_dispatches_match(&values, "hostile mix");
+    }
+
+    /// Adversarial cancellation: every value appears with its negation, in
+    /// an interleave the extraction kernel sees as same-window blocks. The
+    /// exact total is zero; any tier that loses a bit anywhere misses it.
+    #[test]
+    fn cancellation_to_zero_on_every_tier(
+        base in prop::collection::vec((1u64..(1 << 52), -200i32..200), 1..200),
+    ) {
+        let mut values = Vec::with_capacity(base.len() * 2);
+        for &(m, e) in &base {
+            let v = (m as f64) * (e as f64).exp2();
+            values.push(v);
+            values.push(-v);
+        }
+        assert_all_dispatches_match(&values, "cancellation");
+        for &tier in simd::supported_tiers() {
+            let mut acc = Superaccumulator::new();
+            acc.add_slice_dispatch(&values, tier, 8);
+            prop_assert!(acc.is_zero(), "tier {} missed exact zero", tier);
+        }
+    }
+
+    /// Non-finites poison every tier identically, wherever they sit.
+    #[test]
+    fn nonfinites_poison_all_tiers_identically(
+        n in 0usize..300,
+        pos in 0usize..300,
+        which in 0usize..3,
+    ) {
+        let mut values: Vec<f64> = (0..n).map(|i| (i as f64 - 7.5) * 1.25).collect();
+        let special = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which];
+        values.insert(pos.min(values.len()), special);
+        let expect_nan = special.is_nan();
+        let expect = reference(&values);
+        for &tier in simd::supported_tiers() {
+            for lanes in [1usize, 4, 8] {
+                let mut acc = Superaccumulator::new();
+                acc.add_slice_dispatch(&values, tier, lanes);
+                if expect_nan {
+                    prop_assert!(acc.to_f64().is_nan(), "tier {tier} lanes {lanes}");
+                } else {
+                    prop_assert_eq!(
+                        acc.to_f64().to_bits(), expect.0,
+                        "tier {} lanes {}", tier, lanes
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic sweep of the length edge cases around every internal
+/// granularity: the 8-element SIMD group, the 64-element staging chunk, the
+/// 1024-element deposit group, and the 2048-element spill block.
+#[test]
+fn block_boundary_widths_are_bitwise_identical() {
+    let mut rng = repro_fp::rng::DetRng::seed_from_u64(2015);
+    for n in [
+        0usize, 1, 2, 3, 5, 7, 8, 9, 15, 17, 63, 64, 65, 127, 255, 1023, 1024, 1025, 2047, 2048,
+        2049, 4095, 4096, 4097,
+    ] {
+        let values: Vec<f64> = (0..n)
+            .map(|i| match i % 13 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::from_bits(rng.next_u64() % 512 + 1),
+                3 => -f64::from_bits(rng.next_u64() % 512 + 1),
+                4 => (rng.next_f64() - 0.5) * 2f64.powi(900), // near-overflow
+                _ => (rng.next_f64() - 0.5) * 2f64.powi((rng.next_u64() % 600) as i32 - 300),
+            })
+            .collect();
+        assert_all_dispatches_match(&values, "boundary sweep");
+    }
+}
+
+/// Same-window data (the extraction kernel's fast path) at every tier and
+/// width: locally-similar exponents are exactly the case the SSE2/AVX2
+/// kernels accelerate, so pin them hardest.
+#[test]
+fn extraction_fast_path_is_bitwise_identical() {
+    let mut rng = repro_fp::rng::DetRng::seed_from_u64(7);
+    for digit_exp in [-300i32, -40, 0, 40, 300] {
+        for n in [1usize, 31, 256, 1000, 2048, 5000] {
+            let values: Vec<f64> = (0..n)
+                .map(|_| {
+                    let m = rng.next_f64() + 0.5; // [0.5, 1.5): same binade band
+                    let s = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                    s * m * 2f64.powi(digit_exp + (rng.next_u64() % 8) as i32)
+                })
+                .collect();
+            assert_all_dispatches_match(&values, "fast path");
+        }
+    }
+}
+
+/// `lanes_n`-style worker counts over the public exact APIs stay bitwise
+/// identical (the repro-sum façade is exercised in its own crate; this
+/// pins the fp-level primitive it builds on).
+#[test]
+fn chain_widths_compose_with_slicing() {
+    let mut rng = repro_fp::rng::DetRng::seed_from_u64(99);
+    let values: Vec<f64> = (0..10_000)
+        .map(|_| (rng.next_f64() - 0.5) * 2f64.powi((rng.next_u64() % 200) as i32 - 100))
+        .collect();
+    let expect = reference(&values);
+    for lanes in [1usize, 2, 4, 8] {
+        // Feed in two unequal pieces to exercise mid-stream state carry.
+        for split in [1usize, 513, 2048, 9_999] {
+            let mut acc = Superaccumulator::new();
+            acc.add_slice_lanes(&values[..split], lanes);
+            acc.add_slice_lanes(&values[split..], lanes);
+            let dd = acc.to_dd();
+            assert_eq!(
+                (acc.to_f64().to_bits(), dd.hi.to_bits(), dd.lo.to_bits()),
+                expect,
+                "lanes {lanes} split {split}"
+            );
+        }
+    }
+}

@@ -104,9 +104,11 @@ impl<'r> NodeObserver<'r> {
 pub enum ChunkKernel {
     /// `Accumulator::add_slice` — the operator's natural sequential loop.
     Scalar,
-    /// `Accumulator::add_slice_lanes` with this many independent lanes,
-    /// merged in fixed lane order (ILP kernel; bitwise identical to
-    /// [`ChunkKernel::Scalar`] for reproducible operators).
+    /// [`repro_sum::lanes::accumulate_lanes`] with this many contiguous
+    /// lane chunks, merged through the fixed stride-doubling lane order —
+    /// the same decomposition/merge shape as [`crate::ReductionPlan`]
+    /// (bitwise identical to [`ChunkKernel::Scalar`] for reproducible
+    /// operators).
     Lanes(usize),
 }
 

@@ -6,12 +6,18 @@
 //!    arrival-order merging cannot change the bits.
 //! 2. The multi-lane chunk kernels are bitwise identical to the scalar
 //!    `add_slice` loop for reproducible operators.
+//! 3. The lane kernel's decomposition and merge shape **are** the plan's:
+//!    `repro-sum` replicates `ReductionPlan::with_chunk_count` boundaries
+//!    and the `merge_in_plan_order` stride-doubling fold (it cannot depend
+//!    on this crate), and the tests here pin the two implementations
+//!    bit-for-bit with an order-*sensitive* operator, so any topology drift
+//!    between the crates fails loudly.
 
 use proptest::prelude::*;
-use repro_runtime::{ChunkKernel, MergeOrder, ReductionPlan, Runtime};
+use repro_runtime::{merge_in_plan_order, ChunkKernel, MergeOrder, ReductionPlan, Runtime};
 use repro_sum::lanes::accumulate_lanes;
 use repro_sum::prerounded::{PreroundPlan, PreroundedSum};
-use repro_sum::{Accumulator, BinnedSum, DistillSum};
+use repro_sum::{Accumulator, BinnedSum, DistillSum, StandardSum};
 
 const WORKER_LADDER: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -84,6 +90,59 @@ proptest! {
         exact.add_slice(&values);
         let laned_exact = accumulate_lanes(DistillSum::new, &values, lanes);
         prop_assert_eq!(laned_exact.finalize().to_bits(), exact.finalize().to_bits());
+    }
+
+    #[test]
+    fn lane_decomposition_is_the_plan_decomposition(
+        seed in 0u64..200,
+        dr in 1u32..24,
+        lanes in 1usize..12,
+    ) {
+        // StandardSum is order-sensitive: equal bits here means the lane
+        // kernel's chunk boundaries AND merge tree are exactly the plan's.
+        let values = hostile(seed, dr);
+        let laned = accumulate_lanes(StandardSum::new, &values, lanes).finalize();
+        let plan = ReductionPlan::with_chunk_count(values.len(), lanes);
+        let parts: Vec<Option<StandardSum>> = plan
+            .chunks()
+            .iter()
+            .map(|r| {
+                let mut acc = StandardSum::new();
+                acc.add_slice(&values[r.clone()]);
+                Some(acc)
+            })
+            .collect();
+        let planned = merge_in_plan_order(parts, |a: &mut StandardSum, b| a.merge(b))
+            .expect("plan has at least one chunk")
+            .finalize();
+        prop_assert_eq!(laned.to_bits(), planned.to_bits(), "lanes = {}", lanes);
+    }
+
+    #[test]
+    fn exact_lanes_match_planned_reduction_at_any_worker_count(
+        seed in 0u64..100,
+        dr in 1u32..24,
+    ) {
+        // The exact multi-lane reduction equals the engine's planned
+        // reduction over the superaccumulator for every (lanes, workers)
+        // pairing — the bits depend on the data alone.
+        let values = hostile(seed, dr);
+        let reference = repro_fp::exact_sum(&values);
+        for lanes in [1usize, 2, 4, 8] {
+            let laned = repro_sum::accumulate_lanes_exact(&values, lanes).to_f64();
+            prop_assert_eq!(laned.to_bits(), reference.to_bits(), "lanes = {}", lanes);
+        }
+        for workers in WORKER_LADDER {
+            let rt = Runtime::new(workers);
+            let plan = ReductionPlan::with_chunk_count(values.len(), workers);
+            let got = rt.reduce_planned(
+                &values,
+                &plan,
+                repro_fp::Superaccumulator::new,
+                MergeOrder::Plan,
+            );
+            prop_assert_eq!(got.to_bits(), reference.to_bits(), "workers = {}", workers);
+        }
     }
 
     #[test]

@@ -1,142 +1,86 @@
-//! Multi-lane (instruction-level-parallel) slice kernels.
+//! Multi-lane slice kernels over contiguous plan chunks.
 //!
-//! A scalar `add_slice` is one long dependency chain: every `add` waits on
-//! the previous one. Splitting the stream round-robin across `L`
-//! independent accumulator lanes gives the CPU `L` chains to overlap, then
-//! the lanes merge in a **fixed lane order** — a purely data-dependent
-//! schedule, so the kernel is deterministic for every operator and
-//! bit-identical to the scalar kernel for reproducible operators
-//! ([`crate::BinnedSum`], [`crate::DistillSum`]), whose results are
-//! schedule-invariant by construction.
+//! A scalar `add_slice` is one stream through the operator. Splitting the
+//! slice into `L` **contiguous** chunks gives the operator `L` independent
+//! accumulators whose inner loops each run the operator's batched
+//! `add_slice` kernel at full speed, then the lanes merge through the same
+//! fixed balanced binary tree the runtime's `ReductionPlan` uses — a purely
+//! data-dependent schedule, so the kernel is deterministic for every
+//! operator and bit-identical to the scalar kernel for reproducible
+//! operators ([`crate::BinnedSum`], [`crate::DistillSum`], the exact
+//! superaccumulator), whose results are schedule-invariant by construction.
 //!
-//! Element `i` goes to lane `i % L`, trailing elements continue the same
-//! round-robin, and lanes fold left-to-right: the layout depends only on
-//! the slice length and the lane count, never on timing.
+//! The decomposition and merge order are deliberately **identical** to the
+//! runtime engine's `ReductionPlan::with_chunk_count` boundaries and
+//! `merge_in_plan_order` stride-doubling fold (`repro-sum` sits below
+//! `repro-runtime` in the crate graph, so the shapes are replicated here and
+//! pinned bit-for-bit by cross-crate tests in `repro-runtime`). A lane
+//! result therefore equals the planned reduction a runtime with `L` workers
+//! would produce — lane count, worker count, and SIMD dispatch tier can all
+//! vary without moving a single bit of a reproducible operator's output.
+//!
+//! This replaces the round-robin element interleave the module used before:
+//! strided gathers forced either a per-element `add` (one long dependency
+//! chain, ~3× slower for the superaccumulator) or a scratch-buffer copy.
+//! Contiguous chunks keep every lane on the operator's fastest slice path
+//! with zero data movement.
 
 use crate::Accumulator;
 
-/// Accumulate `values` into a fresh accumulator using `lanes` independent
-/// lanes (see module docs). `lanes <= 1` is the scalar kernel. The common
-/// widths 4 and 8 take fully unrolled paths.
+/// Accumulate `values` into a fresh accumulator using `lanes` contiguous
+/// lane chunks (see module docs). `lanes <= 1` is the scalar kernel.
 pub fn accumulate_lanes<A, F>(make: F, values: &[f64], lanes: usize) -> A
 where
     A: Accumulator,
     F: Fn() -> A,
 {
-    match lanes {
-        0 | 1 => {
-            let mut acc = make();
-            acc.add_slice(values);
-            acc
+    if lanes <= 1 {
+        let mut acc = make();
+        acc.add_slice(values);
+        return acc;
+    }
+    let parts: Vec<A> = lane_chunks(values, lanes)
+        .map(|chunk| {
+            let mut lane = make();
+            lane.add_slice(chunk);
+            lane
+        })
+        .collect();
+    merge_in_lane_order(parts).unwrap_or_else(make)
+}
+
+/// The contiguous per-lane chunks of `values` for a given lane count:
+/// `ceil(len / count)`-sized runs with the count clamped to the element
+/// count — boundary-for-boundary identical to the runtime's
+/// `ReductionPlan::with_chunk_count(len, lanes)`.
+pub fn lane_chunks(values: &[f64], lanes: usize) -> std::slice::Chunks<'_, f64> {
+    let count = lanes.max(1).min(values.len().max(1));
+    values.chunks(values.len().div_ceil(count).max(1))
+}
+
+/// Fold lane accumulators through the fixed stride-doubling balanced binary
+/// tree — merge-for-merge identical to the runtime's
+/// `merge_in_plan_order`: at stride `s`, lane `i + s` folds into lane `i`
+/// for `i = 0, 2s, 4s, ...`, then the stride doubles. Returns `None` for an
+/// empty lane set.
+pub fn merge_in_lane_order<A: Accumulator>(parts: Vec<A>) -> Option<A> {
+    let mut parts: Vec<Option<A>> = parts.into_iter().map(Some).collect();
+    let n = parts.len();
+    if n == 0 {
+        return None;
+    }
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let right = parts[i + stride].take().expect("merge tree slot filled");
+            let left = parts[i].as_mut().expect("merge tree slot filled");
+            left.merge(&right);
+            i += 2 * stride;
         }
-        4 => lanes4(&make, values),
-        8 => lanes8(&make, values),
-        n => lanes_n(&make, values, n),
+        stride *= 2;
     }
-}
-
-fn lanes4<A, F>(make: &F, values: &[f64]) -> A
-where
-    A: Accumulator,
-    F: Fn() -> A,
-{
-    let mut a0 = make();
-    let mut a1 = make();
-    let mut a2 = make();
-    let mut a3 = make();
-    let mut quads = values.chunks_exact(4);
-    for q in quads.by_ref() {
-        a0.add(q[0]);
-        a1.add(q[1]);
-        a2.add(q[2]);
-        a3.add(q[3]);
-    }
-    for (j, &v) in quads.remainder().iter().enumerate() {
-        match j {
-            0 => a0.add(v),
-            1 => a1.add(v),
-            _ => a2.add(v),
-        }
-    }
-    a0.merge(&a1);
-    a2.merge(&a3);
-    a0.merge(&a2);
-    a0
-}
-
-fn lanes8<A, F>(make: &F, values: &[f64]) -> A
-where
-    A: Accumulator,
-    F: Fn() -> A,
-{
-    let mut lanes: [A; 8] = [
-        make(),
-        make(),
-        make(),
-        make(),
-        make(),
-        make(),
-        make(),
-        make(),
-    ];
-    let mut octs = values.chunks_exact(8);
-    for o in octs.by_ref() {
-        lanes[0].add(o[0]);
-        lanes[1].add(o[1]);
-        lanes[2].add(o[2]);
-        lanes[3].add(o[3]);
-        lanes[4].add(o[4]);
-        lanes[5].add(o[5]);
-        lanes[6].add(o[6]);
-        lanes[7].add(o[7]);
-    }
-    for (j, &v) in octs.remainder().iter().enumerate() {
-        lanes[j].add(v);
-    }
-    merge_lane_order(lanes.to_vec())
-}
-
-std::thread_local! {
-    /// Per-thread gather scratch for [`lanes_n`]. The runtime pool's workers
-    /// are persistent threads, so this buffer is allocated once per worker
-    /// and reused across every chunk that worker executes.
-    static LANE_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
-}
-
-fn lanes_n<A, F>(make: &F, values: &[f64], n: usize) -> A
-where
-    A: Accumulator,
-    F: Fn() -> A,
-{
-    // Gather each lane's strided elements (j, j+n, j+2n, ...) into a
-    // contiguous scratch run and feed them through the operator's batched
-    // `add_slice`. Per-lane element order is exactly the round-robin layout
-    // the per-element loop produced, so the result is bit-identical for
-    // every operator — odd widths are no longer pessimized to one `add` at
-    // a time.
-    LANE_SCRATCH.with(|scratch| {
-        let mut scratch = scratch.borrow_mut();
-        let lanes: Vec<A> = (0..n)
-            .map(|j| {
-                scratch.clear();
-                scratch.extend(values.iter().skip(j).step_by(n.max(1)));
-                let mut lane = make();
-                lane.add_slice(&scratch);
-                lane
-            })
-            .collect();
-        merge_lane_order(lanes)
-    })
-}
-
-/// Fold lanes left-to-right (lane 0 absorbs 1, then 2, ...): the fixed
-/// lane-order merge.
-fn merge_lane_order<A: Accumulator>(mut lanes: Vec<A>) -> A {
-    let mut root = lanes.remove(0);
-    for lane in &lanes {
-        root.merge(lane);
-    }
-    root
+    parts[0].take()
 }
 
 #[cfg(test)]
@@ -188,17 +132,54 @@ mod tests {
     }
 
     #[test]
-    fn unrolled_widths_match_generic_round_robin() {
-        // The 4- and 8-lane fast paths must implement exactly the generic
-        // round-robin layout.
-        for n in [0usize, 5, 8, 12, 100, 1003] {
+    fn lane_chunks_match_plan_boundaries() {
+        // Boundary formula pinned against the runtime plan's documented
+        // shape: chunk_len = ceil(len / min(count, len)), last chunk short.
+        for (n, lanes) in [
+            (0usize, 4usize),
+            (1, 4),
+            (3, 4),
+            (10, 4),
+            (10, 8),
+            (97, 8),
+            (4096, 8),
+            (4099, 16),
+        ] {
             let values = data(n);
-            for lanes in [4usize, 8] {
-                let fast = accumulate_lanes(StandardSum::new, &values, lanes).finalize();
-                let generic = lanes_n(&StandardSum::new, &values, lanes).finalize();
-                assert_eq!(fast.to_bits(), generic.to_bits(), "n={n} lanes={lanes}");
+            let count = lanes.max(1).min(n.max(1));
+            let chunk_len = n.div_ceil(count).max(1);
+            let got: Vec<usize> = lane_chunks(&values, lanes).map(|c| c.len()).collect();
+            let mut expect = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk_len).min(n);
+                expect.push(end - start);
+                start = end;
             }
+            assert_eq!(got, expect, "n={n} lanes={lanes}");
+            assert_eq!(got.iter().sum::<usize>(), n);
         }
+    }
+
+    #[test]
+    fn merge_order_is_the_stride_doubling_tree() {
+        // StandardSum is order-sensitive, so it distinguishes fold shapes:
+        // for five lanes the tree must be ((0+1)+(2+3))+4, not a left fold.
+        let parts = [1e16f64, 1.0, -1e16, 1.0, 1.0];
+        let lanes: Vec<StandardSum> = parts
+            .iter()
+            .map(|&v| {
+                let mut a = StandardSum::new();
+                a.add(v);
+                a
+            })
+            .collect();
+        let merged = merge_in_lane_order(lanes).unwrap().finalize();
+        let expect = ((parts[0] + parts[1]) + (parts[2] + parts[3])) + parts[4];
+        let left_fold = (((parts[0] + parts[1]) + parts[2]) + parts[3]) + parts[4];
+        assert_eq!(merged.to_bits(), expect.to_bits());
+        assert_ne!(expect.to_bits(), left_fold.to_bits(), "shapes must differ");
+        assert!(merge_in_lane_order(Vec::<StandardSum>::new()).is_none());
     }
 
     #[test]
