@@ -467,6 +467,48 @@ pub mod throughput {
                 acc.finalize()
             },
         ));
+        // The always-on selection fast path: strided sampled profiling
+        // (cost amortized over the *full* n, the number that competes with
+        // select/profile), then the cached decision path warm (cache_hit)
+        // and cold (cache_miss, cleared every rep — selection plus insert
+        // plus the reduction itself).
+        {
+            use repro_core::select::sample::{SampleConfig, SampledProfile};
+            use repro_core::select::{AdaptiveReducer, DecisionCache, Tolerance};
+            out.push(measure(
+                "select/sampled_profile",
+                &values,
+                seed,
+                &rev,
+                reps,
+                |v| {
+                    let s = SampledProfile::collect(v, &SampleConfig::default());
+                    s.estimated_profile().sum_estimate
+                },
+            ));
+            let reducer = AdaptiveReducer::heuristic(Tolerance::AbsoluteSpread(1e-6));
+            let cache = DecisionCache::new();
+            let _ = reducer.reduce_cached(&values, &cache); // warm the cache
+            out.push(measure(
+                "select/cache_hit",
+                &values,
+                seed,
+                &rev,
+                reps,
+                |v| reducer.reduce_cached(v, &cache).sum,
+            ));
+            out.push(measure(
+                "select/cache_miss",
+                &values,
+                seed,
+                &rev,
+                reps,
+                |v| {
+                    cache.clear();
+                    reducer.reduce_cached(v, &cache).sum
+                },
+            ));
+        }
         out
     }
 
@@ -518,6 +560,10 @@ pub mod throughput {
                 "lanes/4",
                 "lanes/8",
                 "select/profile",
+                "select/profile_and_sum",
+                "select/sampled_profile",
+                "select/cache_hit",
+                "select/cache_miss",
             ] {
                 assert!(entries.iter().any(|e| e.op == op), "missing {op}");
             }

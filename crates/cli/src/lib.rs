@@ -74,6 +74,18 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Validate the `REPRO_SIMD` dispatch environment: `Ok` when it resolves to
+/// a runnable tier, `Err` with the structured [`repro_core::fp::simd::TierError`]
+/// rendered as a user-facing message otherwise. The binary calls this before
+/// dispatching any command so an invalid override is a clean startup
+/// diagnostic (nonzero exit) instead of a mid-run library panic or a silent
+/// fallback.
+pub fn check_dispatch_env() -> Result<(), CliError> {
+    repro_core::fp::simd::try_active_tier()
+        .map(|_| ())
+        .map_err(|e| err(e.to_string()))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 repro-reduce — reproducible floating-point reductions
@@ -1013,10 +1025,13 @@ fn run_simd(rest: &[String]) -> Result<String, CliError> {
     use repro_core::fp::simd;
     match rest {
         [] => {
+            // Surface an invalid REPRO_SIMD as a diagnostic + nonzero exit,
+            // not the silent library fallback (and never a panic).
+            let active = simd::try_active_tier().map_err(|e| err(e.to_string()))?;
             let tiers: Vec<&str> = simd::supported_tiers().iter().map(|t| t.label()).collect();
             Ok(format!(
                 "active: {}\nsource: {}\nsupported: {}",
-                simd::active_tier().label(),
+                active.label(),
                 simd::dispatch_source(),
                 tiers.join(" "),
             ))
@@ -1038,7 +1053,7 @@ fn run_simd(rest: &[String]) -> Result<String, CliError> {
 /// at the current `REPRO_SCALE` and write the fixed-schema `BENCH_*.json`
 /// document — the repo's perf trajectory, one comparable point per PR.
 /// `--out -` prints the JSON (plus `#` summary lines) instead of writing;
-/// the default target is `BENCH_06.json` in the working directory.
+/// the default target is `BENCH_08.json` in the working directory.
 fn run_bench(o: &Opts) -> Result<String, CliError> {
     use repro_bench::throughput;
     let entries = throughput::run_suite();
@@ -1054,7 +1069,7 @@ fn run_bench(o: &Opts) -> Result<String, CliError> {
         entries.first().map(|e| e.seed).unwrap_or(0),
         entries.first().map(|e| e.git_rev.as_str()).unwrap_or("?"),
     );
-    let out = o.out.as_deref().unwrap_or("BENCH_06.json");
+    let out = o.out.as_deref().unwrap_or("BENCH_08.json");
     if out == "-" {
         Ok(format!("{json}{summary}"))
     } else {

@@ -16,6 +16,13 @@ fn read_file(path: &str) -> Result<String, repro_cli::CliError> {
 }
 
 fn main() {
+    // Validate the SIMD dispatch environment before any kernel can consult
+    // it: an invalid REPRO_SIMD is a clean diagnostic + nonzero exit here,
+    // never a library panic (and never a silent fallback mid-benchmark).
+    if let Err(e) = repro_cli::check_dispatch_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match repro_cli::run(&args, &read_file) {
         Ok(out) => println!("{out}"),

@@ -1,0 +1,87 @@
+//! Real-process checks of the `REPRO_SIMD` startup validation: the cached
+//! dispatch state is per-process, so only a spawned binary can observe what
+//! a user with a bad environment observes. Library panics would surface
+//! here as a `panicked at` line and a 101/abort status — the regression this
+//! guards against.
+
+use std::process::Command;
+
+fn repro_reduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro-reduce"))
+}
+
+#[test]
+fn invalid_repro_simd_is_a_clean_diagnostic_not_a_panic() {
+    let out = repro_reduce()
+        .env("REPRO_SIMD", "bogus")
+        .arg("simd")
+        .output()
+        .expect("spawn repro-reduce");
+    assert!(
+        !out.status.success(),
+        "invalid REPRO_SIMD must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("REPRO_SIMD=\"bogus\"") && stderr.contains("scalar|sse2|avx2|auto"),
+        "diagnostic should name the bad value and the accepted ones: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be a diagnostic, not a panic: {stderr}"
+    );
+}
+
+#[test]
+fn invalid_repro_simd_blocks_every_command_at_startup() {
+    // The init check runs before command dispatch: even a command that
+    // never touches SIMD kernels refuses to run under a bad override.
+    let out = repro_reduce()
+        .env("REPRO_SIMD", "avx512")
+        .args(["sum", "1", "2", "3"])
+        .output()
+        .expect("spawn repro-reduce");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REPRO_SIMD"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn unsupported_forced_tier_names_the_supported_set() {
+    // Find a tier the machine lacks, if any; skip quietly on a box that
+    // supports everything (the unparsable-value tests above still run).
+    let probe = |tier: &str| {
+        repro_reduce()
+            .args(["simd", "--check", tier])
+            .output()
+            .expect("spawn repro-reduce")
+            .status
+            .success()
+    };
+    let Some(missing) = ["avx2", "sse2"].into_iter().find(|t| !probe(t)) else {
+        return;
+    };
+    let out = repro_reduce()
+        .env("REPRO_SIMD", missing)
+        .arg("simd")
+        .output()
+        .expect("spawn repro-reduce");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("supported:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn valid_overrides_still_run() {
+    let out = repro_reduce()
+        .env("REPRO_SIMD", "scalar")
+        .arg("simd")
+        .output()
+        .expect("spawn repro-reduce");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("active: scalar"), "{stdout}");
+    assert!(stdout.contains("forced by REPRO_SIMD"), "{stdout}");
+}

@@ -10,9 +10,13 @@
 //!
 //! * `REPRO_SIMD=scalar|sse2|avx2` forces a tier (mirroring the
 //!   `REPRO_RUNTIME_WORKERS` / `REPRO_SCALE` env knobs). Forcing a tier the
-//!   CPU lacks, or a value that parses to no tier, panics loudly — a silent
-//!   fallback would let a CI dispatch matrix "pass" without ever running the
-//!   tier it claimed to test.
+//!   CPU lacks, or a value that parses to no tier, is a [`TierError`] —
+//!   surfaced by [`try_active_tier`], which front ends (the `repro-reduce`
+//!   binary validates at startup) turn into a diagnostic and a nonzero
+//!   exit. Library hot paths keep working on the best supported tier; a CI
+//!   dispatch matrix cannot "pass" silently because it probes tiers through
+//!   `repro-reduce simd --check` first, and the process-init check refuses
+//!   to run at all under a bad override.
 //! * `REPRO_SIMD=auto` (or unset) picks the best tier
 //!   [`std::arch::is_x86_feature_detected!`] reports.
 //!
@@ -103,14 +107,28 @@ pub fn tier_supported(tier: SimdTier) -> bool {
     supported_tiers().contains(&tier)
 }
 
-fn resolve_dispatch() -> (SimdTier, &'static str) {
-    let best = *supported_tiers().last().expect("scalar always supported");
-    match std::env::var("REPRO_SIMD") {
-        Err(_) => (best, "auto (REPRO_SIMD unset)"),
-        Ok(v) if v.is_empty() || v == "auto" => (best, "auto (REPRO_SIMD=auto)"),
-        Ok(v) => match SimdTier::parse(&v) {
-            Some(tier) if tier_supported(tier) => (tier, "forced by REPRO_SIMD"),
-            Some(tier) => panic!(
+/// Why tier resolution rejected a `REPRO_SIMD` override.
+///
+/// Returned (never panicked) by [`try_active_tier`] / [`resolve_tier`]:
+/// selection of a dispatch tier is library code and must stay panic-free —
+/// front ends map this to a diagnostic and a nonzero exit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TierError {
+    /// The override named no tier (`REPRO_SIMD` was not one of
+    /// `scalar|sse2|avx2|auto`). Carries the offending value.
+    Unparsable(String),
+    /// The override forced a tier this CPU cannot execute.
+    Unsupported(SimdTier),
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::Unparsable(v) => {
+                write!(f, "REPRO_SIMD={v:?} is not one of scalar|sse2|avx2|auto")
+            }
+            TierError::Unsupported(tier) => write!(
+                f,
                 "REPRO_SIMD={} forces a tier this CPU does not support (supported: {})",
                 tier.label(),
                 supported_tiers()
@@ -119,22 +137,68 @@ fn resolve_dispatch() -> (SimdTier, &'static str) {
                     .collect::<Vec<_>>()
                     .join(" ")
             ),
-            None => panic!("REPRO_SIMD={v:?} is not one of scalar|sse2|avx2|auto"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+/// Resolve a `REPRO_SIMD`-style override (`None` = unset) to a dispatch
+/// tier plus a human-readable provenance label. Pure — the env read happens
+/// once in [`try_active_tier`] — so the validation is unit-testable without
+/// touching process state.
+pub fn resolve_tier(env: Option<&str>) -> Result<(SimdTier, &'static str), TierError> {
+    let best = *supported_tiers().last().expect("scalar always supported");
+    match env {
+        None => Ok((best, "auto (REPRO_SIMD unset)")),
+        Some(v) if v.is_empty() || v == "auto" => Ok((best, "auto (REPRO_SIMD=auto)")),
+        Some(v) => match SimdTier::parse(v) {
+            Some(tier) if tier_supported(tier) => Ok((tier, "forced by REPRO_SIMD")),
+            Some(tier) => Err(TierError::Unsupported(tier)),
+            None => Err(TierError::Unparsable(v.to_string())),
         },
     }
 }
 
-static DISPATCH: OnceLock<(SimdTier, &'static str)> = OnceLock::new();
+static DISPATCH: OnceLock<Result<(SimdTier, &'static str), TierError>> = OnceLock::new();
+
+fn dispatch() -> &'static Result<(SimdTier, &'static str), TierError> {
+    DISPATCH.get_or_init(|| {
+        let var = std::env::var("REPRO_SIMD").ok();
+        resolve_tier(var.as_deref())
+    })
+}
+
+/// The dispatch tier the `REPRO_SIMD` environment resolves to, or the
+/// [`TierError`] explaining why the override is invalid — resolved once per
+/// process and cached either way. Front ends call this at startup and turn
+/// an `Err` into a clean diagnostic + nonzero exit (`repro-reduce` does);
+/// library paths that cannot propagate an error use [`active_tier`].
+pub fn try_active_tier() -> Result<SimdTier, TierError> {
+    dispatch().as_ref().map(|&(t, _)| t).map_err(Clone::clone)
+}
 
 /// The tier every `add_slice` in this process uses, resolved once from
 /// `REPRO_SIMD` and CPU feature detection.
+///
+/// Infallible by design — kernels deep inside a reduction have no error
+/// channel: an invalid `REPRO_SIMD` falls back to the best supported tier
+/// here (numerically indistinguishable; every tier is bit-identical).
+/// Validation belongs at process init via [`try_active_tier`], which still
+/// sees the structured [`TierError`].
 pub fn active_tier() -> SimdTier {
-    DISPATCH.get_or_init(resolve_dispatch).0
+    match dispatch() {
+        Ok((tier, _)) => *tier,
+        Err(_) => *supported_tiers().last().expect("scalar always supported"),
+    }
 }
 
 /// How [`active_tier`] was chosen (for `repro-reduce simd` diagnostics).
 pub fn dispatch_source() -> &'static str {
-    DISPATCH.get_or_init(resolve_dispatch).1
+    match dispatch() {
+        Ok((_, source)) => source,
+        Err(_) => "auto (invalid REPRO_SIMD ignored; validate with try_active_tier)",
+    }
 }
 
 /// Elements per deposit group of the extraction kernels. Every accumulator
@@ -450,6 +514,49 @@ mod tests {
         }
         assert_eq!(SimdTier::parse("auto"), None);
         assert_eq!(SimdTier::parse("avx512"), None);
+    }
+
+    #[test]
+    fn resolve_tier_accepts_auto_and_supported_forces() {
+        let best = *supported_tiers().last().unwrap();
+        assert_eq!(resolve_tier(None), Ok((best, "auto (REPRO_SIMD unset)")));
+        assert_eq!(resolve_tier(Some("")).unwrap().0, best);
+        assert_eq!(resolve_tier(Some("auto")).unwrap().0, best);
+        for &tier in supported_tiers() {
+            assert_eq!(
+                resolve_tier(Some(tier.label())),
+                Ok((tier, "forced by REPRO_SIMD"))
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_tier_rejects_garbage_without_panicking() {
+        let err = resolve_tier(Some("bogus")).unwrap_err();
+        assert_eq!(err, TierError::Unparsable("bogus".into()));
+        assert!(err.to_string().contains("scalar|sse2|avx2|auto"), "{err}");
+        // Case matters, like the old panic path.
+        assert!(resolve_tier(Some("AVX2")).is_err());
+    }
+
+    #[test]
+    fn resolve_tier_rejects_unsupported_force_with_tier_named() {
+        // Scalar is always supported, so fabricate unsupportedness only
+        // where a tier can actually be absent.
+        for &tier in &[SimdTier::Sse2, SimdTier::Avx2] {
+            if !tier_supported(tier) {
+                let err = resolve_tier(Some(tier.label())).unwrap_err();
+                assert_eq!(err, TierError::Unsupported(tier));
+                assert!(err.to_string().contains("supported:"), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_active_tier_agrees_with_active_tier_in_clean_env() {
+        // The test harness never sets an invalid REPRO_SIMD, so the cached
+        // resolution must be Ok and the two accessors must agree.
+        assert_eq!(try_active_tier(), Ok(active_tier()));
     }
 
     #[test]

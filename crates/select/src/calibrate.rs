@@ -175,12 +175,60 @@ fn cell_distance(lk: f64, dr: i32, cell: &CalCell) -> f64 {
     dk * dk + ddr * ddr
 }
 
+/// A calibration sweep failure, pinned to the grid cell that caused it.
+///
+/// Cell workers run generated data through every operator; a failure in
+/// one cell (a generator edge case, an operator panic) used to take the
+/// whole sweep down as a cascade of worker panics with no indication of
+/// *which* `(n, k, dr)` combination was responsible. Now the first failing
+/// cell is reported with its coordinates so the sweep is diagnosable and
+/// the caller decides whether to retry, shrink the grid, or give up.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationError {
+    /// Values per cell the sweep was configured with.
+    pub n: usize,
+    /// Condition-number target of the failing cell.
+    pub k: f64,
+    /// Dynamic-range target (decades) of the failing cell.
+    pub dr: u32,
+    /// What went wrong (a recovered panic message, or a sweep-level
+    /// precondition).
+    pub message: String,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "calibration failed at cell (n={}, k={:e}, dr={}): {}",
+            self.n, self.k, self.dr, self.message
+        )
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Render a recovered panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell worker panicked (non-string payload)".to_string()
+    }
+}
+
 /// Run the calibration sweep: for every `(k, dr)` cell, generate a set,
 /// reduce it over permuted balanced trees with every algorithm, and record
 /// the stddev of the absolute errors. Cells are independent and run on a
 /// small scoped thread pool (paper-scale grids are minutes of CPU; the
 /// parallelism is free determinism-wise because every cell is seeded).
-pub fn calibrate(cfg: &CalibrationConfig) -> CalibrationTable {
+///
+/// A failing cell surfaces as a [`CalibrationError`] naming its
+/// `(n, k, dr)` coordinates; the other workers finish their cells normally
+/// instead of cascading.
+pub fn try_calibrate(cfg: &CalibrationConfig) -> Result<CalibrationTable, CalibrationError> {
     // The "beyond every finite row" scale for the zero-sum column: one
     // decade past the largest finite k probed.
     let inf_abs = cfg
@@ -201,13 +249,21 @@ pub fn calibrate(cfg: &CalibrationConfig) -> CalibrationTable {
                 .map(move |(di, &dr)| (ki, k, di, dr))
         })
         .collect();
+    if coords.is_empty() {
+        return Err(CalibrationError {
+            n: cfg.n,
+            k: f64::NAN,
+            dr: 0,
+            message: "empty calibration grid (no k or dr targets)".into(),
+        });
+    }
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(coords.len().max(1));
+        .min(coords.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut cells: Vec<Option<CalCell>> = vec![None; coords.len()];
-    let cell_slots: Vec<std::sync::Mutex<&mut Option<CalCell>>> =
+    let mut cells: Vec<Option<Result<CalCell, CalibrationError>>> = vec![None; coords.len()];
+    let cell_slots: Vec<std::sync::Mutex<&mut Option<Result<CalCell, CalibrationError>>>> =
         cells.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -216,18 +272,57 @@ pub fn calibrate(cfg: &CalibrationConfig) -> CalibrationTable {
                 let Some(&(ki, k, di, dr)) = coords.get(i) else {
                     return;
                 };
-                let cell = calibrate_cell(cfg, ki, k, di, dr, inf_abs);
-                **cell_slots[i].lock().expect("slot") = Some(cell);
+                // A panic inside one cell (generator edge case, operator
+                // bug) must not poison the scope and mask the culprit:
+                // catch it, convert to a coordinate-tagged error, keep
+                // working the queue.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    calibrate_cell(cfg, ki, k, di, dr, inf_abs)
+                }))
+                .map_err(|payload| CalibrationError {
+                    n: cfg.n,
+                    k,
+                    dr,
+                    message: panic_message(payload),
+                });
+                // A neighbour's panic can still have poisoned this slot's
+                // mutex on exotic interleavings; the data is ours alone,
+                // so recover the guard instead of cascading.
+                **cell_slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
             });
         }
     });
     drop(cell_slots);
-    CalibrationTable {
-        cells: cells
-            .into_iter()
-            .map(|c| c.expect("all cells computed"))
-            .collect(),
+    let mut done = Vec::with_capacity(coords.len());
+    for (slot, &(_, k, _, dr)) in cells.into_iter().zip(&coords) {
+        match slot {
+            Some(Ok(cell)) => done.push(cell),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(CalibrationError {
+                    n: cfg.n,
+                    k,
+                    dr,
+                    message: "cell worker exited without reporting a result".into(),
+                })
+            }
+        }
+    }
+    Ok(CalibrationTable {
+        cells: done,
         n: cfg.n,
+    })
+}
+
+/// [`try_calibrate`], panicking with the coordinate-tagged diagnostic on
+/// failure. Kept for callers treating calibration failure as fatal (the
+/// historical behavior, minus the cascade of opaque worker panics).
+pub fn calibrate(cfg: &CalibrationConfig) -> CalibrationTable {
+    match try_calibrate(cfg) {
+        Ok(table) => table,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -347,6 +442,57 @@ mod tests {
         assert!(
             CalibrationTable::from_csv("n,k,dr,algorithm,spread\n64,1,0,BOGUS,1e-3\n").is_none()
         );
+    }
+
+    #[test]
+    fn try_calibrate_matches_calibrate_on_a_healthy_grid() {
+        let table = try_calibrate(&small_cfg()).expect("healthy grid");
+        let direct = calibrate(&small_cfg());
+        assert_eq!(table.n, direct.n);
+        assert_eq!(table.to_csv(), direct.to_csv());
+    }
+
+    #[test]
+    fn failing_cell_surfaces_coordinates_not_a_panic_cascade() {
+        // n = 0 makes the generator's rescale factor non-finite, so every
+        // cell worker panics internally. The sweep must convert that into
+        // one coordinate-tagged error instead of crossing the thread scope
+        // as a panic.
+        let cfg = CalibrationConfig {
+            n: 0,
+            ..small_cfg()
+        };
+        let err = try_calibrate(&cfg).expect_err("n = 0 cannot calibrate");
+        assert_eq!(err.n, 0);
+        assert!(
+            cfg.k_targets.contains(&err.k) || err.k.is_infinite(),
+            "error names a grid cell: {err:?}"
+        );
+        assert!(cfg.dr_targets.contains(&err.dr), "{err:?}");
+        let text = err.to_string();
+        assert!(text.contains("n=0"), "{text}");
+        assert!(text.contains("dr="), "{text}");
+    }
+
+    #[test]
+    fn empty_grid_is_an_error_not_a_panic() {
+        let cfg = CalibrationConfig {
+            k_targets: vec![],
+            ..small_cfg()
+        };
+        let err = try_calibrate(&cfg).expect_err("nothing to calibrate");
+        assert!(err.to_string().contains("empty calibration grid"), "{err}");
+    }
+
+    #[test]
+    fn calibrate_panics_with_the_tagged_diagnostic() {
+        let cfg = CalibrationConfig {
+            n: 0,
+            ..small_cfg()
+        };
+        let panic = std::panic::catch_unwind(|| calibrate(&cfg)).expect_err("must panic");
+        let msg = panic_message(panic);
+        assert!(msg.contains("calibration failed at cell"), "{msg}");
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct Explanation {
     pub candidates: Vec<CandidateVerdict>,
     /// The decision.
     pub chosen: Algorithm,
+    /// Which cost numbers ranked the candidates
+    /// ([`crate::cost::CostSource::label`]): the calibrated baseline, the
+    /// static flop-ratio fallback, or a live measurement.
+    pub cost_source: String,
 }
 
 impl Explanation {
@@ -49,6 +53,7 @@ impl Explanation {
             Some(b) => out.push_str(&format!("budget (absolute spread): {b:e}\n")),
             None => out.push_str("budget: bitwise (only reproducible operators qualify)\n"),
         }
+        out.push_str(&format!("cost model: {}\n", self.cost_source));
         for c in &self.candidates {
             out.push_str(&format!(
                 "  {:<12} cost {:>5.1}x  predicted spread {:>12.3e}  {}\n",
@@ -110,6 +115,7 @@ pub fn explain(profile: &DataProfile, tolerance: Tolerance) -> Explanation {
         budget,
         candidates,
         chosen: chosen.unwrap_or(Algorithm::PR),
+        cost_source: costs.source().label(),
     }
 }
 
@@ -164,6 +170,7 @@ pub fn record_decision_with_spread(
         fields.push(f(&format!("{key}_cost"), c.relative_cost));
         fields.push(f(&format!("{key}_fits"), c.fits));
     }
+    fields.push(f("cost_source", explanation.cost_source.as_str()));
     fields.push(f("chosen", explanation.chosen.abbrev()));
     if let Some(realized) = realized_spread {
         fields.push(f("realized_spread", realized));
@@ -252,6 +259,16 @@ mod tests {
         assert_eq!(
             parsed.get("chosen").unwrap().as_str(),
             Some(e.chosen.abbrev())
+        );
+        // The record names the cost numbers that ranked the candidates.
+        assert_eq!(
+            parsed.get("cost_source").unwrap().as_str(),
+            Some(e.cost_source.as_str())
+        );
+        assert!(
+            e.cost_source.contains("BENCH") || e.cost_source == "static-flops",
+            "{}",
+            e.cost_source
         );
         // Every candidate appears with spread, cost, and verdict.
         for c in &e.candidates {

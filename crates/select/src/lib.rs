@@ -49,19 +49,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod cost;
 pub mod explain;
 pub mod profile;
+pub mod sample;
 pub mod selector;
 pub mod subtree;
 pub mod verified;
 
-pub use calibrate::{calibrate, CalibrationConfig, CalibrationTable};
-pub use cost::CostModel;
+pub use cache::{DecisionCache, Fingerprint};
+pub use calibrate::{
+    calibrate, try_calibrate, CalibrationConfig, CalibrationError, CalibrationTable,
+};
+pub use cost::{CostModel, CostSource};
 pub use explain::{explain, record_decision, Explanation};
 pub use profile::{profile, profile_parallel, DataProfile};
 use repro_sum::{Accumulator, Algorithm};
+pub use sample::{choose_sampled, SampleConfig, SampledProfile};
 pub use selector::{HeuristicSelector, SampledSelector, Selector, Tolerance};
 pub use subtree::{BudgetSplit, SubtreeAdaptive, SubtreeOutcome};
 pub use verified::{VerifiedOutcome, VerifiedReducer};
@@ -151,6 +157,62 @@ impl AdaptiveReducer {
             algorithm,
             profile,
         }
+    }
+
+    /// The always-on fast path: **sampled** profile → **decision cache** →
+    /// reduce.
+    ///
+    /// Instead of the ~28 ns/elem full profiling pass, this strides a
+    /// ~2k-element sample ([`sample::SampledProfile`]), fingerprints its
+    /// extrapolated shape ([`cache::Fingerprint`]), and reuses the cached
+    /// decision for that shape when one exists. On a miss the sampled
+    /// profile drives selection (with the conservative
+    /// [`sample::SAMPLED_SAFETY_FACTOR`] inflation) and the decision is
+    /// cached for the next same-shaped workload. When the sample's
+    /// confidence bounds are too loose to trust —
+    /// heavy-tailed data, or a sign-disputed sum under a relative
+    /// tolerance — it falls back to the fused full pass
+    /// ([`AdaptiveReducer::reduce`]), bypassing the cache entirely.
+    ///
+    /// The caching layer never changes the numerics: a decision only picks
+    /// *which* deterministic operator runs, so a cache hit is bitwise
+    /// identical to the miss that populated it (property-tested). The
+    /// returned [`Outcome::profile`] is the sampled *estimate* on the fast
+    /// path and the full profile on the fallback path.
+    pub fn reduce_cached(&self, values: &[f64], cache: &DecisionCache) -> Outcome {
+        let cfg = sample::SampleConfig::default();
+        let sampled = sample::SampledProfile::collect(values, &cfg);
+        if sampled.bounds_tight(&cfg) {
+            let est = sampled.estimated_profile();
+            let fp = Fingerprint::of(&est, self.tolerance);
+            let algorithm = match cache.lookup(&fp) {
+                Some(alg) => alg,
+                None => {
+                    match sample::choose_sampled(
+                        self.selector.as_ref(),
+                        self.tolerance,
+                        &sampled,
+                        &cfg,
+                    ) {
+                        Some(alg) => {
+                            cache.insert(fp, alg);
+                            alg
+                        }
+                        // Tight bounds but a sign-disputed sum under a
+                        // relative tolerance: the budget itself is noise.
+                        None => return self.reduce(values),
+                    }
+                }
+            };
+            let mut acc = algorithm.new_accumulator();
+            acc.add_slice(values);
+            return Outcome {
+                sum: acc.finalize(),
+                algorithm,
+                profile: est,
+            };
+        }
+        self.reduce(values)
     }
 
     /// Like [`AdaptiveReducer::reduce`], but emitting one `decision`

@@ -62,6 +62,33 @@ impl DataProfile {
         profile(&[])
     }
 
+    /// Incrementally fold one value into the profile — the streaming
+    /// counterpart of [`DataProfile::merge`]. Bitwise-equivalent to having
+    /// included `x` in the profiled slice: the binned deposits are
+    /// position-independent, so `profile(xs)` equals any interleaving of
+    /// [`DataProfile::add`] and [`DataProfile::merge`] calls covering the
+    /// same multiset of values, bit for bit. Allocation-free (the binned
+    /// state is fixed-size), so re-selection loops can ingest points as
+    /// they arrive.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        self.sum_bins.add(x);
+        self.abs_bins.add(x.abs());
+        if let Some(e) = exponent(x) {
+            self.min_exp = self.min_exp.min(e);
+            self.max_exp = self.max_exp.max(e);
+        }
+        self.max_abs = self.max_abs.max(x.abs());
+        self.sum_estimate = self.sum_bins.finalize();
+        self.abs_sum = self.abs_bins.finalize();
+        self.dr_binades = if self.min_exp == i32::MAX {
+            0
+        } else {
+            self.max_exp - self.min_exp
+        };
+        self.k = condition_estimate(self.sum_estimate, self.abs_sum);
+    }
+
     /// Merge a sibling partial profile (for distributed profiling: each
     /// rank profiles its chunk, the profiles reduce, every rank selects
     /// from the same global profile).
@@ -355,6 +382,46 @@ mod tests {
         let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(f64::MIN_POSITIVE);
         assert!(rel(merged.abs_sum, whole.abs_sum) < 1e-12);
         assert!(rel(merged.k, whole.k) < 1e-9, "{} vs {}", merged.k, whole.k);
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_profile_bitwise() {
+        // Compare every observable quantity bitwise. (Whole-struct
+        // equality would also compare the binned accumulators' internal
+        // renorm-cadence counter, which legitimately differs by path while
+        // the canonical numeric state is identical.)
+        fn assert_bitwise_same(a: &DataProfile, b: &DataProfile) {
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.k.to_bits(), b.k.to_bits());
+            assert_eq!(a.dr_binades, b.dr_binades);
+            assert_eq!(a.max_abs.to_bits(), b.max_abs.to_bits());
+            assert_eq!(a.abs_sum.to_bits(), b.abs_sum.to_bits());
+            assert_eq!(a.sum_estimate.to_bits(), b.sum_estimate.to_bits());
+            assert_eq!(a.min_exp, b.min_exp);
+            assert_eq!(a.max_exp, b.max_exp);
+        }
+        let values = repro_gen::zero_sum_with_range(777, 24, 9);
+        let batch = profile(&values);
+        // Pure streaming.
+        let mut inc = DataProfile::empty();
+        for &x in &values {
+            inc.add(x);
+        }
+        assert_bitwise_same(&inc, &batch);
+        // Interleaved add + merge, arbitrary split points.
+        let mut mixed = profile(&values[..100]);
+        for &x in &values[100..300] {
+            mixed.add(x);
+        }
+        mixed.merge(&profile(&values[300..]));
+        assert_bitwise_same(&mixed, &batch);
+        // And the streaming profile keeps merging like any other partial.
+        let mut half = DataProfile::empty();
+        for &x in &values[..400] {
+            half.add(x);
+        }
+        half.merge(&profile(&values[400..]));
+        assert_bitwise_same(&half, &batch);
     }
 
     #[test]

@@ -41,15 +41,19 @@ proptest! {
     }
 
     /// No cheaper algorithm than the chosen one would also satisfy the
-    /// model (the "cheapest acceptable" property).
+    /// model (the "cheapest acceptable" property). "Cheaper" is the
+    /// calibrated cost model's verdict, not the static `cost_rank` ladder:
+    /// the measured baseline prices CP under K, and the selector must be
+    /// faithful to the prices it actually ranks by.
     #[test]
     fn choice_is_cheapest_acceptable(values in workload(), t_exp in -20i32..0) {
         let t = 10f64.powi(t_exp);
         let p = profile(&values);
         let sel = HeuristicSelector::default();
+        let costs = repro_select::CostModel::default();
         let alg = sel.choose(&p, Tolerance::AbsoluteSpread(t));
         for candidate in Algorithm::PAPER_SET {
-            if candidate.cost_rank() < alg.cost_rank() {
+            if costs.cost(candidate) < costs.cost(alg) {
                 prop_assert!(predicted_spread(candidate, &p) > t,
                     "{candidate} (cheaper than {alg}) also fits budget {:e}", t);
             }
