@@ -509,6 +509,40 @@ pub mod throughput {
                 },
             ));
         }
+        // The observability tax, one event per element so `ns_per_elem`
+        // *is* the per-event cost: a disabled scope (the price of leaving
+        // instrumentation in a hot path), the flight recorder's bounded
+        // ring (the always-on cost ceiling), and a full JSONL render into
+        // a discarded writer (what `--trace`-style streaming would pay).
+        {
+            use repro_core::obs::{f, JsonlSink, RingSink, Trace};
+            use std::sync::Arc;
+            out.push(measure("obs/noop", &values, seed, &rev, reps, |v| {
+                let trace = Trace::disabled();
+                let mut scope = trace.scope("bench");
+                for (i, &x) in v.iter().enumerate() {
+                    scope.event("e", vec![f("i", i as u64), f("x", x)]);
+                }
+                v.len() as f64
+            }));
+            out.push(measure("obs/ring", &values, seed, &rev, reps, |v| {
+                let ring = Arc::new(RingSink::new(1024));
+                let trace = Trace::to_sink(ring);
+                let mut scope = trace.scope("bench");
+                for (i, &x) in v.iter().enumerate() {
+                    scope.event("e", vec![f("i", i as u64), f("x", x)]);
+                }
+                v.len() as f64
+            }));
+            out.push(measure("obs/jsonl", &values, seed, &rev, reps, |v| {
+                let trace = Trace::to_sink(Arc::new(JsonlSink::new(std::io::sink())));
+                let mut scope = trace.scope("bench");
+                for (i, &x) in v.iter().enumerate() {
+                    scope.event("e", vec![f("i", i as u64), f("x", x)]);
+                }
+                v.len() as f64
+            }));
+        }
         out
     }
 
@@ -564,6 +598,9 @@ pub mod throughput {
                 "select/sampled_profile",
                 "select/cache_hit",
                 "select/cache_miss",
+                "obs/noop",
+                "obs/ring",
+                "obs/jsonl",
             ] {
                 assert!(entries.iter().any(|e| e.op == op), "missing {op}");
             }

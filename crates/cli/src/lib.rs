@@ -56,22 +56,57 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use repro_core::obs::{FaultSpec, RunManifest};
 use repro_core::prelude::*;
 use repro_core::select::VerifiedReducer;
 use repro_core::stats::{table::sci, Table};
 
 /// CLI errors: user-facing messages, no panics for bad input.
+///
+/// `code` is the process exit status the binary maps the error to, so
+/// scripts can tell *why* a command failed without parsing stderr:
+/// `1` for ordinary failures and numerical divergence (`trace diff`
+/// finding divergent nodes, `replay` not matching bitwise), `2` for
+/// parse/schema errors (a malformed trace or manifest, an unsupported
+/// schema version, an invalid environment).
 #[derive(Debug, PartialEq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// The user-facing message.
+    pub msg: String,
+    /// Process exit code: 1 = failure/divergence, 2 = parse/schema error.
+    pub code: i32,
+}
+
+impl CliError {
+    /// An ordinary failure or numerical divergence (exit code 1).
+    pub fn new(msg: impl Into<String>) -> CliError {
+        CliError {
+            msg: msg.into(),
+            code: 1,
+        }
+    }
+
+    /// A parse/schema error (exit code 2).
+    pub fn schema(msg: impl Into<String>) -> CliError {
+        CliError {
+            msg: msg.into(),
+            code: 2,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.msg)
     }
 }
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::new(msg)
+}
+
+fn err_schema(msg: impl Into<String>) -> CliError {
+    CliError::schema(msg)
 }
 
 /// Validate the `REPRO_SIMD` dispatch environment: `Ok` when it resolves to
@@ -117,14 +152,28 @@ USAGE:
                        [--seed S] [--sample N] [--file F] [VALUES...]
   repro-reduce bench   [--out PATH|-]
   repro-reduce simd    [--check scalar|sse2|avx2]
+  repro-reduce replay  MANIFEST.json
+  repro-reduce flight  [--dump DIR]
 
 Values come from positional args and/or --file (whitespace-separated;
 '-' = stdin). trace emits JSONL events plus '#' summary lines; with the
 same seed, 'trace chaos' event streams are byte-identical across runs.
 --telemetry adds per-node accuracy events (partial sums, Higham bounds,
 sampled exact-ulp deviations); 'trace diff' aligns two traces by node id
-and walks any divergence to its leaf origin (exit 1 on divergence);
-'report' renders the metrics registry as Prometheus text or HTML.";
+and walks any divergence to its leaf origin; 'report' renders the
+metrics registry as Prometheus text or HTML.
+
+sum / trace reduce / trace chaos end with a '# manifest: {...}' line
+capturing the run's full determinism context (--manifest PATH also
+writes it to a file); 'replay' re-executes a manifest (or the manifest
+line of a saved trace) and succeeds only on bitwise-identical results.
+'flight' shows the always-on flight recorder's rings and overhead
+accounting; --dump writes a postmortem.jsonl. REPRO_FLIGHT=off disables
+the recorder; REPRO_POSTMORTEM=DIR enables incident dumps.
+
+Exit codes: 0 = success; 1 = failure or numerical divergence ('trace
+diff' divergent nodes, 'replay' mismatch); 2 = parse/schema error
+(malformed trace or manifest, unsupported schema, invalid REPRO_SIMD).";
 
 /// Parsed global options shared by value-consuming commands.
 #[derive(Debug, Default)]
@@ -158,6 +207,7 @@ struct Opts {
     perturb: Option<usize>,
     format: Option<String>,
     out: Option<String>,
+    manifest: Option<String>,
 }
 
 fn parse_opts(
@@ -272,6 +322,7 @@ fn parse_opts(
             }
             "--format" => o.format = Some(take("--format")?),
             "--out" => o.out = Some(take("--out")?),
+            "--manifest" => o.manifest = Some(take("--manifest")?),
             _ if a.starts_with("--") => return Err(err(format!("unknown option {a}"))),
             _ => o
                 .values
@@ -350,6 +401,105 @@ fn apply_perturb(values: &mut [f64], perturb: Option<usize>) -> Result<(), CliEr
     Ok(())
 }
 
+/// Initialize the process-global flight recorder from the environment
+/// (`REPRO_FLIGHT`, `REPRO_POSTMORTEM`) and install the panic hook that
+/// dumps a post-mortem when the process dies mid-reduction. The binary
+/// calls this once before dispatching; it is idempotent.
+pub fn init_flight_from_env() {
+    let _ = repro_core::obs::flight::global();
+    repro_core::obs::flight::install_panic_hook();
+}
+
+/// The `REPRO_*` environment variables that can change a run's numerics
+/// or its observability envelope — the set a manifest must capture for
+/// the replay contract to hold across shells.
+const MANIFEST_ENV_VARS: [&str; 5] = [
+    "REPRO_FLIGHT",
+    "REPRO_POSTMORTEM",
+    "REPRO_RUNTIME_WORKERS",
+    "REPRO_SCALE",
+    "REPRO_SIMD",
+];
+
+/// Capture the manifest-relevant environment: only variables that are
+/// actually set, in fixed (sorted) order so the manifest is deterministic.
+fn manifest_env() -> Vec<(String, String)> {
+    MANIFEST_ENV_VARS
+        .iter()
+        .filter_map(|name| std::env::var(name).ok().map(|v| (name.to_string(), v)))
+        .collect()
+}
+
+/// The active SIMD tier's label for manifest embedding. Dispatch was
+/// validated at startup, so an error here degenerates to a marker rather
+/// than failing the run.
+fn simd_tier_label() -> String {
+    repro_core::fp::simd::try_active_tier()
+        .map(|t| t.label().to_string())
+        .unwrap_or_else(|_| "invalid".to_string())
+}
+
+/// Render the run's tolerance the way manifests spell it: `bitwise`,
+/// `abs:<v>`, or `rel:<v>` (mirrors the `tolerance_of` defaulting used by
+/// the traced commands: no `--tolerance` means bitwise).
+fn manifest_tolerance(o: &Opts) -> String {
+    match o.tolerance {
+        _ if o.bitwise => "bitwise".to_string(),
+        None => "bitwise".to_string(),
+        Some(t) if o.relative => format!("rel:{t}"),
+        Some(t) => format!("abs:{t}"),
+    }
+}
+
+/// Start a manifest for one CLI workload with everything that is known
+/// before the reduction runs: shape knobs, tolerance, environment, SIMD
+/// tier, telemetry policy, and the input itself (embedded as exact bit
+/// patterns when explicit and small enough, else marked generated or
+/// external). `pre_perturb` must be the input *before* `--perturb` was
+/// applied — replay re-applies the recorded perturbation.
+fn manifest_for(cmd: &str, o: &Opts, pre_perturb: &[f64], generated: bool) -> RunManifest {
+    use repro_core::obs::manifest::MAX_EMBEDDED_VALUES;
+    let mut m = RunManifest::new(cmd);
+    m.n = pre_perturb.len() as u64;
+    m.dr = o.dr as u64;
+    m.seed = o.seed;
+    m.tolerance = manifest_tolerance(o);
+    m.simd_tier = simd_tier_label();
+    m.env = manifest_env();
+    m.telemetry = o.telemetry;
+    m.sample = o.sample;
+    m.perturb = o.perturb.map(|i| i as u64);
+    if generated {
+        m.source = "generated".to_string();
+    } else if pre_perturb.len() <= MAX_EMBEDDED_VALUES {
+        m.source = "embedded".to_string();
+        m.values_bits = Some(pre_perturb.iter().map(|v| v.to_bits()).collect());
+    } else {
+        m.source = "external".to_string();
+    }
+    m
+}
+
+/// Finish a manifest-carrying command: append the `# manifest: {...}`
+/// trailer (the last line of the output, so `replay` can consume a saved
+/// trace directly), park the final manifest on the flight recorder for
+/// post-mortem embedding, and honor `--manifest PATH`.
+fn finish_with_manifest(
+    mut out: String,
+    manifest: &RunManifest,
+    o: &Opts,
+) -> Result<String, CliError> {
+    let json = manifest.to_json();
+    repro_core::obs::flight::global().set_manifest_json(Some(json.clone()));
+    out.push_str("\n# manifest: ");
+    out.push_str(&json);
+    if let Some(path) = &o.manifest {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    Ok(out)
+}
+
 /// Run one command; `read_file` abstracts the filesystem for testability.
 pub fn run(
     args: &[String],
@@ -365,6 +515,13 @@ pub fn run(
     if cmd == "simd" {
         return run_simd(rest);
     }
+    // `replay` consumes a manifest path, `flight` only takes --dump DIR.
+    if cmd == "replay" {
+        return run_replay(rest, read_file);
+    }
+    if cmd == "flight" {
+        return run_flight(rest);
+    }
     let o = parse_opts(rest, read_file)?;
     match cmd.as_str() {
         "sum" => {
@@ -376,11 +533,19 @@ pub fn run(
             } else {
                 format!("{result:.17e}")
             };
-            Ok(format!(
-                "{rendered}\n# algorithm: {alg} ({})\n# exact error: {}",
-                alg.name(),
-                sci(repro_core::fp::abs_error(result, values)),
-            ))
+            let mut manifest = manifest_for("sum", &o, values, false);
+            manifest.workers = 1;
+            manifest.algorithm = alg.abbrev().to_string();
+            manifest.result_bits = Some(result.to_bits());
+            finish_with_manifest(
+                format!(
+                    "{rendered}\n# algorithm: {alg} ({})\n# exact error: {}",
+                    alg.name(),
+                    sci(repro_core::fp::abs_error(result, values)),
+                ),
+                &manifest,
+                &o,
+            )
         }
         "profile" => {
             let values = need_values(&o)?;
@@ -702,14 +867,33 @@ fn run_trace(
 /// count); execution facts land in the metrics registry, rendered as `#`
 /// comment lines so the JSONL stream stays deterministic.
 fn run_trace_reduce(o: &Opts) -> Result<String, CliError> {
+    let (out, manifest) = trace_reduce_with_manifest(o)?;
+    finish_with_manifest(out, &manifest, o)
+}
+
+/// The `trace reduce` workload proper, returning the rendered trace (sans
+/// manifest trailer) alongside the completed [`RunManifest`] — `replay`
+/// re-runs this and compares manifests instead of scraping output text.
+fn trace_reduce_with_manifest(o: &Opts) -> Result<(String, RunManifest), CliError> {
     use repro_core::obs::{render_jsonl, Registry, Trace};
 
-    let mut values: Vec<f64> = if o.values.is_empty() {
+    let (mut values, generated): (Vec<f64>, bool) = if o.values.is_empty() {
         let n = o.n.unwrap_or(4096);
-        repro_core::gen::grid_cell(n, o.k.unwrap_or(1.0), o.dr, o.seed, 1e16)
+        (
+            repro_core::gen::grid_cell(n, o.k.unwrap_or(1.0), o.dr, o.seed, 1e16),
+            true,
+        )
     } else {
-        o.values.clone()
+        (o.values.clone(), false)
     };
+    let mut manifest = manifest_for("reduce", o, &values, generated);
+    manifest.workers = 2;
+    if generated {
+        manifest.k = Some(o.k.unwrap_or(1.0));
+    }
+    // Park the provisional manifest before any numeric work: a post-mortem
+    // from a mid-reduction death must still say what run was in flight.
+    repro_core::obs::flight::global().set_manifest_json(Some(manifest.to_json()));
     apply_perturb(&mut values, o.perturb)?;
     let tol = if o.bitwise || o.tolerance.is_none() {
         Tolerance::Bitwise
@@ -732,6 +916,13 @@ fn run_trace_reduce(o: &Opts) -> Result<String, CliError> {
         reducer.reduce_traced(&values, &mut select_scope)
     };
 
+    // Test hook for the post-mortem contract: die between selection and
+    // the runtime reduction, exactly where a real crash loses the most
+    // context — the subprocess test asserts the dump still explains us.
+    if std::env::var("REPRO_FLIGHT_TEST_PANIC").as_deref() == Ok("reduce") {
+        panic!("injected mid-reduction panic (REPRO_FLIGHT_TEST_PANIC=reduce)");
+    }
+
     let mut runtime_scope = trace.scope("runtime");
     let rt = Runtime::new(2);
     let plan = ReductionPlan::for_len(values.len());
@@ -745,6 +936,11 @@ fn run_trace_reduce(o: &Opts) -> Result<String, CliError> {
     );
 
     stats.publish(&registry, "runtime");
+
+    manifest.algorithm = outcome.algorithm.abbrev().to_string();
+    manifest.cost_source = repro_core::select::explain(&outcome.profile, tol).cost_source;
+    manifest.selector_bits = Some(outcome.sum.to_bits());
+    manifest.result_bits = Some(sum.to_bits());
 
     let mut out = render_jsonl(&sink.drain());
     out.push_str(&format!(
@@ -760,7 +956,7 @@ fn run_trace_reduce(o: &Opts) -> Result<String, CliError> {
         out.push('\n');
     }
     out.pop();
-    Ok(out)
+    Ok((out, manifest))
 }
 
 /// `trace chaos`: a fault-injected distributed gather whose event stream is
@@ -774,6 +970,13 @@ fn run_trace_reduce(o: &Opts) -> Result<String, CliError> {
 /// byte-identical JSONL (and PR merging keeps the healed sum bitwise equal
 /// to a sequential reference over the survivor set).
 fn run_trace_chaos(o: &Opts) -> Result<String, CliError> {
+    let (out, manifest) = trace_chaos_with_manifest(o)?;
+    finish_with_manifest(out, &manifest, o)
+}
+
+/// The `trace chaos` workload proper; see [`trace_reduce_with_manifest`]
+/// for the split's rationale.
+fn trace_chaos_with_manifest(o: &Opts) -> Result<(String, RunManifest), CliError> {
     use repro_core::mpisim::{FaultError, FaultPlan, World};
     use repro_core::obs::{f, render_jsonl, Trace};
 
@@ -795,6 +998,19 @@ fn run_trace_chaos(o: &Opts) -> Result<String, CliError> {
     plan.validate().map_err(|e| err(e.0))?;
 
     let mut values = repro_core::gen::zero_sum_with_range(n, o.dr, o.seed);
+    let mut manifest = manifest_for("chaos", o, &values, true);
+    manifest.workers = ranks as u64;
+    manifest.algorithm = "PR".to_string();
+    manifest.fault = Some(FaultSpec {
+        drop: o.drop,
+        delay: o.delay,
+        dup: o.dup,
+        reorder: o.reorder,
+        kill: o.kill as u64,
+    });
+    // Parked before the world runs: a fault-plane kill triggers an
+    // incident dump that must name this run.
+    repro_core::obs::flight::global().set_manifest_json(Some(manifest.to_json()));
     apply_perturb(&mut values, o.perturb)?;
     let values = values;
     let per = n.div_ceil(ranks.max(1));
@@ -937,7 +1153,9 @@ fn run_trace_chaos(o: &Opts) -> Result<String, CliError> {
     if let Some(idx) = o.perturb {
         out.push_str(&format!(" --perturb {idx}"));
     }
-    Ok(out)
+    manifest.cost_source = explanation.cost_source.clone();
+    manifest.result_bits = Some(sum.to_bits());
+    Ok((out, manifest))
 }
 
 /// Emit one numerical-telemetry `node` event from the chaos gather script:
@@ -1005,12 +1223,17 @@ fn run_trace_diff(
     }
     let a = read_file(&paths[0])?;
     let b = read_file(&paths[1])?;
+    // Parse/schema failures exit 2; numerical divergence exits 1 — CI can
+    // distinguish "the traces disagree" from "I couldn't read the traces".
     let report = repro_core::obs::forensics::diff_traces(&a, &b)
-        .map_err(|e| err(format!("trace diff: {e}")))?;
+        .map_err(|e| err_schema(format!("trace diff: {e}")))?;
     let rendered = report.render();
     if report.is_clean() {
         Ok(rendered)
     } else {
+        // A divergence is an incident: flush the flight rings so the
+        // post-mortem (when configured) carries the forensic context.
+        repro_core::obs::flight::incident("trace.diff.divergence");
         Err(err(rendered))
     }
 }
@@ -1053,7 +1276,7 @@ fn run_simd(rest: &[String]) -> Result<String, CliError> {
 /// at the current `REPRO_SCALE` and write the fixed-schema `BENCH_*.json`
 /// document — the repo's perf trajectory, one comparable point per PR.
 /// `--out -` prints the JSON (plus `#` summary lines) instead of writing;
-/// the default target is `BENCH_08.json` in the working directory.
+/// the default target is `BENCH_09.json` in the working directory.
 fn run_bench(o: &Opts) -> Result<String, CliError> {
     use repro_bench::throughput;
     let entries = throughput::run_suite();
@@ -1069,7 +1292,7 @@ fn run_bench(o: &Opts) -> Result<String, CliError> {
         entries.first().map(|e| e.seed).unwrap_or(0),
         entries.first().map(|e| e.git_rev.as_str()).unwrap_or("?"),
     );
-    let out = o.out.as_deref().unwrap_or("BENCH_08.json");
+    let out = o.out.as_deref().unwrap_or("BENCH_09.json");
     if out == "-" {
         Ok(format!("{json}{summary}"))
     } else {
@@ -1172,12 +1395,211 @@ fn run_trace_check(
     }
     let path = file.ok_or_else(|| err("trace check requires --file"))?;
     let text = read_file(&path)?;
-    let summary =
-        repro_core::obs::validate_trace(&text).map_err(|e| err(format!("invalid trace: {e}")))?;
+    let summary = repro_core::obs::validate_trace(&text)
+        .map_err(|e| err_schema(format!("invalid trace: {e}")))?;
     Ok(format!(
-        "# trace OK: events={} subsystems={:?}",
-        summary.events, summary.subsystems
+        "# trace OK: events={} subsystems={:?} dropped={}",
+        summary.events, summary.subsystems, summary.dropped
     ))
+}
+
+/// Pull the manifest JSON out of what `replay` was handed: either a bare
+/// manifest file (one JSON object) or a saved trace whose last
+/// `# manifest: ` trailer carries it.
+fn extract_manifest_json(text: &str) -> Option<&str> {
+    let trimmed = text.trim();
+    if trimmed.starts_with('{') && !trimmed.contains('\n') {
+        return Some(trimmed);
+    }
+    trimmed
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix("# manifest: "))
+}
+
+/// `replay`: re-execute the run a manifest describes and compare results
+/// bitwise. A manifest that cannot be parsed, has an unsupported schema,
+/// or is not replayable exits 2; a bitwise mismatch — the replay contract
+/// broken — exits 1; only exact bit-for-bit agreement exits 0.
+fn run_replay(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(err("usage: repro-reduce replay MANIFEST.json"));
+    };
+    let text = read_file(path)?;
+    let json = extract_manifest_json(&text)
+        .ok_or_else(|| err_schema(format!("replay: no manifest found in {path}")))?;
+    let stored = RunManifest::parse(json).map_err(|e| err_schema(format!("replay: {e}")))?;
+    if !stored.replayable() {
+        return Err(err_schema(format!(
+            "replay: manifest source {:?} is not replayable (input neither embedded nor generated)",
+            stored.source
+        )));
+    }
+
+    let fresh = replay_execute(&stored)?;
+
+    let mut mismatches = Vec::new();
+    let mut check_bits = |what: &str, recorded: Option<u64>, replayed: Option<u64>| {
+        if let (Some(a), Some(b)) = (recorded, replayed) {
+            if a != b {
+                mismatches.push(format!("{what}: recorded {a:016x} replayed {b:016x}"));
+            }
+        }
+    };
+    check_bits("result_bits", stored.result_bits, fresh.result_bits);
+    check_bits("selector_bits", stored.selector_bits, fresh.selector_bits);
+    if !stored.algorithm.is_empty() && stored.algorithm != fresh.algorithm {
+        mismatches.push(format!(
+            "algorithm: recorded {} replayed {}",
+            stored.algorithm, fresh.algorithm
+        ));
+    }
+    if !mismatches.is_empty() {
+        repro_core::obs::flight::incident("replay.divergence");
+        return Err(err(format!(
+            "replay DIVERGED: cmd={} n={} seed={}\n  {}",
+            stored.cmd,
+            stored.n,
+            stored.seed,
+            mismatches.join("\n  "),
+        )));
+    }
+    let bits = stored.result_bits.unwrap_or(0);
+    Ok(format!(
+        "replay OK (bitwise): cmd={} n={} seed={} algorithm={} result_bits={bits:016x}\n\
+         # manifest simd_tier={} current={}",
+        stored.cmd,
+        stored.n,
+        stored.seed,
+        fresh.algorithm,
+        stored.simd_tier,
+        simd_tier_label(),
+    ))
+}
+
+/// Re-execute the workload a manifest describes and return the freshly
+/// completed manifest (carrying the recomputed result bits).
+fn replay_execute(m: &RunManifest) -> Result<RunManifest, CliError> {
+    let mut o = Opts {
+        dr: m.dr as u32,
+        seed: m.seed,
+        perms: 20,
+        ..Default::default()
+    };
+    o.n = Some(m.n as usize);
+    o.telemetry = m.telemetry;
+    o.sample = m.sample;
+    o.perturb = m.perturb.map(|i| i as usize);
+    match m.tolerance.as_str() {
+        "bitwise" => o.bitwise = true,
+        t => {
+            if let Some(v) = t.strip_prefix("abs:") {
+                o.tolerance =
+                    Some(v.parse().map_err(|_| {
+                        err_schema(format!("replay: bad manifest tolerance {t:?}"))
+                    })?);
+            } else if let Some(v) = t.strip_prefix("rel:") {
+                o.relative = true;
+                o.tolerance =
+                    Some(v.parse().map_err(|_| {
+                        err_schema(format!("replay: bad manifest tolerance {t:?}"))
+                    })?);
+            } else {
+                return Err(err_schema(format!("replay: bad manifest tolerance {t:?}")));
+            }
+        }
+    }
+    if let Some(bits) = &m.values_bits {
+        o.values = bits.iter().map(|&b| f64::from_bits(b)).collect();
+    }
+    match m.cmd.as_str() {
+        "reduce" => {
+            o.k = m.k;
+            trace_reduce_with_manifest(&o).map(|(_, manifest)| manifest)
+        }
+        "chaos" => {
+            o.ranks = Some(m.workers as usize);
+            if let Some(fault) = &m.fault {
+                o.drop = fault.drop;
+                o.delay = fault.delay;
+                o.dup = fault.dup;
+                o.reorder = fault.reorder;
+                o.kill = fault.kill as usize;
+            }
+            trace_chaos_with_manifest(&o).map(|(_, manifest)| manifest)
+        }
+        "sum" => {
+            if o.values.is_empty() {
+                return Err(err_schema("replay: sum manifest has no embedded values"));
+            }
+            let alg = parse_algorithm(&m.algorithm)
+                .map_err(|e| err_schema(format!("replay: {}", e.msg)))?;
+            let mut fresh = m.clone();
+            fresh.result_bits = Some(alg.sum(&o.values).to_bits());
+            Ok(fresh)
+        }
+        other => Err(err_schema(format!(
+            "replay: unknown manifest cmd {other:?}"
+        ))),
+    }
+}
+
+/// `flight`: show the process-global flight recorder — enabled state, ring
+/// capacity, per-subsystem retained/dropped/recorded counts, and the
+/// `obs.overhead.*` self-accounting. `--dump DIR` additionally writes a
+/// `postmortem.jsonl` there, the same document an incident would produce.
+fn run_flight(args: &[String]) -> Result<String, CliError> {
+    use repro_core::obs::flight;
+    let mut dump_dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dump" => {
+                i += 1;
+                dump_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| err("--dump needs a directory"))?,
+                );
+            }
+            other => return Err(err(format!("flight takes only --dump DIR, got {other:?}"))),
+        }
+        i += 1;
+    }
+    let rec = flight::global();
+    let ring = rec.ring();
+    let mut out = format!(
+        "# flight recorder: enabled={} capacity={} dumps={}",
+        rec.enabled(),
+        ring.capacity(),
+        rec.dumps_written(),
+    );
+    for snap in ring.snapshot() {
+        out.push_str(&format!(
+            "\n# ring {}: retained={} dropped={} recorded={}",
+            snap.sub,
+            snap.events.len(),
+            snap.dropped,
+            snap.recorded,
+        ));
+    }
+    let registry = repro_core::obs::Registry::new();
+    rec.account(&registry);
+    for line in registry.snapshot().render().lines() {
+        out.push_str("\n# metric ");
+        out.push_str(line);
+    }
+    if let Some(dir) = dump_dir {
+        rec.set_dump_dir(Some(std::path::PathBuf::from(&dir)));
+        match rec.dump("cli.flight.dump") {
+            Some(path) => out.push_str(&format!("\n# wrote {}", path.display())),
+            None => out.push_str("\n# no dump written (recorder disabled)"),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1570,7 +1992,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let e = run(&args, &bad_fs).unwrap_err();
-        assert!(e.0.contains("invalid trace"), "{e}");
+        assert!(e.msg.contains("invalid trace"), "{e}");
     }
 
     #[test]
@@ -1657,9 +2079,10 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let e = run(&args, &fs).unwrap_err();
-        assert!(e.0.contains("first divergent node"), "{e}");
+        assert!(e.msg.contains("first divergent node"), "{e}");
         assert!(
-            e.0.contains("origin: node runtime/c0 leaf interval [0, 8)"),
+            e.msg
+                .contains("origin: node runtime/c0 leaf interval [0, 8)"),
             "{e}"
         );
     }
@@ -1728,8 +2151,8 @@ mod tests {
         let e = run(&args, &fs).unwrap_err();
         // The zero-sum input makes the perturbation visible in the merged
         // gather result no matter what the leaf rounding absorbs.
-        assert!(e.0.contains("rank0/root"), "{e}");
-        assert!(e.0.contains("origin: node"), "{e}");
+        assert!(e.msg.contains("rank0/root"), "{e}");
+        assert!(e.msg.contains("origin: node"), "{e}");
     }
 
     #[test]
@@ -1772,6 +2195,180 @@ mod tests {
             run_cmd(&["trace", "reduce", "--sample", "-1"]).is_err(),
             "bad sample"
         );
+    }
+
+    /// The `# manifest: ` trailer of a command's output.
+    fn manifest_line(out: &str) -> &str {
+        out.lines()
+            .rev()
+            .find_map(|l| l.strip_prefix("# manifest: "))
+            .expect("output carries a manifest trailer")
+    }
+
+    #[test]
+    fn trace_reduce_manifest_parses_and_replays_bitwise() {
+        let out = run_cmd(&["trace", "reduce", "--n", "256", "--dr", "6", "--seed", "11"]).unwrap();
+        let m = RunManifest::parse(manifest_line(&out)).expect("manifest parses");
+        assert_eq!(m.cmd, "reduce");
+        assert_eq!(m.n, 256);
+        assert_eq!(m.seed, 11);
+        assert_eq!(m.source, "generated");
+        assert!(m.replayable());
+        assert!(m.result_bits.is_some());
+        assert!(m.selector_bits.is_some());
+        assert!(!m.algorithm.is_empty());
+        // `replay` accepts the saved trace text directly (manifest trailer).
+        let fs = move |path: &str| {
+            if path == "t.jsonl" {
+                Ok(out.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["replay", "t.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ok = run(&args, &fs).unwrap();
+        assert!(ok.contains("replay OK (bitwise)"), "{ok}");
+    }
+
+    #[test]
+    fn trace_chaos_manifest_round_trips_fault_spec_and_replays() {
+        let out = run_cmd(&[
+            "trace", "chaos", "--ranks", "4", "--n", "128", "--seed", "9", "--kill", "1", "--drop",
+            "0.1",
+        ])
+        .unwrap();
+        let m = RunManifest::parse(manifest_line(&out)).expect("manifest parses");
+        assert_eq!(m.cmd, "chaos");
+        assert_eq!(m.workers, 4);
+        let fault = m.fault.as_ref().expect("chaos manifest carries faults");
+        assert_eq!(fault.kill, 1);
+        assert_eq!(fault.drop, 0.1);
+        let json = m.to_json();
+        let fs = move |path: &str| {
+            if path == "m.json" {
+                Ok(json.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["replay", "m.json"].iter().map(|s| s.to_string()).collect();
+        let ok = run(&args, &fs).unwrap();
+        assert!(ok.contains("replay OK (bitwise)"), "{ok}");
+    }
+
+    #[test]
+    fn sum_manifest_embeds_values_and_replays() {
+        let out = run_cmd(&["sum", "--alg", "K", "1e16", "1", "-1e16"]).unwrap();
+        let m = RunManifest::parse(manifest_line(&out)).expect("manifest parses");
+        assert_eq!(m.cmd, "sum");
+        assert_eq!(m.source, "embedded");
+        assert_eq!(m.values_bits.as_ref().map(Vec::len), Some(3));
+        assert_eq!(m.algorithm, "K");
+        let json = m.to_json();
+        let fs = move |path: &str| {
+            if path == "m.json" {
+                Ok(json.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["replay", "m.json"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&args, &fs).unwrap().contains("replay OK"), "sum replay");
+    }
+
+    #[test]
+    fn replay_detects_a_perturbed_manifest_with_exit_code_1() {
+        let out = run_cmd(&["trace", "reduce", "--n", "128", "--dr", "8", "--seed", "11"]).unwrap();
+        // A different seed generates different data: the recorded result
+        // bits can no longer be reproduced, which is exactly the
+        // divergence the replay gate must catch.
+        let perturbed = manifest_line(&out).replace("\"seed\":\"11\"", "\"seed\":\"12\"");
+        assert_ne!(perturbed, manifest_line(&out), "seed field must rewrite");
+        let fs = move |path: &str| {
+            if path == "m.json" {
+                Ok(perturbed.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let args: Vec<String> = ["replay", "m.json"].iter().map(|s| s.to_string()).collect();
+        let e = run(&args, &fs).unwrap_err();
+        assert_eq!(e.code, 1, "{e}");
+        assert!(e.msg.contains("replay DIVERGED"), "{e}");
+        assert!(e.msg.contains("result_bits"), "{e}");
+    }
+
+    #[test]
+    fn replay_rejects_malformed_manifests_with_exit_code_2() {
+        let fs = |path: &str| match path {
+            "garbage.json" => Ok("this is not a manifest".to_string()),
+            "badschema.json" => {
+                Ok("{\"schema\":\"repro-manifest-v999\",\"cmd\":\"reduce\"}".to_string())
+            }
+            _ => Err(err("unknown file")),
+        };
+        for path in ["garbage.json", "badschema.json"] {
+            let args: Vec<String> = ["replay", path].iter().map(|s| s.to_string()).collect();
+            let e = run(&args, &fs).unwrap_err();
+            assert_eq!(e.code, 2, "{path}: {e}");
+        }
+        assert!(run_cmd(&["replay"]).is_err(), "replay needs a path");
+    }
+
+    #[test]
+    fn trace_diff_exit_codes_distinguish_parse_from_divergence() {
+        // Unparseable input: schema error, exit 2.
+        let bad_fs = |_: &str| Ok("not json at all {".to_string());
+        let args: Vec<String> = ["trace", "diff", "a", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&args, &bad_fs).unwrap_err();
+        assert_eq!(e.code, 2, "{e}");
+        // Numerical divergence: exit 1.
+        let vals = ["1.0", "1e-30", "1e-30", "1e-30"];
+        let mut base = vec!["trace", "reduce", "--telemetry"];
+        base.extend_from_slice(&vals);
+        let a = run_cmd(&base).unwrap();
+        let mut pert = vec!["trace", "reduce", "--telemetry", "--perturb", "0"];
+        pert.extend_from_slice(&vals);
+        let b = run_cmd(&pert).unwrap();
+        let fs = move |path: &str| match path {
+            "a.jsonl" => Ok(a.clone()),
+            "b.jsonl" => Ok(b.clone()),
+            _ => Err(err("unknown file")),
+        };
+        let args: Vec<String> = ["trace", "diff", "a.jsonl", "b.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&args, &fs).unwrap_err();
+        assert_eq!(e.code, 1, "{e}");
+    }
+
+    #[test]
+    fn flight_subcommand_reports_rings_and_overhead() {
+        // Drive at least one reduction through the process-global recorder
+        // so the status has something to show.
+        run_cmd(&["trace", "reduce", "--n", "64"]).unwrap();
+        let out = run_cmd(&["flight"]).unwrap();
+        assert!(out.contains("# flight recorder: enabled="), "{out}");
+        assert!(out.contains("capacity="), "{out}");
+        assert!(out.contains("obs.overhead.events"), "{out}");
+        assert!(out.contains("# ring select:"), "{out}");
+        assert!(run_cmd(&["flight", "--bogus"]).is_err());
+        assert!(run_cmd(&["flight", "--dump"]).is_err(), "--dump needs dir");
+    }
+
+    #[test]
+    fn manifests_are_deterministic_across_runs() {
+        let args = ["trace", "reduce", "--n", "128", "--dr", "4", "--seed", "3"];
+        let a = run_cmd(&args).unwrap();
+        let b = run_cmd(&args).unwrap();
+        assert_eq!(manifest_line(&a), manifest_line(&b));
     }
 
     #[test]

@@ -7,15 +7,19 @@ fn read_file(path: &str) -> Result<String, repro_cli::CliError> {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
-            .map_err(|e| repro_cli::CliError(format!("reading stdin: {e}")))?;
+            .map_err(|e| repro_cli::CliError::new(format!("reading stdin: {e}")))?;
         Ok(buf)
     } else {
         std::fs::read_to_string(path)
-            .map_err(|e| repro_cli::CliError(format!("reading {path}: {e}")))
+            .map_err(|e| repro_cli::CliError::new(format!("reading {path}: {e}")))
     }
 }
 
 fn main() {
+    // Arm the always-on flight recorder and its panic hook before anything
+    // else: a crash anywhere below leaves a post-mortem (when
+    // REPRO_POSTMORTEM is set) instead of a bare backtrace.
+    repro_cli::init_flight_from_env();
     // Validate the SIMD dispatch environment before any kernel can consult
     // it: an invalid REPRO_SIMD is a clean diagnostic + nonzero exit here,
     // never a library panic (and never a silent fallback mid-benchmark).
@@ -28,7 +32,7 @@ fn main() {
         Ok(out) => println!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

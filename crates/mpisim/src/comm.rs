@@ -171,6 +171,15 @@ impl Comm {
                 // The kill point is an op count from the seeded plan, so
                 // this event lands at the same logical timestamp every run.
                 self.obs.event("kill", vec![f("at_op", at_op)]);
+                // A rank death is an incident: flight-record it and flush
+                // the rings so even an untraced chaos run leaves a
+                // post-mortem behind (when a dump directory is configured).
+                repro_obs::flight::record(
+                    "mpisim",
+                    "kill",
+                    vec![f("rank", rank as u64), f("at_op", at_op)],
+                );
+                repro_obs::flight::incident("mpisim.kill");
                 return Err(FaultError::Killed { rank, at_op });
             }
         }
@@ -184,6 +193,10 @@ impl Comm {
             FaultCounters::bump(&ctx.counters.heals);
         }
         self.obs.event("heal", vec![]);
+        // Heals ride the flight ring too: a post-mortem that shows a kill
+        // without the matching heal is itself diagnostic.
+        repro_obs::flight::record("mpisim", "heal", vec![f("rank", self.rank as u64)]);
+        repro_obs::flight::incident("mpisim.heal");
     }
 
     fn note_retry(&self) {

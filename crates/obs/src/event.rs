@@ -145,7 +145,7 @@ fn push_json_value(out: &mut String, value: &Value) {
 /// Floats print with Rust's shortest-round-trip `Display` (deterministic
 /// across platforms); JSON cannot represent non-finite values, so those
 /// become tagged strings.
-fn push_json_f64(out: &mut String, x: f64) {
+pub(crate) fn push_json_f64(out: &mut String, x: f64) {
     if x.is_nan() {
         out.push_str("\"nan\"");
     } else if x == f64::INFINITY {
@@ -157,7 +157,7 @@ fn push_json_f64(out: &mut String, x: f64) {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

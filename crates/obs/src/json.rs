@@ -256,17 +256,35 @@ pub struct TraceSummary {
     pub events: usize,
     /// Distinct subsystem names, sorted.
     pub subsystems: Vec<String>,
+    /// Total ring-evicted events declared by `flight`/`drops` records
+    /// (zero for ordinary, eviction-free traces).
+    pub dropped: u64,
 }
 
 /// Validate a JSONL trace against the schema contract: every non-blank,
 /// non-`#` line must parse as a JSON object with a string `sub`, a
-/// non-negative integer `seq`, and a string `kind`; and `seq` must be
-/// strictly increasing per subsystem. Lines starting with `#` are human
-/// summary lines and are skipped.
+/// non-negative integer `seq`, and a string `kind`; and per subsystem,
+/// `seq` must count contiguously (0, 1, 2, ...). Lines starting with `#`
+/// are human summary lines and are skipped.
+///
+/// Ring-evicted traces (flight-recorder post-mortems) are accepted with
+/// one precise exception: a subsystem may *start* above zero iff a
+/// `flight`-subsystem `drops` record declares exactly that many dropped
+/// events for it (`{"sub":"flight",...,"kind":"drops","target":S,
+/// "dropped":N}` ⇒ subsystem `S` may begin at seq `N`). Any other gap —
+/// a mid-stream skip, a regression, or a head gap not matching the
+/// declared counter — still fails, so eviction is distinguishable from
+/// corruption.
 pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
-    let mut last_seq: BTreeMap<String, u64> = BTreeMap::new();
-    let mut first_seen: BTreeMap<String, ()> = BTreeMap::new();
-    let mut events = 0usize;
+    // Pass 1: parse every event line and collect the authoritative drop
+    // declarations (only the flight subsystem may declare them).
+    struct Line {
+        lineno: usize,
+        sub: String,
+        seq: u64,
+    }
+    let mut lines: Vec<Line> = Vec::new();
+    let mut declared: BTreeMap<String, u64> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
         let line = line.trim();
@@ -287,25 +305,75 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
                 "line {lineno}: \"seq\" must be a non-negative integer, got {seq}"
             ));
         }
-        value
+        let kind = value
             .get("kind")
             .and_then(Json::as_str)
             .ok_or(format!("line {lineno}: missing string field \"kind\""))?;
-        let seq = seq as u64;
-        if first_seen.insert(sub.to_string(), ()).is_some() {
-            let prev = last_seq[sub];
-            if seq <= prev {
+        if sub == "flight" && kind == "drops" {
+            let target = value.get("target").and_then(Json::as_str).ok_or(format!(
+                "line {lineno}: drops record missing string \"target\""
+            ))?;
+            let dropped = value.get("dropped").and_then(Json::as_num).ok_or(format!(
+                "line {lineno}: drops record missing numeric \"dropped\""
+            ))?;
+            if dropped < 0.0 || dropped.fract() != 0.0 {
                 return Err(format!(
-                    "line {lineno}: subsystem \"{sub}\" seq {seq} not greater than previous {prev}"
+                    "line {lineno}: drops record \"dropped\" must be a non-negative integer"
+                ));
+            }
+            if declared
+                .insert(target.to_string(), dropped as u64)
+                .is_some()
+            {
+                return Err(format!(
+                    "line {lineno}: duplicate drops record for subsystem \"{target}\""
                 ));
             }
         }
-        last_seq.insert(sub.to_string(), seq);
-        events += 1;
+        lines.push(Line {
+            lineno,
+            sub: sub.to_string(),
+            seq: seq as u64,
+        });
+    }
+
+    // Pass 2: per-subsystem contiguity, with the declared drop counter as
+    // the only legal head offset.
+    let mut last_seq: BTreeMap<String, u64> = BTreeMap::new();
+    for line in &lines {
+        let Line { lineno, sub, seq } = line;
+        match last_seq.get(sub) {
+            None => {
+                let expected = declared.get(sub).copied().unwrap_or(0);
+                if *seq != expected {
+                    return Err(format!(
+                        "line {lineno}: subsystem \"{sub}\" starts at seq {seq}, expected \
+                         {expected} ({expected} declared dropped) — head gap not matched \
+                         by a drop record"
+                    ));
+                }
+            }
+            Some(&prev) => {
+                if *seq <= prev {
+                    return Err(format!(
+                        "line {lineno}: subsystem \"{sub}\" seq {seq} not greater than previous {prev}"
+                    ));
+                }
+                if *seq != prev + 1 {
+                    return Err(format!(
+                        "line {lineno}: subsystem \"{sub}\" seq {seq} skips {} — mid-stream \
+                         gap not coverable by a drop record",
+                        prev + 1
+                    ));
+                }
+            }
+        }
+        last_seq.insert(sub.clone(), *seq);
     }
     Ok(TraceSummary {
-        events,
+        events: lines.len(),
         subsystems: last_seq.into_keys().collect(),
+        dropped: declared.values().sum(),
     })
 }
 
@@ -395,7 +463,7 @@ mod tests {
     #[test]
     fn rejects_non_monotone_or_malformed_traces() {
         let non_monotone =
-            "{\"sub\":\"a\",\"seq\":1,\"kind\":\"x\"}\n{\"sub\":\"a\",\"seq\":1,\"kind\":\"y\"}\n";
+            "{\"sub\":\"a\",\"seq\":0,\"kind\":\"x\"}\n{\"sub\":\"a\",\"seq\":0,\"kind\":\"y\"}\n";
         assert!(validate_trace(non_monotone)
             .unwrap_err()
             .contains("not greater"));
@@ -410,5 +478,48 @@ mod tests {
 
         let not_json = "not json\n";
         assert!(validate_trace(not_json).is_err());
+    }
+
+    #[test]
+    fn head_gaps_require_a_matching_drop_record() {
+        // Undeclared head gap: corruption, not eviction.
+        let bare = "{\"sub\":\"a\",\"seq\":3,\"kind\":\"x\"}\n";
+        assert!(validate_trace(bare)
+            .unwrap_err()
+            .contains("head gap not matched"));
+
+        // Declared eviction: the same head gap is legal, and accounted.
+        let declared = "{\"sub\":\"flight\",\"seq\":0,\"kind\":\"drops\",\
+                        \"target\":\"a\",\"dropped\":3}\n\
+                        {\"sub\":\"a\",\"seq\":3,\"kind\":\"x\"}\n\
+                        {\"sub\":\"a\",\"seq\":4,\"kind\":\"y\"}\n";
+        let summary = validate_trace(declared).unwrap();
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.dropped, 3);
+
+        // A drop record that does not match the head gap still fails.
+        let mismatched = "{\"sub\":\"flight\",\"seq\":0,\"kind\":\"drops\",\
+                          \"target\":\"a\",\"dropped\":2}\n\
+                          {\"sub\":\"a\",\"seq\":3,\"kind\":\"x\"}\n";
+        assert!(validate_trace(mismatched)
+            .unwrap_err()
+            .contains("head gap not matched"));
+    }
+
+    #[test]
+    fn mid_stream_gaps_fail_even_with_a_drop_record() {
+        let gap = "{\"sub\":\"flight\",\"seq\":0,\"kind\":\"drops\",\
+                   \"target\":\"a\",\"dropped\":1}\n\
+                   {\"sub\":\"a\",\"seq\":1,\"kind\":\"x\"}\n\
+                   {\"sub\":\"a\",\"seq\":3,\"kind\":\"y\"}\n";
+        assert!(validate_trace(gap).unwrap_err().contains("mid-stream"));
+
+        let dup_decl = "{\"sub\":\"flight\",\"seq\":0,\"kind\":\"drops\",\
+                        \"target\":\"a\",\"dropped\":1}\n\
+                        {\"sub\":\"flight\",\"seq\":1,\"kind\":\"drops\",\
+                        \"target\":\"a\",\"dropped\":2}\n";
+        assert!(validate_trace(dup_decl)
+            .unwrap_err()
+            .contains("duplicate drops record"));
     }
 }

@@ -27,7 +27,17 @@
 //! * **Validation** ([`validate_trace`]) re-parses a JSONL trace with the
 //!   built-in parser ([`json::parse`]) and checks the schema contract:
 //!   every line parses, `sub`/`seq`/`kind` are present and well-typed, and
-//!   logical timestamps are strictly monotone per subsystem.
+//!   logical timestamps are contiguous per subsystem — except a head gap
+//!   exactly matching a declared ring-eviction drop counter (see
+//!   [`flight`]), so eviction is distinguishable from corruption.
+//! * **Flight recorder** ([`flight`]) keeps a bounded, always-on ring of
+//!   recent events per subsystem and dumps a post-mortem (`postmortem.jsonl`
+//!   with the run manifest embedded) on panics, fault-plane kills, and
+//!   trace divergences.
+//! * **Run manifests** ([`manifest`]) capture the complete determinism
+//!   context of a run — seed, input recipe, selected algorithm, SIMD tier,
+//!   workers, env, fault plan — as one JSON line that round-trips exactly,
+//!   the substrate for `repro-reduce replay`.
 //! * **Numerical telemetry** ([`TelemetryConfig`]) is the sampling policy
 //!   for per-node accuracy instrumentation (partial-sum bits, Higham
 //!   bounds, exact shadow ulps) — **off by default**, and strictly
@@ -60,8 +70,10 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod flight;
 pub mod forensics;
 pub mod json;
+pub mod manifest;
 mod metrics;
 pub mod report;
 mod sink;
@@ -69,7 +81,9 @@ mod telemetry;
 mod trace;
 
 pub use event::{f, Event, Value};
+pub use flight::{FlightRecorder, RingSink};
 pub use json::{validate_trace, Json, TraceSummary};
+pub use manifest::{FaultSpec, RunManifest};
 pub use metrics::{
     HistogramSnapshot, MetricsSnapshot, Registry, TIME_BUCKET_EDGES_US, ULP_BUCKET_EDGES,
 };

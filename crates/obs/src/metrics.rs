@@ -105,6 +105,42 @@ impl HistogramSnapshot {
         }
         out
     }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`) by linear interpolation within
+    /// the bucket holding the target sample — the standard fixed-bucket
+    /// estimate (what `histogram_quantile` computes server-side), exposed
+    /// here so expositions can carry p50/p95/p99 lines directly.
+    ///
+    /// The overflow bucket is handled explicitly: a quantile landing above
+    /// the last finite edge returns `+Inf` rather than a fabricated finite
+    /// value — there is no upper bound to interpolate toward. Returns
+    /// `None` for an empty histogram or a `q` outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        // Rank of the target sample, 1-based: the smallest rank r with
+        // r >= q * count.
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let before = cum;
+            cum += c;
+            if cum < target {
+                continue;
+            }
+            return Some(match self.edges.get(i) {
+                None => f64::INFINITY,
+                Some(&upper) => {
+                    let lower = if i == 0 { 0 } else { self.edges[i - 1] };
+                    // c >= 1 here, since cum advanced past the target.
+                    let frac = (target - before) as f64 / c as f64;
+                    lower as f64 + frac * (upper - lower) as f64
+                }
+            });
+        }
+        None
+    }
 }
 
 /// A point-in-time copy of the whole registry. Maps are ordered, so
@@ -296,6 +332,44 @@ mod tests {
         // The empty 100-bucket is elided, the occupied ones are not.
         assert!(text.contains("histogram lat le=10 1"), "{text}");
         assert!(!text.contains("le=100"), "{text}");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let r = Registry::new();
+        let edges = &[10, 100];
+        // 8 samples in (0, 10], 1 in (10, 100], 1 overflow.
+        for _ in 0..8 {
+            r.observe("lat", edges, 5);
+        }
+        r.observe("lat", edges, 50);
+        r.observe("lat", edges, 1_000);
+        let h = &r.snapshot().histograms["lat"];
+        // p50: rank 5 of 10 → 5/8 through the (0, 10] bucket.
+        assert_eq!(h.quantile(0.5), Some(6.25));
+        // p90: rank 9 → the single sample in (10, 100] → its upper edge.
+        assert_eq!(h.quantile(0.9), Some(100.0));
+        // p99: rank 10 lands in the overflow bucket → explicit +Inf.
+        assert_eq!(h.quantile(0.99), Some(f64::INFINITY));
+        // Degenerate inputs.
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.5), None);
+        let empty = HistogramSnapshot {
+            edges: vec![1],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_histogram_is_bounded_by_its_edge() {
+        let r = Registry::new();
+        r.observe("h", &[8], 3);
+        let h = &r.snapshot().histograms["h"];
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        assert_eq!(h.quantile(0.01), Some(8.0));
     }
 
     #[test]

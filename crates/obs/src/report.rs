@@ -46,7 +46,10 @@ fn prom_num(x: f64) -> String {
 /// Render a metrics snapshot as Prometheus text exposition: counters as
 /// `counter`, gauges as `gauge`, histograms as the conventional
 /// `_bucket{le="..."}` / `_sum` / `_count` triple with cumulative buckets
-/// ending at `le="+Inf"`.
+/// ending at `le="+Inf"`, followed by estimated `_p50`/`_p95`/`_p99`
+/// gauges derived from the fixed buckets (linear interpolation; a quantile
+/// landing in the overflow bucket renders as `+Inf` rather than a
+/// fabricated finite value).
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
@@ -71,6 +74,12 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
         }
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {}", h.count);
+        for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            if let Some(estimate) = h.quantile(q) {
+                let _ = writeln!(out, "# TYPE {n}_{label} gauge");
+                let _ = writeln!(out, "{n}_{label} {}", prom_num(estimate));
+            }
+        }
     }
     out
 }
@@ -242,6 +251,20 @@ mod tests {
         assert!(text.contains("runtime_node_ulp_count 3"), "{text}");
         // Dots are not legal in Prometheus metric names.
         assert!(!text.contains("runtime.node_ulp"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_carries_estimated_quantiles() {
+        // sample_snapshot: ulps 0, 3, u64::MAX → p50 in the (1, 2] bucket,
+        // p99 in the overflow bucket (explicit +Inf, never a fake finite).
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE runtime_node_ulp_p50 gauge"), "{text}");
+        assert!(text.contains("runtime_node_ulp_p50 "), "{text}");
+        assert!(text.contains("runtime_node_ulp_p99 +Inf"), "{text}");
+        // An empty histogram emits no quantile lines at all.
+        let r = Registry::new();
+        r.counter_add("only.counter", 1);
+        assert!(!render_prometheus(&r.snapshot()).contains("_p50"));
     }
 
     #[test]

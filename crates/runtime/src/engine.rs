@@ -407,6 +407,19 @@ impl Runtime {
             heals: 0,
             checkpoint_restores: 0,
         };
+        // Flight-record the reduction's plan-derived shape (never the
+        // timing fields) so a post-mortem shows what the runtime was doing
+        // when the process died. One ring push per reduction — not per
+        // chunk — keeps the always-on cost negligible.
+        repro_obs::flight::record(
+            "runtime",
+            "reduce",
+            vec![
+                repro_obs::f("n", values.len()),
+                repro_obs::f("chunks", plan.num_chunks()),
+                repro_obs::f("workers", self.pool.workers()),
+            ],
+        );
         (result, stats)
     }
 

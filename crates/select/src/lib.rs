@@ -89,6 +89,21 @@ pub struct AdaptiveReducer {
     tolerance: Tolerance,
 }
 
+/// Flight-record one selection decision so a post-mortem shows the last
+/// choices made before the process died. `path` names the reduce entry
+/// point that decided; never carries timing, only decision facts.
+fn flight_decision(path: &str, algorithm: Algorithm, n: usize) {
+    repro_obs::flight::record(
+        "select",
+        "decision",
+        vec![
+            repro_obs::f("path", path),
+            repro_obs::f("alg", algorithm.abbrev()),
+            repro_obs::f("n", n as u64),
+        ],
+    );
+}
+
 impl std::fmt::Debug for AdaptiveReducer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AdaptiveReducer")
@@ -145,6 +160,7 @@ impl AdaptiveReducer {
         let mut speculative = repro_sum::StandardSum::new();
         let profile = profile::profile_and_sum(values, &mut speculative);
         let algorithm = self.selector.choose(&profile, self.tolerance);
+        flight_decision("reduce", algorithm, values.len());
         let sum = if algorithm == Algorithm::Standard {
             speculative.finalize()
         } else {
@@ -204,6 +220,7 @@ impl AdaptiveReducer {
                     }
                 }
             };
+            flight_decision("reduce_cached", algorithm, values.len());
             let mut acc = algorithm.new_accumulator();
             acc.add_slice(values);
             return Outcome {
@@ -224,6 +241,7 @@ impl AdaptiveReducer {
     /// faithfully.
     pub fn reduce_traced(&self, values: &[f64], scope: &mut repro_obs::Scope) -> Outcome {
         let (algorithm, profile) = self.choose(values);
+        flight_decision("reduce_traced", algorithm, values.len());
         let mut explanation = explain::explain(&profile, self.tolerance);
         explanation.chosen = algorithm;
         explain::record_decision(scope, &profile, &explanation);
@@ -262,6 +280,7 @@ impl AdaptiveReducer {
     ) -> Outcome {
         use repro_fp::rng::DetRng;
         let (algorithm, profile) = self.choose(values);
+        flight_decision("reduce_telemetry", algorithm, values.len());
         let mut explanation = explain::explain(&profile, self.tolerance);
         explanation.chosen = algorithm;
 

@@ -3,7 +3,7 @@
 # scale, validate the BENCH JSON schema, and prove the harness itself is
 # deterministic — two same-seed runs must agree byte-for-byte once the
 # timing fields (the only nondeterministic outputs) are stripped. Then run
-# once at default scale and compare against the committed BENCH_06/BENCH_08
+# once at default scale and compare against the committed BENCH_08/BENCH_09
 # baselines: schema, op coverage, seed, and n must match, and the ns/elem
 # deltas are rendered as a table (to $GITHUB_STEP_SUMMARY when set). No
 # wall-clock thresholds anywhere: CI runners share cores, so asserting on
@@ -32,7 +32,8 @@ required_ops=(sum/ST sum/PW sum/K sum/N sum/CP sum/DD sum/PR sum/DS
               superacc/scalar superacc/batched simd/scalar
               lanes/1 lanes/4 lanes/8
               select/profile select/profile_and_sum
-              select/sampled_profile select/cache_hit select/cache_miss)
+              select/sampled_profile select/cache_hit select/cache_miss
+              obs/noop obs/ring obs/jsonl)
 # The simd/<tier> entry list follows the machine: sse2/avx2 entries are
 # required exactly when `repro-reduce simd --check` says the CPU has them.
 for tier in sse2 avx2; do
@@ -70,7 +71,7 @@ ns_of() { # $1 = file, $2 = op — empty when the op is absent
   sed -nE 's|.*"op": "'"$2"'", "n": [0-9]+, "ns_per_elem": ([0-9]+(\.[0-9]+)?).*|\1|p' "$1"
 }
 
-baseline=BENCH_08.json
+baseline=BENCH_09.json
 [ -f "$baseline" ] || { echo "committed baseline $baseline is missing" >&2; exit 1; }
 
 grep -q '"schema": "repro-bench-throughput-v1"' "$baseline" \
@@ -106,14 +107,14 @@ table="$BENCH_DIR/baseline-delta.md"
 {
   echo "### Bench vs committed baselines (ns/elem)"
   echo ""
-  echo "| op | BENCH_06 | BENCH_08 | this run | Δ vs 08 |"
+  echo "| op | BENCH_08 | BENCH_09 | this run | Δ vs 09 |"
   echo "|---|---|---|---|---|"
   while read -r op; do
-    b6=$(ns_of BENCH_06.json "$op"); b8=$(ns_of "$baseline" "$op")
+    b8=$(ns_of BENCH_08.json "$op"); b9=$(ns_of "$baseline" "$op")
     now=$(ns_of "$BENCH_DIR/bench-default.json" "$op")
-    delta=$(awk -v a="$b8" -v b="$now" \
+    delta=$(awk -v a="$b9" -v b="$now" \
       'BEGIN { if (a == "" || b == "") print "n/a"; else printf "%+.1f%%", (b - a) / a * 100 }')
-    echo "| $op | ${b6:-–} | ${b8:-–} | ${now:-–} | $delta |"
+    echo "| $op | ${b8:-–} | ${b9:-–} | ${now:-–} | $delta |"
   done < <(ops_of "$baseline")
 } > "$table"
 cat "$table"

@@ -74,6 +74,61 @@ grep -q "first divergent node:" "$TRACE_DIR/diff-perturbed.txt" \
 grep -q "origin: node rank1/leaf.r1.s2 leaf interval \[514, 600) ulps=1" "$TRACE_DIR/diff-perturbed.txt" \
   || { echo "perturbed diff did not walk to the injected leaf origin" >&2; exit 1; }
 
+echo "== replay gate: manifest round-trips bitwise =="
+# No --k inf here: the zero-sum generator reduces to bitwise 0.0 for every
+# seed, which would make the seed-perturbation probe below vacuous. The
+# default well-conditioned input keeps result_bits seed-dependent.
+run trace reduce --n 4096 --dr 12 --seed 2015 --manifest "$TRACE_DIR/manifest.json" \
+  > /dev/null
+run replay "$TRACE_DIR/manifest.json" \
+  || { echo "replay of an untouched manifest was not bitwise-identical" >&2; exit 1; }
+
+echo "== replay gate: perturbed manifest must exit 1 =="
+# Tamper with the recorded result bits: re-execution is deterministic, so
+# the replayed bits can never match a rewritten record. (A seed rewrite is
+# not a reliable probe here — the generator normalizes the exact sum, so
+# distinct seeds can legally replay to identical bits.)
+sed 's/"result_bits":"[0-9a-f]*"/"result_bits":"deadbeefdeadbeef"/' \
+  "$TRACE_DIR/manifest.json" > "$TRACE_DIR/manifest-perturbed.json"
+cmp -s "$TRACE_DIR/manifest.json" "$TRACE_DIR/manifest-perturbed.json" \
+  && { echo "result_bits tamper did not rewrite the manifest" >&2; exit 1; }
+set +e
+run replay "$TRACE_DIR/manifest-perturbed.json" > "$TRACE_DIR/replay-perturbed.txt" 2>&1
+replay_code=$?
+set -e
+[ "$replay_code" -eq 1 ] \
+  || { echo "perturbed replay exited $replay_code, want 1 (divergence)" >&2; exit 1; }
+grep -q "replay DIVERGED" "$TRACE_DIR/replay-perturbed.txt" \
+  || { echo "perturbed replay did not report divergence" >&2; exit 1; }
+
+echo "== replay gate: garbage manifest must exit 2 =="
+echo "definitely not a manifest" > "$TRACE_DIR/manifest-garbage.json"
+set +e
+run replay "$TRACE_DIR/manifest-garbage.json" > /dev/null 2>&1
+garbage_code=$?
+set -e
+[ "$garbage_code" -eq 2 ] \
+  || { echo "garbage replay exited $garbage_code, want 2 (schema error)" >&2; exit 1; }
+
+echo "== flight recorder off: event stream must stay byte-identical =="
+# Only the JSONL event lines are compared: '#' summary lines legitimately
+# differ (the manifest's env capture records REPRO_FLIGHT itself, and
+# '# metric' histograms carry wall-clock timings).
+events_only() { grep -v '^#' "$1" > "$1.events"; }
+run trace reduce --n 2048 --dr 12 --seed 2015 > "$TRACE_DIR/flight-on.jsonl"
+REPRO_FLIGHT=off run trace reduce --n 2048 --dr 12 --seed 2015 \
+  > "$TRACE_DIR/flight-off.jsonl"
+events_only "$TRACE_DIR/flight-on.jsonl"
+events_only "$TRACE_DIR/flight-off.jsonl"
+diff "$TRACE_DIR/flight-on.jsonl.events" "$TRACE_DIR/flight-off.jsonl.events" \
+  || { echo "disabling the flight recorder changed the reduce event stream" >&2; exit 1; }
+run "${CHAOS_ARGS[@]}" > "$TRACE_DIR/chaos-flight-on.jsonl"
+REPRO_FLIGHT=off run "${CHAOS_ARGS[@]}" > "$TRACE_DIR/chaos-flight-off.jsonl"
+events_only "$TRACE_DIR/chaos-flight-on.jsonl"
+events_only "$TRACE_DIR/chaos-flight-off.jsonl"
+diff "$TRACE_DIR/chaos-flight-on.jsonl.events" "$TRACE_DIR/chaos-flight-off.jsonl.events" \
+  || { echo "disabling the flight recorder changed the chaos event stream" >&2; exit 1; }
+
 echo "== accuracy report (prometheus + self-contained html) =="
 run report --n 4096 --k inf --dr 12 --seed 2015 --format prom > "$TRACE_DIR/report.prom"
 grep -q "# TYPE runtime_nodes_observed counter" "$TRACE_DIR/report.prom" \

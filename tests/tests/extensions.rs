@@ -147,7 +147,7 @@ fn cli_calibration_round_trips_into_a_selector() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let csv = repro_cli::run(&args, &|_| Err(repro_cli::CliError("no fs".into()))).unwrap();
+    let csv = repro_cli::run(&args, &|_| Err(repro_cli::CliError::new("no fs"))).unwrap();
     let table = repro_core::select::CalibrationTable::from_csv(&csv).expect("parse");
     let selector = repro_core::select::selector::CalibratedSelector::new(table);
     use repro_core::select::Selector;

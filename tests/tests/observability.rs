@@ -121,7 +121,7 @@ mod traced_chaos {
     use repro_cli::{run, CliError};
 
     fn no_fs(_: &str) -> Result<String, CliError> {
-        Err(CliError("no filesystem in tests".into()))
+        Err(CliError::new("no filesystem in tests"))
     }
 
     fn run_cmd(args: &[&str]) -> String {
