@@ -511,9 +511,11 @@ pub mod throughput {
         }
         // The observability tax, one event per element so `ns_per_elem`
         // *is* the per-event cost: a disabled scope (the price of leaving
-        // instrumentation in a hot path), the flight recorder's bounded
-        // ring (the always-on cost ceiling), and a full JSONL render into
-        // a discarded writer (what `--trace`-style streaming would pay).
+        // instrumentation in a hot path — `event_with` skips field
+        // construction entirely, so this is a branch, not an allocation),
+        // the flight recorder's bounded ring (the always-on cost ceiling),
+        // and a full JSONL render into a discarded writer (what
+        // `--trace`-style streaming would pay).
         {
             use repro_core::obs::{f, JsonlSink, RingSink, Trace};
             use std::sync::Arc;
@@ -521,7 +523,7 @@ pub mod throughput {
                 let trace = Trace::disabled();
                 let mut scope = trace.scope("bench");
                 for (i, &x) in v.iter().enumerate() {
-                    scope.event("e", vec![f("i", i as u64), f("x", x)]);
+                    scope.event_with("e", || vec![f("i", i as u64), f("x", x)]);
                 }
                 v.len() as f64
             }));
@@ -541,6 +543,38 @@ pub mod throughput {
                     scope.event("e", vec![f("i", i as u64), f("x", x)]);
                 }
                 v.len() as f64
+            }));
+        }
+        // The aggregation engine's serving-path costs, amortized per
+        // ingested element: `agg/ingest` is 256-value batches round-robin
+        // over 64 clients into a default (4-shard) aggregate; `agg/merge`
+        // is the wire path (parse a shipped snapshot of the same workload
+        // and shard-merge it in); `agg/snapshot` serializes the engine;
+        // `agg/finalize` runs the stride-doubling merge tree and rounds.
+        {
+            use repro_core::agg::{AggConfig, AggEngine};
+            let engine = AggEngine::new(AggConfig::default());
+            let agg = engine.declare("bench", &values[..values.len().min(1024)]);
+            out.push(measure("agg/ingest", &values, seed, &rev, reps, |v| {
+                for (i, chunk) in v.chunks(256).enumerate() {
+                    agg.ingest(i as u64 % 64, chunk);
+                }
+                v.len() as f64
+            }));
+            let shipped = engine.serialize();
+            let local =
+                AggEngine::restore(&shipped, AggConfig::default()).expect("own snapshot restores");
+            out.push(measure("agg/merge", &values, seed, &rev, reps, |v| {
+                local
+                    .merge_serialized(&shipped)
+                    .expect("own snapshot merges");
+                v.len() as f64
+            }));
+            out.push(measure("agg/snapshot", &values, seed, &rev, reps, |v| {
+                engine.serialize().len() as f64 + v.len() as f64
+            }));
+            out.push(measure("agg/finalize", &values, seed, &rev, reps, |_| {
+                f64::from_bits(engine.digest_bits())
             }));
         }
         out
@@ -601,6 +635,10 @@ pub mod throughput {
                 "obs/noop",
                 "obs/ring",
                 "obs/jsonl",
+                "agg/ingest",
+                "agg/merge",
+                "agg/snapshot",
+                "agg/finalize",
             ] {
                 assert!(entries.iter().any(|e| e.op == op), "missing {op}");
             }

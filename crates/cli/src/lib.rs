@@ -28,6 +28,13 @@
 //!                      [--seed S] [--sample N] [--file F] [VALUES...]
 //! repro-reduce bench   [--out PATH|-]
 //! repro-reduce simd    [--check scalar|sse2|avx2]
+//! repro-reduce agg loadgen [--aggregates A] [--clients C] [--batches B]
+//!                      [--batch-len L] [--shards K] [--workers W]
+//!                      [--seed S] [--shuffle X]
+//! repro-reduce agg serve   (loadgen flags) [--restore PATH] [--snapshot PATH]
+//!                      [--start-at I] [--stop-at I] [--manifest PATH]
+//! repro-reduce agg bench   (loadgen flags; sweeps shards 1/4/16)
+//! repro-reduce agg check   --file F
 //! ```
 //!
 //! Values come from positional arguments and/or `--file` (whitespace- or
@@ -52,6 +59,18 @@
 //! origin (exit status 1 when the traces diverge). `report` renders the
 //! metrics registry of one telemetried run as Prometheus text exposition
 //! or as a self-contained zero-dependency HTML page.
+//!
+//! The `agg` family drives the sharded aggregation engine (`repro-agg`):
+//! `loadgen` runs the deterministic client swarm and prints one
+//! byte-comparable `agg <name> <bits> …` line per aggregate plus a
+//! `digest <bits>` line — identical for any `--shuffle`, `--shards`, or
+//! `--workers`. `serve` adds snapshot/restore (`repro-agg-snapshot-v1`)
+//! and kill-point control, and ends a *finished* run with the same
+//! `# manifest: {…}` trailer the traced commands emit, so `replay`
+//! re-executes the aggregation and verifies the digest bitwise. `agg
+//! bench` sweeps shard counts and fails (exit 1) on any digest
+//! divergence; `agg check` strict-parses a saved state document (exit 2
+//! on schema violations).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -154,6 +173,13 @@ USAGE:
   repro-reduce simd    [--check scalar|sse2|avx2]
   repro-reduce replay  MANIFEST.json
   repro-reduce flight  [--dump DIR]
+  repro-reduce agg loadgen [--aggregates A] [--clients C] [--batches B]
+                       [--batch-len L] [--shards K] [--workers W]
+                       [--seed S] [--shuffle X]
+  repro-reduce agg serve   (loadgen flags) [--restore PATH] [--snapshot PATH]
+                       [--start-at I] [--stop-at I] [--manifest PATH]
+  repro-reduce agg bench   (loadgen flags; sweeps shards 1/4/16)
+  repro-reduce agg check   --file F
 
 Values come from positional args and/or --file (whitespace-separated;
 '-' = stdin). trace emits JSONL events plus '#' summary lines; with the
@@ -170,6 +196,14 @@ line of a saved trace) and succeeds only on bitwise-identical results.
 'flight' shows the always-on flight recorder's rings and overhead
 accounting; --dump writes a postmortem.jsonl. REPRO_FLIGHT=off disables
 the recorder; REPRO_POSTMORTEM=DIR enables incident dumps.
+
+'agg' drives the sharded aggregation engine: 'loadgen' runs the seeded
+client swarm and prints byte-comparable 'agg'/'digest' lines (identical
+for any --shuffle/--shards/--workers); 'serve' adds snapshot/restore +
+kill-point control and ends finished runs with a replayable manifest;
+'agg bench' sweeps shards 1/4/16 and exits 1 on digest divergence;
+'agg check' strict-parses a saved state document (exit 2 when invalid).
+Defaults scale with REPRO_SCALE.
 
 Exit codes: 0 = success; 1 = failure or numerical divergence ('trace
 diff' divergent nodes, 'replay' mismatch); 2 = parse/schema error
@@ -521,6 +555,10 @@ pub fn run(
     }
     if cmd == "flight" {
         return run_flight(rest);
+    }
+    // `agg` has its own flag set (counts, not floats) and subcommands.
+    if cmd == "agg" {
+        return run_agg(rest, read_file);
     }
     let o = parse_opts(rest, read_file)?;
     match cmd.as_str() {
@@ -1276,7 +1314,7 @@ fn run_simd(rest: &[String]) -> Result<String, CliError> {
 /// at the current `REPRO_SCALE` and write the fixed-schema `BENCH_*.json`
 /// document — the repo's perf trajectory, one comparable point per PR.
 /// `--out -` prints the JSON (plus `#` summary lines) instead of writing;
-/// the default target is `BENCH_09.json` in the working directory.
+/// the default target is `BENCH_10.json` in the working directory.
 fn run_bench(o: &Opts) -> Result<String, CliError> {
     use repro_bench::throughput;
     let entries = throughput::run_suite();
@@ -1292,7 +1330,7 @@ fn run_bench(o: &Opts) -> Result<String, CliError> {
         entries.first().map(|e| e.seed).unwrap_or(0),
         entries.first().map(|e| e.git_rev.as_str()).unwrap_or("?"),
     );
-    let out = o.out.as_deref().unwrap_or("BENCH_09.json");
+    let out = o.out.as_deref().unwrap_or("BENCH_10.json");
     if out == "-" {
         Ok(format!("{json}{summary}"))
     } else {
@@ -1541,6 +1579,36 @@ fn replay_execute(m: &RunManifest) -> Result<RunManifest, CliError> {
             fresh.result_bits = Some(alg.sum(&o.values).to_bits());
             Ok(fresh)
         }
+        // `agg serve` manifests reuse the generic numeric slots (see
+        // `agg_manifest`): dr = aggregates, k = clients, perturb =
+        // batches, sample = batch_len. Shards and arrival shuffle are
+        // deliberately NOT recorded — the digest is invariant to both, so
+        // replaying with the defaults is a *stronger* check than
+        // repeating the recorded topology.
+        "agg" => {
+            use repro_core::agg::{loadgen, AggConfig, AggEngine, LoadSpec};
+            let spec = LoadSpec {
+                aggregates: m.dr as usize,
+                clients: m.k.unwrap_or(0.0) as usize,
+                batches: m.perturb.unwrap_or(0) as usize,
+                batch_len: m.sample.unwrap_or(0) as usize,
+                seed: m.seed,
+                shuffle: 0,
+                workers: (m.workers as usize).max(1),
+            };
+            if spec.total_updates() == 0 || spec.total_updates() != m.n {
+                return Err(err_schema(format!(
+                    "replay: agg manifest shape mismatch (n={} vs aggregates*clients*batches*batch_len={})",
+                    m.n,
+                    spec.total_updates(),
+                )));
+            }
+            let engine = AggEngine::new(AggConfig::default());
+            loadgen::run(&engine, &spec, 0, None);
+            let mut fresh = m.clone();
+            fresh.result_bits = Some(engine.digest_bits());
+            Ok(fresh)
+        }
         other => Err(err_schema(format!(
             "replay: unknown manifest cmd {other:?}"
         ))),
@@ -1600,6 +1668,319 @@ fn run_flight(args: &[String]) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Parsed options for the `agg` family (counts, not floats, so it does
+/// not share [`Opts`]).
+struct AggOpts {
+    spec: repro_core::agg::LoadSpec,
+    shards: usize,
+    restore: Option<String>,
+    snapshot: Option<String>,
+    start_at: usize,
+    stop_at: Option<usize>,
+    manifest: Option<String>,
+    file: Option<String>,
+}
+
+/// `agg` workload defaults at the current `REPRO_SCALE`:
+/// `(aggregates, clients, batches, batch_len)`. The default scale is the
+/// headline configuration — thousands of clients, millions of updates —
+/// sized so `agg bench` still finishes in seconds.
+fn agg_scale_defaults() -> (usize, usize, usize, usize) {
+    match repro_bench::scale() {
+        repro_bench::Scale::Quick => (2, 64, 4, 64),
+        repro_bench::Scale::Default => (4, 1024, 8, 256),
+        repro_bench::Scale::Full => (8, 4096, 16, 256),
+    }
+}
+
+fn parse_agg_opts(args: &[String]) -> Result<AggOpts, CliError> {
+    let (aggregates, clients, batches, batch_len) = agg_scale_defaults();
+    let mut o = AggOpts {
+        spec: repro_core::agg::LoadSpec {
+            aggregates,
+            clients,
+            batches,
+            batch_len,
+            seed: 2015,
+            shuffle: 1,
+            workers: 4,
+        },
+        shards: 4,
+        restore: None,
+        snapshot: None,
+        start_at: 0,
+        stop_at: None,
+        manifest: None,
+        file: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let mut take = |name: &str| -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        let int = |name: &str, v: String| -> Result<usize, CliError> {
+            v.parse()
+                .map_err(|_| err(format!("{name} {v:?}: expected a non-negative integer")))
+        };
+        match a.as_str() {
+            "--aggregates" => o.spec.aggregates = int(a, take("--aggregates")?)?,
+            "--clients" => o.spec.clients = int(a, take("--clients")?)?,
+            "--batches" => o.spec.batches = int(a, take("--batches")?)?,
+            "--batch-len" => o.spec.batch_len = int(a, take("--batch-len")?)?,
+            "--shards" => o.shards = int(a, take("--shards")?)?,
+            "--workers" => o.spec.workers = int(a, take("--workers")?)?,
+            "--seed" => o.spec.seed = int(a, take("--seed")?)? as u64,
+            "--shuffle" => o.spec.shuffle = int(a, take("--shuffle")?)? as u64,
+            "--restore" => o.restore = Some(take("--restore")?),
+            "--snapshot" => o.snapshot = Some(take("--snapshot")?),
+            "--start-at" => o.start_at = int(a, take("--start-at")?)?,
+            "--stop-at" => o.stop_at = Some(int(a, take("--stop-at")?)?),
+            "--manifest" => o.manifest = Some(take("--manifest")?),
+            "--file" => o.file = Some(take("--file")?),
+            other => return Err(err(format!("unknown agg option {other:?}"))),
+        }
+        i += 1;
+    }
+    if o.spec.aggregates == 0 || o.shards == 0 {
+        return Err(err("agg needs --aggregates >= 1 and --shards >= 1"));
+    }
+    Ok(o)
+}
+
+/// The byte-comparable half of `agg` output: one line per aggregate
+/// (name order) plus the engine digest. CI smoke gates diff exactly
+/// these lines (everything not starting with `#`) across shuffles,
+/// shard counts, and kill/restore splits.
+fn render_agg_lines(engine: &repro_core::agg::AggEngine) -> String {
+    let mut out = String::new();
+    for agg in engine.aggregates() {
+        let bits = agg.finalize_bits();
+        out.push_str(&format!(
+            "agg {} {bits:016x} {:.17e} op={} updates={}\n",
+            agg.name(),
+            f64::from_bits(bits),
+            agg.op().label(),
+            agg.updates(),
+        ));
+    }
+    out.push_str(&format!("digest {:016x}", engine.digest_bits()));
+    out
+}
+
+/// Start a manifest for an `agg serve` run. The generic numeric slots
+/// carry the load shape — `dr` = aggregates, `k` = clients, `perturb` =
+/// batches, `sample` = batch_len, `n` = total updates — and shards /
+/// shuffle are intentionally omitted: the digest is invariant to both,
+/// so `replay` re-runs with defaults and must still match bitwise.
+fn agg_manifest(spec: &repro_core::agg::LoadSpec, result_bits: u64) -> RunManifest {
+    let mut m = RunManifest::new("agg");
+    m.n = spec.total_updates();
+    m.k = Some(spec.clients as f64);
+    m.dr = spec.aggregates as u64;
+    m.seed = spec.seed;
+    m.workers = spec.workers as u64;
+    m.sample = Some(spec.batch_len as u64);
+    m.perturb = Some(spec.batches as u64);
+    m.tolerance = "bitwise".to_string();
+    m.simd_tier = simd_tier_label();
+    m.env = manifest_env();
+    m.source = "generated".to_string();
+    m.result_bits = Some(result_bits);
+    m
+}
+
+/// `agg loadgen` / `agg serve`: drain the seeded client swarm into a
+/// fresh (or `--restore`d) engine, print the comparable `agg`/`digest`
+/// lines plus `#` throughput stats, optionally `--snapshot` the final
+/// state, and — for `serve` runs that completed the schedule — append
+/// the replayable `# manifest:` trailer.
+fn run_agg_load(
+    o: &AggOpts,
+    serve: bool,
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    use repro_core::agg::{loadgen, AggConfig, AggEngine};
+    let config = AggConfig {
+        shards: o.shards,
+        ..AggConfig::default()
+    };
+    let engine = match &o.restore {
+        Some(path) => AggEngine::restore(&read_file(path)?, config)
+            .map_err(|e| err_schema(format!("agg serve --restore {path}: {e}")))?,
+        None => AggEngine::new(config),
+    };
+    let spec = &o.spec;
+    let started = std::time::Instant::now();
+    let deposited = loadgen::run(&engine, spec, o.start_at, o.stop_at);
+    let elapsed = started.elapsed().as_secs_f64();
+    if let Some(path) = &o.snapshot {
+        std::fs::write(path, engine.serialize())
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    let rate = if elapsed > 0.0 {
+        deposited as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    let mut out = render_agg_lines(&engine);
+    out.push_str(&format!(
+        "\n# agg: aggregates={} clients={} batches={} batch_len={} shards={} workers={} seed={} shuffle={}",
+        spec.aggregates,
+        spec.clients,
+        spec.batches,
+        spec.batch_len,
+        o.shards,
+        spec.workers,
+        spec.seed,
+        spec.shuffle,
+    ));
+    out.push_str(&format!(
+        "\n# deposited {deposited} updates in {elapsed:.3}s ({rate:.0} updates/sec)"
+    ));
+    if let Some(path) = &o.snapshot {
+        out.push_str(&format!("\n# snapshot: wrote {path}"));
+    }
+    if !serve {
+        return Ok(out);
+    }
+    // Only a *finished* schedule gets a manifest: a partial run's digest
+    // is not what a fresh replay of the full workload would produce.
+    let finished = o.stop_at.map_or(true, |stop| stop >= spec.total_batches());
+    if !finished {
+        out.push_str(&format!(
+            "\n# partial run (stopped at event {} of {}): no manifest",
+            o.stop_at.unwrap_or(0),
+            spec.total_batches(),
+        ));
+        return Ok(out);
+    }
+    let manifest = agg_manifest(spec, engine.digest_bits());
+    let carrier = Opts {
+        manifest: o.manifest.clone(),
+        ..Default::default()
+    };
+    finish_with_manifest(out, &manifest, &carrier)
+}
+
+/// `agg bench`: run the identical workload at shard counts 1, 4, and 16,
+/// report per-configuration throughput, and fail (exit 1) unless every
+/// configuration finalizes to bit-identical digests — the engine's
+/// headline claim, measured and enforced in one command.
+fn run_agg_bench(o: &AggOpts) -> Result<String, CliError> {
+    use repro_core::agg::{loadgen, AggConfig, AggEngine};
+    let mut out = String::new();
+    let mut digests: Vec<(usize, u64)> = Vec::new();
+    let mut last: Option<AggEngine> = None;
+    for shards in [1usize, 4, 16] {
+        let engine = AggEngine::new(AggConfig {
+            shards,
+            ..AggConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let deposited = loadgen::run(&engine, &o.spec, 0, None);
+        let elapsed = started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            deposited as f64 / elapsed
+        } else {
+            f64::INFINITY
+        };
+        out.push_str(&format!(
+            "# shards={shards}: {deposited} updates in {elapsed:.3}s ({rate:.0} updates/sec)\n"
+        ));
+        digests.push((shards, engine.digest_bits()));
+        last = Some(engine);
+    }
+    let base = digests[0].1;
+    if let Some(&(shards, bits)) = digests.iter().find(|&&(_, bits)| bits != base) {
+        repro_core::obs::flight::incident("agg.bench.divergence");
+        return Err(err(format!(
+            "agg bench DIVERGED: shards=1 digest {base:016x} but shards={shards} digest {bits:016x}"
+        )));
+    }
+    let engine = last.expect("three configurations ran");
+    Ok(format!("{}{}", out, render_agg_lines(&engine)))
+}
+
+/// `agg check`: strict-parse a saved `repro-agg-snapshot-v1` (or a single
+/// `repro-agg-state-v1` document) and summarize it. Any malformed,
+/// truncated, or unknown-schema input exits 2 — the same contract as
+/// `trace check` and `replay`.
+fn run_agg_check(
+    o: &AggOpts,
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    use repro_core::agg::{parse_aggregate, parse_snapshot, ParsedAggregate, STATE_SCHEMA};
+    let path = o
+        .file
+        .as_ref()
+        .ok_or_else(|| err("agg check requires --file"))?;
+    let text = read_file(path)?;
+    let parsed: Vec<ParsedAggregate> = if text.starts_with(STATE_SCHEMA) {
+        let mut lines = text.lines();
+        let one = parse_aggregate(&mut lines)
+            .map_err(|e| err_schema(format!("invalid agg state: {e}")))?;
+        if lines.next().is_some() {
+            return Err(err_schema(
+                "invalid agg state: trailing lines after end marker",
+            ));
+        }
+        vec![one]
+    } else {
+        parse_snapshot(&text).map_err(|e| err_schema(format!("invalid agg state: {e}")))?
+    };
+    let updates: u64 = parsed.iter().map(|a| a.updates).sum();
+    let mut out = format!(
+        "# agg state OK: aggregates={} updates={updates}",
+        parsed.len()
+    );
+    for a in &parsed {
+        out.push_str(&format!(
+            "\n# {} op={} shards={} updates={} batches={}",
+            a.name,
+            a.op.label(),
+            a.shards.len(),
+            a.updates,
+            a.batches,
+        ));
+    }
+    Ok(out)
+}
+
+/// Dispatch the `agg` subcommands.
+fn run_agg(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let (sub, rest) = args
+        .split_first()
+        .ok_or_else(|| err("usage: repro-reduce agg loadgen|serve|bench|check ..."))?;
+    let o = parse_agg_opts(rest)?;
+    match sub.as_str() {
+        "loadgen" => {
+            if o.restore.is_some()
+                || o.snapshot.is_some()
+                || o.start_at != 0
+                || o.stop_at.is_some()
+                || o.manifest.is_some()
+            {
+                return Err(err("agg loadgen does not checkpoint; use agg serve for \
+                     --restore/--snapshot/--start-at/--stop-at/--manifest"));
+            }
+            run_agg_load(&o, false, read_file)
+        }
+        "serve" => run_agg_load(&o, true, read_file),
+        "bench" => run_agg_bench(&o),
+        "check" => run_agg_check(&o, read_file),
+        other => Err(err(format!(
+            "unknown agg subcommand {other:?} (expected loadgen|serve|bench|check)"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1668,6 +2049,157 @@ mod tests {
                 .unwrap_or(false);
             assert_eq!(got.is_ok(), supported, "tier {tier}");
         }
+    }
+
+    /// The byte-comparable half of agg output (everything not `#`).
+    fn agg_lines(out: &str) -> Vec<&str> {
+        out.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect()
+    }
+
+    const AGG_SMALL: &[&str] = &[
+        "--aggregates",
+        "2",
+        "--clients",
+        "12",
+        "--batches",
+        "3",
+        "--batch-len",
+        "32",
+    ];
+
+    fn agg_cmd(prefix: &[&str], extra: &[&str]) -> Vec<String> {
+        prefix
+            .iter()
+            .chain(AGG_SMALL)
+            .chain(extra)
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn agg_loadgen_lines_are_invariant_to_shuffle_shards_workers() {
+        let base = run(&agg_cmd(&["agg", "loadgen"], &[]), &no_fs).unwrap();
+        assert_eq!(agg_lines(&base).len(), 3, "{base}"); // 2 aggregates + digest
+        assert!(base.contains("updates/sec"), "{base}");
+        for extra in [
+            ["--shuffle", "99", "--shards", "1", "--workers", "1"],
+            ["--shuffle", "7", "--shards", "16", "--workers", "8"],
+        ] {
+            let out = run(&agg_cmd(&["agg", "loadgen"], &extra), &no_fs).unwrap();
+            assert_eq!(agg_lines(&out), agg_lines(&base), "extra: {extra:?}");
+        }
+        // A different payload seed is a genuinely different workload.
+        let other = run(&agg_cmd(&["agg", "loadgen"], &["--seed", "3"]), &no_fs).unwrap();
+        assert_ne!(agg_lines(&other), agg_lines(&base));
+    }
+
+    #[test]
+    fn agg_serve_restore_resume_matches_uninterrupted_run() {
+        use repro_core::agg::{loadgen, AggConfig, AggEngine, LoadSpec};
+        let spec = LoadSpec {
+            aggregates: 2,
+            clients: 12,
+            batches: 3,
+            batch_len: 32,
+            seed: 2015,
+            shuffle: 1,
+            workers: 4,
+        };
+        // First half via the library, "killed" into a snapshot string...
+        let first = AggEngine::new(AggConfig::default());
+        loadgen::run(&first, &spec, 0, Some(spec.total_batches() / 2));
+        let snapshot = first.serialize();
+        let fs = move |path: &str| {
+            if path == "snap" {
+                Ok(snapshot.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        // ...resumed through the CLI from the kill point.
+        let cut = (spec.total_batches() / 2).to_string();
+        let resumed = run(
+            &agg_cmd(
+                &["agg", "serve"],
+                &["--restore", "snap", "--start-at", &cut],
+            ),
+            &fs,
+        )
+        .unwrap();
+        let full = run(&agg_cmd(&["agg", "serve"], &[]), &no_fs).unwrap();
+        assert_eq!(agg_lines(&resumed), agg_lines(&full));
+        assert!(resumed.contains("# manifest: "), "{resumed}");
+    }
+
+    #[test]
+    fn agg_serve_partial_run_emits_no_manifest() {
+        let out = run(&agg_cmd(&["agg", "serve"], &["--stop-at", "5"]), &no_fs).unwrap();
+        assert!(out.contains("# partial run"), "{out}");
+        assert!(!out.contains("# manifest: "), "{out}");
+    }
+
+    #[test]
+    fn agg_replay_round_trips_a_serve_manifest() {
+        let served = run(&agg_cmd(&["agg", "serve"], &["--workers", "2"]), &no_fs).unwrap();
+        let fs = move |path: &str| {
+            if path == "run.out" {
+                Ok(served.clone())
+            } else {
+                Err(err("unknown file"))
+            }
+        };
+        let out = run(&["replay".to_string(), "run.out".to_string()], &fs).unwrap();
+        assert!(out.starts_with("replay OK (bitwise): cmd=agg"), "{out}");
+    }
+
+    #[test]
+    fn agg_bench_sweeps_shards_and_agrees_bitwise() {
+        let out = run(&agg_cmd(&["agg", "bench"], &[]), &no_fs).unwrap();
+        for shards in ["# shards=1:", "# shards=4:", "# shards=16:"] {
+            assert!(out.contains(shards), "missing {shards} in {out}");
+        }
+        assert!(agg_lines(&out).last().unwrap().starts_with("digest "));
+    }
+
+    #[test]
+    fn agg_check_accepts_real_state_and_rejects_garbage_with_exit_2() {
+        use repro_core::agg::{AggConfig, AggEngine};
+        let engine = AggEngine::new(AggConfig::default());
+        engine
+            .declare("demo", &[1.0, 2.0])
+            .ingest(0, &[1.0, 2.0, 3.0]);
+        let good = engine.serialize();
+        let truncated: String = good.lines().take(2).collect::<Vec<_>>().join("\n");
+        let fs = move |path: &str| match path {
+            "good" => Ok(good.clone()),
+            "trunc" => Ok(truncated.clone()),
+            "garbage" => Ok("repro-agg-snapshot-v9 aggregates=1".to_string()),
+            _ => Err(err("unknown file")),
+        };
+        let args = |f: &str| {
+            vec![
+                "agg".to_string(),
+                "check".to_string(),
+                "--file".into(),
+                f.into(),
+            ]
+        };
+        let ok = run(&args("good"), &fs).unwrap();
+        assert!(ok.contains("agg state OK: aggregates=1 updates=3"), "{ok}");
+        for bad in ["trunc", "garbage"] {
+            let e = run(&args(bad), &fs).unwrap_err();
+            assert_eq!(e.code, 2, "{bad}: {}", e.msg);
+        }
+    }
+
+    #[test]
+    fn agg_loadgen_rejects_serve_only_flags() {
+        let e = run(&agg_cmd(&["agg", "loadgen"], &["--stop-at", "3"]), &no_fs).unwrap_err();
+        assert!(e.msg.contains("agg serve"), "{}", e.msg);
+        let e = run_cmd(&["agg", "frobnicate"]).unwrap_err();
+        assert!(e.msg.contains("unknown agg subcommand"), "{}", e.msg);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`select`] | profiling + intelligent runtime algorithm selection |
 //! | [`md`] | miniature N-body simulation over selectable reductions (trajectory-divergence demos) |
 //! | [`solver`] | conjugate gradients over selectable inner products (solver-trajectory demos) |
+//! | [`agg`] | sharded reproducible aggregation engine: concurrent named aggregates, versioned wire format, bitwise-invariant finalize |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use repro_agg as agg;
 pub use repro_cancel as cancel;
 pub use repro_fp as fp;
 pub use repro_gen as gen;

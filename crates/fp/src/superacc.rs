@@ -555,6 +555,68 @@ impl Superaccumulator {
         DoubleDouble { hi, lo }
     }
 
+    /// Serialize the accumulator state to a compact text checkpoint.
+    ///
+    /// The register is exact, so checkpoint/restore commutes with any split
+    /// of the deposit stream: restoring and adding the rest of the values
+    /// is **bitwise identical** to an uninterrupted accumulation. This is
+    /// the state the aggregation engine's `repro-agg-state-v1` wire format
+    /// ships between nodes (serialize → ship → merge).
+    ///
+    /// Format: one line, `sa1;<sign_ext>;<d0,..,d69 as 8-hex>;<flags>` with
+    /// the digits normalized first (each in `[0, 2³²)`) and three `0`/`1`
+    /// flag characters for nan / +inf / −inf.
+    pub fn checkpoint(&self) -> String {
+        let mut work = self.clone();
+        work.normalize();
+        let digits: Vec<String> = work.digits.iter().map(|d| format!("{d:08x}")).collect();
+        format!(
+            "sa1;{};{};{}{}{}",
+            work.sign_ext,
+            digits.join(","),
+            u8::from(work.nan),
+            u8::from(work.pos_inf),
+            u8::from(work.neg_inf),
+        )
+    }
+
+    /// Restore an accumulator from [`Superaccumulator::checkpoint`] output.
+    /// Returns `None` on malformed input: wrong tag, wrong digit count, a
+    /// digit outside `[0, 2³²)`, a sign extension other than `0`/`-1`, or
+    /// malformed flags — restore is strict so a corrupt checkpoint can
+    /// never silently decode into a different value.
+    pub fn restore(text: &str) -> Option<Self> {
+        let mut parts = text.trim().split(';');
+        if parts.next()? != "sa1" {
+            return None;
+        }
+        let sign_ext: i64 = parts.next()?.parse().ok()?;
+        if sign_ext != 0 && sign_ext != -1 {
+            return None;
+        }
+        let mut acc = Self::new();
+        let mut count = 0usize;
+        for (slot, tok) in acc.digits.iter_mut().zip(parts.next()?.split(',')) {
+            *slot = i64::from(u32::from_str_radix(tok, 16).ok()?);
+            count += 1;
+        }
+        if count != DIGITS {
+            return None;
+        }
+        let flags = parts.next()?.as_bytes();
+        if flags.len() != 3
+            || flags.iter().any(|b| *b != b'0' && *b != b'1')
+            || parts.next().is_some()
+        {
+            return None;
+        }
+        acc.sign_ext = sign_ext;
+        acc.nan = flags[0] == b'1';
+        acc.pos_inf = flags[1] == b'1';
+        acc.neg_inf = flags[2] == b'1';
+        Some(acc)
+    }
+
     /// In-place two's-complement negation of the digit register (used only
     /// on normalized, negative registers, turning them into their positive
     /// magnitude).
@@ -1009,5 +1071,65 @@ mod tests {
             -f64::MAX,
         ];
         assert_eq!(sum(&vals), 1.5e-300);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bitwise_transparent() {
+        for seed in 0..8u64 {
+            let values = hostile_values(seed, 300);
+            let (head, tail) = values.split_at(150);
+            let mut acc = Superaccumulator::new();
+            acc.add_slice(head);
+            let mut restored =
+                Superaccumulator::restore(&acc.checkpoint()).expect("own checkpoint restores");
+            acc.add_slice(tail);
+            restored.add_slice(tail);
+            assert_eq!(
+                restored.to_f64().to_bits(),
+                acc.to_f64().to_bits(),
+                "{seed}"
+            );
+        }
+        // Negative totals exercise sign_ext == -1; specials the flag bytes.
+        for vals in [
+            vec![-1e308, -1e300, -3.5],
+            vec![f64::INFINITY, 1.0],
+            vec![f64::NEG_INFINITY, 1.0],
+            vec![f64::INFINITY, f64::NEG_INFINITY],
+            vec![f64::NAN],
+            vec![],
+        ] {
+            let acc = Superaccumulator::from_values(vals.iter().copied());
+            let restored = Superaccumulator::restore(&acc.checkpoint()).expect("restores");
+            assert_eq!(restored.to_f64().to_bits(), acc.to_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let good = Superaccumulator::from_values([1.0, -2.5e-300]).checkpoint();
+        assert!(Superaccumulator::restore(&good).is_some());
+        let digit_count = good.split(';').nth(2).unwrap().split(',').count();
+        assert_eq!(digit_count, 70);
+
+        let cases = [
+            String::new(),
+            "sa2;0;0;000".to_string(),                    // wrong tag
+            good.replacen("sa1;0;", "sa1;1;", 1),         // sign_ext not in {0,-1}
+            good.replacen(';', ";;", 1),                  // structure
+            good.rsplit_once(',').unwrap().0.to_string(), // digit dropped
+            format!("{good},00000000"),                   // extra digit
+            good.replace("00000000", "100000000"),        // digit ≥ 2^32
+            good.replace("00000000", "0000000g"),         // non-hex digit
+            good[..good.len() - 1].to_string(),           // truncated flags
+            format!("{good}0"),                           // oversized flags
+            format!("{good};"),                           // trailing field
+        ];
+        for case in cases {
+            assert!(
+                Superaccumulator::restore(&case).is_none(),
+                "accepted {case:?}"
+            );
+        }
     }
 }

@@ -174,11 +174,9 @@ impl Comm {
                 // A rank death is an incident: flight-record it and flush
                 // the rings so even an untraced chaos run leaves a
                 // post-mortem behind (when a dump directory is configured).
-                repro_obs::flight::record(
-                    "mpisim",
-                    "kill",
-                    vec![f("rank", rank as u64), f("at_op", at_op)],
-                );
+                repro_obs::flight::record_with("mpisim", "kill", || {
+                    vec![f("rank", rank as u64), f("at_op", at_op)]
+                });
                 repro_obs::flight::incident("mpisim.kill");
                 return Err(FaultError::Killed { rank, at_op });
             }
@@ -195,7 +193,7 @@ impl Comm {
         self.obs.event("heal", vec![]);
         // Heals ride the flight ring too: a post-mortem that shows a kill
         // without the matching heal is itself diagnostic.
-        repro_obs::flight::record("mpisim", "heal", vec![f("rank", self.rank as u64)]);
+        repro_obs::flight::record_with("mpisim", "heal", || vec![f("rank", self.rank as u64)]);
         repro_obs::flight::incident("mpisim.heal");
     }
 

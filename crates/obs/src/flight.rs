@@ -297,6 +297,23 @@ impl FlightRecorder {
         self.ring.push_assigning(sub, kind, fields);
     }
 
+    /// Record one event with lazily built fields: when recording is
+    /// disabled the closure never runs, so hot paths pay one atomic load
+    /// and a branch — no `Vec`, no key `String`s. Prefer this over
+    /// [`FlightRecorder::record`] anywhere the call sits inside a loop.
+    #[inline]
+    pub fn record_with(
+        &self,
+        sub: &str,
+        kind: &str,
+        fields: impl FnOnce() -> Vec<(String, Value)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.ring.push_assigning(sub, kind, fields());
+    }
+
     /// Publish the recorder's self-accounting into `registry` as
     /// `obs.overhead.*` gauges (last-write-wins, so repeated accounting is
     /// idempotent): total events and estimated bytes recorded, dumps
@@ -439,6 +456,15 @@ pub fn record(sub: &str, kind: &str, fields: Vec<(String, Value)>) {
     global().record(sub, kind, fields);
 }
 
+/// Record one event on the process-global recorder with lazily built
+/// fields. Disabled cost is one atomic load and a branch — field
+/// construction is skipped entirely, which is what keeps always-on
+/// instrumentation affordable on per-batch ingest paths.
+#[inline]
+pub fn record_with(sub: &str, kind: &str, fields: impl FnOnce() -> Vec<(String, Value)>) {
+    global().record_with(sub, kind, fields);
+}
+
 /// Trigger a best-effort incident dump on the process-global recorder.
 pub fn incident(reason: &str) {
     global().incident(reason);
@@ -532,7 +558,7 @@ mod tests {
         for i in 0..5u64 {
             rec.record("runtime", "reduce", vec![f("i", i)]);
         }
-        rec.record("select", "decision", vec![f("alg", "PR")]);
+        rec.record_with("select", "decision", || vec![f("alg", "PR")]);
         rec.set_manifest_json(Some("{\"schema\":\"repro-manifest-v1\"}".to_string()));
         let text = rec.render_postmortem("test");
         let summary = validate_trace(&text).expect("postmortem must be schema-valid");
@@ -550,6 +576,9 @@ mod tests {
         let rec = FlightRecorder::new(4);
         rec.set_enabled(false);
         rec.record("runtime", "reduce", vec![]);
+        rec.record_with("runtime", "reduce", || {
+            panic!("fields must not be built when disabled")
+        });
         assert_eq!(rec.ring().events_recorded(), 0);
         rec.set_dump_dir(Some(std::env::temp_dir()));
         assert!(rec.dump("test").is_none());

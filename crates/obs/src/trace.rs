@@ -133,6 +133,19 @@ impl Scope {
             fields,
         });
     }
+
+    /// Record one event with lazily built fields. When the scope is
+    /// disabled this returns before the closure runs, so instrumentation
+    /// on hot paths (per-element ingest loops) pays only the branch — no
+    /// `Vec`, no `String` keys, no `Value` boxing. Measured as the
+    /// `obs/noop` bench entry.
+    #[inline]
+    pub fn event_with(&mut self, kind: &str, fields: impl FnOnce() -> Vec<(String, Value)>) {
+        if !self.enabled {
+            return;
+        }
+        self.event(kind, fields());
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +177,19 @@ mod tests {
         scope.event("x", vec![f("n", 1u64)]);
         // Nothing to observe: the sink is a NoopSink; the assertion is that
         // this neither panics nor allocates a growing buffer anywhere.
+    }
+
+    #[test]
+    fn event_with_skips_field_construction_when_disabled() {
+        let mut scope = Scope::disabled();
+        scope.event_with("x", || panic!("fields must not be built when disabled"));
+
+        let (trace, sink) = Trace::to_memory();
+        let mut scope = trace.scope("t");
+        scope.event_with("x", || vec![f("n", 7u64)]);
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fields.len(), 1);
     }
 
     #[test]

@@ -159,9 +159,36 @@ impl<A> CheckpointStore<A> {
         }
     }
 
+    /// An empty store with an explicit slot count, for callers whose
+    /// partition is not plan-derived — the aggregation engine checkpoints
+    /// one slot per shard.
+    pub fn with_slots(slots: usize) -> Self {
+        CheckpointStore {
+            slots: (0..slots).map(|_| None).collect(),
+        }
+    }
+
     /// Whether this store matches `plan`'s chunk count.
     pub fn matches(&self, plan: &ReductionPlan) -> bool {
         self.slots.len() == plan.num_chunks()
+    }
+
+    /// Total slots (checkpointed or not).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Checkpoint one chunk's accumulator state. Out-of-range indices are
+    /// ignored (the store's shape is fixed at construction).
+    pub fn save(&mut self, chunk: usize, state: A) {
+        if let Some(slot) = self.slots.get_mut(chunk) {
+            *slot = Some(state);
+        }
+    }
+
+    /// Read back one chunk's checkpointed state, if present.
+    pub fn get(&self, chunk: usize) -> Option<&A> {
+        self.slots.get(chunk).and_then(|s| s.as_ref())
     }
 
     /// Number of chunks currently checkpointed.
@@ -410,16 +437,15 @@ impl Runtime {
         // Flight-record the reduction's plan-derived shape (never the
         // timing fields) so a post-mortem shows what the runtime was doing
         // when the process died. One ring push per reduction — not per
-        // chunk — keeps the always-on cost negligible.
-        repro_obs::flight::record(
-            "runtime",
-            "reduce",
+        // chunk — keeps the always-on cost negligible, and the lazy field
+        // builder means a disabled recorder pays only the branch.
+        repro_obs::flight::record_with("runtime", "reduce", || {
             vec![
                 repro_obs::f("n", values.len()),
                 repro_obs::f("chunks", plan.num_chunks()),
                 repro_obs::f("workers", self.pool.workers()),
-            ],
-        );
+            ]
+        });
         (result, stats)
     }
 

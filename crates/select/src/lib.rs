@@ -93,15 +93,13 @@ pub struct AdaptiveReducer {
 /// choices made before the process died. `path` names the reduce entry
 /// point that decided; never carries timing, only decision facts.
 fn flight_decision(path: &str, algorithm: Algorithm, n: usize) {
-    repro_obs::flight::record(
-        "select",
-        "decision",
+    repro_obs::flight::record_with("select", "decision", || {
         vec![
             repro_obs::f("path", path),
             repro_obs::f("alg", algorithm.abbrev()),
             repro_obs::f("n", n as u64),
-        ],
-    );
+        ]
+    });
 }
 
 impl std::fmt::Debug for AdaptiveReducer {

@@ -3,7 +3,7 @@
 # scale, validate the BENCH JSON schema, and prove the harness itself is
 # deterministic — two same-seed runs must agree byte-for-byte once the
 # timing fields (the only nondeterministic outputs) are stripped. Then run
-# once at default scale and compare against the committed BENCH_08/BENCH_09
+# once at default scale and compare against the committed BENCH_09/BENCH_10
 # baselines: schema, op coverage, seed, and n must match, and the ns/elem
 # deltas are rendered as a table (to $GITHUB_STEP_SUMMARY when set). No
 # wall-clock thresholds anywhere: CI runners share cores, so asserting on
@@ -33,7 +33,8 @@ required_ops=(sum/ST sum/PW sum/K sum/N sum/CP sum/DD sum/PR sum/DS
               lanes/1 lanes/4 lanes/8
               select/profile select/profile_and_sum
               select/sampled_profile select/cache_hit select/cache_miss
-              obs/noop obs/ring obs/jsonl)
+              obs/noop obs/ring obs/jsonl
+              agg/ingest agg/merge agg/snapshot agg/finalize)
 # The simd/<tier> entry list follows the machine: sse2/avx2 entries are
 # required exactly when `repro-reduce simd --check` says the CPU has them.
 for tier in sse2 avx2; do
@@ -71,7 +72,7 @@ ns_of() { # $1 = file, $2 = op — empty when the op is absent
   sed -nE 's|.*"op": "'"$2"'", "n": [0-9]+, "ns_per_elem": ([0-9]+(\.[0-9]+)?).*|\1|p' "$1"
 }
 
-baseline=BENCH_09.json
+baseline=BENCH_10.json
 [ -f "$baseline" ] || { echo "committed baseline $baseline is missing" >&2; exit 1; }
 
 grep -q '"schema": "repro-bench-throughput-v1"' "$baseline" \
@@ -107,14 +108,14 @@ table="$BENCH_DIR/baseline-delta.md"
 {
   echo "### Bench vs committed baselines (ns/elem)"
   echo ""
-  echo "| op | BENCH_08 | BENCH_09 | this run | Δ vs 09 |"
+  echo "| op | BENCH_09 | BENCH_10 | this run | Δ vs 10 |"
   echo "|---|---|---|---|---|"
   while read -r op; do
-    b8=$(ns_of BENCH_08.json "$op"); b9=$(ns_of "$baseline" "$op")
+    b9=$(ns_of BENCH_09.json "$op"); b10=$(ns_of "$baseline" "$op")
     now=$(ns_of "$BENCH_DIR/bench-default.json" "$op")
-    delta=$(awk -v a="$b9" -v b="$now" \
+    delta=$(awk -v a="$b10" -v b="$now" \
       'BEGIN { if (a == "" || b == "") print "n/a"; else printf "%+.1f%%", (b - a) / a * 100 }')
-    echo "| $op | ${b8:-–} | ${b9:-–} | ${now:-–} | $delta |"
+    echo "| $op | ${b9:-–} | ${b10:-–} | ${now:-–} | $delta |"
   done < <(ops_of "$baseline")
 } > "$table"
 cat "$table"
